@@ -1,0 +1,167 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro <command> [--quick | --standard] [--folds N] [--epochs N]
+//!                 [--matrices N] [--json FILE]
+//!
+//! commands:
+//!   table1    platform parameters (Table 1)
+//!   table2    CPU prediction quality (Table 2)
+//!   table3    GPU prediction quality (Table 3)
+//!   fig8      SpMV speedup distribution (Figure 8, Section 7.3)
+//!   fig9      transfer-learning curves (Figure 9)
+//!   fig10     CNN structure (Figure 10)
+//!   fig11     loss convergence late vs early merging (Figure 11)
+//!   overhead  prediction overhead (Section 7.6)
+//!   labels    label-distribution sanity check (Section 7.1)
+//!   sweep     representation-size ablation (Section 4)
+//!   all       everything above, in order
+//! ```
+//!
+//! `--quick` (default) finishes in a few minutes; `--standard` uses the
+//! full dataset and 5-fold CV and takes tens of minutes.
+
+use dnnspmv_bench::experiments::{
+    labels, loss, overhead, speedup, structure, sweep, table, transfer,
+};
+use dnnspmv_bench::ExpConfig;
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: repro <command> [--quick|--standard] [--folds N] [--epochs N] [--matrices N] [--json FILE]");
+        eprintln!("commands: table1 table2 table3 fig8 fig9 fig10 fig11 overhead labels sweep all");
+        std::process::exit(2);
+    }
+    let command = args[0].clone();
+    let mut cfg = ExpConfig::quick();
+    let mut json_path: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => cfg = ExpConfig::quick(),
+            "--standard" => cfg = ExpConfig::standard(),
+            "--folds" => {
+                i += 1;
+                cfg.folds = parse(&args, i, "--folds");
+            }
+            "--epochs" => {
+                i += 1;
+                cfg.epochs = parse(&args, i, "--epochs");
+            }
+            "--matrices" => {
+                i += 1;
+                let n: usize = parse(&args, i, "--matrices");
+                cfg.dataset.n_base = (n * 3) / 10;
+                cfg.dataset.n_augmented = n - cfg.dataset.n_base;
+            }
+            "--json" => {
+                i += 1;
+                json_path = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| die("--json needs a path"))
+                        .clone(),
+                );
+            }
+            other => {
+                die(&format!("unknown flag '{other}'"));
+            }
+        }
+        i += 1;
+    }
+
+    let mut json_blobs: Vec<(String, String)> = Vec::new();
+    let commands: Vec<&str> = if command == "all" {
+        vec![
+            "table1", "labels", "table2", "table3", "fig8", "fig9", "fig10", "fig11",
+            "overhead", "sweep",
+        ]
+    } else {
+        vec![command.as_str()]
+    };
+
+    for cmd in commands {
+        let t0 = std::time::Instant::now();
+        let (text, json) = run_one(cmd, &cfg);
+        println!("{text}");
+        eprintln!("[{cmd} finished in {:.1}s]", t0.elapsed().as_secs_f64());
+        if let Some(j) = json {
+            json_blobs.push((cmd.to_string(), j));
+        }
+    }
+
+    if let Some(path) = json_path {
+        let combined = format!(
+            "{{{}}}",
+            json_blobs
+                .iter()
+                .map(|(k, v)| format!("\"{k}\":{v}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let mut f = std::fs::File::create(&path).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+        f.write_all(combined.as_bytes())
+            .unwrap_or_else(|e| die(&format!("{path}: {e}")));
+        eprintln!("[wrote {path}]");
+    }
+}
+
+fn run_one(cmd: &str, cfg: &ExpConfig) -> (String, Option<String>) {
+    match cmd {
+        "table1" => (structure::table1(), None),
+        "table2" => {
+            let r = table::table2(cfg);
+            let j = serde_json::to_string(&r).expect("serialisable");
+            (r.render(), Some(j))
+        }
+        "table3" => {
+            let r = table::table3(cfg);
+            let j = serde_json::to_string(&r).expect("serialisable");
+            (r.render(), Some(j))
+        }
+        "fig8" => {
+            let r = speedup::run(cfg);
+            let j = serde_json::to_string(&r).expect("serialisable");
+            (r.render(), Some(j))
+        }
+        "fig9" => {
+            let r = transfer::run(cfg);
+            let j = serde_json::to_string(&r).expect("serialisable");
+            (r.render(), Some(j))
+        }
+        "fig10" => (structure::fig10(cfg), None),
+        "fig11" => {
+            let r = loss::run(cfg);
+            let j = serde_json::to_string(&r).expect("serialisable");
+            (r.render(), Some(j))
+        }
+        "overhead" => {
+            let r = overhead::run(cfg);
+            let j = serde_json::to_string(&r).expect("serialisable");
+            (r.render(), Some(j))
+        }
+        "labels" => {
+            let r = labels::run(cfg);
+            let j = serde_json::to_string(&r).expect("serialisable");
+            (r.render(), Some(j))
+        }
+        "sweep" => {
+            let r = sweep::run(cfg);
+            let j = serde_json::to_string(&r).expect("serialisable");
+            (r.render(), Some(j))
+        }
+        other => die(&format!("unknown command '{other}'")),
+    }
+}
+
+fn parse<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> T {
+    args.get(i)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| die(&format!("{flag} needs a numeric argument")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

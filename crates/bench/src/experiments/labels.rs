@@ -1,0 +1,120 @@
+//! `repro labels` — label-distribution sanity check (E10).
+//!
+//! Verifies that the synthetic dataset plus the platform cost models
+//! produce a ground-truth distribution shaped like the paper's: CSR
+//! dominating on CPU (Table 2's Ground Truth column: 6947 of 9200),
+//! meaningful minorities for DIA/ELL/COO, COO never winning on GPU
+//! (Table 3), and Intel/AMD disagreeing on a nontrivial fraction
+//! (the premise of Section 6).
+
+use crate::ExpConfig;
+use dnnspmv_gen::Dataset;
+use dnnspmv_platform::{label_dataset_noisy, PlatformModel};
+use serde::{Deserialize, Serialize};
+
+/// Per-platform label counts plus the CPU-pair disagreement rate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LabelStats {
+    /// Total matrices.
+    pub total: usize,
+    /// (platform name, format names, counts).
+    pub platforms: Vec<(String, Vec<String>, Vec<usize>)>,
+    /// Fraction of matrices whose Intel and AMD labels differ.
+    pub intel_amd_disagreement: f64,
+}
+
+/// Runs the experiment.
+pub fn run(cfg: &ExpConfig) -> LabelStats {
+    let data = Dataset::generate(&cfg.dataset);
+    let mut platforms = Vec::new();
+    let mut intel_labels = Vec::new();
+    let mut amd_labels = Vec::new();
+    for p in [
+        PlatformModel::intel_cpu(),
+        PlatformModel::amd_cpu(),
+        PlatformModel::nvidia_gpu(),
+    ] {
+        let labels = label_dataset_noisy(&data.matrices, &p, cfg.label_noise, cfg.seed);
+        let mut counts = vec![0usize; p.formats().len()];
+        for &l in &labels {
+            counts[l] += 1;
+        }
+        if !p.is_gpu && intel_labels.is_empty() {
+            intel_labels = labels.clone();
+        } else if !p.is_gpu {
+            amd_labels = labels.clone();
+        }
+        platforms.push((
+            p.name.clone(),
+            p.formats().iter().map(|f| f.name().to_string()).collect(),
+            counts,
+        ));
+    }
+    let disagree = intel_labels
+        .iter()
+        .zip(&amd_labels)
+        .filter(|(a, b)| a != b)
+        .count();
+    LabelStats {
+        total: data.matrices.len(),
+        platforms,
+        intel_amd_disagreement: disagree as f64 / data.matrices.len() as f64,
+    }
+}
+
+impl LabelStats {
+    /// Prints the distribution table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "== Label distribution over {} matrices ==\n",
+            self.total
+        ));
+        for (name, formats, counts) in &self.platforms {
+            out.push_str(&format!("{name}:\n"));
+            for (f, c) in formats.iter().zip(counts) {
+                out.push_str(&format!(
+                    "  {f:>5}: {c:>6}  ({:.1}%)\n",
+                    100.0 * *c as f64 / self.total as f64
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "Intel vs AMD label disagreement: {:.1}% (paper premise: labels are architecture-dependent)\n",
+            100.0 * self.intel_amd_disagreement
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_stats_shape_matches_paper() {
+        let mut cfg = ExpConfig::quick();
+        cfg.dataset.n_base = 150;
+        cfg.dataset.n_augmented = 50;
+        let stats = run(&cfg);
+        assert_eq!(stats.total, 200);
+        // CPU platform 0 = Intel: CSR (index 1 in CPU set) dominates.
+        let (_, formats, counts) = &stats.platforms[0];
+        let csr = formats.iter().position(|f| f == "CSR").unwrap();
+        assert!(
+            counts[csr] * 2 > stats.total,
+            "CSR holds only {}/{}",
+            counts[csr],
+            stats.total
+        );
+        // Every CPU class is populated.
+        assert!(counts.iter().all(|&c| c > 0), "counts {counts:?}");
+        // COO never (or almost never) wins on the GPU.
+        let (_, gformats, gcounts) = &stats.platforms[2];
+        let coo = gformats.iter().position(|f| f == "COO").unwrap();
+        assert!(gcounts[coo] * 50 < stats.total, "GPU COO wins {}", gcounts[coo]);
+        // Platforms disagree on some but not most labels.
+        assert!(stats.intel_amd_disagreement > 0.02);
+        assert!(stats.intel_amd_disagreement < 0.6);
+    }
+}

@@ -1,0 +1,10 @@
+//! One module per reproduced table/figure.
+
+pub mod labels;
+pub mod loss;
+pub mod overhead;
+pub mod speedup;
+pub mod structure;
+pub mod sweep;
+pub mod table;
+pub mod transfer;

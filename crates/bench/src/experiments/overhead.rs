@@ -1,0 +1,172 @@
+//! `repro overhead` — prediction overhead in SpMV iterations (E9).
+//!
+//! Section 7.6 reports, in units of one CSR SpMV iteration: CNN input
+//! representation 0.96x + CNN inference 0.13x = 1.09x total, versus the
+//! DT's 3.4x feature extraction + 0.0085x prediction = 3.4x total (the
+//! DT's hand-crafted features need several passes over the matrix).
+//! These are real wall-clock measurements of our Rust implementations
+//! on the host.
+
+use crate::ExpConfig;
+use dnnspmv_core::{make_samples, DtSelector, FormatSelector};
+use dnnspmv_gen::Dataset;
+use dnnspmv_platform::{label_dataset_noisy, PlatformModel};
+use dnnspmv_repr::{MatrixRepr, ReprKind};
+use dnnspmv_sparse::{CooMatrix, CsrMatrix, Spmv};
+use dnnspmv_tree::features;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Median per-matrix costs, in seconds and in CSR-SpMV-iteration units.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OverheadResult {
+    /// Matrices measured.
+    pub count: usize,
+    /// Median one-iteration CSR SpMV time (the unit).
+    pub spmv_secs: f64,
+    /// Median histogram-representation extraction time.
+    pub repr_secs: f64,
+    /// Median CNN forward-pass time.
+    pub cnn_infer_secs: f64,
+    /// Median DT feature-extraction time.
+    pub dt_features_secs: f64,
+    /// Median DT tree-walk time.
+    pub dt_predict_secs: f64,
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("times are not NaN"));
+    xs[xs.len() / 2]
+}
+
+fn time_it<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t0.elapsed().as_secs_f64() / reps as f64
+}
+
+/// Measures overheads on a sample of dataset matrices.
+pub fn run(cfg: &ExpConfig) -> OverheadResult {
+    let data = Dataset::generate(&cfg.dataset);
+    let intel = PlatformModel::intel_cpu();
+    let labels = label_dataset_noisy(&data.matrices, &intel, cfg.label_noise, cfg.seed);
+
+    // Small models are enough: inference cost is structure-dependent,
+    // not accuracy-dependent.
+    let mut train_cfg = cfg.clone();
+    train_cfg.epochs = 1;
+    let sel_cfg = train_cfg.selector_config(ReprKind::Histogram);
+    let samples = make_samples(&data.matrices, &labels, ReprKind::Histogram, &cfg.repr_config);
+    let (cnn, _) = FormatSelector::train_on_samples(
+        &samples[..samples.len().min(64)],
+        intel.formats().to_vec(),
+        &sel_cfg,
+    );
+    let dt = DtSelector::train(&data.matrices, &labels, intel.formats().to_vec());
+
+    // Measure at the paper's scale: §7.6's "about one SpMV iteration"
+    // claim is about matrices with ~10^6 nonzeros, where one iteration
+    // costs milliseconds. The training dataset's matrices are tiny
+    // (SpMV is microseconds there, so any fixed inference cost looks
+    // enormous); build a few large operators for the measurement.
+    let large: Vec<CooMatrix<f32>> = vec![
+        dnnspmv_gen::generate(dnnspmv_gen::MatrixClass::Stencil, 250_000, 3),
+        dnnspmv_gen::generate(dnnspmv_gen::MatrixClass::Banded, 150_000, 5),
+        dnnspmv_gen::generate(dnnspmv_gen::MatrixClass::PowerLaw, 60_000, 7),
+        dnnspmv_gen::generate(dnnspmv_gen::MatrixClass::UniformRows, 100_000, 9),
+        dnnspmv_gen::generate(dnnspmv_gen::MatrixClass::Random, 80_000, 11),
+    ];
+    let picks: Vec<&CooMatrix<f32>> = large.iter().collect();
+
+    let mut spmv = Vec::new();
+    let mut repr = Vec::new();
+    let mut cnn_inf = Vec::new();
+    let mut dt_feat = Vec::new();
+    let mut dt_pred = Vec::new();
+    for m in picks {
+        let csr = CsrMatrix::from_coo(m);
+        let x = vec![1.0f32; m.ncols()];
+        let mut y = vec![0.0f32; m.nrows()];
+        spmv.push(time_it(20, || csr.spmv(&x, &mut y)));
+        repr.push(time_it(5, || {
+            std::hint::black_box(MatrixRepr::extract(m, ReprKind::Histogram, &cfg.repr_config));
+        }));
+        let channels = dnnspmv_core::samples::make_channels(m, ReprKind::Histogram, &cfg.repr_config);
+        cnn_inf.push(time_it(3, || {
+            std::hint::black_box(cnn.net.forward(&channels));
+        }));
+        dt_feat.push(time_it(5, || {
+            std::hint::black_box(features(m));
+        }));
+        let f = features(m);
+        dt_pred.push(time_it(50, || {
+            std::hint::black_box(dt_predict(&dt, &f, m));
+        }));
+    }
+
+    OverheadResult {
+        count: spmv.len(),
+        spmv_secs: median(spmv),
+        repr_secs: median(repr),
+        cnn_infer_secs: median(cnn_inf),
+        dt_features_secs: median(dt_feat),
+        dt_predict_secs: median(dt_pred),
+    }
+}
+
+fn dt_predict(dt: &DtSelector, _features: &[f64], m: &CooMatrix<f32>) -> usize {
+    // DtSelector recomputes features internally; the tree walk itself
+    // is measured as the difference, but for simplicity we time the
+    // walk via the public API on an already-warm path.
+    dt.predict_label(m)
+}
+
+impl OverheadResult {
+    /// Renders the Section 7.6 comparison.
+    pub fn render(&self) -> String {
+        let unit = self.spmv_secs.max(1e-12);
+        let repr = self.repr_secs / unit;
+        let infer = self.cnn_infer_secs / unit;
+        let feat = self.dt_features_secs / unit;
+        let pred = (self.dt_predict_secs - self.dt_features_secs).max(0.0) / unit;
+        format!(
+            "== Section 7.6: prediction overhead (units of one CSR SpMV iteration) ==\n\
+             measured over {} paper-scale matrices (~10^6 nnz); 1 unit = {:.3e} s\n\
+             CNN: representation {repr:.2}x + inference {infer:.2}x = {:.2}x   (paper: 0.96 + 0.13 = 1.09x)\n\
+             DT:  features       {feat:.2}x + tree walk {pred:.4}x = {:.2}x   (paper: 3.4 + 0.0085 = 3.4x)\n",
+            self.count,
+            self.spmv_secs,
+            repr + infer,
+            feat + pred,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_measurement_is_positive() {
+        let mut cfg = ExpConfig::quick();
+        cfg.dataset.n_base = 60;
+        cfg.dataset.n_augmented = 0;
+        let r = run(&cfg);
+        assert!(r.count > 0);
+        assert!(r.spmv_secs > 0.0);
+        assert!(r.repr_secs > 0.0);
+        assert!(r.cnn_infer_secs > 0.0);
+        assert!(r.dt_features_secs > 0.0);
+        // The render must not divide by zero or produce NaN.
+        let s = r.render();
+        assert!(!s.contains("NaN"));
+    }
+
+    #[test]
+    fn median_of_odd_and_even() {
+        assert_eq!(median(vec![3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(vec![4.0, 1.0, 2.0, 3.0]), 3.0);
+    }
+}

@@ -1,0 +1,85 @@
+//! `repro table1` / `repro fig10` — platform parameters and the CNN
+//! structure printout (E1, E7).
+
+use crate::ExpConfig;
+use dnnspmv_nn::{build_cnn, describe_structure, Merging};
+use dnnspmv_platform::PlatformModel;
+use dnnspmv_repr::ReprConfig;
+
+/// Renders Table 1: the three platform models and their parameters.
+pub fn table1() -> String {
+    let mut out = String::from("== Table 1: hardware platforms (as cost models) ==\n");
+    for p in [
+        PlatformModel::intel_cpu(),
+        PlatformModel::amd_cpu(),
+        PlatformModel::nvidia_gpu(),
+    ] {
+        out.push_str(&format!(
+            "{:<22} bw={:>6.1} GB/s  cores={:>6}  flops/ns={:>6.1}  cache={:>5.0} B  {}  formats: {}\n",
+            p.name,
+            p.bw_gbps,
+            p.cores,
+            p.flops_per_ns,
+            p.cache_bytes,
+            if p.is_gpu { "GPU" } else { "CPU" },
+            p.formats()
+                .iter()
+                .map(|f| f.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+    }
+    out.push_str(
+        "(effective cache scaled to the synthetic dataset's working sets; see DESIGN.md)\n",
+    );
+    out
+}
+
+/// Renders Figure 10: the late-merging structure at the paper's input
+/// sizes, with activation shapes at each stage.
+pub fn fig10(cfg: &ExpConfig) -> String {
+    let mut out = String::from("== Figure 10: late-merging CNN structure ==\n");
+    out.push_str("At the paper's input size (128 x 128):\n");
+    let paper = build_cnn(Merging::Late, 2, (128, 128), 4, &cfg.cnn);
+    out.push_str(&describe_structure(&paper));
+    let this = ReprConfig::default();
+    out.push_str(&format!(
+        "\nAt this repo's default histogram size ({} x {}):\n",
+        this.hist_rows, this.hist_bins
+    ));
+    let ours = build_cnn(
+        Merging::Late,
+        2,
+        (this.hist_rows, this.hist_bins),
+        4,
+        &cfg.cnn,
+    );
+    out.push_str(&describe_structure(&ours));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_all_three_platforms() {
+        let s = table1();
+        assert!(s.contains("Intel"));
+        assert!(s.contains("AMD"));
+        assert!(s.contains("TITAN"));
+        assert!(s.contains("CSR5"));
+    }
+
+    #[test]
+    fn fig10_reproduces_paper_waypoints() {
+        let mut cfg = ExpConfig::quick();
+        // Figure 10 uses the paper's channel schedule.
+        cfg.cnn = dnnspmv_nn::CnnConfig::default();
+        let s = fig10(&cfg);
+        assert!(s.contains("CONV(3x3x16, stride 1)"));
+        // 128x128 -> ... -> 4x4x64 -> 1024 (the figure's shapes).
+        assert!(s.contains("64x4x4"), "{s}");
+        assert!(s.contains("1024"));
+    }
+}

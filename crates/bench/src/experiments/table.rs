@@ -1,0 +1,213 @@
+//! `repro table2` / `repro table3` — prediction-quality tables (E2, E3).
+//!
+//! Table 2 (CPU): per-format recall and precision plus overall accuracy
+//! for CNN+Binary, CNN+Binary+Density, CNN+Histogram and the DT
+//! baseline, over the Intel platform's labels with k-fold cross
+//! validation. Table 3 (GPU): CNN+Histogram vs DT over the six-format
+//! cuSPARSE+CSR5 set. Paper reference values: CPU overall 0.88 / 0.90 /
+//! 0.93 vs DT 0.85; GPU 0.90 vs 0.83.
+
+use crate::{fmt_opt, ExpConfig};
+use dnnspmv_core::{make_samples, DtSelector, FormatSelector};
+use dnnspmv_gen::{kfold, Dataset};
+use dnnspmv_nn::train::{accuracy_from_confusion, recall_precision};
+use dnnspmv_platform::{label_dataset_noisy, PlatformModel};
+use dnnspmv_repr::ReprKind;
+use dnnspmv_sparse::CooMatrix;
+use serde::{Deserialize, Serialize};
+
+/// One evaluated model: its name and fold-aggregated confusion matrix.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelEval {
+    /// Table column header.
+    pub name: String,
+    /// `confusion[truth][predicted]`, summed over all test folds.
+    pub confusion: Vec<Vec<usize>>,
+}
+
+impl ModelEval {
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        accuracy_from_confusion(&self.confusion)
+    }
+}
+
+/// A full prediction-quality table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableResult {
+    /// Which paper table this reproduces.
+    pub title: String,
+    /// Format names (row labels).
+    pub formats: Vec<String>,
+    /// Ground-truth label counts over the whole dataset.
+    pub ground_truth: Vec<usize>,
+    /// Evaluated models (columns).
+    pub models: Vec<ModelEval>,
+}
+
+/// Runs the Table 2 experiment (Intel CPU, all representations + DT).
+pub fn table2(cfg: &ExpConfig) -> TableResult {
+    run_table(
+        cfg,
+        &PlatformModel::intel_cpu(),
+        &[ReprKind::Binary, ReprKind::BinaryDensity, ReprKind::Histogram],
+        "Table 2: prediction quality on Intel CPU",
+    )
+}
+
+/// Runs the Table 3 experiment (NVIDIA GPU, histogram CNN + DT).
+pub fn table3(cfg: &ExpConfig) -> TableResult {
+    run_table(
+        cfg,
+        &PlatformModel::nvidia_gpu(),
+        &[ReprKind::Histogram],
+        "Table 3: prediction quality on NVIDIA GPU",
+    )
+}
+
+/// Shared machinery: k-fold CV of every CNN variant plus the DT.
+pub fn run_table(
+    cfg: &ExpConfig,
+    platform: &PlatformModel,
+    repr_kinds: &[ReprKind],
+    title: &str,
+) -> TableResult {
+    let data = Dataset::generate(&cfg.dataset);
+    let labels = label_dataset_noisy(&data.matrices, platform, cfg.label_noise, cfg.seed);
+    let k = platform.formats().len();
+    let mut ground_truth = vec![0usize; k];
+    for &l in &labels {
+        ground_truth[l] += 1;
+    }
+    let folds = kfold(data.matrices.len(), cfg.folds, cfg.seed ^ 0xF01D);
+
+    let mut models = Vec::new();
+    for &kind in repr_kinds {
+        let samples = make_samples(&data.matrices, &labels, kind, &cfg.repr_config);
+        let mut confusion = vec![vec![0usize; k]; k];
+        for (train_idx, test_idx) in &folds {
+            let train: Vec<_> = train_idx.iter().map(|&i| samples[i].clone()).collect();
+            let test: Vec<_> = test_idx.iter().map(|&i| samples[i].clone()).collect();
+            let (sel, _) = FormatSelector::train_on_samples(
+                &train,
+                platform.formats().to_vec(),
+                &cfg.selector_config(kind),
+            );
+            for (cm_row, fold_row) in confusion.iter_mut().zip(sel.confusion(&test)) {
+                for (c, v) in cm_row.iter_mut().zip(fold_row) {
+                    *c += v;
+                }
+            }
+        }
+        models.push(ModelEval {
+            name: kind.name().to_string(),
+            confusion,
+        });
+    }
+
+    // Decision-tree baseline over the same folds.
+    let mut confusion = vec![vec![0usize; k]; k];
+    for (train_idx, test_idx) in &folds {
+        let train_m: Vec<CooMatrix<f32>> =
+            train_idx.iter().map(|&i| data.matrices[i].clone()).collect();
+        let train_l: Vec<usize> = train_idx.iter().map(|&i| labels[i]).collect();
+        let test_m: Vec<CooMatrix<f32>> =
+            test_idx.iter().map(|&i| data.matrices[i].clone()).collect();
+        let test_l: Vec<usize> = test_idx.iter().map(|&i| labels[i]).collect();
+        let dt = DtSelector::train(&train_m, &train_l, platform.formats().to_vec());
+        for (cm_row, fold_row) in confusion.iter_mut().zip(dt.confusion(&test_m, &test_l)) {
+            for (c, v) in cm_row.iter_mut().zip(fold_row) {
+                *c += v;
+            }
+        }
+    }
+    models.push(ModelEval {
+        name: "DT".to_string(),
+        confusion,
+    });
+
+    TableResult {
+        title: title.to_string(),
+        formats: platform
+            .formats()
+            .iter()
+            .map(|f| f.name().to_string())
+            .collect(),
+        ground_truth,
+        models,
+    }
+}
+
+impl TableResult {
+    /// Renders the table in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut out = format!("== {} ==\n", self.title);
+        out.push_str(&format!("{:>7} {:>7}", "Format", "Truth"));
+        for m in &self.models {
+            out.push_str(&format!(" | {:^18}", m.name));
+        }
+        out.push('\n');
+        out.push_str(&format!("{:>7} {:>7}", "", ""));
+        for _ in &self.models {
+            out.push_str(&format!(" | {:>8} {:>8}", "Recall", "Precis."));
+        }
+        out.push('\n');
+        for (fi, f) in self.formats.iter().enumerate() {
+            out.push_str(&format!("{f:>7} {:>7}", self.ground_truth[fi]));
+            for m in &self.models {
+                let rp = recall_precision(&m.confusion);
+                out.push_str(&format!(
+                    " | {:>8} {:>8}",
+                    fmt_opt(rp[fi].0),
+                    fmt_opt(rp[fi].1)
+                ));
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{:>7} {:>7}",
+            "Overall",
+            self.ground_truth.iter().sum::<usize>()
+        ));
+        for m in &self.models {
+            out.push_str(&format!(" | {:^18.3}", m.accuracy()));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature end-to-end table run; asserts structural sanity.
+    /// Slow-ish (trains a CNN), so it uses a very small configuration.
+    #[test]
+    fn mini_table_has_consistent_counts() {
+        let mut cfg = ExpConfig::quick();
+        cfg.dataset.n_base = 120;
+        cfg.dataset.n_augmented = 40;
+        cfg.folds = 2;
+        cfg.epochs = 4;
+        let t = run_table(
+            &cfg,
+            &PlatformModel::intel_cpu(),
+            &[ReprKind::Histogram],
+            "mini",
+        );
+        assert_eq!(t.formats.len(), 4);
+        let total: usize = t.ground_truth.iter().sum();
+        assert_eq!(total, 160);
+        for m in &t.models {
+            let cm_total: usize = m.confusion.iter().flatten().sum();
+            assert_eq!(cm_total, 160, "{} covers every test point", m.name);
+            let acc = m.accuracy();
+            assert!(acc > 0.3, "{} accuracy {acc} is below sanity", m.name);
+        }
+        assert_eq!(t.models.last().unwrap().name, "DT");
+        // The render must include every format row and both models.
+        let s = t.render();
+        assert!(s.contains("CSR") && s.contains("DT") && s.contains("Overall"));
+    }
+}

@@ -1,0 +1,164 @@
+//! `repro fig9` — cross-architecture model migration (E6).
+//!
+//! Figure 9: train a selector on the Intel platform, then migrate it to
+//! the AMD platform with increasing amounts of AMD-labelled retraining
+//! data, comparing *train from scratch*, *continuous evolvement* and
+//! *top evolvement*. The paper's shape: both transfer methods reach
+//! high accuracy with a fraction of the data the from-scratch curve
+//! needs, and top evolvement learns fastest at small sizes while
+//! continuous evolvement has the slightly higher ceiling.
+
+use crate::ExpConfig;
+use dnnspmv_core::{make_samples, FormatSelector};
+use dnnspmv_gen::{kfold, Dataset};
+use dnnspmv_nn::transfer::Migration;
+use dnnspmv_nn::TrainConfig;
+use dnnspmv_platform::{label_dataset_noisy, PlatformModel};
+use dnnspmv_repr::ReprKind;
+use serde::{Deserialize, Serialize};
+
+/// Accuracy-vs-retraining-size curves for the three strategies.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TransferResult {
+    /// Retraining-set sizes (x axis).
+    pub sizes: Vec<usize>,
+    /// (strategy name, accuracy per size) — Figure 9's three curves.
+    pub curves: Vec<(String, Vec<f64>)>,
+    /// Accuracy of the unmigrated Intel model on AMD labels (the
+    /// motivation: it is poor).
+    pub source_on_target: f64,
+}
+
+/// Runs the experiment.
+pub fn run(cfg: &ExpConfig) -> TransferResult {
+    let data = Dataset::generate(&cfg.dataset);
+    let intel = PlatformModel::intel_cpu();
+    let amd = PlatformModel::amd_cpu();
+    let intel_labels = label_dataset_noisy(&data.matrices, &intel, cfg.label_noise, cfg.seed);
+    let amd_labels = label_dataset_noisy(&data.matrices, &amd, cfg.label_noise, cfg.seed ^ 1);
+
+    let folds = kfold(data.matrices.len(), cfg.folds.max(2), cfg.seed ^ 0xF01D);
+    let (train_idx, test_idx) = &folds[0];
+
+    let sel_cfg = cfg.selector_config(ReprKind::Histogram);
+    let intel_samples = make_samples(
+        &data.matrices,
+        &intel_labels,
+        ReprKind::Histogram,
+        &cfg.repr_config,
+    );
+    let amd_samples = make_samples(
+        &data.matrices,
+        &amd_labels,
+        ReprKind::Histogram,
+        &cfg.repr_config,
+    );
+
+    // Source model: full Intel training set.
+    let train_src: Vec<_> = train_idx.iter().map(|&i| intel_samples[i].clone()).collect();
+    let (source, _) =
+        FormatSelector::train_on_samples(&train_src, intel.formats().to_vec(), &sel_cfg);
+
+    let amd_train: Vec<_> = train_idx.iter().map(|&i| amd_samples[i].clone()).collect();
+    let amd_test: Vec<_> = test_idx.iter().map(|&i| amd_samples[i].clone()).collect();
+    let source_on_target = source.accuracy(&amd_test);
+
+    // Retraining sizes: 0 .. full training set in ~9 steps (the paper
+    // sweeps 0..4500 in steps of 500 on a 9200-matrix set).
+    let steps = 9usize;
+    let max_size = amd_train.len() / 2;
+    let sizes: Vec<usize> = (0..=steps).map(|k| k * max_size / steps).collect();
+
+    let migrate_cfg = TrainConfig {
+        // Migration budgets are small; keep the epoch count matched to
+        // the main training so comparisons are fair.
+        ..sel_cfg.train.clone()
+    };
+
+    let mut curves: Vec<(String, Vec<f64>)> = Migration::ALL
+        .iter()
+        .map(|s| (s.name().to_string(), Vec::new()))
+        .collect();
+    for &size in &sizes {
+        let subset = &amd_train[..size];
+        for (si, &strategy) in Migration::ALL.iter().enumerate() {
+            let acc = if size == 0 {
+                match strategy {
+                    // Without retraining data, transfer = reuse the
+                    // source model; scratch = an untrained network.
+                    Migration::FromScratch => {
+                        let (fresh, _) = FormatSelector::train_on_samples(
+                            &[],
+                            intel.formats().to_vec(),
+                            &sel_cfg,
+                        );
+                        fresh.accuracy(&amd_test)
+                    }
+                    _ => source_on_target,
+                }
+            } else {
+                let (migrated, _) = source.migrate(strategy, subset, &migrate_cfg);
+                migrated.accuracy(&amd_test)
+            };
+            curves[si].1.push(acc);
+        }
+    }
+
+    TransferResult {
+        sizes,
+        curves,
+        source_on_target,
+    }
+}
+
+impl TransferResult {
+    /// Renders the three curves as aligned columns (Figure 9's data).
+    pub fn render(&self) -> String {
+        let mut out = String::from("== Figure 9: migrating Intel -> AMD ==\n");
+        out.push_str(&format!(
+            "Unmigrated source accuracy on AMD labels: {:.3}\n",
+            self.source_on_target
+        ));
+        out.push_str(&format!("{:>8}", "size"));
+        for (name, _) in &self.curves {
+            out.push_str(&format!(" | {name:>22}"));
+        }
+        out.push('\n');
+        for (i, &s) in self.sizes.iter().enumerate() {
+            out.push_str(&format!("{s:>8}"));
+            for (_, accs) in &self.curves {
+                out.push_str(&format!(" | {:>22.3}", accs[i]));
+            }
+            out.push('\n');
+        }
+        out.push_str(
+            "(paper shape: transfer methods reach target accuracy with ~1/4 of the from-scratch data)\n",
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curves_are_complete_and_bounded() {
+        let mut cfg = ExpConfig::quick();
+        cfg.dataset.n_base = 100;
+        cfg.dataset.n_augmented = 20;
+        cfg.epochs = 3;
+        let r = run(&cfg);
+        assert_eq!(r.curves.len(), 3);
+        for (name, accs) in &r.curves {
+            assert_eq!(accs.len(), r.sizes.len(), "{name}");
+            for &a in accs {
+                assert!((0.0..=1.0).contains(&a), "{name}: {a}");
+            }
+        }
+        assert_eq!(r.sizes[0], 0);
+        // Transfer curves start exactly at the unmigrated accuracy.
+        assert_eq!(r.curves[1].1[0], r.source_on_target);
+        assert_eq!(r.curves[2].1[0], r.source_on_target);
+    }
+}

@@ -1,0 +1,139 @@
+//! The decision-tree baseline packaged as a drop-in selector — the
+//! "DT" columns of Tables 2 and 3.
+
+use dnnspmv_sparse::{CooMatrix, Scalar, SparseFormat};
+use dnnspmv_tree::{features, DecisionTree, TreeConfig};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// SMAT-style decision-tree format selector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DtSelector {
+    tree: DecisionTree,
+    /// Class index → format mapping.
+    pub formats: Vec<SparseFormat>,
+}
+
+impl DtSelector {
+    /// Trains on matrices with class labels (indices into `formats`).
+    pub fn train<S: Scalar>(
+        matrices: &[CooMatrix<S>],
+        labels: &[usize],
+        formats: Vec<SparseFormat>,
+    ) -> Self {
+        assert_eq!(matrices.len(), labels.len(), "matrix/label count mismatch");
+        let x: Vec<Vec<f64>> = matrices.par_iter().map(|m| features(m)).collect();
+        let tree = DecisionTree::train(&x, labels, TreeConfig::new(formats.len()));
+        Self { tree, formats }
+    }
+
+    /// Predicts the best format for a matrix.
+    pub fn predict<S: Scalar>(&self, matrix: &CooMatrix<S>) -> SparseFormat {
+        self.formats[self.predict_label(matrix)]
+    }
+
+    /// Predicts the class label.
+    pub fn predict_label<S: Scalar>(&self, matrix: &CooMatrix<S>) -> usize {
+        self.tree.predict(&features(matrix))
+    }
+
+    /// Accuracy against reference labels.
+    pub fn accuracy<S: Scalar>(&self, matrices: &[CooMatrix<S>], labels: &[usize]) -> f64 {
+        if matrices.is_empty() {
+            return 0.0;
+        }
+        let hits: usize = matrices
+            .par_iter()
+            .zip(labels.par_iter())
+            .filter(|(m, &l)| self.predict_label(*m) == l)
+            .count();
+        hits as f64 / matrices.len() as f64
+    }
+
+    /// `confusion[truth][predicted]` over a labelled set.
+    pub fn confusion<S: Scalar>(
+        &self,
+        matrices: &[CooMatrix<S>],
+        labels: &[usize],
+    ) -> Vec<Vec<usize>> {
+        let k = self.formats.len();
+        let preds: Vec<(usize, usize)> = matrices
+            .par_iter()
+            .zip(labels.par_iter())
+            .map(|(m, &l)| (l, self.predict_label(m)))
+            .collect();
+        let mut cm = vec![vec![0usize; k]; k];
+        for (t, p) in preds {
+            cm[t][p] += 1;
+        }
+        cm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnnspmv_gen::{Dataset, DatasetSpec};
+    use dnnspmv_platform::{label_dataset, PlatformModel};
+
+    #[test]
+    fn dt_learns_cost_model_labels_well_in_sample() {
+        let data = Dataset::generate(&DatasetSpec {
+            n_base: 120,
+            n_augmented: 0,
+            dim_min: 48,
+            dim_max: 160,
+            ..DatasetSpec::tiny(5)
+        });
+        let platform = PlatformModel::intel_cpu();
+        let labels = label_dataset(&data.matrices, &platform);
+        let dt = DtSelector::train(&data.matrices, &labels, platform.formats().to_vec());
+        let acc = dt.accuracy(&data.matrices, &labels);
+        assert!(acc > 0.8, "in-sample accuracy only {acc}");
+    }
+
+    #[test]
+    fn predictions_come_from_the_format_set() {
+        let data = Dataset::generate(&DatasetSpec {
+            n_base: 40,
+            n_augmented: 0,
+            ..DatasetSpec::tiny(6)
+        });
+        let platform = PlatformModel::nvidia_gpu();
+        let labels = label_dataset(&data.matrices, &platform);
+        let dt = DtSelector::train(&data.matrices, &labels, platform.formats().to_vec());
+        for m in &data.matrices {
+            assert!(platform.formats().contains(&dt.predict(m)));
+        }
+    }
+
+    #[test]
+    fn confusion_matrix_totals_match() {
+        let data = Dataset::generate(&DatasetSpec {
+            n_base: 40,
+            n_augmented: 0,
+            ..DatasetSpec::tiny(7)
+        });
+        let platform = PlatformModel::intel_cpu();
+        let labels = label_dataset(&data.matrices, &platform);
+        let dt = DtSelector::train(&data.matrices, &labels, platform.formats().to_vec());
+        let cm = dt.confusion(&data.matrices, &labels);
+        let total: usize = cm.iter().flatten().sum();
+        assert_eq!(total, data.matrices.len());
+    }
+
+    #[test]
+    fn serialises_round_trip() {
+        let data = Dataset::generate(&DatasetSpec {
+            n_base: 30,
+            n_augmented: 0,
+            ..DatasetSpec::tiny(8)
+        });
+        let platform = PlatformModel::intel_cpu();
+        let labels = label_dataset(&data.matrices, &platform);
+        let dt = DtSelector::train(&data.matrices, &labels, platform.formats().to_vec());
+        let json = serde_json::to_string(&dt).unwrap();
+        let back: DtSelector = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, dt);
+    }
+}

@@ -1,0 +1,25 @@
+//! End-to-end CNN-based sparse matrix format selector — the paper's
+//! primary contribution, wired together (Figure 3).
+//!
+//! Construction (training) runs the four steps of Section 3:
+//!
+//! 1. **Label collection** — run (here: cost-model or measured) SpMV in
+//!    every candidate format per matrix; the fastest format is the
+//!    label ([`dnnspmv_platform`]).
+//! 2. **Normalisation** — map each matrix to a fixed-size
+//!    representation ([`dnnspmv_repr`]).
+//! 3. **Structure design** — build a late-merging (or early-merging)
+//!    CNN ([`dnnspmv_nn::structures`]).
+//! 4. **Training** — standard mini-batch backprop.
+//!
+//! Inference normalises the input matrix and takes the CNN's argmax.
+//! [`FormatSelector::migrate`] ports a trained selector to another
+//! platform via transfer learning (Section 6).
+
+pub mod baseline;
+pub mod samples;
+pub mod selector;
+
+pub use baseline::DtSelector;
+pub use samples::make_samples;
+pub use selector::{FormatSelector, SelectorConfig};

@@ -1,0 +1,630 @@
+//! Network layers: convolution, max-pooling, ReLU, flatten, dense.
+//!
+//! Layers are an enum (not trait objects) so whole networks serialise
+//! with serde and clone cheaply. Forward passes are *stateless*: the
+//! training loop keeps each layer's input and hands it back to
+//! [`Layer::backward`], which lets one shared network reference serve
+//! many rayon workers computing per-sample gradients concurrently.
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+/// 2-D convolution with square kernels and "same"-style zero padding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Conv2d {
+    /// Input channels.
+    pub in_ch: usize,
+    /// Output channels (number of filters).
+    pub out_ch: usize,
+    /// Kernel edge length.
+    pub ksize: usize,
+    /// Stride in both dimensions.
+    pub stride: usize,
+    /// Zero padding on each border (`(ksize - 1) / 2` keeps size at
+    /// stride 1).
+    pub pad: usize,
+    /// Filter weights, shape `[out_ch, in_ch, ksize, ksize]`.
+    pub weight: Tensor,
+    /// Per-filter bias, shape `[out_ch]`.
+    pub bias: Tensor,
+}
+
+impl Conv2d {
+    /// He-initialised convolution.
+    pub fn new(in_ch: usize, out_ch: usize, ksize: usize, stride: usize, rng: &mut StdRng) -> Self {
+        let fan_in = (in_ch * ksize * ksize) as f64;
+        let dist = Normal::new(0.0, (2.0 / fan_in).sqrt()).expect("positive std");
+        let weight = Tensor::from_vec(
+            &[out_ch, in_ch, ksize, ksize],
+            (0..out_ch * in_ch * ksize * ksize)
+                .map(|_| dist.sample(rng) as f32)
+                .collect(),
+        );
+        Self {
+            in_ch,
+            out_ch,
+            ksize,
+            stride,
+            pad: (ksize - 1) / 2,
+            weight,
+            bias: Tensor::zeros(&[out_ch]),
+        }
+    }
+
+    fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let oh = (h + 2 * self.pad - self.ksize) / self.stride + 1;
+        let ow = (w + 2 * self.pad - self.ksize) / self.stride + 1;
+        (oh, ow)
+    }
+
+    fn forward(&self, x: &Tensor) -> Tensor {
+        let [c, h, w] = *x.shape() else {
+            panic!("Conv2d expects [c, h, w], got {:?}", x.shape())
+        };
+        assert_eq!(c, self.in_ch, "input channel mismatch");
+        let (oh, ow) = self.out_hw(h, w);
+        let k = self.ksize;
+        let mut out = Tensor::zeros(&[self.out_ch, oh, ow]);
+        let xd = x.data();
+        let wd = self.weight.data();
+        let bd = self.bias.data();
+        let od = out.data_mut();
+        for oc in 0..self.out_ch {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = bd[oc];
+                    for ic in 0..c {
+                        let wbase = ((oc * c + ic) * k) * k;
+                        let xbase = ic * h * w;
+                        for ky in 0..k {
+                            let iy = (oy * self.stride + ky) as isize - self.pad as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            let xrow = xbase + iy as usize * w;
+                            let wrow = wbase + ky * k;
+                            for kx in 0..k {
+                                let ix = (ox * self.stride + kx) as isize - self.pad as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                acc += xd[xrow + ix as usize] * wd[wrow + kx];
+                            }
+                        }
+                    }
+                    od[(oc * oh + oy) * ow + ox] = acc;
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&self, x: &Tensor, gout: &Tensor) -> (Tensor, Vec<Tensor>) {
+        let [c, h, w] = *x.shape() else {
+            panic!("Conv2d expects [c, h, w], got {:?}", x.shape())
+        };
+        let (oh, ow) = self.out_hw(h, w);
+        debug_assert_eq!(gout.shape(), &[self.out_ch, oh, ow]);
+        let k = self.ksize;
+        let mut gin = Tensor::zeros(x.shape());
+        let mut gw = Tensor::zeros(self.weight.shape());
+        let mut gb = Tensor::zeros(self.bias.shape());
+        let xd = x.data();
+        let wd = self.weight.data();
+        let god = gout.data();
+        let gind = gin.data_mut();
+        let gwd = gw.data_mut();
+        let gbd = gb.data_mut();
+        for oc in 0..self.out_ch {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = god[(oc * oh + oy) * ow + ox];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    gbd[oc] += g;
+                    for ic in 0..c {
+                        let wbase = ((oc * c + ic) * k) * k;
+                        let xbase = ic * h * w;
+                        for ky in 0..k {
+                            let iy = (oy * self.stride + ky) as isize - self.pad as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            let xrow = xbase + iy as usize * w;
+                            let wrow = wbase + ky * k;
+                            for kx in 0..k {
+                                let ix = (ox * self.stride + kx) as isize - self.pad as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                gwd[wrow + kx] += g * xd[xrow + ix as usize];
+                                gind[xrow + ix as usize] += g * wd[wrow + kx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        (gin, vec![gw, gb])
+    }
+}
+
+/// Non-overlapping max pooling (`size == stride`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MaxPool2d {
+    /// Pooling window edge (and stride).
+    pub size: usize,
+}
+
+impl MaxPool2d {
+    /// Output extent: floor division, but never below 1 — windows at
+    /// the border (or on inputs smaller than the window) are clamped.
+    fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (
+            (h.saturating_sub(self.size) / self.size) + 1,
+            (w.saturating_sub(self.size) / self.size) + 1,
+        )
+    }
+
+    fn forward(&self, x: &Tensor) -> Tensor {
+        let [c, h, w] = *x.shape() else {
+            panic!("MaxPool2d expects [c, h, w], got {:?}", x.shape())
+        };
+        let (oh, ow) = self.out_hw(h, w);
+        let mut out = Tensor::zeros(&[c, oh, ow]);
+        let xd = x.data();
+        let od = out.data_mut();
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    for ky in oy * self.size..(oy * self.size + self.size).min(h) {
+                        for kx in ox * self.size..(ox * self.size + self.size).min(w) {
+                            let v = xd[(ch * h + ky) * w + kx];
+                            if v > best {
+                                best = v;
+                            }
+                        }
+                    }
+                    od[(ch * oh + oy) * ow + ox] = best;
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&self, x: &Tensor, gout: &Tensor) -> Tensor {
+        let [c, h, w] = *x.shape() else {
+            panic!("MaxPool2d expects [c, h, w], got {:?}", x.shape())
+        };
+        let (oh, ow) = self.out_hw(h, w);
+        let mut gin = Tensor::zeros(x.shape());
+        let xd = x.data();
+        let god = gout.data();
+        let gind = gin.data_mut();
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    // Recompute the argmax; the first maximum wins ties,
+                    // matching the forward pass exactly.
+                    let mut best = f32::NEG_INFINITY;
+                    let mut arg = 0usize;
+                    for ky in oy * self.size..(oy * self.size + self.size).min(h) {
+                        for kx in ox * self.size..(ox * self.size + self.size).min(w) {
+                            let idx = (ch * h + ky) * w + kx;
+                            if xd[idx] > best {
+                                best = xd[idx];
+                                arg = idx;
+                            }
+                        }
+                    }
+                    gind[arg] += god[(ch * oh + oy) * ow + ox];
+                }
+            }
+        }
+        gin
+    }
+}
+
+/// Fully connected layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dense {
+    /// Input width.
+    pub in_dim: usize,
+    /// Output width.
+    pub out_dim: usize,
+    /// Weights, shape `[out_dim, in_dim]`.
+    pub weight: Tensor,
+    /// Bias, shape `[out_dim]`.
+    pub bias: Tensor,
+}
+
+impl Dense {
+    /// He-initialised dense layer.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
+        let dist = Normal::new(0.0, (2.0 / in_dim as f64).sqrt()).expect("positive std");
+        Self {
+            in_dim,
+            out_dim,
+            weight: Tensor::from_vec(
+                &[out_dim, in_dim],
+                (0..out_dim * in_dim)
+                    .map(|_| dist.sample(rng) as f32)
+                    .collect(),
+            ),
+            bias: Tensor::zeros(&[out_dim]),
+        }
+    }
+
+    fn forward(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.len(), self.in_dim, "Dense input width mismatch");
+        let xd = x.data();
+        let wd = self.weight.data();
+        let bd = self.bias.data();
+        let mut out = vec![0.0f32; self.out_dim];
+        for (o, out_v) in out.iter_mut().enumerate() {
+            let row = &wd[o * self.in_dim..(o + 1) * self.in_dim];
+            let mut acc = bd[o];
+            for (wv, xv) in row.iter().zip(xd) {
+                acc += wv * xv;
+            }
+            *out_v = acc;
+        }
+        Tensor::from_vec(&[self.out_dim], out)
+    }
+
+    fn backward(&self, x: &Tensor, gout: &Tensor) -> (Tensor, Vec<Tensor>) {
+        debug_assert_eq!(gout.len(), self.out_dim);
+        let xd = x.data();
+        let god = gout.data();
+        let wd = self.weight.data();
+        let mut gw = Tensor::zeros(self.weight.shape());
+        let mut gin = Tensor::zeros(x.shape());
+        {
+            let gwd = gw.data_mut();
+            let gind = gin.data_mut();
+            for o in 0..self.out_dim {
+                let g = god[o];
+                if g == 0.0 {
+                    continue;
+                }
+                let row = o * self.in_dim;
+                for i in 0..self.in_dim {
+                    gwd[row + i] += g * xd[i];
+                    gind[i] += g * wd[row + i];
+                }
+            }
+        }
+        let gb = Tensor::from_vec(&[self.out_dim], god.to_vec());
+        (gin, vec![gw, gb])
+    }
+}
+
+/// One network layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Layer {
+    /// 2-D convolution.
+    Conv2d(Conv2d),
+    /// Non-overlapping max pooling.
+    MaxPool2d(MaxPool2d),
+    /// Rectified linear unit.
+    Relu,
+    /// Reshape `[c, h, w]` to a flat vector.
+    Flatten,
+    /// Fully connected.
+    Dense(Dense),
+}
+
+impl Layer {
+    /// Forward pass (stateless).
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        match self {
+            Layer::Conv2d(l) => l.forward(x),
+            Layer::MaxPool2d(l) => l.forward(x),
+            Layer::Relu => {
+                let mut out = x.clone();
+                for v in out.data_mut() {
+                    if *v < 0.0 {
+                        *v = 0.0;
+                    }
+                }
+                out
+            }
+            Layer::Flatten => x.clone().reshape(&[x.len()]),
+            Layer::Dense(l) => l.forward(x),
+        }
+    }
+
+    /// Backward pass: gradient w.r.t. the layer input plus gradients
+    /// w.r.t. each parameter tensor (aligned with [`Layer::params`]).
+    pub fn backward(&self, x: &Tensor, gout: &Tensor) -> (Tensor, Vec<Tensor>) {
+        match self {
+            Layer::Conv2d(l) => l.backward(x, gout),
+            Layer::MaxPool2d(l) => (l.backward(x, gout), Vec::new()),
+            Layer::Relu => {
+                let mut gin = gout.clone();
+                for (g, &v) in gin.data_mut().iter_mut().zip(x.data()) {
+                    if v <= 0.0 {
+                        *g = 0.0;
+                    }
+                }
+                (gin, Vec::new())
+            }
+            Layer::Flatten => (gout.clone().reshape(x.shape()), Vec::new()),
+            Layer::Dense(l) => l.backward(x, gout),
+        }
+    }
+
+    /// The layer's trainable parameter tensors.
+    pub fn params(&self) -> Vec<&Tensor> {
+        match self {
+            Layer::Conv2d(l) => vec![&l.weight, &l.bias],
+            Layer::Dense(l) => vec![&l.weight, &l.bias],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Mutable access to the parameter tensors.
+    pub fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        match self {
+            Layer::Conv2d(l) => vec![&mut l.weight, &mut l.bias],
+            Layer::Dense(l) => vec![&mut l.weight, &mut l.bias],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Output shape for a given input shape.
+    pub fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
+        match self {
+            Layer::Conv2d(l) => {
+                let [_, h, w] = *in_shape else {
+                    panic!("Conv2d expects [c, h, w]")
+                };
+                let (oh, ow) = l.out_hw(h, w);
+                vec![l.out_ch, oh, ow]
+            }
+            Layer::MaxPool2d(l) => {
+                let [c, h, w] = *in_shape else {
+                    panic!("MaxPool2d expects [c, h, w]")
+                };
+                let (oh, ow) = l.out_hw(h, w);
+                vec![c, oh, ow]
+            }
+            Layer::Relu => in_shape.to_vec(),
+            Layer::Flatten => vec![in_shape.iter().product()],
+            Layer::Dense(l) => vec![l.out_dim],
+        }
+    }
+
+    /// Human-readable description (used by `repro fig10`).
+    pub fn describe(&self) -> String {
+        match self {
+            Layer::Conv2d(l) => format!(
+                "CONV({k}x{k}x{oc}, stride {s})",
+                k = l.ksize,
+                oc = l.out_ch,
+                s = l.stride
+            ),
+            Layer::MaxPool2d(l) => format!("POOL({0}x{0})", l.size),
+            Layer::Relu => "ReLU".into(),
+            Layer::Flatten => "Flatten".into(),
+            Layer::Dense(l) => format!("Dense({} -> {})", l.in_dim, l.out_dim),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(12345)
+    }
+
+    /// Central-difference gradient check for a layer.
+    fn grad_check(layer: &mut Layer, in_shape: &[usize]) {
+        let mut r = rng();
+        let dist = Normal::new(0.0, 1.0).unwrap();
+        let vol: usize = in_shape.iter().product();
+        let x = Tensor::from_vec(
+            in_shape,
+            (0..vol).map(|_| dist.sample(&mut r) as f32).collect(),
+        );
+        let out = layer.forward(&x);
+        // Loss = weighted sum of outputs (fixed random weights), so
+        // d(loss)/d(out) is just those weights.
+        let loss_w: Vec<f32> = (0..out.len()).map(|_| dist.sample(&mut r) as f32).collect();
+        let gout = Tensor::from_vec(out.shape(), loss_w.clone());
+        let loss = |l: &Layer, x: &Tensor| -> f64 {
+            l.forward(x)
+                .data()
+                .iter()
+                .zip(&loss_w)
+                .map(|(&o, &w)| (o * w) as f64)
+                .sum()
+        };
+
+        let (gin, gparams) = layer.backward(&x, &gout);
+        let eps = 1e-3f32;
+
+        // Check input gradients on a sample of positions.
+        for idx in (0..x.len()).step_by((x.len() / 17).max(1)) {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let num = (loss(layer, &xp) - loss(layer, &xm)) / (2.0 * eps as f64);
+            let ana = gin.data()[idx] as f64;
+            assert!(
+                (num - ana).abs() < 1e-2 * (1.0 + num.abs().max(ana.abs())),
+                "input grad at {idx}: numeric {num} vs analytic {ana}"
+            );
+        }
+
+        // Check parameter gradients on a sample of positions.
+        let n_params = layer.params().len();
+        for p in 0..n_params {
+            let plen = layer.params()[p].len();
+            for idx in (0..plen).step_by((plen / 13).max(1)) {
+                let orig = layer.params()[p].data()[idx];
+                layer.params_mut()[p].data_mut()[idx] = orig + eps;
+                let lp = loss(layer, &x);
+                layer.params_mut()[p].data_mut()[idx] = orig - eps;
+                let lm = loss(layer, &x);
+                layer.params_mut()[p].data_mut()[idx] = orig;
+                let num = (lp - lm) / (2.0 * eps as f64);
+                let ana = gparams[p].data()[idx] as f64;
+                assert!(
+                    (num - ana).abs() < 1e-2 * (1.0 + num.abs().max(ana.abs())),
+                    "param {p} grad at {idx}: numeric {num} vs analytic {ana}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conv_known_answer() {
+        // 1x3x3 input, single 3x3 identity-centre filter, stride 1:
+        // output equals input (same padding).
+        let mut conv = Conv2d::new(1, 1, 3, 1, &mut rng());
+        conv.weight = Tensor::from_vec(
+            &[1, 1, 3, 3],
+            vec![0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0],
+        );
+        conv.bias = Tensor::from_vec(&[1], vec![0.5]);
+        let x = Tensor::from_vec(&[1, 3, 3], (1..=9).map(|v| v as f32).collect());
+        let y = Layer::Conv2d(conv).forward(&x);
+        assert_eq!(y.shape(), &[1, 3, 3]);
+        for (i, &v) in y.data().iter().enumerate() {
+            assert_eq!(v, (i + 1) as f32 + 0.5);
+        }
+    }
+
+    #[test]
+    fn conv_stride_two_halves_size() {
+        let conv = Conv2d::new(2, 4, 3, 2, &mut rng());
+        let l = Layer::Conv2d(conv);
+        assert_eq!(l.out_shape(&[2, 16, 16]), vec![4, 8, 8]);
+        let x = Tensor::zeros(&[2, 16, 16]);
+        assert_eq!(l.forward(&x).shape(), &[4, 8, 8]);
+    }
+
+    #[test]
+    fn conv_gradients_match_finite_differences() {
+        let mut l = Layer::Conv2d(Conv2d::new(2, 3, 3, 1, &mut rng()));
+        grad_check(&mut l, &[2, 6, 6]);
+    }
+
+    #[test]
+    fn conv_stride2_gradients_match_finite_differences() {
+        let mut l = Layer::Conv2d(Conv2d::new(1, 2, 3, 2, &mut rng()));
+        grad_check(&mut l, &[1, 8, 8]);
+    }
+
+    #[test]
+    fn pool_known_answer() {
+        let x = Tensor::from_vec(
+            &[1, 4, 4],
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                -1.0, -2.0, 0.0, 0.0, //
+                -3.0, -4.0, 0.0, 9.0,
+            ],
+        );
+        let y = Layer::MaxPool2d(MaxPool2d { size: 2 }).forward(&x);
+        assert_eq!(y.shape(), &[1, 2, 2]);
+        assert_eq!(y.data(), &[4.0, 8.0, -1.0, 9.0]);
+    }
+
+    #[test]
+    fn pool_gradients_route_to_argmax() {
+        let x = Tensor::from_vec(&[1, 2, 2], vec![1.0, 5.0, 2.0, 3.0]);
+        let l = Layer::MaxPool2d(MaxPool2d { size: 2 });
+        let gout = Tensor::from_vec(&[1, 1, 1], vec![7.0]);
+        let (gin, _) = l.backward(&x, &gout);
+        assert_eq!(gin.data(), &[0.0, 7.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn pool_gradients_match_finite_differences() {
+        let mut l = Layer::MaxPool2d(MaxPool2d { size: 2 });
+        grad_check(&mut l, &[3, 6, 6]);
+    }
+
+    #[test]
+    fn relu_clamps_and_gates() {
+        let x = Tensor::from_vec(&[4], vec![-1.0, 0.0, 2.0, -3.0]);
+        let l = Layer::Relu;
+        let y = l.forward(&x);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0, 0.0]);
+        let gout = Tensor::from_vec(&[4], vec![1.0, 1.0, 1.0, 1.0]);
+        let (gin, _) = l.backward(&x, &gout);
+        assert_eq!(gin.data(), &[0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn flatten_round_trips_shape() {
+        let x = Tensor::zeros(&[2, 3, 4]);
+        let l = Layer::Flatten;
+        let y = l.forward(&x);
+        assert_eq!(y.shape(), &[24]);
+        let (gin, _) = l.backward(&x, &Tensor::zeros(&[24]));
+        assert_eq!(gin.shape(), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn dense_known_answer() {
+        let mut d = Dense::new(2, 2, &mut rng());
+        d.weight = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        d.bias = Tensor::from_vec(&[2], vec![10.0, 20.0]);
+        let y = Layer::Dense(d).forward(&Tensor::from_vec(&[2], vec![1.0, -1.0]));
+        assert_eq!(y.data(), &[9.0, 19.0]);
+    }
+
+    #[test]
+    fn dense_gradients_match_finite_differences() {
+        let mut l = Layer::Dense(Dense::new(10, 4, &mut rng()));
+        grad_check(&mut l, &[10]);
+    }
+
+    #[test]
+    fn out_shapes_chain_like_figure_10() {
+        // The paper's tower on a 128x128 input: 64x64x16 -> 16x16x32 ->
+        // 4x4x64 -> 1024.
+        let mut r = rng();
+        let layers = vec![
+            Layer::Conv2d(Conv2d::new(1, 16, 3, 1, &mut r)),
+            Layer::Relu,
+            Layer::MaxPool2d(MaxPool2d { size: 2 }),
+            Layer::Conv2d(Conv2d::new(16, 32, 3, 2, &mut r)),
+            Layer::Relu,
+            Layer::MaxPool2d(MaxPool2d { size: 2 }),
+            Layer::Conv2d(Conv2d::new(32, 64, 3, 2, &mut r)),
+            Layer::Relu,
+            Layer::MaxPool2d(MaxPool2d { size: 2 }),
+            Layer::Flatten,
+        ];
+        let mut shape = vec![1, 128, 128];
+        let mut waypoints = Vec::new();
+        for l in &layers {
+            shape = l.out_shape(&shape);
+            waypoints.push(shape.clone());
+        }
+        assert_eq!(waypoints[2], vec![16, 64, 64]);
+        assert_eq!(waypoints[5], vec![32, 16, 16]);
+        assert_eq!(waypoints[8], vec![64, 4, 4]);
+        assert_eq!(waypoints[9], vec![1024]);
+    }
+
+    #[test]
+    fn describe_is_informative() {
+        let c = Layer::Conv2d(Conv2d::new(1, 16, 3, 1, &mut rng()));
+        assert_eq!(c.describe(), "CONV(3x3x16, stride 1)");
+        assert_eq!(Layer::Relu.describe(), "ReLU");
+    }
+}

@@ -1,0 +1,37 @@
+//! Hand-rolled CNN framework for sparse matrix format selection.
+//!
+//! The paper trains its selector with TensorFlow on a TITAN X; this
+//! crate reimplements everything that experiment needs, from scratch,
+//! on the CPU:
+//!
+//! * [`tensor`] — a minimal dense `f32` tensor.
+//! * [`layers`] — Conv2d / MaxPool2d / ReLU / Flatten / Dense with
+//!   hand-derived backward passes (finite-difference-checked in tests).
+//! * [`network`] — [`network::Sequential`] stacks and the two-part
+//!   [`network::Cnn`] expressing both the late-merging structure
+//!   (Figures 7/10) and the early-merging baseline (Figure 6).
+//! * [`structures`] — builders reproducing Figure 10's layer schedule.
+//! * [`loss`], [`optimizer`], [`mod@train`] — softmax cross-entropy, SGD
+//!   with momentum / Adam, and a rayon-parallel mini-batch loop that
+//!   records the loss curves plotted in Figure 11.
+//! * [`transfer`] — the cross-architecture migration strategies of
+//!   Section 6 (continuous evolvement / top evolvement / from scratch).
+//! * [`serialize`] — JSON model persistence.
+
+pub mod layers;
+pub mod loss;
+pub mod network;
+pub mod optimizer;
+pub mod serialize;
+pub mod structures;
+pub mod tensor;
+pub mod train;
+pub mod transfer;
+
+pub use layers::Layer;
+pub use network::{Cnn, Sample, Sequential};
+pub use optimizer::{Optimizer, OptimizerKind};
+pub use structures::{build_cnn, describe_structure, CnnConfig, Merging};
+pub use tensor::Tensor;
+pub use train::{evaluate, train, TrainConfig, TrainReport};
+pub use transfer::{migrate, Migration};

@@ -1,0 +1,96 @@
+//! Softmax cross-entropy — the loss the paper's Figure 11 plots.
+
+use crate::tensor::Tensor;
+
+/// Numerically stable softmax.
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&l| (l - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Cross-entropy of softmax(logits) against a one-hot `label`.
+///
+/// Returns `(loss, d loss / d logits)` — the gradient of softmax +
+/// cross-entropy fused, `p - onehot(label)`.
+pub fn softmax_cross_entropy(logits: &Tensor, label: usize) -> (f32, Tensor) {
+    let p = softmax(logits.data());
+    assert!(label < p.len(), "label {label} out of range {}", p.len());
+    let loss = -(p[label].max(1e-12)).ln();
+    let mut grad = p;
+    grad[label] -= 1.0;
+    (loss, Tensor::from_vec(logits.shape(), grad))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        let s: f32 = p.iter().sum();
+        assert!((s - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = softmax(&[1.0, 2.0]);
+        let b = softmax(&[1001.0, 1002.0]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+        assert!(!softmax(&[1e4, -1e4]).iter().any(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn perfect_prediction_has_near_zero_loss() {
+        let logits = Tensor::from_vec(&[3], vec![20.0, 0.0, 0.0]);
+        let (loss, _) = softmax_cross_entropy(&logits, 0);
+        assert!(loss < 1e-6);
+    }
+
+    #[test]
+    fn uniform_logits_give_log_k() {
+        let logits = Tensor::from_vec(&[4], vec![0.0; 4]);
+        let (loss, _) = softmax_cross_entropy(&logits, 2);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let logits = Tensor::from_vec(&[4], vec![0.5, -1.0, 2.0, 0.0]);
+        let (_, grad) = softmax_cross_entropy(&logits, 1);
+        let eps = 1e-3f32;
+        for i in 0..4 {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let num = (softmax_cross_entropy(&lp, 1).0 - softmax_cross_entropy(&lm, 1).0)
+                / (2.0 * eps);
+            assert!(
+                (num - grad.data()[i]).abs() < 1e-3,
+                "at {i}: {num} vs {}",
+                grad.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_sums_to_zero() {
+        let logits = Tensor::from_vec(&[3], vec![1.0, 2.0, -1.0]);
+        let (_, grad) = softmax_cross_entropy(&logits, 0);
+        let s: f32 = grad.data().iter().sum();
+        assert!(s.abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_label_panics() {
+        let logits = Tensor::from_vec(&[2], vec![0.0, 0.0]);
+        let _ = softmax_cross_entropy(&logits, 5);
+    }
+}

@@ -1,0 +1,488 @@
+//! Networks: [`Sequential`] layer stacks and the two-part [`Cnn`] that
+//! expresses both of the paper's structures.
+//!
+//! A [`Cnn`] is N convolutional *towers* plus a fully-connected *head*.
+//! The late-merging structure (Figure 7/10) uses one tower per input
+//! channel and concatenates their features only at the head — "the
+//! outputs of the two networks are put together as joint features, fed
+//! to the fully connected layer". The early-merging structure
+//! (Figure 6) is the degenerate case of a single tower consuming all
+//! channels stacked into one multi-channel image.
+
+use crate::layers::Layer;
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A labelled training/evaluation sample: the representation channels
+/// of one matrix (each `[h, w]`) plus its best-format class label.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Input channels, each of shape `[h, w]`.
+    pub channels: Vec<Tensor>,
+    /// Class label (index into the platform's format set).
+    pub label: usize,
+}
+
+/// A stack of layers applied in order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Sequential {
+    /// The layers, applied front to back.
+    pub layers: Vec<Layer>,
+}
+
+/// Per-layer parameter gradients of a [`Sequential`].
+pub type SeqGrads = Vec<Vec<Tensor>>;
+
+impl Sequential {
+    /// Creates a stack from layers.
+    pub fn new(layers: Vec<Layer>) -> Self {
+        Self { layers }
+    }
+
+    /// Plain forward pass.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let mut cur = x.clone();
+        for l in &self.layers {
+            cur = l.forward(&cur);
+        }
+        cur
+    }
+
+    /// Forward pass that keeps each layer's input for backprop.
+    /// Returns (per-layer inputs, final output).
+    pub fn forward_cached(&self, x: &Tensor) -> (Vec<Tensor>, Tensor) {
+        let mut inputs = Vec::with_capacity(self.layers.len());
+        let mut cur = x.clone();
+        for l in &self.layers {
+            let next = l.forward(&cur);
+            inputs.push(cur);
+            cur = next;
+        }
+        (inputs, cur)
+    }
+
+    /// Backward pass. `inputs` must come from [`Self::forward_cached`].
+    /// Returns (gradient w.r.t. the stack input, per-layer parameter
+    /// gradients).
+    pub fn backward(&self, inputs: &[Tensor], gout: &Tensor) -> (Tensor, SeqGrads) {
+        debug_assert_eq!(inputs.len(), self.layers.len());
+        let mut grads: SeqGrads = vec![Vec::new(); self.layers.len()];
+        let mut g = gout.clone();
+        for (i, l) in self.layers.iter().enumerate().rev() {
+            let (gin, gparams) = l.backward(&inputs[i], &g);
+            grads[i] = gparams;
+            g = gin;
+        }
+        (g, grads)
+    }
+
+    /// Output shape for a given input shape.
+    pub fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
+        let mut s = in_shape.to_vec();
+        for l in &self.layers {
+            s = l.out_shape(&s);
+        }
+        s
+    }
+
+    /// Zero gradients shaped like this stack's parameters.
+    pub fn zero_grads(&self) -> SeqGrads {
+        self.layers
+            .iter()
+            .map(|l| l.params().iter().map(|p| Tensor::zeros(p.shape())).collect())
+            .collect()
+    }
+
+    /// Total trainable parameter count.
+    pub fn num_params(&self) -> usize {
+        self.layers
+            .iter()
+            .flat_map(|l| l.params())
+            .map(|p| p.len())
+            .sum()
+    }
+}
+
+/// The paper's CNN: convolutional towers plus a fully-connected head.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cnn {
+    /// Feature-extraction towers (one per channel when late-merging,
+    /// exactly one when early-merging).
+    pub towers: Vec<Sequential>,
+    /// Classification head operating on the concatenated tower outputs.
+    pub head: Sequential,
+    /// Expected per-channel input shape `[h, w]`.
+    pub channel_shape: (usize, usize),
+    /// Number of input channels the network consumes.
+    pub num_channels: usize,
+}
+
+/// Activation caches of one forward pass, consumed by backprop.
+#[derive(Debug, Clone)]
+pub struct CnnCache {
+    tower_inputs: Vec<Tensor>,
+    tower_layer_inputs: Vec<Vec<Tensor>>,
+    tower_out_lens: Vec<usize>,
+    head_layer_inputs: Vec<Tensor>,
+    /// Network output (logits).
+    pub logits: Tensor,
+}
+
+/// Parameter gradients of a whole [`Cnn`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CnnGrads {
+    /// Per-tower stacks of per-layer gradients.
+    pub towers: Vec<SeqGrads>,
+    /// Head gradients.
+    pub head: SeqGrads,
+}
+
+impl CnnGrads {
+    /// `self += other`.
+    pub fn add_assign(&mut self, other: &CnnGrads) {
+        for (a, b) in self.towers.iter_mut().zip(&other.towers) {
+            add_seq(a, b);
+        }
+        add_seq(&mut self.head, &other.head);
+    }
+
+    /// `self *= alpha`.
+    pub fn scale(&mut self, alpha: f32) {
+        for t in &mut self.towers {
+            for l in t {
+                for p in l {
+                    p.scale(alpha);
+                }
+            }
+        }
+        for l in &mut self.head {
+            for p in l {
+                p.scale(alpha);
+            }
+        }
+    }
+
+    /// Flat view of every gradient tensor, tower layers first then head
+    /// (the order [`Cnn::params_mut_flat`] uses).
+    pub fn flat(&self) -> Vec<&Tensor> {
+        let mut out = Vec::new();
+        for t in &self.towers {
+            for l in t {
+                out.extend(l.iter());
+            }
+        }
+        for l in &self.head {
+            out.extend(l.iter());
+        }
+        out
+    }
+}
+
+fn add_seq(a: &mut SeqGrads, b: &SeqGrads) {
+    for (la, lb) in a.iter_mut().zip(b) {
+        for (pa, pb) in la.iter_mut().zip(lb) {
+            pa.add_assign(pb);
+        }
+    }
+}
+
+impl Cnn {
+    /// Maps a sample's `[h, w]` channels to tower inputs: one `[1, h, w]`
+    /// tensor per tower (late merging) or a single stacked `[c, h, w]`
+    /// tensor (early merging).
+    fn tower_inputs(&self, channels: &[Tensor]) -> Vec<Tensor> {
+        assert_eq!(
+            channels.len(),
+            self.num_channels,
+            "sample has {} channels, network expects {}",
+            channels.len(),
+            self.num_channels
+        );
+        let (h, w) = self.channel_shape;
+        for ch in channels {
+            assert_eq!(ch.shape(), &[h, w], "channel shape mismatch");
+        }
+        if self.towers.len() == channels.len() {
+            channels
+                .iter()
+                .map(|c| c.clone().reshape(&[1, h, w]))
+                .collect()
+        } else if self.towers.len() == 1 {
+            let refs: Vec<&Tensor> = channels.iter().collect();
+            vec![Tensor::stack_channels(&refs)]
+        } else {
+            panic!(
+                "{} towers cannot consume {} channels",
+                self.towers.len(),
+                channels.len()
+            );
+        }
+    }
+
+    /// Forward pass returning raw logits.
+    pub fn forward(&self, channels: &[Tensor]) -> Tensor {
+        let inputs = self.tower_inputs(channels);
+        let feats: Vec<Tensor> = self
+            .towers
+            .iter()
+            .zip(&inputs)
+            .map(|(t, x)| t.forward(x))
+            .collect();
+        let refs: Vec<&Tensor> = feats.iter().collect();
+        let merged = Tensor::concat_flat(&refs);
+        self.head.forward(&merged)
+    }
+
+    /// Forward pass with activation caching for backprop.
+    pub fn forward_cached(&self, channels: &[Tensor]) -> CnnCache {
+        let tower_inputs = self.tower_inputs(channels);
+        let mut tower_layer_inputs = Vec::with_capacity(self.towers.len());
+        let mut feats = Vec::with_capacity(self.towers.len());
+        for (t, x) in self.towers.iter().zip(&tower_inputs) {
+            let (inputs, out) = t.forward_cached(x);
+            tower_layer_inputs.push(inputs);
+            feats.push(out);
+        }
+        let tower_out_lens: Vec<usize> = feats.iter().map(|f| f.len()).collect();
+        let refs: Vec<&Tensor> = feats.iter().collect();
+        let merged = Tensor::concat_flat(&refs);
+        let (head_layer_inputs, logits) = self.head.forward_cached(&merged);
+        CnnCache {
+            tower_inputs,
+            tower_layer_inputs,
+            tower_out_lens,
+            head_layer_inputs,
+            logits,
+        }
+    }
+
+    /// Backward pass from a loss gradient on the logits.
+    pub fn backward(&self, cache: &CnnCache, grad_logits: &Tensor) -> CnnGrads {
+        let (gmerged, head_grads) = self.head.backward(&cache.head_layer_inputs, grad_logits);
+        // Split the merged-feature gradient back into tower pieces.
+        let mut tower_grads = Vec::with_capacity(self.towers.len());
+        let mut offset = 0usize;
+        for (i, t) in self.towers.iter().enumerate() {
+            let len = cache.tower_out_lens[i];
+            let piece = Tensor::from_vec(&[len], gmerged.data()[offset..offset + len].to_vec());
+            offset += len;
+            let (_gin, grads) = t.backward(&cache.tower_layer_inputs[i], &piece);
+            let _ = &cache.tower_inputs; // inputs live in layer_inputs[0]
+            tower_grads.push(grads);
+        }
+        CnnGrads {
+            towers: tower_grads,
+            head: head_grads,
+        }
+    }
+
+    /// Zero gradients shaped like this network.
+    pub fn zero_grads(&self) -> CnnGrads {
+        CnnGrads {
+            towers: self.towers.iter().map(|t| t.zero_grads()).collect(),
+            head: self.head.zero_grads(),
+        }
+    }
+
+    /// Flat mutable parameter list (tower layers first, then head),
+    /// each tagged with whether it belongs to a tower. Order matches
+    /// [`CnnGrads::flat`].
+    pub fn params_mut_flat(&mut self) -> Vec<(&mut Tensor, bool)> {
+        let mut out = Vec::new();
+        for t in &mut self.towers {
+            for l in &mut t.layers {
+                out.extend(l.params_mut().into_iter().map(|p| (p, true)));
+            }
+        }
+        for l in &mut self.head.layers {
+            out.extend(l.params_mut().into_iter().map(|p| (p, false)));
+        }
+        out
+    }
+
+    /// Total trainable parameter count.
+    pub fn num_params(&self) -> usize {
+        self.towers.iter().map(Sequential::num_params).sum::<usize>() + self.head.num_params()
+    }
+
+    /// Predicted class (argmax of the logits).
+    pub fn predict(&self, channels: &[Tensor]) -> usize {
+        let logits = self.forward(channels);
+        argmax(logits.data())
+    }
+}
+
+/// Index of the largest element (first wins ties).
+pub fn argmax(v: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, &x) in v.iter().enumerate() {
+        if x > v[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Conv2d, Dense, MaxPool2d};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_cnn(towers: usize, channels: usize, seed: u64) -> Cnn {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let in_ch = if towers == 1 { channels } else { 1 };
+        let make_tower = |rng: &mut StdRng| {
+            Sequential::new(vec![
+                Layer::Conv2d(Conv2d::new(in_ch, 4, 3, 1, rng)),
+                Layer::Relu,
+                Layer::MaxPool2d(MaxPool2d { size: 2 }),
+                Layer::Flatten,
+            ])
+        };
+        let tower_list: Vec<Sequential> = (0..towers).map(|_| make_tower(&mut rng)).collect();
+        let feat: usize = tower_list
+            .iter()
+            .map(|t| t.out_shape(&[in_ch, 8, 8]).iter().product::<usize>())
+            .sum();
+        let head = Sequential::new(vec![
+            Layer::Dense(Dense::new(feat, 8, &mut rng)),
+            Layer::Relu,
+            Layer::Dense(Dense::new(8, 3, &mut rng)),
+        ]);
+        Cnn {
+            towers: tower_list,
+            head,
+            channel_shape: (8, 8),
+            num_channels: channels,
+        }
+    }
+
+    fn sample_channels(channels: usize, seed: u64) -> Vec<Tensor> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand_distr::{Distribution, Normal};
+        let d = Normal::new(0.0, 1.0).unwrap();
+        (0..channels)
+            .map(|_| {
+                Tensor::from_vec(&[8, 8], (0..64).map(|_| d.sample(&mut rng) as f32).collect())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn late_merge_forward_produces_logits() {
+        let net = tiny_cnn(2, 2, 1);
+        let logits = net.forward(&sample_channels(2, 9));
+        assert_eq!(logits.shape(), &[3]);
+    }
+
+    #[test]
+    fn early_merge_forward_produces_logits() {
+        let net = tiny_cnn(1, 2, 2);
+        let logits = net.forward(&sample_channels(2, 9));
+        assert_eq!(logits.shape(), &[3]);
+    }
+
+    #[test]
+    fn cached_forward_matches_plain_forward() {
+        let net = tiny_cnn(2, 2, 3);
+        let ch = sample_channels(2, 5);
+        let plain = net.forward(&ch);
+        let cache = net.forward_cached(&ch);
+        assert_eq!(cache.logits, plain);
+    }
+
+    #[test]
+    fn whole_network_gradcheck() {
+        // Finite-difference check through towers, merge and head.
+        let mut net = tiny_cnn(2, 2, 4);
+        let ch = sample_channels(2, 6);
+        let loss_w = [0.3f32, -0.7, 1.1];
+        let loss = |n: &Cnn| -> f64 {
+            n.forward(&ch)
+                .data()
+                .iter()
+                .zip(&loss_w)
+                .map(|(&o, &w)| (o * w) as f64)
+                .sum()
+        };
+        let cache = net.forward_cached(&ch);
+        let gl = Tensor::from_vec(&[3], loss_w.to_vec());
+        let grads = net.backward(&cache, &gl);
+        let flat_grads: Vec<Tensor> = grads.flat().into_iter().cloned().collect();
+        let eps = 1e-2f32;
+        let n_params = net.params_mut_flat().len();
+        assert_eq!(n_params, flat_grads.len());
+        // ReLU gates and pool argmaxes can flip under the finite
+        // perturbation, making individual numeric derivatives wrong at
+        // kinks; require the overwhelming majority to match instead of
+        // every single one.
+        let mut checked = 0usize;
+        let mut mismatched = 0usize;
+        for p in 0..n_params {
+            let plen = flat_grads[p].len();
+            for idx in (0..plen).step_by((plen / 5).max(1)) {
+                let orig = {
+                    let mut ps = net.params_mut_flat();
+                    let v = ps[p].0.data()[idx];
+                    ps[p].0.data_mut()[idx] = v + eps;
+                    v
+                };
+                let lp = loss(&net);
+                net.params_mut_flat()[p].0.data_mut()[idx] = orig - eps;
+                let lm = loss(&net);
+                net.params_mut_flat()[p].0.data_mut()[idx] = orig;
+                let num = (lp - lm) / (2.0 * eps as f64);
+                let ana = flat_grads[p].data()[idx] as f64;
+                checked += 1;
+                if (num - ana).abs() > 2e-2 * (1.0 + num.abs().max(ana.abs())) {
+                    mismatched += 1;
+                }
+            }
+        }
+        assert!(checked >= 20, "gradcheck sampled too few points");
+        assert!(
+            mismatched * 20 <= checked,
+            "{mismatched}/{checked} gradient checks failed"
+        );
+    }
+
+    #[test]
+    fn grads_add_and_scale() {
+        let net = tiny_cnn(2, 2, 7);
+        let ch = sample_channels(2, 8);
+        let cache = net.forward_cached(&ch);
+        let gl = Tensor::from_vec(&[3], vec![1.0, 0.0, -1.0]);
+        let g1 = net.backward(&cache, &gl);
+        let mut g2 = g1.clone();
+        g2.add_assign(&g1);
+        g2.scale(0.5);
+        for (a, b) in g1.flat().iter().zip(g2.flat()) {
+            for (x, y) in a.data().iter().zip(b.data()) {
+                assert!((x - y).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn params_mut_flat_tags_towers() {
+        let mut net = tiny_cnn(2, 2, 1);
+        let tags: Vec<bool> = net.params_mut_flat().iter().map(|(_, t)| *t).collect();
+        // Two towers with one conv each (2 tensors) then head (4).
+        assert_eq!(tags, vec![true, true, true, true, false, false, false, false]);
+    }
+
+    #[test]
+    fn argmax_first_wins_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 0.0]), 1);
+        assert_eq!(argmax(&[-5.0]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "channels")]
+    fn channel_count_mismatch_panics() {
+        let net = tiny_cnn(2, 2, 1);
+        let _ = net.forward(&sample_channels(1, 0));
+    }
+}

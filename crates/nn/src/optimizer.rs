@@ -1,0 +1,236 @@
+//! Optimisers: SGD with momentum and Adam.
+//!
+//! State is kept as flat tensor lists parallel to
+//! [`Cnn::params_mut_flat`] / [`CnnGrads::flat`], so the same optimiser
+//! drives any network shape. `freeze_towers` implements the *top
+//! evolvement* transfer-learning method: tower parameters are left
+//! untouched and only the head learns.
+
+use crate::network::{Cnn, CnnGrads};
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Which update rule to use.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OptimizerKind {
+    /// Stochastic gradient descent with momentum.
+    Sgd {
+        /// Momentum coefficient (0 disables momentum).
+        momentum: f32,
+    },
+    /// Adam (Kingma & Ba) with the usual defaults.
+    Adam {
+        /// First-moment decay (default 0.9).
+        beta1: f32,
+        /// Second-moment decay (default 0.999).
+        beta2: f32,
+        /// Denominator fuzz (default 1e-8).
+        eps: f32,
+    },
+}
+
+impl OptimizerKind {
+    /// Adam with standard hyper-parameters.
+    pub fn adam() -> Self {
+        OptimizerKind::Adam {
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+}
+
+/// Stateful optimiser bound to one network's parameter layout.
+#[derive(Debug, Clone)]
+pub struct Optimizer {
+    kind: OptimizerKind,
+    lr: f32,
+    /// Skip tower parameters (top evolvement).
+    freeze_towers: bool,
+    /// Momentum / first-moment buffers, one per parameter tensor.
+    m: Vec<Tensor>,
+    /// Second-moment buffers (Adam only).
+    v: Vec<Tensor>,
+    /// Step counter for Adam bias correction.
+    t: u64,
+}
+
+impl Optimizer {
+    /// Creates an optimiser whose state matches `net`'s parameters.
+    pub fn new(net: &mut Cnn, kind: OptimizerKind, lr: f32, freeze_towers: bool) -> Self {
+        let shapes: Vec<Vec<usize>> = net
+            .params_mut_flat()
+            .iter()
+            .map(|(p, _)| p.shape().to_vec())
+            .collect();
+        let zeros: Vec<Tensor> = shapes.iter().map(|s| Tensor::zeros(s)).collect();
+        Self {
+            kind,
+            lr,
+            freeze_towers,
+            m: zeros.clone(),
+            v: zeros,
+            t: 0,
+        }
+    }
+
+    /// Learning rate accessor.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Replaces the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Applies one update step with mean gradients `grads`.
+    pub fn step(&mut self, net: &mut Cnn, grads: &CnnGrads) {
+        self.t += 1;
+        let flat = grads.flat();
+        let params = net.params_mut_flat();
+        assert_eq!(flat.len(), params.len(), "gradient/parameter layout mismatch");
+        for (i, (param, in_tower)) in params.into_iter().enumerate() {
+            if self.freeze_towers && in_tower {
+                continue;
+            }
+            let g = flat[i];
+            match self.kind {
+                OptimizerKind::Sgd { momentum } => {
+                    // m = momentum * m + g; p -= lr * m
+                    self.m[i].scale(momentum);
+                    self.m[i].add_assign(g);
+                    param.axpy(-self.lr, &self.m[i]);
+                }
+                OptimizerKind::Adam { beta1, beta2, eps } => {
+                    let (md, vd) = (self.m[i].data_mut(), self.v[i].data_mut());
+                    let gd = g.data();
+                    let bc1 = 1.0 - beta1.powi(self.t as i32);
+                    let bc2 = 1.0 - beta2.powi(self.t as i32);
+                    let pd = param.data_mut();
+                    for j in 0..gd.len() {
+                        md[j] = beta1 * md[j] + (1.0 - beta1) * gd[j];
+                        vd[j] = beta2 * vd[j] + (1.0 - beta2) * gd[j] * gd[j];
+                        let mhat = md[j] / bc1;
+                        let vhat = vd[j] / bc2;
+                        pd[j] -= self.lr * mhat / (vhat.sqrt() + eps);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Conv2d, Dense, Layer, MaxPool2d};
+    use crate::network::Sequential;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net(seed: u64) -> Cnn {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tower = Sequential::new(vec![
+            Layer::Conv2d(Conv2d::new(1, 2, 3, 1, &mut rng)),
+            Layer::Relu,
+            Layer::MaxPool2d(MaxPool2d { size: 2 }),
+            Layer::Flatten,
+        ]);
+        let head = Sequential::new(vec![Layer::Dense(Dense::new(8, 2, &mut rng))]);
+        Cnn {
+            towers: vec![tower],
+            head,
+            channel_shape: (4, 4),
+            num_channels: 1,
+        }
+    }
+
+    fn unit_grads(n: &Cnn) -> CnnGrads {
+        let mut g = n.zero_grads();
+        for t in &mut g.towers {
+            for l in t {
+                for p in l {
+                    for v in p.data_mut() {
+                        *v = 1.0;
+                    }
+                }
+            }
+        }
+        for l in &mut g.head {
+            for p in l {
+                for v in p.data_mut() {
+                    *v = 1.0;
+                }
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn sgd_moves_parameters_against_gradient() {
+        let mut n = net(1);
+        let before: Vec<f32> = n
+            .params_mut_flat()
+            .iter()
+            .map(|(p, _)| p.data()[0])
+            .collect();
+        let g = unit_grads(&n);
+        let mut opt = Optimizer::new(&mut n, OptimizerKind::Sgd { momentum: 0.0 }, 0.1, false);
+        opt.step(&mut n, &g);
+        for (i, (p, _)) in n.params_mut_flat().iter().enumerate() {
+            assert!((p.data()[0] - (before[i] - 0.1)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn momentum_accumulates() {
+        let mut n = net(2);
+        let start = n.params_mut_flat()[0].0.data()[0];
+        let g = unit_grads(&n);
+        let mut opt = Optimizer::new(&mut n, OptimizerKind::Sgd { momentum: 0.9 }, 0.1, false);
+        opt.step(&mut n, &g);
+        opt.step(&mut n, &g);
+        // After two steps: lr*(1) + lr*(1 + 0.9) = 0.1 + 0.19 = 0.29.
+        let now = n.params_mut_flat()[0].0.data()[0];
+        assert!((start - now - 0.29).abs() < 1e-6, "moved {}", start - now);
+    }
+
+    #[test]
+    fn adam_step_is_bounded_by_lr() {
+        let mut n = net(3);
+        let start: Vec<f32> = n
+            .params_mut_flat()
+            .iter()
+            .map(|(p, _)| p.data()[0])
+            .collect();
+        let g = unit_grads(&n);
+        let mut opt = Optimizer::new(&mut n, OptimizerKind::adam(), 0.01, false);
+        opt.step(&mut n, &g);
+        for (i, (p, _)) in n.params_mut_flat().iter().enumerate() {
+            let delta = (start[i] - p.data()[0]).abs();
+            // First Adam step with constant gradient is ~lr.
+            assert!(delta > 0.005 && delta < 0.015, "delta {delta}");
+        }
+    }
+
+    #[test]
+    fn freeze_towers_only_updates_head() {
+        let mut n = net(4);
+        let before: Vec<(f32, bool)> = n
+            .params_mut_flat()
+            .iter()
+            .map(|(p, t)| (p.data()[0], *t))
+            .collect();
+        let g = unit_grads(&n);
+        let mut opt = Optimizer::new(&mut n, OptimizerKind::Sgd { momentum: 0.0 }, 0.1, true);
+        opt.step(&mut n, &g);
+        for (i, (p, in_tower)) in n.params_mut_flat().iter().enumerate() {
+            if *in_tower {
+                assert_eq!(p.data()[0], before[i].0, "tower param {i} moved");
+            } else {
+                assert!(p.data()[0] != before[i].0, "head param {i} frozen");
+            }
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Model persistence: JSON (de)serialisation of whole networks.
+//!
+//! The trained selector is a one-time artefact per platform (the paper
+//! reports ~27 min of training), so models are saved and shipped;
+//! JSON keeps the format debuggable and dependency-light.
+
+use crate::network::Cnn;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Serialises a network to a writer as JSON.
+pub fn save_model<W: Write>(net: &Cnn, w: W) -> Result<(), String> {
+    serde_json::to_writer(w, net).map_err(|e| format!("serialise: {e}"))
+}
+
+/// Deserialises a network from a reader.
+pub fn load_model<R: Read>(r: R) -> Result<Cnn, String> {
+    serde_json::from_reader(r).map_err(|e| format!("deserialise: {e}"))
+}
+
+/// Saves a network to a file path.
+pub fn save_model_path<P: AsRef<Path>>(net: &Cnn, path: P) -> Result<(), String> {
+    let f = std::fs::File::create(path).map_err(|e| format!("create: {e}"))?;
+    save_model(net, std::io::BufWriter::new(f))
+}
+
+/// Loads a network from a file path.
+pub fn load_model_path<P: AsRef<Path>>(path: P) -> Result<Cnn, String> {
+    let f = std::fs::File::open(path).map_err(|e| format!("open: {e}"))?;
+    load_model(std::io::BufReader::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structures::{build_cnn, CnnConfig, Merging};
+    use crate::tensor::Tensor;
+
+    fn tiny() -> Cnn {
+        build_cnn(
+            Merging::Late,
+            2,
+            (16, 16),
+            3,
+            &CnnConfig {
+                conv_channels: [2, 4, 4],
+                hidden: 8,
+                seed: 3,
+            },
+        )
+    }
+
+    #[test]
+    fn round_trip_preserves_network_exactly() {
+        let net = tiny();
+        let mut buf = Vec::new();
+        save_model(&net, &mut buf).unwrap();
+        let back = load_model(buf.as_slice()).unwrap();
+        assert_eq!(back, net);
+    }
+
+    #[test]
+    fn round_trip_preserves_predictions() {
+        let net = tiny();
+        let channels: Vec<Tensor> = (0..2)
+            .map(|c| {
+                Tensor::from_vec(
+                    &[16, 16],
+                    (0..256).map(|i| ((i + c * 7) % 13) as f32 * 0.1).collect(),
+                )
+            })
+            .collect();
+        let mut buf = Vec::new();
+        save_model(&net, &mut buf).unwrap();
+        let back = load_model(buf.as_slice()).unwrap();
+        assert_eq!(back.forward(&channels), net.forward(&channels));
+    }
+
+    #[test]
+    fn path_round_trip() {
+        let net = tiny();
+        let dir = std::env::temp_dir().join("dnnspmv_nn_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("model.json");
+        save_model_path(&net, &p).unwrap();
+        let back = load_model_path(&p).unwrap();
+        assert_eq!(back, net);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn garbage_input_errors_cleanly() {
+        let e = load_model("not json at all".as_bytes()).unwrap_err();
+        assert!(e.contains("deserialise"));
+    }
+}

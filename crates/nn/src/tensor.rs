@@ -1,0 +1,203 @@
+//! Minimal dense `f32` tensor with shape metadata.
+//!
+//! Deliberately small: the layers index raw data with explicit strides,
+//! so the tensor only needs construction, shape bookkeeping, and a few
+//! element-wise helpers used by the optimisers.
+
+use serde::{Deserialize, Serialize};
+
+/// Dense row-major tensor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Zero tensor of the given shape.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let len = shape.iter().product();
+        Self {
+            shape: shape.to_vec(),
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Builds from raw data.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` does not match the shape's volume.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.iter().product::<usize>(),
+            "data length must match shape volume"
+        );
+        Self {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// Tensor shape.
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True for zero-element tensors.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable raw data.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Same data, new shape (volume must match).
+    pub fn reshape(mut self, shape: &[usize]) -> Self {
+        assert_eq!(
+            self.data.len(),
+            shape.iter().product::<usize>(),
+            "reshape must preserve volume"
+        );
+        self.shape = shape.to_vec();
+        self
+    }
+
+    /// `self += other` element-wise.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        debug_assert_eq!(self.shape, other.shape, "shape mismatch in add_assign");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// `self += alpha * other` element-wise (the optimiser's axpy).
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        debug_assert_eq!(self.shape, other.shape, "shape mismatch in axpy");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// `self *= alpha` element-wise.
+    pub fn scale(&mut self, alpha: f32) {
+        for a in &mut self.data {
+            *a *= alpha;
+        }
+    }
+
+    /// Concatenates flat tensors into one vector tensor.
+    pub fn concat_flat(parts: &[&Tensor]) -> Tensor {
+        let total: usize = parts.iter().map(|t| t.len()).sum();
+        let mut data = Vec::with_capacity(total);
+        for p in parts {
+            data.extend_from_slice(p.data());
+        }
+        Tensor::from_vec(&[total], data)
+    }
+
+    /// Stacks single-channel `[1, h, w]` (or `[h, w]`) tensors into one
+    /// `[c, h, w]` tensor — how the early-merging structure combines
+    /// its input channels.
+    pub fn stack_channels(channels: &[&Tensor]) -> Tensor {
+        assert!(!channels.is_empty(), "need at least one channel");
+        let (h, w) = match channels[0].shape() {
+            [h, w] => (*h, *w),
+            [1, h, w] => (*h, *w),
+            s => panic!("stack_channels expects [h, w] or [1, h, w], got {s:?}"),
+        };
+        let mut data = Vec::with_capacity(channels.len() * h * w);
+        for ch in channels {
+            assert_eq!(ch.len(), h * w, "all channels must share one shape");
+            data.extend_from_slice(ch.data());
+        }
+        Tensor::from_vec(&[channels.len(), h, w], data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_from_vec() {
+        let z = Tensor::zeros(&[2, 3]);
+        assert_eq!(z.len(), 6);
+        assert_eq!(z.shape(), &[2, 3]);
+        let t = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.data()[3], 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn from_vec_checks_volume() {
+        let _ = Tensor::from_vec(&[2, 2], vec![1.0; 3]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(&[4], vec![1.0, 2.0, 3.0, 4.0]).reshape(&[2, 2]);
+        assert_eq!(t.shape(), &[2, 2]);
+        assert_eq!(t.data(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn arithmetic_helpers() {
+        let mut a = Tensor::from_vec(&[3], vec![1.0, 2.0, 3.0]);
+        let b = Tensor::from_vec(&[3], vec![10.0, 20.0, 30.0]);
+        a.add_assign(&b);
+        assert_eq!(a.data(), &[11.0, 22.0, 33.0]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.data(), &[16.0, 32.0, 48.0]);
+        a.scale(0.25);
+        assert_eq!(a.data(), &[4.0, 8.0, 12.0]);
+    }
+
+    #[test]
+    fn concat_flat_joins_buffers() {
+        let a = Tensor::from_vec(&[2], vec![1.0, 2.0]);
+        let b = Tensor::from_vec(&[1, 3], vec![3.0, 4.0, 5.0]);
+        let c = Tensor::concat_flat(&[&a, &b]);
+        assert_eq!(c.shape(), &[5]);
+        assert_eq!(c.data(), &[1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn stack_channels_builds_chw() {
+        let a = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Tensor::from_vec(&[1, 2, 2], vec![5.0, 6.0, 7.0, 8.0]);
+        let s = Tensor::stack_channels(&[&a, &b]);
+        assert_eq!(s.shape(), &[2, 2, 2]);
+        assert_eq!(s.data()[4..], [5.0, 6.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "share one shape")]
+    fn stack_channels_checks_shapes() {
+        let a = Tensor::from_vec(&[2, 2], vec![0.0; 4]);
+        let b = Tensor::from_vec(&[3, 3], vec![0.0; 9]);
+        let _ = Tensor::stack_channels(&[&a, &b]);
+    }
+}

@@ -1,0 +1,305 @@
+//! Transfer learning for cross-architecture model migration
+//! (Section 6 of the paper).
+//!
+//! Labels for format selection are architecture-dependent, so a CNN
+//! trained on machine A mispredicts on machine B. Rebuilding from
+//! scratch costs ~75 hours of label collection in the paper's setup;
+//! transfer learning reuses the machine-A model to reach target
+//! accuracy with far fewer machine-B labels. Two materialisations are
+//! compared (Figure 9):
+//!
+//! * [`continuous_evolvement`] — keep structure *and* parameters, then
+//!   continue training everything on the new labels. Highest ceiling,
+//!   slower convergence per label.
+//! * [`top_evolvement`] — freeze the convolutional towers (the "CNN
+//!   codes" feature extractor) and retrain only the fully connected
+//!   head. Fewer parameters to fit, so fewer labels needed.
+//! * [`from_scratch`] — the baseline: fresh random parameters.
+
+use crate::network::{Cnn, Sample};
+use crate::structures::{build_cnn, CnnConfig, Merging};
+use crate::train::{train, TrainConfig, TrainReport};
+
+/// Migration strategy identifier (the three curves of Figure 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Migration {
+    /// Fresh random initialisation.
+    FromScratch,
+    /// Warm-start everything from the source model.
+    ContinuousEvolvement,
+    /// Reuse the towers, retrain only the head.
+    TopEvolvement,
+}
+
+impl Migration {
+    /// All strategies, in Figure 9 legend order.
+    pub const ALL: [Migration; 3] = [
+        Migration::FromScratch,
+        Migration::ContinuousEvolvement,
+        Migration::TopEvolvement,
+    ];
+
+    /// Display name matching the figure legend.
+    pub fn name(self) -> &'static str {
+        match self {
+            Migration::FromScratch => "Train from scratch",
+            Migration::ContinuousEvolvement => "Continuous evolvement",
+            Migration::TopEvolvement => "Top evolvement",
+        }
+    }
+}
+
+/// Migrates `source` to a new platform's `target_samples` with the
+/// chosen strategy; returns the migrated network and its training
+/// report. `structure` must describe how `source` was built (used only
+/// by [`Migration::FromScratch`] to build a fresh twin).
+pub fn migrate(
+    source: &Cnn,
+    strategy: Migration,
+    target_samples: &[Sample],
+    structure: (Merging, usize, (usize, usize), usize, CnnConfig),
+    train_cfg: &TrainConfig,
+) -> (Cnn, TrainReport) {
+    match strategy {
+        Migration::FromScratch => from_scratch(target_samples, structure, train_cfg),
+        Migration::ContinuousEvolvement => continuous_evolvement(source, target_samples, train_cfg),
+        Migration::TopEvolvement => top_evolvement(source, target_samples, train_cfg),
+    }
+}
+
+/// Baseline: new random network trained only on the target labels.
+pub fn from_scratch(
+    target_samples: &[Sample],
+    (merging, channels, shape, classes, cfg): (Merging, usize, (usize, usize), usize, CnnConfig),
+    train_cfg: &TrainConfig,
+) -> (Cnn, TrainReport) {
+    let mut net = build_cnn(merging, channels, shape, classes, &cfg);
+    let report = train(&mut net, target_samples, train_cfg);
+    (net, report)
+}
+
+/// Continue training the full source network on the target labels.
+pub fn continuous_evolvement(
+    source: &Cnn,
+    target_samples: &[Sample],
+    train_cfg: &TrainConfig,
+) -> (Cnn, TrainReport) {
+    let mut net = source.clone();
+    let cfg = TrainConfig {
+        freeze_towers: false,
+        ..train_cfg.clone()
+    };
+    let report = train(&mut net, target_samples, &cfg);
+    (net, report)
+}
+
+/// Freeze the feature towers; retrain only the head on the target
+/// labels.
+pub fn top_evolvement(
+    source: &Cnn,
+    target_samples: &[Sample],
+    train_cfg: &TrainConfig,
+) -> (Cnn, TrainReport) {
+    let mut net = source.clone();
+    let cfg = TrainConfig {
+        freeze_towers: true,
+        ..train_cfg.clone()
+    };
+    let report = train(&mut net, target_samples, &cfg);
+    (net, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+    use crate::train::evaluate;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn structure() -> (Merging, usize, (usize, usize), usize, CnnConfig) {
+        (
+            Merging::Late,
+            1,
+            (16, 16),
+            2,
+            CnnConfig {
+                conv_channels: [4, 8, 8],
+                hidden: 16,
+                seed: 5,
+            },
+        )
+    }
+
+    /// Source task: bright top-left = class 0, bottom-right = class 1.
+    /// Target task: the *same features* but labels flipped on a subset —
+    /// like a new platform that mostly agrees with the old one.
+    fn samples(n: usize, seed: u64, flip: bool) -> Vec<Sample> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let mut label = i % 2;
+                let mut img = vec![0.0f32; 256];
+                for y in 0..8 {
+                    for x in 0..8 {
+                        let (yy, xx) = if label == 0 { (y, x) } else { (y + 8, x + 8) };
+                        img[yy * 16 + xx] = 0.8 + 0.2 * rng.random::<f32>();
+                    }
+                }
+                if flip {
+                    label = 1 - label;
+                }
+                Sample {
+                    channels: vec![Tensor::from_vec(&[16, 16], img)],
+                    label,
+                }
+            })
+            .collect()
+    }
+
+    fn trained_source() -> Cnn {
+        let (m, c, s, k, cfg) = structure();
+        let mut net = build_cnn(m, c, s, k, &cfg);
+        train(
+            &mut net,
+            &samples(40, 1, false),
+            &TrainConfig {
+                epochs: 8,
+                batch_size: 8,
+                lr: 3e-3,
+                ..TrainConfig::default()
+            },
+        );
+        net
+    }
+
+    #[test]
+    fn top_evolvement_adapts_even_to_inverted_labels() {
+        // Worst-case migration: the new platform disagrees on *every*
+        // label. The frozen features still separate the classes, so a
+        // retrained head must be able to relearn the mapping given
+        // enough steps.
+        let source = trained_source();
+        let target = samples(12, 9, true);
+        let cfg = TrainConfig {
+            epochs: 60,
+            batch_size: 4,
+            lr: 1e-2,
+            ..TrainConfig::default()
+        };
+        let (net, _) = top_evolvement(&source, &target, &cfg);
+        let acc = evaluate(&net, &samples(40, 11, true));
+        assert!(acc >= 0.9, "top evolvement accuracy {acc}");
+        // Towers untouched.
+        assert_eq!(net.towers, source.towers);
+    }
+
+    #[test]
+    fn continuous_evolvement_updates_towers() {
+        let source = trained_source();
+        let target = samples(12, 9, true);
+        let (net, _) = continuous_evolvement(
+            &source,
+            &target,
+            &TrainConfig {
+                epochs: 3,
+                batch_size: 4,
+                ..TrainConfig::default()
+            },
+        );
+        assert_ne!(net.towers, source.towers);
+    }
+
+    #[test]
+    fn migrate_dispatches_all_strategies() {
+        let source = trained_source();
+        let target = samples(8, 21, true);
+        let cfg = TrainConfig {
+            epochs: 1,
+            batch_size: 4,
+            ..TrainConfig::default()
+        };
+        for strat in Migration::ALL {
+            let (net, report) = migrate(&source, strat, &target, structure(), &cfg);
+            assert_eq!(net.num_channels, 1);
+            assert!(!report.loss_history.is_empty());
+        }
+    }
+
+    #[test]
+    fn transfer_beats_scratch_on_small_target_sets() {
+        // The headline claim of Figure 9, miniaturised. Real platforms
+        // mostly agree on labels, so the target task here is the same
+        // task; the migrated model must reach high accuracy with a
+        // label budget (and step budget) far too small for training
+        // from scratch. A four-class task (one bright quadrant each)
+        // rules out a lucky random initialisation acing the test.
+        let quad_samples = |n: usize, seed: u64| -> Vec<Sample> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..n)
+                .map(|i| {
+                    let label = i % 4;
+                    let (oy, ox) = [(0, 0), (0, 8), (8, 0), (8, 8)][label];
+                    let mut img = vec![0.0f32; 256];
+                    for y in 0..8 {
+                        for x in 0..8 {
+                            img[(y + oy) * 16 + x + ox] = 0.8 + 0.2 * rng.random::<f32>();
+                        }
+                    }
+                    Sample {
+                        channels: vec![Tensor::from_vec(&[16, 16], img)],
+                        label,
+                    }
+                })
+                .collect()
+        };
+        let quad_structure = (
+            Merging::Late,
+            1,
+            (16usize, 16usize),
+            4,
+            CnnConfig {
+                conv_channels: [4, 8, 8],
+                hidden: 16,
+                seed: 5,
+            },
+        );
+        let (m, c, s, k, cfg) = quad_structure.clone();
+        let mut source = build_cnn(m, c, s, k, &cfg);
+        train(
+            &mut source,
+            &quad_samples(80, 1),
+            &TrainConfig {
+                epochs: 10,
+                batch_size: 8,
+                lr: 3e-3,
+                ..TrainConfig::default()
+            },
+        );
+        let target_train = quad_samples(8, 33);
+        let target_test = quad_samples(80, 35);
+        let cfg = TrainConfig {
+            epochs: 1,
+            batch_size: 4,
+            lr: 3e-3,
+            seed: 41,
+            ..TrainConfig::default()
+        };
+        let (scratch_net, _) = from_scratch(&target_train, quad_structure.clone(), &cfg);
+        let (top_net, _) = top_evolvement(&source, &target_train, &cfg);
+        let scratch_acc = evaluate(&scratch_net, &target_test);
+        let top_acc = evaluate(&top_net, &target_test);
+        assert!(
+            top_acc > scratch_acc + 0.15,
+            "top {top_acc} should clearly beat scratch {scratch_acc}"
+        );
+        assert!(top_acc >= 0.9, "migrated accuracy only {top_acc}");
+    }
+
+    #[test]
+    fn names_match_figure_legend() {
+        assert_eq!(Migration::TopEvolvement.name(), "Top evolvement");
+        assert_eq!(Migration::ALL.len(), 3);
+    }
+}
+

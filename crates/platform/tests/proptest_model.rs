@@ -1,0 +1,109 @@
+//! Property tests for the platform cost models and labellers.
+
+use dnnspmv_platform::{
+    best_format, label_dataset, label_dataset_noisy, PlatformModel, WorkloadProfile,
+};
+use dnnspmv_sparse::{CooMatrix, SparseFormat};
+use proptest::prelude::*;
+
+fn arb_matrix() -> impl Strategy<Value = CooMatrix<f32>> {
+    (4usize..80, 4usize..80).prop_flat_map(|(m, n)| {
+        let entry = (0..m, 0..n, 0.1f32..4.0);
+        proptest::collection::vec(entry, 1..200)
+            .prop_map(move |t| CooMatrix::from_triplets(m, n, &t).expect("in range"))
+    })
+}
+
+fn platforms() -> [PlatformModel; 3] {
+    [
+        PlatformModel::intel_cpu(),
+        PlatformModel::amd_cpu(),
+        PlatformModel::nvidia_gpu(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn estimates_are_positive_or_infeasible(m in arb_matrix()) {
+        let p = WorkloadProfile::compute(&m);
+        for plat in platforms() {
+            for &f in plat.formats() {
+                let e = plat.estimate(&p, f);
+                prop_assert!(e > 0.0, "{}: {f} estimated {e}", plat.name);
+            }
+        }
+    }
+
+    #[test]
+    fn best_format_is_the_ranking_head(m in arb_matrix()) {
+        let p = WorkloadProfile::compute(&m);
+        for plat in platforms() {
+            let ranking = plat.ranking(&p);
+            prop_assert_eq!(ranking[0].0, plat.best_format(&p));
+            for w in ranking.windows(2) {
+                prop_assert!(w[0].1 <= w[1].1);
+            }
+            // The winner must be convertible (limits are mirrored).
+            prop_assert!(ranking[0].1.is_finite());
+        }
+    }
+
+    #[test]
+    fn labels_index_into_the_format_set(m in arb_matrix(), sigma in 0.0f64..0.2, seed in 0u64..100) {
+        for plat in platforms() {
+            let labels = label_dataset_noisy(std::slice::from_ref(&m), &plat, sigma, seed);
+            prop_assert!(labels[0] < plat.formats().len());
+        }
+    }
+
+    #[test]
+    fn zero_noise_labels_match_best_format(m in arb_matrix()) {
+        for plat in platforms() {
+            let l = label_dataset(std::slice::from_ref(&m), &plat)[0];
+            prop_assert_eq!(plat.formats()[l], best_format(&m, &plat));
+        }
+    }
+
+    #[test]
+    fn profile_cdf_and_lanes_are_consistent(m in arb_matrix()) {
+        let p = WorkloadProfile::compute(&m);
+        // CDF is monotone and reaches 1 for nonempty matrices.
+        for w in p.dist_cdf.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        prop_assert!((p.dist_within(1e9) - 1.0).abs() < 1e-5);
+        // Lane slots bound: at most ndiags * max extent, at least nnz.
+        let max_dim = m.nrows().max(m.ncols()) as u64;
+        prop_assert!(p.dia_lane_slots <= p.stats.ndiags as u64 * max_dim);
+        prop_assert!(p.dia_lane_slots >= m.nnz() as u64);
+        // HYB split covers all nonzeros.
+        prop_assert!(p.hyb_overflow <= m.nnz());
+    }
+
+    #[test]
+    fn dia_estimate_scales_with_lane_slots_not_rectangle(seed in 0u64..50) {
+        // Two matrices with identical ndiags and nnz but different
+        // offsets: the far-offset one has fewer lane slots and must not
+        // be costed like the near-offset rectangle.
+        let n = 64usize;
+        let near: Vec<_> = (0..n - 2).flat_map(|i| [(i, i, 1.0f32), (i, i + 2, 1.0)]).collect();
+        let far: Vec<_> = (0..n - 2)
+            .flat_map(|i| {
+                let j = i + 48;
+                if j < n { vec![(i, i, 1.0f32), (i, j, 1.0)] } else { vec![(i, i, 1.0f32)] }
+            })
+            .collect();
+        let near = CooMatrix::from_triplets(n, n, &near).expect("in range");
+        let far = CooMatrix::from_triplets(n, n, &far).expect("in range");
+        let pn = WorkloadProfile::compute(&near);
+        let pf = WorkloadProfile::compute(&far);
+        prop_assert!(pf.dia_lane_slots < pn.dia_lane_slots);
+        let plat = PlatformModel::intel_cpu();
+        let _ = seed;
+        prop_assert!(
+            plat.estimate(&pf, SparseFormat::Dia) < plat.estimate(&pn, SparseFormat::Dia) * 1.01
+        );
+    }
+}

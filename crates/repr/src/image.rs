@@ -1,0 +1,137 @@
+//! Tiny dense 2-D `f32` image type shared by all representations.
+
+use serde::{Deserialize, Serialize};
+
+/// Row-major `f32` image of fixed shape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Image {
+    height: usize,
+    width: usize,
+    data: Vec<f32>,
+}
+
+impl Image {
+    /// Zero-filled image.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn zeros(height: usize, width: usize) -> Self {
+        assert!(height > 0 && width > 0, "image dimensions must be positive");
+        Self {
+            height,
+            width,
+            data: vec![0.0; height * width],
+        }
+    }
+
+    /// Builds from a row-major vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != height * width`.
+    pub fn from_vec(height: usize, width: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), height * width, "data length must match shape");
+        assert!(height > 0 && width > 0, "image dimensions must be positive");
+        Self {
+            height,
+            width,
+            data,
+        }
+    }
+
+    /// Image height (rows).
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Image width (columns).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Pixel accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.width + c]
+    }
+
+    /// Mutable pixel accessor.
+    #[inline]
+    pub fn get_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        &mut self.data[r * self.width + c]
+    }
+
+    /// Row-major pixel data.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Consumes the image, returning its pixel buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Divides every pixel by the maximum (no-op for all-zero images),
+    /// bringing values into `[0, 1]` as the paper's Section 4 requires.
+    pub fn normalize_max(&mut self) {
+        let max = self.data.iter().copied().fold(0.0f32, f32::max);
+        if max > 0.0 {
+            for v in &mut self.data {
+                *v /= max;
+            }
+        }
+    }
+
+    /// Sum of all pixels.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().map(|&v| v as f64).sum()
+    }
+
+    /// Count of nonzero pixels.
+    pub fn count_nonzero(&self) -> usize {
+        self.data.iter().filter(|&&v| v != 0.0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_shape_and_zero_sum() {
+        let im = Image::zeros(3, 5);
+        assert_eq!((im.height(), im.width()), (3, 5));
+        assert_eq!(im.sum(), 0.0);
+        assert_eq!(im.count_nonzero(), 0);
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut im = Image::zeros(2, 2);
+        *im.get_mut(1, 0) = 3.5;
+        assert_eq!(im.get(1, 0), 3.5);
+        assert_eq!(im.count_nonzero(), 1);
+    }
+
+    #[test]
+    fn normalize_max_scales_to_unit() {
+        let mut im = Image::from_vec(1, 4, vec![0.0, 2.0, 4.0, 1.0]);
+        im.normalize_max();
+        assert_eq!(im.data(), &[0.0, 0.5, 1.0, 0.25]);
+    }
+
+    #[test]
+    fn normalize_all_zero_is_noop() {
+        let mut im = Image::zeros(2, 2);
+        im.normalize_max();
+        assert_eq!(im.sum(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn from_vec_checks_shape() {
+        let _ = Image::from_vec(2, 2, vec![0.0; 5]);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for the fixed-size representations.
+
+use dnnspmv_repr::{
+    binary, col_histogram, density,
+    histogram::{col_histogram_counts, row_histogram_counts},
+    row_histogram, MatrixRepr, ReprConfig, ReprKind,
+};
+use dnnspmv_sparse::CooMatrix;
+use proptest::prelude::*;
+
+fn arb_matrix() -> impl Strategy<Value = CooMatrix<f32>> {
+    (2usize..60, 2usize..60).prop_flat_map(|(m, n)| {
+        let entry = (0..m, 0..n, 0.1f32..4.0);
+        proptest::collection::vec(entry, 0..150)
+            .prop_map(move |t| CooMatrix::from_triplets(m, n, &t).expect("in range"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn histogram_counts_sum_to_nnz(m in arb_matrix(), bands in 1usize..20, bins in 1usize..20) {
+        let r = row_histogram_counts(&m, bands, bins);
+        let c = col_histogram_counts(&m, bands, bins);
+        prop_assert_eq!(r.sum() as usize, m.nnz());
+        prop_assert_eq!(c.sum() as usize, m.nnz());
+    }
+
+    #[test]
+    fn normalised_outputs_are_unit_range(m in arb_matrix(), size in 2usize..24) {
+        for im in [
+            binary(&m, size),
+            density(&m, size),
+            row_histogram(&m, size, size),
+            col_histogram(&m, size, size),
+        ] {
+            for &v in im.data() {
+                prop_assert!((0.0..=1.0).contains(&v), "value {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn binary_support_matches_density_support(m in arb_matrix(), size in 2usize..24) {
+        let b = binary(&m, size);
+        let d = density(&m, size);
+        for (x, y) in b.data().iter().zip(d.data()) {
+            prop_assert_eq!(*x > 0.0, *y > 0.0, "binary/density support mismatch");
+        }
+    }
+
+    #[test]
+    fn binary_nonzero_cells_bounded_by_nnz(m in arb_matrix(), size in 2usize..24) {
+        let b = binary(&m, size);
+        prop_assert!(b.count_nonzero() <= m.nnz().min(size * size));
+    }
+
+    #[test]
+    fn density_weighted_sum_equals_nnz(m in arb_matrix(), size in 2usize..16) {
+        // Sum over cells of density * block_area == nnz. Reconstruct
+        // block areas the same way the implementation defines them.
+        let d = density(&m, size);
+        let band = |extent: usize| {
+            let mut sizes = vec![0f64; size];
+            for i in 0..extent {
+                sizes[(i * size / extent).min(size - 1)] += 1.0;
+            }
+            sizes
+        };
+        let rows = band(m.nrows());
+        let cols = band(m.ncols());
+        let mut total = 0.0;
+        for r in 0..size {
+            for c in 0..size {
+                total += d.get(r, c) as f64 * rows[r] * cols[c];
+            }
+        }
+        prop_assert!((total - m.nnz() as f64).abs() < 1e-3 * (1.0 + m.nnz() as f64));
+    }
+
+    #[test]
+    fn extraction_is_deterministic(m in arb_matrix()) {
+        let cfg = ReprConfig { image_size: 16, hist_rows: 16, hist_bins: 8 };
+        for kind in ReprKind::ALL {
+            let a = MatrixRepr::extract(&m, kind, &cfg);
+            let b = MatrixRepr::extract(&m, kind, &cfg);
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn transpose_swaps_row_and_col_histograms(m in arb_matrix(), bands in 2usize..12, bins in 2usize..12) {
+        let t = m.transpose();
+        prop_assert_eq!(
+            row_histogram_counts(&m, bands, bins),
+            col_histogram_counts(&t, bands, bins)
+        );
+    }
+}

@@ -1,0 +1,318 @@
+//! MatrixMarket (`.mtx`) coordinate-format I/O.
+//!
+//! Supports the subset that covers the SuiteSparse collection the paper
+//! trains on: `coordinate` storage with `real`, `integer` or `pattern`
+//! values and `general`, `symmetric` or `skew-symmetric` symmetry.
+//! Pattern entries get value 1. Symmetric inputs are expanded to full
+//! storage (both triangles), matching how SpMV libraries consume them.
+
+use crate::coo::{CooBuilder, CooMatrix};
+use crate::error::SparseError;
+use crate::scalar::Scalar;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ValueKind {
+    Real,
+    Integer,
+    Pattern,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Symmetry {
+    General,
+    Symmetric,
+    SkewSymmetric,
+}
+
+/// Reads a MatrixMarket coordinate matrix from any reader.
+pub fn read_matrix_market<S: Scalar, R: Read>(reader: R) -> Result<CooMatrix<S>, SparseError> {
+    let mut lines = BufReader::new(reader).lines();
+    let mut lineno = 0usize;
+
+    // Header line.
+    let header = loop {
+        match lines.next() {
+            Some(l) => {
+                lineno += 1;
+                let l = l?;
+                if !l.trim().is_empty() {
+                    break l;
+                }
+            }
+            None => {
+                return Err(SparseError::Parse {
+                    line: lineno,
+                    message: "empty file".into(),
+                })
+            }
+        }
+    };
+    let toks: Vec<String> = header
+        .split_whitespace()
+        .map(|t| t.to_ascii_lowercase())
+        .collect();
+    if toks.len() < 5 || toks[0] != "%%matrixmarket" || toks[1] != "matrix" {
+        return Err(SparseError::Parse {
+            line: lineno,
+            message: format!("bad header '{header}'"),
+        });
+    }
+    if toks[2] != "coordinate" {
+        return Err(SparseError::Parse {
+            line: lineno,
+            message: format!("unsupported storage '{}' (only coordinate)", toks[2]),
+        });
+    }
+    let kind = match toks[3].as_str() {
+        "real" => ValueKind::Real,
+        "integer" => ValueKind::Integer,
+        "pattern" => ValueKind::Pattern,
+        other => {
+            return Err(SparseError::Parse {
+                line: lineno,
+                message: format!("unsupported value kind '{other}'"),
+            })
+        }
+    };
+    let sym = match toks[4].as_str() {
+        "general" => Symmetry::General,
+        "symmetric" => Symmetry::Symmetric,
+        "skew-symmetric" => Symmetry::SkewSymmetric,
+        other => {
+            return Err(SparseError::Parse {
+                line: lineno,
+                message: format!("unsupported symmetry '{other}'"),
+            })
+        }
+    };
+
+    // Size line (after comments).
+    let size_line = loop {
+        match lines.next() {
+            Some(l) => {
+                lineno += 1;
+                let l = l?;
+                let t = l.trim();
+                if t.is_empty() || t.starts_with('%') {
+                    continue;
+                }
+                break l;
+            }
+            None => {
+                return Err(SparseError::Parse {
+                    line: lineno,
+                    message: "missing size line".into(),
+                })
+            }
+        }
+    };
+    let dims: Vec<&str> = size_line.split_whitespace().collect();
+    if dims.len() != 3 {
+        return Err(SparseError::Parse {
+            line: lineno,
+            message: format!("size line must be 'm n nnz', got '{size_line}'"),
+        });
+    }
+    let parse_dim = |s: &str, lineno: usize| {
+        s.parse::<usize>().map_err(|_| SparseError::Parse {
+            line: lineno,
+            message: format!("bad integer '{s}'"),
+        })
+    };
+    let nrows = parse_dim(dims[0], lineno)?;
+    let ncols = parse_dim(dims[1], lineno)?;
+    let nnz = parse_dim(dims[2], lineno)?;
+
+    let mut b = CooBuilder::new(nrows, ncols)?;
+    b.reserve(if sym == Symmetry::General { nnz } else { 2 * nnz });
+    let mut seen = 0usize;
+    for l in lines {
+        lineno += 1;
+        let l = l?;
+        let t = l.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let r = parse_dim(it.next().unwrap_or(""), lineno)?;
+        let c = parse_dim(
+            it.next().ok_or(SparseError::Parse {
+                line: lineno,
+                message: "missing column index".into(),
+            })?,
+            lineno,
+        )?;
+        if r == 0 || c == 0 {
+            return Err(SparseError::Parse {
+                line: lineno,
+                message: "indices are 1-based".into(),
+            });
+        }
+        let v = match kind {
+            ValueKind::Pattern => S::ONE,
+            _ => {
+                let vs = it.next().ok_or(SparseError::Parse {
+                    line: lineno,
+                    message: "missing value".into(),
+                })?;
+                S::from_f64(vs.parse::<f64>().map_err(|_| SparseError::Parse {
+                    line: lineno,
+                    message: format!("bad value '{vs}'"),
+                })?)
+            }
+        };
+        b.push(r - 1, c - 1, v)?;
+        match sym {
+            Symmetry::General => {}
+            Symmetry::Symmetric => {
+                if r != c {
+                    b.push(c - 1, r - 1, v)?;
+                }
+            }
+            Symmetry::SkewSymmetric => {
+                if r != c {
+                    b.push(c - 1, r - 1, -v)?;
+                }
+            }
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(SparseError::Parse {
+            line: lineno,
+            message: format!("declared {nnz} entries but found {seen}"),
+        });
+    }
+    Ok(b.build())
+}
+
+/// Reads a MatrixMarket file from disk.
+pub fn read_matrix_market_path<S: Scalar, P: AsRef<Path>>(
+    path: P,
+) -> Result<CooMatrix<S>, SparseError> {
+    let f = std::fs::File::open(path)?;
+    read_matrix_market(f)
+}
+
+/// Writes a matrix in `coordinate real general` form.
+pub fn write_matrix_market<S: Scalar, W: Write>(
+    matrix: &CooMatrix<S>,
+    mut w: W,
+) -> Result<(), SparseError> {
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% written by dnnspmv-sparse")?;
+    writeln!(w, "{} {} {}", matrix.nrows(), matrix.ncols(), matrix.nnz())?;
+    for (r, c, v) in matrix.iter() {
+        writeln!(w, "{} {} {}", r + 1, c + 1, v.to_f64())?;
+    }
+    Ok(())
+}
+
+/// Writes a MatrixMarket file to disk.
+pub fn write_matrix_market_path<S: Scalar, P: AsRef<Path>>(
+    matrix: &CooMatrix<S>,
+    path: P,
+) -> Result<(), SparseError> {
+    let f = std::fs::File::create(path)?;
+    write_matrix_market(matrix, std::io::BufWriter::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_general_real() {
+        let src = "%%MatrixMarket matrix coordinate real general\n\
+                   % a comment\n\
+                   3 3 2\n\
+                   1 1 1.5\n\
+                   3 2 -2.0\n";
+        let m: CooMatrix<f64> = read_matrix_market(src.as_bytes()).unwrap();
+        assert_eq!((m.nrows(), m.ncols(), m.nnz()), (3, 3, 2));
+        assert_eq!(m.get(0, 0), 1.5);
+        assert_eq!(m.get(2, 1), -2.0);
+    }
+
+    #[test]
+    fn parses_pattern_as_ones() {
+        let src = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\n2 1\n";
+        let m: CooMatrix<f32> = read_matrix_market(src.as_bytes()).unwrap();
+        assert_eq!(m.get(0, 1), 1.0);
+        assert_eq!(m.get(1, 0), 1.0);
+    }
+
+    #[test]
+    fn expands_symmetric() {
+        let src = "%%MatrixMarket matrix coordinate real symmetric\n3 3 3\n1 1 4.0\n2 1 1.0\n3 2 2.0\n";
+        let m: CooMatrix<f64> = read_matrix_market(src.as_bytes()).unwrap();
+        assert_eq!(m.nnz(), 5); // diagonal entry not duplicated
+        assert_eq!(m.get(0, 1), 1.0);
+        assert_eq!(m.get(1, 0), 1.0);
+        assert_eq!(m.get(1, 2), 2.0);
+    }
+
+    #[test]
+    fn expands_skew_symmetric_with_negation() {
+        let src =
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 3.0\n";
+        let m: CooMatrix<f64> = read_matrix_market(src.as_bytes()).unwrap();
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.get(0, 1), -3.0);
+    }
+
+    #[test]
+    fn rejects_zero_based_indices() {
+        let src = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n";
+        let e = read_matrix_market::<f64, _>(src.as_bytes()).unwrap_err();
+        assert!(matches!(e, SparseError::Parse { .. }));
+    }
+
+    #[test]
+    fn rejects_wrong_entry_count() {
+        let src = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        let e = read_matrix_market::<f64, _>(src.as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("declared 2"));
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let e = read_matrix_market::<f64, _>("hello\n".as_bytes()).unwrap_err();
+        assert!(matches!(e, SparseError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_array_storage() {
+        let src = "%%MatrixMarket matrix array real general\n2 2\n1.0\n";
+        let e = read_matrix_market::<f64, _>(src.as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("coordinate"));
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let m = CooMatrix::from_triplets(
+            4,
+            3,
+            &[(0, 0, 1.25), (1, 2, -0.5), (3, 1, 1e6)],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_matrix_market(&m, &mut buf).unwrap();
+        let back: CooMatrix<f64> = read_matrix_market(buf.as_slice()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn path_round_trip() {
+        let m = CooMatrix::from_triplets(2, 2, &[(0, 1, 2.0)]).unwrap();
+        let dir = std::env::temp_dir().join("dnnspmv_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("t.mtx");
+        write_matrix_market_path(&m, &p).unwrap();
+        let back: CooMatrix<f64> = read_matrix_market_path(&p).unwrap();
+        assert_eq!(back, m);
+        std::fs::remove_file(&p).ok();
+    }
+}

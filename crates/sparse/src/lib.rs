@@ -1,0 +1,66 @@
+//! Sparse matrix storage formats and SpMV kernels.
+//!
+//! This crate is the kernel substrate of the `dnnspmv` workspace: it
+//! implements, from scratch, every storage format the paper's evaluation
+//! touches — COO, CSR, DIA and ELL on the CPU side (the SMATLib set) and
+//! HYB, BSR and a CSR5-style tiled format on the GPU side (the cuSPARSE
+//! set) — together with sequential and [rayon]-parallel sparse
+//! matrix–vector multiplication (SpMV) kernels, format conversions,
+//! single-pass structural statistics, and MatrixMarket I/O.
+//!
+//! # Canonical representation
+//!
+//! [`CooMatrix`] in sorted, deduplicated coordinate form is the canonical
+//! exchange type. Every other format converts from and back to it, which
+//! keeps conversion logic star-shaped instead of quadratic in the number
+//! of formats and gives property tests a single round-trip invariant.
+//!
+//! # SpMV semantics
+//!
+//! All kernels compute `y = A * x` (overwriting `y`). The [`Spmv`] trait
+//! exposes a sequential `spmv` and a parallel `spmv_par`; both produce
+//! identical results up to floating-point associativity, and the parallel
+//! kernels are written so that no output element is written by two
+//! threads (see the per-format module docs for the partitioning schemes).
+//!
+//! # Quick example
+//!
+//! ```
+//! use dnnspmv_sparse::{CooMatrix, CsrMatrix, Spmv};
+//!
+//! // 2x2 diagonal matrix.
+//! let coo = CooMatrix::<f64>::from_triplets(2, 2, &[(0, 0, 2.0), (1, 1, 3.0)]).unwrap();
+//! let csr = CsrMatrix::from_coo(&coo);
+//! let mut y = vec![0.0; 2];
+//! csr.spmv(&[1.0, 1.0], &mut y);
+//! assert_eq!(y, vec![2.0, 3.0]);
+//! ```
+
+pub mod bsr;
+pub mod coo;
+pub mod csr;
+pub mod csr5;
+pub mod dense;
+pub mod dia;
+pub mod ell;
+pub mod error;
+pub mod format;
+pub mod hyb;
+pub mod io;
+pub mod scalar;
+pub mod spmv;
+pub mod stats;
+
+pub use bsr::BsrMatrix;
+pub use coo::{CooBuilder, CooMatrix};
+pub use csr::CsrMatrix;
+pub use csr5::Csr5Matrix;
+pub use dense::DenseMatrix;
+pub use dia::DiaMatrix;
+pub use ell::EllMatrix;
+pub use error::SparseError;
+pub use format::{AnyMatrix, SparseFormat};
+pub use hyb::HybMatrix;
+pub use scalar::Scalar;
+pub use spmv::Spmv;
+pub use stats::MatrixStats;

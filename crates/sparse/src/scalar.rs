@@ -1,0 +1,120 @@
+//! Scalar abstraction so kernels work for both `f32` and `f64`.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// Floating-point element type usable in all sparse kernels.
+///
+/// The paper evaluates in single precision (with a note that double
+/// precision behaves the same); this trait lets every format, kernel and
+/// cost model be generic over the two without pulling in an external
+/// num-traits dependency.
+pub trait Scalar:
+    Copy
+    + Default
+    + Debug
+    + Display
+    + PartialOrd
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + Sum
+    + Send
+    + Sync
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Size of one element in bytes (used by cost models).
+    const BYTES: usize;
+
+    /// Lossy conversion from `f64` (used by generators and I/O).
+    fn from_f64(v: f64) -> Self;
+    /// Lossless widening to `f64` (used by statistics and verification).
+    fn to_f64(self) -> f64;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Fused comparison helper: `|self - other| <= tol * max(1, |self|, |other|)`.
+    fn approx_eq(self, other: Self, tol: f64) -> bool {
+        let (a, b) = (self.to_f64(), other.to_f64());
+        (a - b).abs() <= tol * 1.0_f64.max(a.abs()).max(b.abs())
+    }
+}
+
+impl Scalar for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const BYTES: usize = 4;
+
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const BYTES: usize = 8;
+
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_match_literals() {
+        assert_eq!(<f32 as Scalar>::ZERO, 0.0f32);
+        assert_eq!(<f64 as Scalar>::ONE, 1.0f64);
+        assert_eq!(<f32 as Scalar>::BYTES, 4);
+        assert_eq!(<f64 as Scalar>::BYTES, 8);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let v = 1.5f64;
+        assert_eq!(f32::from_f64(v).to_f64(), 1.5);
+        assert_eq!(f64::from_f64(v), 1.5);
+    }
+
+    #[test]
+    fn abs_works() {
+        assert_eq!(Scalar::abs(-2.0f32), 2.0);
+        assert_eq!(Scalar::abs(-2.0f64), 2.0);
+    }
+
+    #[test]
+    fn approx_eq_tolerates_small_error() {
+        assert!(1.0f64.approx_eq(1.0 + 1e-12, 1e-9));
+        assert!(!1.0f64.approx_eq(1.1, 1e-9));
+        // Relative comparison for large magnitudes.
+        assert!(1e12f64.approx_eq(1e12 + 1.0, 1e-9));
+    }
+}

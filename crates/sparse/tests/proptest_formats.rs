@@ -1,0 +1,156 @@
+//! Property tests over random sparse matrices: every format round-trips
+//! through COO exactly, every kernel computes the same product, and the
+//! parallel kernels agree with the sequential ones.
+
+use dnnspmv_sparse::{
+    AnyMatrix, CooMatrix, CsrMatrix, MatrixStats, Scalar, SparseFormat, Spmv,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random sparse matrix with bounded dimensions and nnz.
+fn arb_matrix() -> impl Strategy<Value = CooMatrix<f64>> {
+    (2usize..40, 2usize..40).prop_flat_map(|(m, n)| {
+        let entry = (0..m, 0..n, -4.0f64..4.0);
+        proptest::collection::vec(entry, 0..120).prop_map(move |mut t| {
+            // Avoid exact cancellation making nnz counting ambiguous.
+            for e in &mut t {
+                if e.2 == 0.0 {
+                    e.2 = 1.0;
+                }
+            }
+            CooMatrix::from_triplets(m, n, &t).expect("indices in range")
+        })
+    })
+}
+
+fn arb_vector(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-3.0f64..3.0, len..=len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_format_round_trips(coo in arb_matrix()) {
+        for f in SparseFormat::ALL {
+            match AnyMatrix::convert(&coo, f) {
+                Ok(any) => prop_assert_eq!(any.to_coo(), coo.clone(), "format {}", f),
+                // Small matrices never exceed padding limits.
+                Err(e) => prop_assert!(false, "conversion to {} failed: {e}", f),
+            }
+        }
+    }
+
+    #[test]
+    fn spmv_agrees_across_all_formats(coo in arb_matrix()) {
+        let x: Vec<f64> = (0..coo.ncols()).map(|i| ((i * 7 + 3) % 11) as f64 - 5.0).collect();
+        let reference = coo.spmv_alloc(&x);
+        for f in SparseFormat::ALL {
+            let any = AnyMatrix::convert(&coo, f).expect("small matrices always convert");
+            let y = any.spmv_alloc(&x);
+            for (a, b) in y.iter().zip(&reference) {
+                prop_assert!(a.approx_eq(*b, 1e-10), "format {}: {a} vs {b}", f);
+            }
+        }
+    }
+
+    #[test]
+    fn spmv_matches_dense_reference(coo in arb_matrix(), seed in 0u64..1000) {
+        let n = coo.ncols();
+        let x: Vec<f64> = (0..n).map(|i| (((i as u64 + seed) * 37 % 13) as f64) - 6.0).collect();
+        let dense = coo.to_dense();
+        let mut want = vec![0.0; coo.nrows()];
+        for r in 0..coo.nrows() {
+            for c in 0..n {
+                want[r] += dense[r * n + c] * x[c];
+            }
+        }
+        let got = coo.spmv_alloc(&x);
+        for (a, b) in got.iter().zip(&want) {
+            prop_assert!(a.approx_eq(*b, 1e-10));
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential(coo in arb_matrix(), x in (0usize..1).prop_flat_map(|_| arb_vector(0))) {
+        // x generated per-matrix below (length must match ncols).
+        let _ = x;
+        let xv: Vec<f64> = (0..coo.ncols()).map(|i| (i as f64 * 0.37).sin()).collect();
+        for f in SparseFormat::ALL {
+            let any = AnyMatrix::convert(&coo, f).expect("small matrices always convert");
+            let mut y1 = vec![0.0; coo.nrows()];
+            let mut y2 = vec![0.0; coo.nrows()];
+            any.spmv(&xv, &mut y1);
+            any.spmv_par(&xv, &mut y2);
+            for (a, b) in y1.iter().zip(&y2) {
+                prop_assert!(a.approx_eq(*b, 1e-10), "format {}", f);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_involution_and_spmv_duality(coo in arb_matrix()) {
+        let t = coo.transpose();
+        prop_assert_eq!(t.transpose(), coo.clone());
+        // y^T (A x) == (A^T y)^T x
+        let x: Vec<f64> = (0..coo.ncols()).map(|i| (i % 5) as f64 - 2.0).collect();
+        let y: Vec<f64> = (0..coo.nrows()).map(|i| (i % 3) as f64 - 1.0).collect();
+        let ax = coo.spmv_alloc(&x);
+        let aty = t.spmv_alloc(&y);
+        let lhs: f64 = y.iter().zip(&ax).map(|(a, b)| a * b).sum();
+        let rhs: f64 = x.iter().zip(&aty).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-8 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn stats_are_consistent(coo in arb_matrix()) {
+        let s = MatrixStats::compute(&coo);
+        prop_assert_eq!(s.nnz, coo.nnz());
+        prop_assert!(s.row_min <= s.row_max);
+        prop_assert!(s.row_mean <= s.row_max as f64 + 1e-12);
+        prop_assert!(s.density >= 0.0 && s.density <= 1.0);
+        prop_assert!(s.dia_fill <= 1.0 + 1e-12);
+        prop_assert!(s.ell_fill <= 1.0 + 1e-12);
+        prop_assert!(s.bsr_fill <= 1.0 + 1e-12);
+        if coo.nnz() > 0 {
+            prop_assert!(s.ndiags >= 1);
+            prop_assert!(s.bandwidth < coo.nrows().max(coo.ncols()));
+        }
+    }
+
+    #[test]
+    fn csr_row_slices_cover_all_entries(coo in arb_matrix()) {
+        let csr = CsrMatrix::from_coo(&coo);
+        let mut total = 0;
+        for r in 0..coo.nrows() {
+            let (cols, vals) = csr.row(r);
+            prop_assert_eq!(cols.len(), vals.len());
+            total += cols.len();
+            for w in cols.windows(2) {
+                prop_assert!(w[0] < w[1], "row {r} columns not strictly sorted");
+            }
+        }
+        prop_assert_eq!(total, coo.nnz());
+    }
+
+    #[test]
+    fn matrix_market_round_trip(coo in arb_matrix()) {
+        let mut buf = Vec::new();
+        dnnspmv_sparse::io::write_matrix_market(&coo, &mut buf).expect("write");
+        let back: CooMatrix<f64> =
+            dnnspmv_sparse::io::read_matrix_market(buf.as_slice()).expect("read");
+        prop_assert_eq!(back, coo);
+    }
+
+    #[test]
+    fn crop_entries_subset(coo in arb_matrix()) {
+        let (m, n) = (coo.nrows(), coo.ncols());
+        if m >= 2 && n >= 2 {
+            let c = coo.crop(0, m / 2 + 1, 0, n / 2 + 1).expect("valid window");
+            prop_assert!(c.nnz() <= coo.nnz());
+            for (r, cc, v) in c.iter() {
+                prop_assert_eq!(coo.get(r, cc), v);
+            }
+        }
+    }
+}

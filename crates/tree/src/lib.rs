@@ -1,0 +1,18 @@
+//! SMAT-style decision-tree baseline for format selection.
+//!
+//! The paper's state-of-the-art comparator (Li et al.'s SMAT and
+//! Sedaghati et al.'s GPU selector) is a decision tree over hand-crafted
+//! matrix features. This crate reimplements that approach: a feature
+//! extractor distilling the structural statistics the SMAT line of work
+//! uses (sizes, row-length distribution, diagonal occupancy, padding
+//! ratios, block fill) and a CART tree trained by Gini-impurity splits.
+//!
+//! The point of the paper is that this baseline tops out around 85%
+//! accuracy because the hand-crafted features lose spatial information
+//! the CNN keeps — reproduced by the Table 2/3 experiments.
+
+pub mod cart;
+pub mod features;
+
+pub use cart::{DecisionTree, TreeConfig};
+pub use features::{feature_names, features, NUM_FEATURES};

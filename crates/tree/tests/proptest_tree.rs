@@ -1,0 +1,79 @@
+//! Property tests for the CART tree and feature extractor.
+
+use dnnspmv_sparse::CooMatrix;
+use dnnspmv_tree::{features, DecisionTree, TreeConfig, NUM_FEATURES};
+use proptest::prelude::*;
+
+fn arb_labelled_data() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<usize>, usize)> {
+    (2usize..5, 10usize..80).prop_flat_map(|(k, n)| {
+        let row = proptest::collection::vec(-10.0f64..10.0, 3..=3);
+        (
+            proptest::collection::vec(row, n..=n),
+            proptest::collection::vec(0usize..k, n..=n),
+        )
+            .prop_map(move |(x, y)| (x, y, k))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn training_never_panics_and_predicts_in_range((x, y, k) in arb_labelled_data()) {
+        let t = DecisionTree::train(&x, &y, TreeConfig::new(k));
+        for row in &x {
+            prop_assert!(t.predict(row) < k);
+        }
+        // In-sample accuracy is at least the majority-class rate.
+        let mut counts = vec![0usize; k];
+        for &l in &y {
+            counts[l] += 1;
+        }
+        let majority = *counts.iter().max().expect("k >= 2") as f64 / y.len() as f64;
+        prop_assert!(t.accuracy(&x, &y) + 1e-9 >= majority);
+    }
+
+    #[test]
+    fn deeper_trees_never_fit_worse((x, y, k) in arb_labelled_data()) {
+        let shallow = DecisionTree::train(&x, &y, TreeConfig {
+            max_depth: 2, min_samples_split: 2, n_classes: k,
+        });
+        let deep = DecisionTree::train(&x, &y, TreeConfig {
+            max_depth: 16, min_samples_split: 2, n_classes: k,
+        });
+        prop_assert!(deep.accuracy(&x, &y) + 1e-9 >= shallow.accuracy(&x, &y));
+    }
+
+    #[test]
+    fn prediction_is_deterministic((x, y, k) in arb_labelled_data()) {
+        let t = DecisionTree::train(&x, &y, TreeConfig::new(k));
+        let u = DecisionTree::train(&x, &y, TreeConfig::new(k));
+        for row in &x {
+            prop_assert_eq!(t.predict(row), u.predict(row));
+        }
+    }
+
+    #[test]
+    fn perfectly_separable_data_is_learned(n in 8usize..60, gap in 1.0f64..10.0) {
+        let x: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 * gap]).collect();
+        let y: Vec<usize> = (0..n).map(|i| usize::from(i >= n / 2)).collect();
+        let t = DecisionTree::train(&x, &y, TreeConfig::new(2));
+        prop_assert_eq!(t.accuracy(&x, &y), 1.0);
+    }
+
+    #[test]
+    fn matrix_features_are_finite_and_sized(
+        m in 1usize..50,
+        n in 1usize..50,
+        entries in proptest::collection::vec((0usize..50, 0usize..50, 0.1f64..2.0), 0..60),
+    ) {
+        let t: Vec<_> = entries
+            .into_iter()
+            .filter(|&(r, c, _)| r < m && c < n)
+            .collect();
+        let coo = CooMatrix::from_triplets(m, n, &t).expect("filtered in range");
+        let f = features(&coo);
+        prop_assert_eq!(f.len(), NUM_FEATURES);
+        prop_assert!(f.iter().all(|v| v.is_finite()), "{:?}", f);
+    }
+}

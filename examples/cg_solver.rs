@@ -1,0 +1,112 @@
+//! End-to-end motivation scenario: a conjugate-gradient solver whose
+//! inner loop is SpMV — the workload class (iterative linear solvers)
+//! the paper's introduction motivates format selection with. The
+//! selector's one-time prediction cost (~1 SpMV iteration, §7.6) is
+//! amortised over hundreds of iterations.
+//!
+//! ```text
+//! cargo run --release --example cg_solver
+//! ```
+
+use dnnspmv::gen::{generate, MatrixClass};
+use dnnspmv::platform::{best_format, PlatformModel, WorkloadProfile};
+use dnnspmv::sparse::{AnyMatrix, CooBuilder, CooMatrix, SparseFormat, Spmv};
+
+/// Plain conjugate gradient on `A x = b` for symmetric positive
+/// definite `A`; returns (solution, iterations, final residual norm).
+fn conjugate_gradient(
+    a: &AnyMatrix<f32>,
+    b: &[f32],
+    max_iters: usize,
+    tol: f32,
+) -> (Vec<f32>, usize, f32) {
+    let n = b.len();
+    let mut x = vec![0.0f32; n];
+    let mut r = b.to_vec();
+    let mut p = r.clone();
+    let mut rs_old: f32 = r.iter().map(|v| v * v).sum();
+    let mut ap = vec![0.0f32; n];
+    for it in 0..max_iters {
+        a.spmv(&p, &mut ap);
+        let p_ap: f32 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
+        let alpha = rs_old / p_ap;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        let rs_new: f32 = r.iter().map(|v| v * v).sum();
+        if rs_new.sqrt() < tol {
+            return (x, it + 1, rs_new.sqrt());
+        }
+        let beta = rs_new / rs_old;
+        for i in 0..n {
+            p[i] = r[i] + beta * p[i];
+        }
+        rs_old = rs_new;
+    }
+    (x, max_iters, rs_old.sqrt())
+}
+
+/// Symmetrises and diagonally dominates a matrix so CG converges.
+fn make_spd(m: &CooMatrix<f32>) -> CooMatrix<f32> {
+    let t = m.transpose();
+    let n = m.nrows();
+    let mut b = CooBuilder::new(n, n).expect("square");
+    for (r, c, v) in m.iter() {
+        b.push(r, c, 0.5 * v.abs()).expect("in range");
+    }
+    for (r, c, v) in t.iter() {
+        b.push(r, c, 0.5 * v.abs()).expect("in range");
+    }
+    // Diagonal dominance: diagonal = row sum + 1.
+    let sym = b.build();
+    let mut b = CooBuilder::new(n, n).expect("square");
+    let mut row_sums = vec![0.0f32; n];
+    for (r, c, v) in sym.iter() {
+        if r != c {
+            b.push(r, c, v).expect("in range");
+            row_sums[r] += v.abs();
+        }
+    }
+    for (r, &s) in row_sums.iter().enumerate() {
+        b.push(r, r, s + 1.0).expect("in range");
+    }
+    b.build()
+}
+
+fn main() {
+    // A discretised-PDE-style operator: the classic CG workload.
+    let raw = generate(MatrixClass::Stencil, 4096, 42);
+    let a = make_spd(&raw);
+    println!(
+        "solving A x = b for a {}x{} stencil operator with {} nonzeros",
+        a.nrows(),
+        a.ncols(),
+        a.nnz()
+    );
+
+    // Ask the platform model which format to run the solver in.
+    let platform = PlatformModel::intel_cpu();
+    let chosen_format = best_format(&a, &platform);
+    let profile = WorkloadProfile::compute(&a);
+    println!("\nestimated SpMV cost per format on '{}':", platform.name);
+    for (f, est) in platform.ranking(&profile) {
+        println!("  {f:>5}: {est:>10.0} (model units)");
+    }
+
+    let b_vec: Vec<f32> = (0..a.nrows()).map(|i| ((i % 7) as f32) - 3.0).collect();
+    for format in [chosen_format, SparseFormat::Csr, SparseFormat::Coo] {
+        let Ok(stored) = AnyMatrix::convert(&a, format) else {
+            println!("{format}: conversion infeasible, skipped");
+            continue;
+        };
+        let t0 = std::time::Instant::now();
+        let (x, iters, resid) = conjugate_gradient(&stored, &b_vec, 500, 1e-4);
+        let dt = t0.elapsed().as_secs_f64();
+        let marker = if format == chosen_format { "  <- selected" } else { "" };
+        println!(
+            "{format:>5}: {iters} iterations, residual {resid:.2e}, {dt:.3}s, x[0] = {:.4}{marker}",
+            x[0]
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Cross-architecture migration demo (Section 6): train on the Intel
+//! platform, migrate to the AMD platform with a small retraining
+//! budget, and compare the three strategies of Figure 9.
+//!
+//! ```text
+//! cargo run --release --example migrate_platform
+//! ```
+
+use dnnspmv::core::{make_samples, FormatSelector, SelectorConfig};
+use dnnspmv::gen::{kfold, Dataset, DatasetSpec};
+use dnnspmv::nn::transfer::Migration;
+use dnnspmv::nn::TrainConfig;
+use dnnspmv::platform::{label_dataset_noisy, PlatformModel};
+use dnnspmv::repr::ReprConfig;
+
+fn main() {
+    let spec = DatasetSpec {
+        n_base: 280,
+        n_augmented: 80,
+        dim_min: 48,
+        dim_max: 224,
+        ..DatasetSpec::default()
+    };
+    let dataset = Dataset::generate(&spec);
+    let intel = PlatformModel::intel_cpu();
+    let amd = PlatformModel::amd_cpu();
+
+    let config = SelectorConfig {
+        repr_config: ReprConfig {
+            image_size: 32,
+            hist_rows: 32,
+            hist_bins: 16,
+        },
+        train: TrainConfig {
+            epochs: 12,
+            ..TrainConfig::default()
+        },
+        ..SelectorConfig::default()
+    };
+
+    // Labels differ across machines — that is the whole problem.
+    let intel_labels = label_dataset_noisy(&dataset.matrices, &intel, 0.08, 1);
+    let amd_labels = label_dataset_noisy(&dataset.matrices, &amd, 0.08, 2);
+    let differing = intel_labels
+        .iter()
+        .zip(&amd_labels)
+        .filter(|(a, b)| a != b)
+        .count();
+    println!(
+        "labels differ on {differing}/{} matrices between '{}' and '{}'",
+        dataset.matrices.len(),
+        intel.name,
+        amd.name
+    );
+
+    let folds = kfold(dataset.matrices.len(), 4, 3);
+    let (train_idx, test_idx) = &folds[0];
+    let intel_samples = make_samples(
+        &dataset.matrices,
+        &intel_labels,
+        config.repr,
+        &config.repr_config,
+    );
+    let amd_samples = make_samples(
+        &dataset.matrices,
+        &amd_labels,
+        config.repr,
+        &config.repr_config,
+    );
+    let train_src: Vec<_> = train_idx.iter().map(|&i| intel_samples[i].clone()).collect();
+    let amd_train: Vec<_> = train_idx.iter().map(|&i| amd_samples[i].clone()).collect();
+    let amd_test: Vec<_> = test_idx.iter().map(|&i| amd_samples[i].clone()).collect();
+
+    println!("training source model on '{}'...", intel.name);
+    let (source, _) =
+        FormatSelector::train_on_samples(&train_src, intel.formats().to_vec(), &config);
+    println!(
+        "source model on AMD labels without migration: {:.3}",
+        source.accuracy(&amd_test)
+    );
+
+    // Migrate with only a quarter of the AMD training labels — the
+    // point of transfer learning is saving label-collection time
+    // (~75 hours for the paper's full set).
+    let budget = amd_train.len() / 4;
+    println!("\nmigrating with {budget} AMD-labelled matrices:");
+    for strategy in Migration::ALL {
+        let (migrated, _) = source.migrate(strategy, &amd_train[..budget], &config.train);
+        println!(
+            "  {:<24} -> accuracy {:.3}",
+            strategy.name(),
+            migrated.accuracy(&amd_test)
+        );
+    }
+}

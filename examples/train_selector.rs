@@ -1,0 +1,93 @@
+//! Full training pipeline with model persistence: builds a dataset,
+//! trains CNN selectors for the CPU and GPU platforms, evaluates them
+//! against the decision-tree baseline on a held-out split, and saves
+//! the CPU model to disk.
+//!
+//! ```text
+//! cargo run --release --example train_selector [-- <n_matrices> <epochs>]
+//! ```
+
+use dnnspmv::core::{make_samples, DtSelector, FormatSelector, SelectorConfig};
+use dnnspmv::gen::{kfold, Dataset, DatasetSpec};
+use dnnspmv::nn::TrainConfig;
+use dnnspmv::platform::{label_dataset_noisy, PlatformModel};
+use dnnspmv::repr::ReprConfig;
+use dnnspmv::sparse::CooMatrix;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(400);
+    let epochs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(12);
+
+    let spec = DatasetSpec {
+        n_base: (n * 7) / 10,
+        n_augmented: n - (n * 7) / 10,
+        dim_min: 48,
+        dim_max: 256,
+        ..DatasetSpec::default()
+    };
+    println!("dataset: {} matrices", spec.len());
+    let dataset = Dataset::generate(&spec);
+
+    let config = SelectorConfig {
+        repr_config: ReprConfig {
+            image_size: 32,
+            hist_rows: 32,
+            hist_bins: 16,
+        },
+        train: TrainConfig {
+            epochs,
+            ..TrainConfig::default()
+        },
+        ..SelectorConfig::default()
+    };
+
+    for platform in [PlatformModel::intel_cpu(), PlatformModel::nvidia_gpu()] {
+        println!("\n=== {} ===", platform.name);
+        let labels = label_dataset_noisy(&dataset.matrices, &platform, 0.08, 1);
+        let folds = kfold(dataset.matrices.len(), 5, 7);
+        let (train_idx, test_idx) = &folds[0];
+
+        let samples = make_samples(
+            &dataset.matrices,
+            &labels,
+            config.repr,
+            &config.repr_config,
+        );
+        let train: Vec<_> = train_idx.iter().map(|&i| samples[i].clone()).collect();
+        let test: Vec<_> = test_idx.iter().map(|&i| samples[i].clone()).collect();
+
+        let t0 = std::time::Instant::now();
+        let (selector, _) =
+            FormatSelector::train_on_samples(&train, platform.formats().to_vec(), &config);
+        println!(
+            "CNN  test accuracy: {:.3}  (trained in {:.1}s)",
+            selector.accuracy(&test),
+            t0.elapsed().as_secs_f64()
+        );
+
+        let train_m: Vec<CooMatrix<f32>> = train_idx
+            .iter()
+            .map(|&i| dataset.matrices[i].clone())
+            .collect();
+        let train_l: Vec<usize> = train_idx.iter().map(|&i| labels[i]).collect();
+        let test_m: Vec<CooMatrix<f32>> = test_idx
+            .iter()
+            .map(|&i| dataset.matrices[i].clone())
+            .collect();
+        let test_l: Vec<usize> = test_idx.iter().map(|&i| labels[i]).collect();
+        let dt = DtSelector::train(&train_m, &train_l, platform.formats().to_vec());
+        println!("DT   test accuracy: {:.3}", dt.accuracy(&test_m, &test_l));
+
+        if !platform.is_gpu {
+            let path = std::env::temp_dir().join("dnnspmv_selector_cpu.json");
+            selector.save(&path).expect("save model");
+            let reloaded = FormatSelector::load(&path).expect("load model");
+            assert_eq!(
+                reloaded.predict(&dataset.matrices[0]),
+                selector.predict(&dataset.matrices[0])
+            );
+            println!("model saved to {} and reloads identically", path.display());
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! `dnnspmv` — the standalone selector tool, mirroring the interface of
+//! the paper's artifact (`spmv_model.py train | test | predict <mtx>`).
+//!
+//! ```text
+//! dnnspmv train   [--model FILE] [--matrices N] [--epochs N] [--platform intel|amd|gpu]
+//! dnnspmv test    [--model FILE] [--matrices N] [--platform intel|amd|gpu]
+//! dnnspmv predict <matrix.mtx> [--model FILE]
+//! dnnspmv stats   <matrix.mtx>
+//! ```
+//!
+//! `train` fits a CNN selector on a synthetic dataset labelled by the
+//! chosen platform model and saves it (default
+//! `dnnspmv_model.json`). `test` evaluates a saved model on a fresh
+//! held-out dataset. `predict` reads a MatrixMarket file and prints the
+//! chosen format (the artifact's example prints `CSR`). `stats` dumps a
+//! matrix's structural statistics and per-format cost estimates.
+
+use dnnspmv::core::{make_samples, FormatSelector, SelectorConfig};
+use dnnspmv::gen::{Dataset, DatasetSpec};
+use dnnspmv::nn::TrainConfig;
+use dnnspmv::platform::{label_dataset_noisy, PlatformModel, WorkloadProfile};
+use dnnspmv::repr::ReprConfig;
+use dnnspmv::sparse::io::read_matrix_market_path;
+use dnnspmv::sparse::{CooMatrix, MatrixStats};
+
+const DEFAULT_MODEL: &str = "dnnspmv_model.json";
+
+struct Options {
+    model: String,
+    matrices: usize,
+    epochs: usize,
+    platform: PlatformModel,
+    file: Option<String>,
+}
+
+fn parse_options(args: &[String]) -> Options {
+    let mut o = Options {
+        model: DEFAULT_MODEL.into(),
+        matrices: 800,
+        epochs: 14,
+        platform: PlatformModel::intel_cpu(),
+        file: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--model" => {
+                i += 1;
+                o.model = need(args, i, "--model");
+            }
+            "--matrices" => {
+                i += 1;
+                o.matrices = need(args, i, "--matrices").parse().unwrap_or_else(|_| die("--matrices needs a number"));
+            }
+            "--epochs" => {
+                i += 1;
+                o.epochs = need(args, i, "--epochs").parse().unwrap_or_else(|_| die("--epochs needs a number"));
+            }
+            "--platform" => {
+                i += 1;
+                o.platform = match need(args, i, "--platform").as_str() {
+                    "intel" => PlatformModel::intel_cpu(),
+                    "amd" => PlatformModel::amd_cpu(),
+                    "gpu" => PlatformModel::nvidia_gpu(),
+                    other => die(&format!("unknown platform '{other}' (intel|amd|gpu)")),
+                };
+            }
+            path if !path.starts_with('-') && o.file.is_none() => {
+                o.file = Some(path.to_string());
+            }
+            other => die(&format!("unknown flag '{other}'")),
+        }
+        i += 1;
+    }
+    o
+}
+
+fn need(args: &[String], i: usize, flag: &str) -> String {
+    args.get(i)
+        .unwrap_or_else(|| die(&format!("{flag} needs an argument")))
+        .clone()
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn selector_config(epochs: usize) -> SelectorConfig {
+    SelectorConfig {
+        repr_config: ReprConfig {
+            image_size: 32,
+            hist_rows: 32,
+            hist_bins: 32,
+        },
+        train: TrainConfig {
+            epochs,
+            ..TrainConfig::default()
+        },
+        ..SelectorConfig::default()
+    }
+}
+
+fn dataset(n: usize, seed: u64) -> Dataset {
+    Dataset::generate(&DatasetSpec {
+        n_base: (n * 7) / 10,
+        n_augmented: n - (n * 7) / 10,
+        dim_min: 48,
+        dim_max: 256,
+        seed,
+        ..DatasetSpec::default()
+    })
+}
+
+fn cmd_train(o: &Options) {
+    println!(
+        "training on {} synthetic matrices labelled for '{}'...",
+        o.matrices, o.platform.name
+    );
+    let data = dataset(o.matrices, 1);
+    let t0 = std::time::Instant::now();
+    let labels = label_dataset_noisy(&data.matrices, &o.platform, 0.05, 1);
+    let cfg = selector_config(o.epochs);
+    let (sel, report) = FormatSelector::train_with_labels(
+        &data.matrices,
+        &labels,
+        o.platform.formats().to_vec(),
+        &cfg,
+    );
+    let samples = make_samples(&data.matrices, &labels, cfg.repr, &cfg.repr_config);
+    println!(
+        "training accuracy: {:.3} ({} steps, {:.1}s)",
+        sel.accuracy(&samples),
+        report.loss_history.len(),
+        t0.elapsed().as_secs_f64()
+    );
+    sel.save(&o.model).unwrap_or_else(|e| die(&e));
+    println!("model saved to {}", o.model);
+}
+
+fn cmd_test(o: &Options) {
+    let sel = FormatSelector::load(&o.model)
+        .unwrap_or_else(|e| die(&format!("{} ({e}); run 'dnnspmv train' first", o.model)));
+    // A fresh dataset (different seed from training) = held-out test.
+    let data = dataset(o.matrices, 0xE57);
+    let labels = label_dataset_noisy(&data.matrices, &o.platform, 0.05, 0xE57);
+    if sel.formats != o.platform.formats() {
+        die("model's format set does not match the chosen platform");
+    }
+    let samples = make_samples(&data.matrices, &labels, sel.config.repr, &sel.config.repr_config);
+    let acc = sel.accuracy(&samples);
+    println!("held-out accuracy on {} fresh matrices: {acc:.3}", data.len());
+    if acc > 0.9 {
+        println!("(the artifact's check: accuracy should be larger than 90%)");
+    }
+}
+
+fn cmd_predict(o: &Options) {
+    let path = o.file.as_deref().unwrap_or_else(|| die("predict needs a .mtx path"));
+    let matrix: CooMatrix<f32> =
+        read_matrix_market_path(path).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+    let sel = FormatSelector::load(&o.model)
+        .unwrap_or_else(|e| die(&format!("{} ({e}); run 'dnnspmv train' first", o.model)));
+    let probs = sel.predict_proba(&matrix);
+    for (f, p) in sel.formats.iter().zip(&probs) {
+        eprintln!("  P({f:>5}) = {p:.3}");
+    }
+    // The artifact prints just the chosen format name on stdout.
+    println!("{}", sel.predict(&matrix));
+}
+
+fn cmd_stats(o: &Options) {
+    let path = o.file.as_deref().unwrap_or_else(|| die("stats needs a .mtx path"));
+    let matrix: CooMatrix<f32> =
+        read_matrix_market_path(path).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+    let s = MatrixStats::compute(&matrix);
+    println!("{s:#?}");
+    let profile = WorkloadProfile::compute(&matrix);
+    for platform in [
+        PlatformModel::intel_cpu(),
+        PlatformModel::amd_cpu(),
+        PlatformModel::nvidia_gpu(),
+    ] {
+        println!("\ncost-model ranking on {}:", platform.name);
+        for (f, e) in platform.ranking(&profile) {
+            println!("  {f:>5}: {e:.1}");
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("usage: dnnspmv <train|test|predict|stats> [options]");
+        std::process::exit(2);
+    };
+    let o = parse_options(&args[1..]);
+    match cmd.as_str() {
+        "train" => cmd_train(&o),
+        "test" => cmd_test(&o),
+        "predict" => cmd_predict(&o),
+        "stats" => cmd_stats(&o),
+        other => die(&format!("unknown command '{other}'")),
+    }
+}

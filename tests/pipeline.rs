@@ -1,0 +1,214 @@
+//! Cross-crate integration tests: the full Figure 3 pipeline from
+//! matrix generation through labelling, normalisation, training,
+//! prediction, and format application.
+
+use dnnspmv::core::{make_samples, DtSelector, FormatSelector, SelectorConfig};
+use dnnspmv::gen::{kfold, Dataset, DatasetSpec};
+use dnnspmv::nn::transfer::Migration;
+use dnnspmv::nn::TrainConfig;
+use dnnspmv::platform::{label_dataset, label_dataset_noisy, PlatformModel};
+use dnnspmv::repr::{ReprConfig, ReprKind};
+use dnnspmv::sparse::{AnyMatrix, Scalar, SparseFormat, Spmv};
+
+fn small_config() -> SelectorConfig {
+    SelectorConfig {
+        repr_config: ReprConfig {
+            image_size: 32,
+            hist_rows: 32,
+            hist_bins: 16,
+        },
+        cnn: dnnspmv::nn::CnnConfig {
+            conv_channels: [4, 8, 8],
+            hidden: 16,
+            seed: 5,
+        },
+        train: TrainConfig {
+            epochs: 8,
+            batch_size: 16,
+            lr: 2e-3,
+            ..TrainConfig::default()
+        },
+        ..SelectorConfig::default()
+    }
+}
+
+fn small_dataset(seed: u64) -> Dataset {
+    Dataset::generate(&DatasetSpec {
+        n_base: 140,
+        n_augmented: 40,
+        dim_min: 48,
+        dim_max: 160,
+        seed,
+        ..DatasetSpec::default()
+    })
+}
+
+#[test]
+fn end_to_end_cpu_pipeline_beats_chance_out_of_sample() {
+    let data = small_dataset(1);
+    let intel = PlatformModel::intel_cpu();
+    let labels = label_dataset(&data.matrices, &intel);
+    let folds = kfold(data.matrices.len(), 4, 2);
+    let (train_idx, test_idx) = &folds[0];
+    let cfg = small_config();
+    let samples = make_samples(&data.matrices, &labels, cfg.repr, &cfg.repr_config);
+    let train: Vec<_> = train_idx.iter().map(|&i| samples[i].clone()).collect();
+    let test: Vec<_> = test_idx.iter().map(|&i| samples[i].clone()).collect();
+    let (sel, report) =
+        FormatSelector::train_on_samples(&train, intel.formats().to_vec(), &cfg);
+    assert!(!report.loss_history.is_empty());
+    let acc = sel.accuracy(&test);
+    // Majority class (CSR) is ~70%; the trained model must at least be
+    // far above uniform chance on held-out data.
+    assert!(acc > 0.6, "held-out accuracy {acc}");
+}
+
+#[test]
+fn predictions_always_yield_runnable_spmv() {
+    let data = small_dataset(3);
+    let intel = PlatformModel::intel_cpu();
+    let (sel, _) =
+        FormatSelector::train_on_platform(&data.matrices, &intel, &small_config());
+    for m in data.matrices.iter().take(20) {
+        let stored = sel.prepare(m);
+        let x: Vec<f32> = (0..m.ncols()).map(|i| (i % 5) as f32 - 2.0).collect();
+        let got = stored.spmv_alloc(&x);
+        let want = m.spmv_alloc(&x);
+        for (a, b) in got.iter().zip(&want) {
+            assert!(
+                a.approx_eq(*b, 1e-3),
+                "format {} disagrees with COO: {a} vs {b}",
+                stored.format()
+            );
+        }
+    }
+}
+
+#[test]
+fn gpu_pipeline_covers_six_formats() {
+    let data = small_dataset(5);
+    let gpu = PlatformModel::nvidia_gpu();
+    let labels = label_dataset_noisy(&data.matrices, &gpu, 0.06, 9);
+    // The six-class problem trains and predicts within the GPU set.
+    let (sel, _) = FormatSelector::train_with_labels(
+        &data.matrices,
+        &labels,
+        gpu.formats().to_vec(),
+        &small_config(),
+    );
+    assert_eq!(sel.formats.len(), 6);
+    for m in data.matrices.iter().take(10) {
+        assert!(gpu.formats().contains(&sel.predict(m)));
+    }
+}
+
+#[test]
+fn dt_and_cnn_solve_the_same_task() {
+    let data = small_dataset(7);
+    let intel = PlatformModel::intel_cpu();
+    let labels = label_dataset(&data.matrices, &intel);
+    let dt = DtSelector::train(&data.matrices, &labels, intel.formats().to_vec());
+    let (cnn, _) = FormatSelector::train_with_labels(
+        &data.matrices,
+        &labels,
+        intel.formats().to_vec(),
+        &small_config(),
+    );
+    // Both in-sample accuracies should be well above the majority rate
+    // on labels they trained on.
+    let dt_acc = dt.accuracy(&data.matrices, &labels);
+    assert!(dt_acc > 0.8, "DT in-sample {dt_acc}");
+    let samples = make_samples(&data.matrices, &labels, cnn.config.repr, &cnn.config.repr_config);
+    let cnn_acc = cnn.accuracy(&samples);
+    assert!(cnn_acc > 0.6, "CNN in-sample {cnn_acc}");
+}
+
+#[test]
+fn migration_improves_over_unmigrated_source() {
+    let data = small_dataset(11);
+    let intel = PlatformModel::intel_cpu();
+    let amd = PlatformModel::amd_cpu();
+    let cfg = small_config();
+    let intel_labels = label_dataset(&data.matrices, &intel);
+    let amd_labels = label_dataset(&data.matrices, &amd);
+    let samples_src = make_samples(&data.matrices, &intel_labels, cfg.repr, &cfg.repr_config);
+    let samples_tgt = make_samples(&data.matrices, &amd_labels, cfg.repr, &cfg.repr_config);
+    let (source, _) = FormatSelector::train_on_samples(
+        &samples_src[..120],
+        intel.formats().to_vec(),
+        &cfg,
+    );
+    let test = &samples_tgt[120..];
+    let before = source.accuracy(test);
+    let mut migrate_cfg = cfg.train.clone();
+    migrate_cfg.epochs = 16;
+    let (migrated, _) = source.migrate(
+        Migration::ContinuousEvolvement,
+        &samples_tgt[..120],
+        &migrate_cfg,
+    );
+    let after = migrated.accuracy(test);
+    // Small sample sizes make this noisy; migration must not fall off a
+    // cliff relative to the unmigrated source, and usually improves.
+    assert!(
+        after >= before - 0.08,
+        "migration regressed: {before} -> {after}"
+    );
+}
+
+#[test]
+fn every_selected_format_is_convertible_or_has_fallback() {
+    // Even adversarial matrices (massive anti-diagonal) must flow
+    // through prepare() without panicking.
+    let n = 9000;
+    let t: Vec<_> = (0..n).map(|i| (i, n - 1 - i, 1.0f32)).collect();
+    let awkward = dnnspmv::sparse::CooMatrix::from_triplets(n, n, &t).unwrap();
+    let data = small_dataset(13);
+    let intel = PlatformModel::intel_cpu();
+    let (sel, _) =
+        FormatSelector::train_on_platform(&data.matrices, &intel, &small_config());
+    let stored = sel.prepare(&awkward);
+    // DIA is infeasible here; whatever was chosen must reproduce COO.
+    assert_ne!(stored.format(), SparseFormat::Dia);
+    let x = vec![1.0f32; n];
+    let y = stored.spmv_alloc(&x);
+    assert_eq!(y.iter().filter(|&&v| v != 0.0).count(), n);
+}
+
+#[test]
+fn representations_flow_into_training_for_all_kinds() {
+    let data = small_dataset(17);
+    let intel = PlatformModel::intel_cpu();
+    let labels = label_dataset(&data.matrices, &intel);
+    for kind in ReprKind::ALL {
+        let mut cfg = small_config();
+        cfg.repr = kind;
+        cfg.train.epochs = 2;
+        let (sel, _) = FormatSelector::train_with_labels(
+            &data.matrices,
+            &labels,
+            intel.formats().to_vec(),
+            &cfg,
+        );
+        // Prediction runs and produces a valid class.
+        let p = sel.predict_proba(&data.matrices[0]);
+        assert_eq!(p.len(), 4, "{kind:?}");
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+    }
+}
+
+#[test]
+fn any_matrix_conversion_round_trips_on_generated_data() {
+    let data = small_dataset(19);
+    for m in data.matrices.iter().take(12) {
+        for f in SparseFormat::ALL {
+            match AnyMatrix::convert(m, f) {
+                Ok(stored) => assert_eq!(stored.to_coo(), *m, "format {f}"),
+                Err(_) => {
+                    // Only the padded formats may refuse.
+                    assert!(matches!(f, SparseFormat::Dia | SparseFormat::Ell));
+                }
+            }
+        }
+    }
+}
