@@ -1,0 +1,111 @@
+//! Criterion benches for the GEMM compute core: naive vs GEMM-backed
+//! convolution at the paper's 128x128 input size, and single-sample vs
+//! batched CNN prediction. Run with `CRITERION_FULL=1 cargo bench -p
+//! dnnspmv-bench --bench nn_kernels` when citing numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dnnspmv_nn::layers::{Conv2d, Dense};
+use dnnspmv_nn::{build_cnn, CnnConfig, Merging, Tensor};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn rand_tensor(shape: &[usize], rng: &mut StdRng) -> Tensor {
+    let vol: usize = shape.iter().product();
+    Tensor::from_vec(shape, (0..vol).map(|_| rng.random::<f32>() - 0.5).collect())
+}
+
+/// Figure 10's first tower layer on the paper-sized input: a 3x3x16
+/// convolution over one 128x128 channel. The headline perf claim of
+/// the GEMM rewrite is measured here.
+fn bench_conv_forward(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let conv = Conv2d::new(1, 16, 3, 1, &mut rng);
+    let x = rand_tensor(&[1, 128, 128], &mut rng);
+    let mut group = c.benchmark_group("conv2d_forward_128x128_3x3x16");
+    group.bench_function("naive", |b| {
+        b.iter(|| black_box(conv.forward_reference(black_box(&x))))
+    });
+    group.bench_function("gemm", |b| {
+        b.iter(|| black_box(conv.forward(black_box(&x))))
+    });
+    group.finish();
+
+    // Deeper mid-network layer: many input channels, strided.
+    let conv2 = Conv2d::new(16, 32, 3, 2, &mut rng);
+    let x2 = rand_tensor(&[16, 64, 64], &mut rng);
+    let mut group = c.benchmark_group("conv2d_forward_64x64_3x3x16to32_s2");
+    group.bench_function("naive", |b| {
+        b.iter(|| black_box(conv2.forward_reference(black_box(&x2))))
+    });
+    group.bench_function("gemm", |b| {
+        b.iter(|| black_box(conv2.forward(black_box(&x2))))
+    });
+    group.finish();
+}
+
+/// Dense layer at the head's width: single-vector matvec vs the naive
+/// loop, and a batch pushed through one GEMM.
+fn bench_dense_forward(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let dense = Dense::new(1024, 32, &mut rng);
+    let x = rand_tensor(&[1024], &mut rng);
+    let batch: Vec<Tensor> = (0..32).map(|_| rand_tensor(&[1024], &mut rng)).collect();
+    let mut group = c.benchmark_group("dense_forward_1024x32");
+    group.bench_function("naive", |b| {
+        b.iter(|| black_box(dense.forward_reference(black_box(&x))))
+    });
+    group.bench_function("gemm", |b| {
+        b.iter(|| black_box(dense.forward(black_box(&x))))
+    });
+    group.bench_function("gemm_batch32", |b| {
+        b.iter(|| black_box(dense.forward_batch(black_box(&batch))))
+    });
+    group.finish();
+}
+
+/// Whole-network inference: N sequential `predict` calls vs one
+/// `predict_batch` over the same N samples (the acceptance target is
+/// batched <= N singles from N = 8 up).
+fn bench_predict_batched(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let net = build_cnn(
+        Merging::Late,
+        2,
+        (32, 32),
+        4,
+        &CnnConfig {
+            conv_channels: [4, 8, 8],
+            hidden: 16,
+            seed: 7,
+        },
+    );
+    let samples: Vec<Vec<Tensor>> = (0..32)
+        .map(|_| (0..2).map(|_| rand_tensor(&[32, 32], &mut rng)).collect())
+        .collect();
+    let mut group = c.benchmark_group("cnn_predict");
+    for &n in &[8usize, 32] {
+        group.bench_with_input(BenchmarkId::new("single_x", n), &n, |b, &n| {
+            b.iter(|| {
+                for s in &samples[..n] {
+                    black_box(net.predict(black_box(s)));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("batched", n), &n, |b, &n| {
+            let refs: Vec<&[Tensor]> = samples[..n].iter().map(|s| s.as_slice()).collect();
+            b.iter(|| black_box(net.predict_batch(black_box(&refs))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_conv_forward, bench_dense_forward, bench_predict_batched
+}
+criterion_main!(benches);

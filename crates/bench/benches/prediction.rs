@@ -64,6 +64,13 @@ fn bench_prediction_overhead(c: &mut Criterion) {
     group.bench_function("cnn_inference", |b| {
         b.iter(|| black_box(cnn.net.forward(black_box(&channels))))
     });
+    // Batched inference over 32 matrices: per-matrix overhead is this
+    // time divided by 32 (compare against `cnn_inference` to see the
+    // batching amortisation).
+    let batch: Vec<&[dnnspmv_nn::Tensor]> = (0..32).map(|_| channels.as_slice()).collect();
+    group.bench_function("cnn_inference_batched_32", |b| {
+        b.iter(|| black_box(cnn.net.forward_batch(black_box(&batch))))
+    });
     group.bench_function("dt_features", |b| {
         b.iter(|| black_box(features(black_box(&matrix))))
     });

@@ -23,7 +23,9 @@ fn bench_formats(c: &mut Criterion) {
     ];
     for (class, name) in cases {
         let coo = generate(class, 1024, 42);
-        let x: Vec<f32> = (0..coo.ncols()).map(|i| 1.0 + (i % 7) as f32 * 0.1).collect();
+        let x: Vec<f32> = (0..coo.ncols())
+            .map(|i| 1.0 + (i % 7) as f32 * 0.1)
+            .collect();
         let mut y = vec![0.0f32; coo.nrows()];
         let mut group = c.benchmark_group(format!("spmv/{name}"));
         for format in SparseFormat::ALL {
@@ -67,10 +69,17 @@ fn bench_conversions(c: &mut Criterion) {
     // paper discusses in §7.6) relative to one SpMV.
     let coo = generate(MatrixClass::Random, 1024, 11);
     let mut group = c.benchmark_group("convert/scattered_1024");
-    for format in [SparseFormat::Csr, SparseFormat::Hyb, SparseFormat::Bsr, SparseFormat::Csr5] {
-        group.bench_with_input(BenchmarkId::from_parameter(format.name()), &format, |b, &f| {
-            b.iter(|| black_box(AnyMatrix::convert(black_box(&coo), f).expect("feasible")))
-        });
+    for format in [
+        SparseFormat::Csr,
+        SparseFormat::Hyb,
+        SparseFormat::Bsr,
+        SparseFormat::Csr5,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format.name()),
+            &format,
+            |b, &f| b.iter(|| black_box(AnyMatrix::convert(black_box(&coo), f).expect("feasible"))),
+        );
     }
     group.finish();
 }

@@ -74,8 +74,8 @@ fn main() {
     let mut json_blobs: Vec<(String, String)> = Vec::new();
     let commands: Vec<&str> = if command == "all" {
         vec![
-            "table1", "labels", "table2", "table3", "fig8", "fig9", "fig10", "fig11",
-            "overhead", "sweep",
+            "table1", "labels", "table2", "table3", "fig8", "fig9", "fig10", "fig11", "overhead",
+            "sweep",
         ]
     } else {
         vec![command.as_str()]

@@ -112,7 +112,11 @@ mod tests {
         // COO never (or almost never) wins on the GPU.
         let (_, gformats, gcounts) = &stats.platforms[2];
         let coo = gformats.iter().position(|f| f == "COO").unwrap();
-        assert!(gcounts[coo] * 50 < stats.total, "GPU COO wins {}", gcounts[coo]);
+        assert!(
+            gcounts[coo] * 50 < stats.total,
+            "GPU COO wins {}",
+            gcounts[coo]
+        );
         // Platforms disagree on some but not most labels.
         assert!(stats.intel_amd_disagreement > 0.02);
         assert!(stats.intel_amd_disagreement < 0.6);

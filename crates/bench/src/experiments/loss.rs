@@ -27,7 +27,12 @@ pub fn run(cfg: &ExpConfig) -> LossCurves {
     let data = Dataset::generate(&cfg.dataset);
     let intel = PlatformModel::intel_cpu();
     let labels = label_dataset_noisy(&data.matrices, &intel, cfg.label_noise, cfg.seed);
-    let samples = make_samples(&data.matrices, &labels, ReprKind::Histogram, &cfg.repr_config);
+    let samples = make_samples(
+        &data.matrices,
+        &labels,
+        ReprKind::Histogram,
+        &cfg.repr_config,
+    );
     let shape = cfg.repr_config.channel_shape(ReprKind::Histogram);
     let classes = intel.formats().len();
     let train_cfg = cfg.train_config();

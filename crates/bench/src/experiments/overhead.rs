@@ -58,7 +58,12 @@ pub fn run(cfg: &ExpConfig) -> OverheadResult {
     let mut train_cfg = cfg.clone();
     train_cfg.epochs = 1;
     let sel_cfg = train_cfg.selector_config(ReprKind::Histogram);
-    let samples = make_samples(&data.matrices, &labels, ReprKind::Histogram, &cfg.repr_config);
+    let samples = make_samples(
+        &data.matrices,
+        &labels,
+        ReprKind::Histogram,
+        &cfg.repr_config,
+    );
     let (cnn, _) = FormatSelector::train_on_samples(
         &samples[..samples.len().min(64)],
         intel.formats().to_vec(),
@@ -91,9 +96,14 @@ pub fn run(cfg: &ExpConfig) -> OverheadResult {
         let mut y = vec![0.0f32; m.nrows()];
         spmv.push(time_it(20, || csr.spmv(&x, &mut y)));
         repr.push(time_it(5, || {
-            std::hint::black_box(MatrixRepr::extract(m, ReprKind::Histogram, &cfg.repr_config));
+            std::hint::black_box(MatrixRepr::extract(
+                m,
+                ReprKind::Histogram,
+                &cfg.repr_config,
+            ));
         }));
-        let channels = dnnspmv_core::samples::make_channels(m, ReprKind::Histogram, &cfg.repr_config);
+        let channels =
+            dnnspmv_core::samples::make_channels(m, ReprKind::Histogram, &cfg.repr_config);
         cnn_inf.push(time_it(3, || {
             std::hint::black_box(cnn.net.forward(&channels));
         }));

@@ -112,15 +112,22 @@ pub fn run(cfg: &ExpConfig) -> SpeedupResult {
 
     for platform in [PlatformModel::intel_cpu(), PlatformModel::nvidia_gpu()] {
         let labels = label_dataset_noisy(&data.matrices, &platform, cfg.label_noise, cfg.seed);
-        let samples = make_samples(&data.matrices, &labels, ReprKind::Histogram, &cfg.repr_config);
+        let samples = make_samples(
+            &data.matrices,
+            &labels,
+            ReprKind::Histogram,
+            &cfg.repr_config,
+        );
         let train: Vec<_> = train_idx.iter().map(|&i| samples[i].clone()).collect();
         let (cnn, _) = FormatSelector::train_on_samples(
             &train,
             platform.formats().to_vec(),
             &cfg.selector_config(ReprKind::Histogram),
         );
-        let train_m: Vec<CooMatrix<f32>> =
-            train_idx.iter().map(|&i| data.matrices[i].clone()).collect();
+        let train_m: Vec<CooMatrix<f32>> = train_idx
+            .iter()
+            .map(|&i| data.matrices[i].clone())
+            .collect();
         let train_l: Vec<usize> = train_idx.iter().map(|&i| labels[i]).collect();
         let dt = DtSelector::train(&train_m, &train_l, platform.formats().to_vec());
 
@@ -156,9 +163,18 @@ pub fn run(cfg: &ExpConfig) -> SpeedupResult {
     }
 
     SpeedupResult {
-        cnn_over_dt: SpeedupStats::from_ratios("CNN over DT (disagreements, CPU)", &cpu_ratios_vs_dt),
-        cnn_over_csr_cpu: SpeedupStats::from_ratios("CNN over default CSR (CPU)", &cpu_ratios_vs_csr),
-        cnn_over_csr_gpu: SpeedupStats::from_ratios("CNN over default CSR (GPU)", &gpu_ratios_vs_csr),
+        cnn_over_dt: SpeedupStats::from_ratios(
+            "CNN over DT (disagreements, CPU)",
+            &cpu_ratios_vs_dt,
+        ),
+        cnn_over_csr_cpu: SpeedupStats::from_ratios(
+            "CNN over default CSR (CPU)",
+            &cpu_ratios_vs_csr,
+        ),
+        cnn_over_csr_gpu: SpeedupStats::from_ratios(
+            "CNN over default CSR (GPU)",
+            &gpu_ratios_vs_csr,
+        ),
     }
 }
 
@@ -166,7 +182,11 @@ impl SpeedupResult {
     /// Renders the distribution like Figure 8 plus the §7.3 headlines.
     pub fn render(&self) -> String {
         let mut out = String::from("== Figure 8 / Section 7.3: SpMV speedups ==\n");
-        for s in [&self.cnn_over_dt, &self.cnn_over_csr_cpu, &self.cnn_over_csr_gpu] {
+        for s in [
+            &self.cnn_over_dt,
+            &self.cnn_over_csr_cpu,
+            &self.cnn_over_csr_gpu,
+        ] {
             out.push_str(&format!(
                 "{}: n={} mean={:.2}x geomean={:.2}x max={:.1}x improved={:.0}%\n",
                 s.name,

@@ -50,7 +50,11 @@ pub fn table2(cfg: &ExpConfig) -> TableResult {
     run_table(
         cfg,
         &PlatformModel::intel_cpu(),
-        &[ReprKind::Binary, ReprKind::BinaryDensity, ReprKind::Histogram],
+        &[
+            ReprKind::Binary,
+            ReprKind::BinaryDensity,
+            ReprKind::Histogram,
+        ],
         "Table 2: prediction quality on Intel CPU",
     )
 }
@@ -108,8 +112,10 @@ pub fn run_table(
     // Decision-tree baseline over the same folds.
     let mut confusion = vec![vec![0usize; k]; k];
     for (train_idx, test_idx) in &folds {
-        let train_m: Vec<CooMatrix<f32>> =
-            train_idx.iter().map(|&i| data.matrices[i].clone()).collect();
+        let train_m: Vec<CooMatrix<f32>> = train_idx
+            .iter()
+            .map(|&i| data.matrices[i].clone())
+            .collect();
         let train_l: Vec<usize> = train_idx.iter().map(|&i| labels[i]).collect();
         let test_m: Vec<CooMatrix<f32>> =
             test_idx.iter().map(|&i| data.matrices[i].clone()).collect();

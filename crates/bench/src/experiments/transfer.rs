@@ -55,7 +55,10 @@ pub fn run(cfg: &ExpConfig) -> TransferResult {
     );
 
     // Source model: full Intel training set.
-    let train_src: Vec<_> = train_idx.iter().map(|&i| intel_samples[i].clone()).collect();
+    let train_src: Vec<_> = train_idx
+        .iter()
+        .map(|&i| intel_samples[i].clone())
+        .collect();
     let (source, _) =
         FormatSelector::train_on_samples(&train_src, intel.formats().to_vec(), &sel_cfg);
 

@@ -21,10 +21,10 @@
 
 pub mod experiments;
 
+use dnnspmv_core::SelectorConfig;
 use dnnspmv_gen::DatasetSpec;
 use dnnspmv_nn::{CnnConfig, OptimizerKind, TrainConfig};
 use dnnspmv_repr::{ReprConfig, ReprKind};
-use dnnspmv_core::SelectorConfig;
 use serde::{Deserialize, Serialize};
 
 /// Shared experiment configuration.

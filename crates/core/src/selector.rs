@@ -112,6 +112,26 @@ impl FormatSelector {
         self.net.predict(&channels)
     }
 
+    /// Predicts class labels for many matrices at once. All samples go
+    /// through [`Cnn::predict_batch`], so every network layer runs one
+    /// GEMM for the whole batch instead of one per matrix.
+    pub fn predict_labels_batch<S: Scalar>(&self, matrices: &[CooMatrix<S>]) -> Vec<usize> {
+        let channels: Vec<Vec<dnnspmv_nn::Tensor>> = matrices
+            .iter()
+            .map(|m| make_channels(m, self.config.repr, &self.config.repr_config))
+            .collect();
+        let refs: Vec<&[dnnspmv_nn::Tensor]> = channels.iter().map(|c| c.as_slice()).collect();
+        self.net.predict_batch(&refs)
+    }
+
+    /// Batched version of [`Self::predict`], parallel to `matrices`.
+    pub fn predict_batch<S: Scalar>(&self, matrices: &[CooMatrix<S>]) -> Vec<SparseFormat> {
+        self.predict_labels_batch(matrices)
+            .into_iter()
+            .map(|label| self.formats[label])
+            .collect()
+    }
+
     /// Per-format probabilities, parallel to [`Self::formats`].
     pub fn predict_proba<S: Scalar>(&self, matrix: &CooMatrix<S>) -> Vec<f32> {
         let channels = make_channels(matrix, self.config.repr, &self.config.repr_config);
@@ -123,11 +143,8 @@ impl FormatSelector {
     /// conversion is infeasible — mirroring what a library integration
     /// would do.
     pub fn prepare<S: Scalar>(&self, matrix: &CooMatrix<S>) -> AnyMatrix<S> {
-        let mut order: Vec<(usize, f32)> = self
-            .predict_proba(matrix)
-            .into_iter()
-            .enumerate()
-            .collect();
+        let mut order: Vec<(usize, f32)> =
+            self.predict_proba(matrix).into_iter().enumerate().collect();
         order.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("probabilities are not NaN"));
         for (label, _) in order {
             if let Ok(m) = AnyMatrix::convert(matrix, self.formats[label]) {
@@ -165,13 +182,8 @@ impl FormatSelector {
             self.formats.len(),
             self.config.cnn.clone(),
         );
-        let (net, report) = dnnspmv_nn::migrate(
-            &self.net,
-            strategy,
-            target_samples,
-            structure,
-            train_cfg,
-        );
+        let (net, report) =
+            dnnspmv_nn::migrate(&self.net, strategy, target_samples, structure, train_cfg);
         (
             Self {
                 net,
@@ -192,8 +204,7 @@ impl FormatSelector {
     /// Loads a selector saved by [`Self::save`].
     pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, String> {
         let f = std::fs::File::open(path).map_err(|e| format!("open: {e}"))?;
-        serde_json::from_reader(std::io::BufReader::new(f))
-            .map_err(|e| format!("deserialise: {e}"))
+        serde_json::from_reader(std::io::BufReader::new(f)).map_err(|e| format!("deserialise: {e}"))
     }
 }
 
@@ -243,11 +254,8 @@ mod tests {
     fn trains_and_beats_chance_on_real_labels() {
         let data = small_dataset();
         let platform = PlatformModel::intel_cpu();
-        let (sel, report) = FormatSelector::train_on_platform(
-            &data.matrices,
-            &platform,
-            &test_config(),
-        );
+        let (sel, report) =
+            FormatSelector::train_on_platform(&data.matrices, &platform, &test_config());
         assert!(!report.loss_history.is_empty());
         let labels = label_dataset(&data.matrices, &platform);
         let samples = make_samples(
@@ -266,8 +274,7 @@ mod tests {
     fn predict_returns_format_from_platform_set() {
         let data = small_dataset();
         let platform = PlatformModel::intel_cpu();
-        let (sel, _) =
-            FormatSelector::train_on_platform(&data.matrices, &platform, &test_config());
+        let (sel, _) = FormatSelector::train_on_platform(&data.matrices, &platform, &test_config());
         for m in data.matrices.iter().take(10) {
             let f = sel.predict(m);
             assert!(platform.formats().contains(&f));
@@ -278,12 +285,27 @@ mod tests {
     }
 
     #[test]
+    fn batched_prediction_matches_per_matrix_calls() {
+        let data = small_dataset();
+        let platform = PlatformModel::intel_cpu();
+        let (sel, _) = FormatSelector::train_on_platform(&data.matrices, &platform, &test_config());
+        let subset = &data.matrices[..12];
+        let batched = sel.predict_batch(subset);
+        let labels = sel.predict_labels_batch(subset);
+        assert_eq!(batched.len(), subset.len());
+        for (i, m) in subset.iter().enumerate() {
+            assert_eq!(batched[i], sel.predict(m), "matrix {i}");
+            assert_eq!(labels[i], sel.predict_label(m), "matrix {i}");
+        }
+        assert!(sel.predict_batch::<f32>(&[]).is_empty());
+    }
+
+    #[test]
     fn prepare_always_yields_a_usable_matrix() {
         use dnnspmv_sparse::Spmv;
         let data = small_dataset();
         let platform = PlatformModel::intel_cpu();
-        let (sel, _) =
-            FormatSelector::train_on_platform(&data.matrices, &platform, &test_config());
+        let (sel, _) = FormatSelector::train_on_platform(&data.matrices, &platform, &test_config());
         let m = &data.matrices[0];
         let prepared = sel.prepare(m);
         let x = vec![1.0f32; m.ncols()];
@@ -298,8 +320,7 @@ mod tests {
     fn save_load_round_trip_preserves_predictions() {
         let data = small_dataset();
         let platform = PlatformModel::intel_cpu();
-        let (sel, _) =
-            FormatSelector::train_on_platform(&data.matrices, &platform, &test_config());
+        let (sel, _) = FormatSelector::train_on_platform(&data.matrices, &platform, &test_config());
         let dir = std::env::temp_dir().join("dnnspmv_core_test");
         std::fs::create_dir_all(&dir).unwrap();
         let p = dir.join("selector.json");

@@ -123,9 +123,7 @@ mod tests {
         // The two diagonal blocks match the originals.
         let top = c.crop(0, a.nrows(), 0, a.ncols()).unwrap();
         assert_eq!(top, a);
-        let bot = c
-            .crop(a.nrows(), c.nrows(), a.ncols(), c.ncols())
-            .unwrap();
+        let bot = c.crop(a.nrows(), c.nrows(), a.ncols(), c.ncols()).unwrap();
         assert_eq!(bot, b);
     }
 

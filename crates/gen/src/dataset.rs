@@ -92,7 +92,9 @@ impl Dataset {
         let base: Vec<(CooMatrix<f32>, MatrixClass)> = (0..spec.n_base)
             .into_par_iter()
             .map(|i| {
-                let mut rng = StdRng::seed_from_u64(spec.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let mut rng = StdRng::seed_from_u64(
+                    spec.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
                 let class = pick_class(&spec.class_weights, total_w, &mut rng);
                 let dim = rng.random_range(spec.dim_min..=spec.dim_max);
                 (generate(class, dim, rng.random()), class)
@@ -104,7 +106,9 @@ impl Dataset {
             .into_par_iter()
             .map(|i| {
                 let mut rng = StdRng::seed_from_u64(
-                    spec.seed ^ 0xA0A0_A0A0_A0A0_A0A0 ^ (i as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9),
+                    spec.seed
+                        ^ 0xA0A0_A0A0_A0A0_A0A0
+                        ^ (i as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9),
                 );
                 let a = &base[rng.random_range(0..base.len())].0;
                 let b = &base[rng.random_range(0..base.len())].0;
@@ -213,8 +217,7 @@ mod tests {
             ..DatasetSpec::tiny(3)
         };
         let d = Dataset::generate(&spec);
-        let distinct: std::collections::HashSet<_> =
-            d.classes.iter().flatten().collect();
+        let distinct: std::collections::HashSet<_> = d.classes.iter().flatten().collect();
         assert!(distinct.len() >= 4, "only {} classes drawn", distinct.len());
     }
 
@@ -222,7 +225,7 @@ mod tests {
     fn kfold_partitions_everything() {
         let folds = kfold(103, 5, 9);
         assert_eq!(folds.len(), 5);
-        let mut seen = vec![false; 103];
+        let mut seen = [false; 103];
         for (train, test) in &folds {
             assert_eq!(train.len() + test.len(), 103);
             for &i in test {

@@ -153,7 +153,11 @@ fn uniform_rows(n: usize, rng: &mut StdRng) -> CooMatrix<f32> {
     k = k.min((span / spacing).max(1) as usize);
     let lo = -span / 2;
     let hi = span / 2 - (k as i64 - 1) * spacing;
-    let start = if hi > lo { rng.random_range(lo..=hi) } else { lo };
+    let start = if hi > lo {
+        rng.random_range(lo..=hi)
+    } else {
+        lo
+    };
     let offsets: Vec<i64> = (0..k as i64).map(|j| start + j * spacing).collect();
     let mut b = CooBuilder::new(n, n).expect("n >= 64");
     for i in 0..n {

@@ -1,0 +1,166 @@
+//! Dev profiling harness for the batched inference path: times the
+//! single-sample and batched predict paths and their stages so perf
+//! work on `forward_batch` has numbers to aim at.
+//! Run with `cargo run --release -p dnnspmv-nn --example profile_batch`.
+
+use dnnspmv_nn::layers::Layer;
+use dnnspmv_nn::{build_cnn, CnnConfig, Merging, Tensor};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn rand_tensor(shape: &[usize], rng: &mut StdRng) -> Tensor {
+    let vol: usize = shape.iter().product();
+    Tensor::from_vec(shape, (0..vol).map(|_| rng.random::<f32>() - 0.5).collect())
+}
+
+fn time<F: FnMut()>(label: &str, reps: usize, mut f: F) -> f64 {
+    // Warm up.
+    f();
+    let t = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    let us = t.elapsed().as_secs_f64() * 1e6 / reps as f64;
+    println!("{label:44} {us:10.1} us");
+    us
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let net = build_cnn(
+        Merging::Late,
+        2,
+        (32, 32),
+        4,
+        &CnnConfig {
+            conv_channels: [4, 8, 8],
+            hidden: 16,
+            seed: 7,
+        },
+    );
+    let n = 32;
+    let samples: Vec<Vec<Tensor>> = (0..n)
+        .map(|_| (0..2).map(|_| rand_tensor(&[32, 32], &mut rng)).collect())
+        .collect();
+    let refs: Vec<&[Tensor]> = samples.iter().map(|s| s.as_slice()).collect();
+    let reps = 200;
+
+    time(&format!("predict x{n} singles"), reps, || {
+        for s in &samples {
+            black_box(net.predict(black_box(s)));
+        }
+    });
+    time(&format!("predict_batch {n}"), reps, || {
+        black_box(net.predict_batch(black_box(&refs)));
+    });
+
+    // Tower-level: one tower over the batch vs per-sample.
+    let tower = &net.towers[0];
+    let xs: Vec<Tensor> = samples
+        .iter()
+        .map(|s| s[0].clone().reshape(&[1, 32, 32]))
+        .collect();
+    time("tower forward x32 singles", reps, || {
+        for x in &xs {
+            black_box(tower.forward(black_box(x)));
+        }
+    });
+    time("tower forward_batch 32", reps, || {
+        black_box(tower.forward_batch(black_box(xs.clone())));
+    });
+    time("  (xs.clone() overhead)", reps, || {
+        black_box(xs.clone());
+    });
+
+    // Full packed walk, chained like the real forward_batch.
+    if let Layer::Conv2d(c0) = &tower.layers[0] {
+        time("packed chain (conv entry + walk)", reps, || {
+            let mut p = c0.forward_batch_packed(black_box(&xs));
+            for l in &tower.layers[1..] {
+                match l.forward_packed(&p) {
+                    Some(next) => p = next,
+                    None => break,
+                }
+            }
+            black_box(p);
+        });
+        let mut p = c0.forward_batch_packed(&xs);
+        for l in &tower.layers[1..] {
+            match l.forward_packed(&p) {
+                Some(next) => p = next,
+                None => break,
+            }
+        }
+        time("unpack_batch at flatten", reps, || {
+            black_box(dnnspmv_nn::layers::unpack_batch(black_box(&p)));
+        });
+
+        // Per-layer cost measured while chained (fresh inputs each
+        // rep, allocator behaving as in production).
+        let mut acc = vec![0.0f64; tower.layers.len()];
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let mut p = c0.forward_batch_packed(black_box(&xs));
+            acc[0] += t0.elapsed().as_secs_f64();
+            for (i, l) in tower.layers.iter().enumerate().skip(1) {
+                let t = Instant::now();
+                match l.forward_packed(&p) {
+                    Some(next) => {
+                        p = next;
+                        acc[i] += t.elapsed().as_secs_f64();
+                    }
+                    None => break,
+                }
+            }
+            black_box(&p);
+        }
+        for (i, a) in acc.iter().enumerate() {
+            if *a > 0.0 {
+                println!(
+                    "  chained layer {i} {:30} {:10.1} us",
+                    tower.layers[i].describe(),
+                    a * 1e6 / reps as f64
+                );
+            }
+        }
+    }
+
+    // Layer-by-layer on the packed tensor.
+    let mut packed: Option<Tensor> = None;
+    for (i, l) in tower.layers.iter().enumerate() {
+        let inp = match &packed {
+            None => {
+                let Layer::Conv2d(c) = l else { break };
+                let t = time(
+                    &format!("  layer {i} {} (entry)", l.describe()),
+                    reps,
+                    || {
+                        black_box(c.forward_batch_packed(black_box(&xs)));
+                    },
+                );
+                let _ = t;
+                packed = Some(c.forward_batch_packed(&xs));
+                continue;
+            }
+            Some(p) => p.clone(),
+        };
+        match l.forward_packed(&inp) {
+            Some(next) => {
+                time(
+                    &format!("  layer {i} {} (packed)", l.describe()),
+                    reps,
+                    || {
+                        black_box(l.forward_packed(black_box(&inp)));
+                    },
+                );
+                packed = Some(next);
+            }
+            None => {
+                println!("  layer {i} {} -> sample-wise", l.describe());
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,814 @@
+//! The GEMM compute core: a cache-blocked, parallel `sgemm` kernel
+//! plus the im2col/col2im packing that turns convolution into matrix
+//! multiply.
+//!
+//! Every FLOP-heavy path in the crate funnels into [`sgemm`]:
+//! [`crate::layers::Conv2d`] lowers its input with [`im2col_into`] and
+//! multiplies against the filter bank, [`crate::layers::Dense`] is a
+//! GEMM (or its `n == 1` matvec fast path) directly, and the batched
+//! inference API packs many samples into one product per layer. The
+//! kernel follows the classic BLIS/GotoBLAS decomposition: `NC`-wide
+//! column panels of B, `KC`-deep rank-k updates, `MC`-tall row blocks
+//! of A, operands repacked into `MR x NR` micro-panels so the
+//! innermost micro-kernel reads contiguously and the compiler can
+//! vectorise its 8x8 accumulator. Row blocks of C are disjoint, so
+//! they are computed in parallel (`par_chunks_mut`); each worker packs
+//! its own A block, the B panel is packed once and shared read-only.
+//!
+//! Scratch buffers (im2col matrices, packing panels) are reused across
+//! calls through a thread-local [`Scratch`] pool. [`with_scratch`]
+//! *moves* the buffers out for the duration of the closure instead of
+//! holding a `RefCell` borrow — re-entrant calls (e.g. under a
+//! work-stealing scheduler) simply see an empty pool and allocate.
+
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Whether a GEMM operand is consumed as stored or transposed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trans {
+    /// Use the operand as stored (row-major).
+    No,
+    /// Use the transpose of the stored operand.
+    Yes,
+}
+
+/// Micro-kernel tile rows.
+const MR: usize = 8;
+/// Micro-kernel tile columns.
+const NR: usize = 8;
+/// Row-block height (rows of C per parallel work item / A pack).
+const MC: usize = 64;
+/// Rank-k update depth (rows of the packed B panel).
+const KC: usize = 256;
+/// Column-panel width (columns of the packed B panel).
+const NC: usize = 1024;
+/// Below this inner dimension the packed/blocked machinery costs more
+/// than it saves; a direct axpy sweep wins (covers every im2col
+/// convolution in the Figure 10 schedule, where `k = in_ch * ksize^2`
+/// tops out at 288).
+const SMALL_K: usize = 384;
+
+/// `C = alpha * op(A) . op(B) + beta * C` in single precision.
+///
+/// `op(A)` is `m x k` and `op(B)` is `k x n`; all buffers are dense
+/// row-major. With `ta == Trans::No` the `a` buffer is `m x k`, with
+/// `ta == Trans::Yes` it is the stored transpose `k x m` (and
+/// symmetrically for `b`). `beta` is applied to `C` exactly once, so
+/// `beta == 0.0` overwrites any garbage (including NaN) in `c`.
+#[allow(clippy::too_many_arguments)]
+pub fn sgemm(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    ta: Trans,
+    b: &[f32],
+    tb: Trans,
+    beta: f32,
+    c: &mut [f32],
+) {
+    assert_eq!(a.len(), m * k, "A buffer must hold m*k elements");
+    assert_eq!(b.len(), k * n, "B buffer must hold k*n elements");
+    assert_eq!(c.len(), m * n, "C buffer must hold m*n elements");
+    if beta == 0.0 {
+        c.fill(0.0);
+    } else if beta != 1.0 {
+        for v in c.iter_mut() {
+            *v *= beta;
+        }
+    }
+    if m == 0 || n == 0 || k == 0 || alpha == 0.0 {
+        return;
+    }
+    if n == 1 {
+        // Matrix-vector product: op(B) is a contiguous k-vector under
+        // either transpose flag.
+        matvec(m, k, alpha, a, ta, b, c);
+        return;
+    }
+    if k == 1 {
+        // Rank-1 update: op(A) is a contiguous m-vector and op(B) a
+        // contiguous n-vector under either transpose flag.
+        for i in 0..m {
+            let av = alpha * a[i];
+            if av != 0.0 {
+                let row = &mut c[i * n..(i + 1) * n];
+                for (cv, &bv) in row.iter_mut().zip(b) {
+                    *cv += av * bv;
+                }
+            }
+        }
+        return;
+    }
+    if k <= SMALL_K && tb == Trans::No {
+        // Short-inner-dimension regime (im2col convolutions: k is
+        // in_ch * ksize^2, n is the whole output plane). Packing into
+        // micro-panels costs more than it saves here; a row-per-output
+        // sweep of contiguous axpy updates streams B at full width.
+        // Four rank-1 updates are fused per sweep so each C row is
+        // read/written k/4 times instead of k — batched calls have C
+        // rows far larger than L1, so this is what keeps them cheap.
+        // Rows of C are disjoint, so parallelise over them directly.
+        c.par_chunks_mut(n).enumerate().for_each(|(i, crow)| {
+            let at = |p: usize| {
+                alpha
+                    * match ta {
+                        Trans::No => a[i * k + p],
+                        Trans::Yes => a[p * m + i],
+                    }
+            };
+            let mut p = 0;
+            while p + 4 <= k {
+                let (a0, a1, a2, a3) = (at(p), at(p + 1), at(p + 2), at(p + 3));
+                let b0 = &b[p * n..(p + 1) * n];
+                let b1 = &b[(p + 1) * n..(p + 2) * n];
+                let b2 = &b[(p + 2) * n..(p + 3) * n];
+                let b3 = &b[(p + 3) * n..(p + 4) * n];
+                let rows = b0.iter().zip(b1).zip(b2).zip(b3);
+                for (cv, (((&v0, &v1), &v2), &v3)) in crow.iter_mut().zip(rows) {
+                    *cv += a0 * v0 + a1 * v1 + a2 * v2 + a3 * v3;
+                }
+                p += 4;
+            }
+            while p < k {
+                let av = at(p);
+                if av != 0.0 {
+                    let brow = &b[p * n..(p + 1) * n];
+                    for (cv, &bv) in crow.iter_mut().zip(brow) {
+                        *cv += av * bv;
+                    }
+                }
+                p += 1;
+            }
+        });
+        return;
+    }
+
+    let mut bpack = Vec::new();
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            pack_b(b, tb, k, n, pc, kc, jc, nc, &mut bpack);
+            let bpack = &bpack;
+            c.par_chunks_mut(MC * n)
+                .enumerate()
+                .for_each(|(blk, cblk)| {
+                    let ic = blk * MC;
+                    let mc = MC.min(m - ic);
+                    let mut apack = Vec::new();
+                    pack_a(a, ta, m, k, ic, mc, pc, kc, &mut apack);
+                    for sj in 0..nc.div_ceil(NR) {
+                        let j0 = jc + sj * NR;
+                        let nj = NR.min(jc + nc - j0);
+                        let bp = &bpack[sj * kc * NR..][..kc * NR];
+                        for si in 0..mc.div_ceil(MR) {
+                            let i0 = si * MR;
+                            let ni = MR.min(mc - i0);
+                            let ap = &apack[si * kc * MR..][..kc * MR];
+                            micro_kernel(kc, ap, bp, alpha, cblk, n, i0, j0, ni, nj);
+                        }
+                    }
+                });
+        }
+    }
+}
+
+/// `c += alpha * op(A) . x` for a single output column.
+fn matvec(m: usize, k: usize, alpha: f32, a: &[f32], ta: Trans, x: &[f32], c: &mut [f32]) {
+    match ta {
+        Trans::No => {
+            for (i, cv) in c.iter_mut().enumerate() {
+                let row = &a[i * k..(i + 1) * k];
+                let mut acc = 0.0f32;
+                for (&av, &xv) in row.iter().zip(x) {
+                    acc += av * xv;
+                }
+                *cv += alpha * acc;
+            }
+        }
+        Trans::Yes => {
+            // a is stored k x m; accumulate one scaled row at a time so
+            // the inner loop stays contiguous.
+            for (p, &xv) in x.iter().enumerate() {
+                let s = alpha * xv;
+                if s != 0.0 {
+                    let row = &a[p * m..(p + 1) * m];
+                    for (cv, &av) in c.iter_mut().zip(row) {
+                        *cv += s * av;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Packs `op(A)[ic..ic+mc][pc..pc+kc]` into `MR`-row micro-panels,
+/// zero-padding the ragged bottom strip.
+#[allow(clippy::too_many_arguments)]
+fn pack_a(
+    a: &[f32],
+    ta: Trans,
+    m: usize,
+    k: usize,
+    ic: usize,
+    mc: usize,
+    pc: usize,
+    kc: usize,
+    out: &mut Vec<f32>,
+) {
+    let strips = mc.div_ceil(MR);
+    out.clear();
+    out.resize(strips * kc * MR, 0.0);
+    for s in 0..strips {
+        let i0 = ic + s * MR;
+        let ni = MR.min(ic + mc - i0);
+        let dst = &mut out[s * kc * MR..][..kc * MR];
+        match ta {
+            Trans::No => {
+                for ii in 0..ni {
+                    let row = &a[(i0 + ii) * k + pc..][..kc];
+                    for (p, &v) in row.iter().enumerate() {
+                        dst[p * MR + ii] = v;
+                    }
+                }
+            }
+            Trans::Yes => {
+                for p in 0..kc {
+                    let row = &a[(pc + p) * m + i0..][..ni];
+                    dst[p * MR..p * MR + ni].copy_from_slice(row);
+                }
+            }
+        }
+    }
+}
+
+/// Packs `op(B)[pc..pc+kc][jc..jc+nc]` into `NR`-column micro-panels,
+/// zero-padding the ragged right strip.
+#[allow(clippy::too_many_arguments)]
+fn pack_b(
+    b: &[f32],
+    tb: Trans,
+    k: usize,
+    n: usize,
+    pc: usize,
+    kc: usize,
+    jc: usize,
+    nc: usize,
+    out: &mut Vec<f32>,
+) {
+    let strips = nc.div_ceil(NR);
+    out.clear();
+    out.resize(strips * kc * NR, 0.0);
+    for s in 0..strips {
+        let j0 = jc + s * NR;
+        let nj = NR.min(jc + nc - j0);
+        let dst = &mut out[s * kc * NR..][..kc * NR];
+        match tb {
+            Trans::No => {
+                for p in 0..kc {
+                    let row = &b[(pc + p) * n + j0..][..nj];
+                    dst[p * NR..p * NR + nj].copy_from_slice(row);
+                }
+            }
+            Trans::Yes => {
+                for jj in 0..nj {
+                    let col = &b[(j0 + jj) * k + pc..][..kc];
+                    for (p, &v) in col.iter().enumerate() {
+                        dst[p * NR + jj] = v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `MR x NR` register tile: accumulates one packed-A / packed-B panel
+/// pair, then writes `alpha * acc` into the live part of C.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn micro_kernel(
+    kc: usize,
+    ap: &[f32],
+    bp: &[f32],
+    alpha: f32,
+    cblk: &mut [f32],
+    ldc: usize,
+    i0: usize,
+    j0: usize,
+    ni: usize,
+    nj: usize,
+) {
+    let mut acc = [0.0f32; MR * NR];
+    for p in 0..kc {
+        let arow = &ap[p * MR..p * MR + MR];
+        let brow = &bp[p * NR..p * NR + NR];
+        for ii in 0..MR {
+            let av = arow[ii];
+            let dst = &mut acc[ii * NR..(ii + 1) * NR];
+            for (d, &bv) in dst.iter_mut().zip(brow) {
+                *d += av * bv;
+            }
+        }
+    }
+    for ii in 0..ni {
+        let crow = &mut cblk[(i0 + ii) * ldc + j0..][..nj];
+        let arow = &acc[ii * NR..ii * NR + nj];
+        for (cv, &v) in crow.iter_mut().zip(arow) {
+            *cv += alpha * v;
+        }
+    }
+}
+
+/// Convolution output extent for an `h x w` input, square `ksize`
+/// kernel, `stride`, and symmetric zero `pad`.
+pub fn conv_out_hw(h: usize, w: usize, ksize: usize, stride: usize, pad: usize) -> (usize, usize) {
+    (
+        (h + 2 * pad - ksize) / stride + 1,
+        (w + 2 * pad - ksize) / stride + 1,
+    )
+}
+
+/// Lowers one `[c, h, w]` image into im2col layout.
+///
+/// Writes the `c*ksize*ksize x oh*ow` column matrix of `x` into `col`
+/// at row stride `ld` and column offset `col_off`: entry
+/// `((ic*ksize + ky)*ksize + kx, oy*ow + ox)` holds
+/// `x[ic, oy*stride + ky - pad, ox*stride + kx - pad]`, or `0.0` where
+/// the receptive field hangs over the border. Every cell of the block
+/// is written, so `col` may hold stale data from a previous use. The
+/// `ld`/`col_off` pair lets batched callers pack N images side by side
+/// into one `c*ksize*ksize x N*oh*ow` matrix.
+#[allow(clippy::too_many_arguments)]
+pub fn im2col_into(
+    x: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    ksize: usize,
+    stride: usize,
+    pad: usize,
+    col: &mut [f32],
+    ld: usize,
+    col_off: usize,
+) {
+    assert_eq!(x.len(), c * h * w, "input buffer shape mismatch");
+    let (oh, ow) = conv_out_hw(h, w, ksize, stride, pad);
+    assert!(col_off + oh * ow <= ld, "column block exceeds row stride");
+    for ic in 0..c {
+        let xc = &x[ic * h * w..(ic + 1) * h * w];
+        im2col_channel(xc, ic, h, w, ksize, stride, pad, oh, ow, col, ld, col_off);
+    }
+}
+
+/// Lowers a packed `[c, n, h, w]` batch (every channel holds its `n`
+/// per-sample planes side by side, the layout the batched inference
+/// path keeps between convolutional layers) into one
+/// `c*ksize*ksize x n*oh*ow` im2col matrix; sample `si`'s columns land
+/// in the block starting at `si*oh*ow`.
+#[allow(clippy::too_many_arguments)]
+pub fn im2col_packed_into(
+    x: &[f32],
+    c: usize,
+    n: usize,
+    h: usize,
+    w: usize,
+    ksize: usize,
+    stride: usize,
+    pad: usize,
+    col: &mut [f32],
+) {
+    assert_eq!(x.len(), c * n * h * w, "input buffer shape mismatch");
+    let (oh, ow) = conv_out_hw(h, w, ksize, stride, pad);
+    let ld = n * oh * ow;
+    for si in 0..n {
+        for ic in 0..c {
+            let xc = &x[(ic * n + si) * h * w..][..h * w];
+            im2col_channel(
+                xc,
+                ic,
+                h,
+                w,
+                ksize,
+                stride,
+                pad,
+                oh,
+                ow,
+                col,
+                ld,
+                si * oh * ow,
+            );
+        }
+    }
+}
+
+/// Writes channel `ic`'s `ksize*ksize` im2col rows for one `[h, w]`
+/// plane `xc`. Shared body of [`im2col_into`] and
+/// [`im2col_packed_into`].
+#[allow(clippy::too_many_arguments)]
+fn im2col_channel(
+    xc: &[f32],
+    ic: usize,
+    h: usize,
+    w: usize,
+    ksize: usize,
+    stride: usize,
+    pad: usize,
+    oh: usize,
+    ow: usize,
+    col: &mut [f32],
+    ld: usize,
+    col_off: usize,
+) {
+    for ky in 0..ksize {
+        for kx in 0..ksize {
+            let r = (ic * ksize + ky) * ksize + kx;
+            let row = &mut col[r * ld + col_off..][..oh * ow];
+            for oy in 0..oh {
+                let iy = (oy * stride + ky) as isize - pad as isize;
+                let dst = &mut row[oy * ow..(oy + 1) * ow];
+                if iy < 0 || iy >= h as isize {
+                    dst.fill(0.0);
+                    continue;
+                }
+                let src = &xc[iy as usize * w..(iy as usize + 1) * w];
+                let (lo, hi) = valid_ox_range(w, ow, kx, stride, pad);
+                dst[..lo].fill(0.0);
+                dst[hi..].fill(0.0);
+                if stride == 1 {
+                    let sx = lo + kx - pad;
+                    dst[lo..hi].copy_from_slice(&src[sx..sx + (hi - lo)]);
+                } else {
+                    for (ox, d) in dst.iter_mut().enumerate().take(hi).skip(lo) {
+                        *d = src[ox * stride + kx - pad];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scatter-adds an im2col-layout gradient back onto the image grid:
+/// the adjoint of [`im2col_into`]. `gin` accumulates (`+=`), since
+/// overlapping receptive fields each contribute to the same pixel.
+#[allow(clippy::too_many_arguments)]
+pub fn col2im_into(
+    col: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    ksize: usize,
+    stride: usize,
+    pad: usize,
+    gin: &mut [f32],
+    ld: usize,
+    col_off: usize,
+) {
+    assert_eq!(gin.len(), c * h * w, "output buffer shape mismatch");
+    let (oh, ow) = conv_out_hw(h, w, ksize, stride, pad);
+    assert!(col_off + oh * ow <= ld, "column block exceeds row stride");
+    for ic in 0..c {
+        let gc = &mut gin[ic * h * w..(ic + 1) * h * w];
+        for ky in 0..ksize {
+            for kx in 0..ksize {
+                let r = (ic * ksize + ky) * ksize + kx;
+                let row = &col[r * ld + col_off..][..oh * ow];
+                for oy in 0..oh {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let src = &row[oy * ow..(oy + 1) * ow];
+                    let dst = &mut gc[iy as usize * w..(iy as usize + 1) * w];
+                    let (lo, hi) = valid_ox_range(w, ow, kx, stride, pad);
+                    for ox in lo..hi {
+                        dst[ox * stride + kx - pad] += src[ox];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Output-column range `[lo, hi)` whose source column
+/// `ox*stride + kx - pad` lands inside `[0, w)`.
+fn valid_ox_range(w: usize, ow: usize, kx: usize, stride: usize, pad: usize) -> (usize, usize) {
+    let lo = if pad > kx {
+        (pad - kx).div_ceil(stride).min(ow)
+    } else {
+        0
+    };
+    let hi = if w + pad > kx {
+        ((w - 1 + pad - kx) / stride + 1).min(ow)
+    } else {
+        0
+    };
+    (lo, hi.max(lo))
+}
+
+/// Reusable per-thread workspace for the convolution lowering.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    /// im2col matrix of the layer input.
+    pub col: Vec<f32>,
+    /// Second column matrix (gradient w.r.t. the im2col output).
+    pub aux: Vec<f32>,
+    /// Ping/pong activation buffers for the packed batched forward
+    /// walk. Batch-sized activations sit above the allocator's mmap
+    /// threshold, so freshly allocating them every layer costs a page
+    /// fault per 4 KiB; recycling keeps the pages warm.
+    pub ping: Vec<f32>,
+    /// See [`Scratch::ping`].
+    pub pong: Vec<f32>,
+}
+
+thread_local! {
+    static SCRATCH: std::cell::RefCell<Option<Scratch>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Runs `f` with this thread's scratch workspace, returning the
+/// buffers to the pool afterwards so repeated layer calls reuse their
+/// allocations. The workspace is moved out (not borrowed) for the
+/// duration of `f`, so nested or re-entrant calls are safe — they just
+/// start from empty buffers.
+pub fn with_scratch<R>(f: impl FnOnce(&mut Scratch) -> R) -> R {
+    let mut s = SCRATCH.with(|c| c.borrow_mut().take()).unwrap_or_default();
+    let r = f(&mut s);
+    SCRATCH.with(|c| *c.borrow_mut() = Some(s));
+    r
+}
+
+impl Tensor {
+    /// 2-D matrix product over borrowed tensors: `self [m, k] . other
+    /// [k, n] -> [m, n]`, evaluated by [`sgemm`] without copying
+    /// either operand. Slice-level callers can invoke [`sgemm`]
+    /// directly for transposed operands or accumulation.
+    pub fn matmul_view(&self, other: &Tensor) -> Tensor {
+        let [m, k] = *self.shape() else {
+            panic!("matmul_view lhs expects [m, k], got {:?}", self.shape())
+        };
+        let [k2, n] = *other.shape() else {
+            panic!("matmul_view rhs expects [k, n], got {:?}", other.shape())
+        };
+        assert_eq!(k, k2, "inner dimensions differ: {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        sgemm(
+            m,
+            n,
+            k,
+            1.0,
+            self.data(),
+            Trans::No,
+            other.data(),
+            Trans::No,
+            0.0,
+            &mut out,
+        );
+        Tensor::from_vec(&[m, n], out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    /// Reference triple loop in f64 (order-insensitive to tolerance).
+    #[allow(clippy::too_many_arguments)]
+    fn naive_gemm(
+        m: usize,
+        n: usize,
+        k: usize,
+        alpha: f32,
+        a: &[f32],
+        ta: Trans,
+        b: &[f32],
+        tb: Trans,
+        beta: f32,
+        c: &mut [f32],
+    ) {
+        let at = |i: usize, p: usize| match ta {
+            Trans::No => a[i * k + p],
+            Trans::Yes => a[p * m + i],
+        };
+        let bt = |p: usize, j: usize| match tb {
+            Trans::No => b[p * n + j],
+            Trans::Yes => b[j * k + p],
+        };
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f64;
+                for p in 0..k {
+                    acc += f64::from(at(i, p)) * f64::from(bt(p, j));
+                }
+                let old = if beta == 0.0 {
+                    0.0
+                } else {
+                    beta * c[i * n + j]
+                };
+                c[i * n + j] = old + alpha * acc as f32;
+            }
+        }
+    }
+
+    fn rand_vec(rng: &mut StdRng, n: usize) -> Vec<f32> {
+        (0..n).map(|_| rng.random::<f32>() * 2.0 - 1.0).collect()
+    }
+
+    fn assert_close(got: &[f32], want: &[f32], tol: f32, what: &str) {
+        assert_eq!(got.len(), want.len());
+        for (i, (g, w)) in got.iter().zip(want).enumerate() {
+            assert!(
+                (g - w).abs() <= tol * (1.0 + w.abs()),
+                "{what}[{i}]: {g} vs {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn sgemm_matches_naive_across_block_boundaries() {
+        // Sizes straddling MR/NR, MC, KC and NC edges, in both the
+        // small-k axpy regime (k <= SMALL_K) and the packed regime.
+        let cases = [
+            (1, 1, 1),
+            (7, 5, 9),
+            (8, 8, 8),
+            (9, 17, 8),
+            (13, 17, 300),  // axpy regime, wider than NR
+            (70, 30, 260),  // axpy regime, crosses MC
+            (3, 1030, 40),  // axpy regime, crosses NC
+            (13, 17, 400),  // packed regime, crosses KC
+            (70, 30, 390),  // packed regime, crosses MC and KC
+            (3, 1030, 385), // packed regime, crosses NC
+            (65, 9, 513),   // packed regime, two KC panels + ragged tiles
+        ];
+        let mut rng = StdRng::seed_from_u64(42);
+        for &(m, n, k) in &cases {
+            let a = rand_vec(&mut rng, m * k);
+            let b = rand_vec(&mut rng, k * n);
+            let mut c = rand_vec(&mut rng, m * n);
+            let mut want = c.clone();
+            sgemm(m, n, k, 1.0, &a, Trans::No, &b, Trans::No, 0.0, &mut c);
+            naive_gemm(m, n, k, 1.0, &a, Trans::No, &b, Trans::No, 0.0, &mut want);
+            assert_close(&c, &want, 1e-4, &format!("C({m}x{n}x{k})"));
+        }
+    }
+
+    #[test]
+    fn sgemm_handles_all_transpose_combinations() {
+        // k = 70 exercises the axpy regime, k = 400 the packed one.
+        let mut rng = StdRng::seed_from_u64(7);
+        for &(m, n, k) in &[(19usize, 23usize, 70usize), (19, 23, 400)] {
+            for &ta in &[Trans::No, Trans::Yes] {
+                for &tb in &[Trans::No, Trans::Yes] {
+                    let a = rand_vec(&mut rng, m * k);
+                    let b = rand_vec(&mut rng, k * n);
+                    let mut c = vec![0.0f32; m * n];
+                    let mut want = vec![0.0f32; m * n];
+                    sgemm(m, n, k, 1.0, &a, ta, &b, tb, 0.0, &mut c);
+                    naive_gemm(m, n, k, 1.0, &a, ta, &b, tb, 0.0, &mut want);
+                    assert_close(&c, &want, 1e-4, &format!("C({m}x{n}x{k},{ta:?},{tb:?})"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sgemm_applies_alpha_and_beta_once() {
+        let (m, n, k) = (12, 34, 300); // two KC panels: beta must not reapply
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = rand_vec(&mut rng, m * k);
+        let b = rand_vec(&mut rng, k * n);
+        let mut c = rand_vec(&mut rng, m * n);
+        let mut want = c.clone();
+        sgemm(m, n, k, 0.5, &a, Trans::No, &b, Trans::No, 2.0, &mut c);
+        naive_gemm(m, n, k, 0.5, &a, Trans::No, &b, Trans::No, 2.0, &mut want);
+        assert_close(&c, &want, 1e-4, "alpha/beta");
+    }
+
+    #[test]
+    fn sgemm_beta_zero_overwrites_nan() {
+        let (m, n, k) = (4, 5, 6);
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = rand_vec(&mut rng, m * k);
+        let b = rand_vec(&mut rng, k * n);
+        let mut c = vec![f32::NAN; m * n];
+        sgemm(m, n, k, 1.0, &a, Trans::No, &b, Trans::No, 0.0, &mut c);
+        assert!(c.iter().all(|v| v.is_finite()), "NaN survived beta = 0");
+    }
+
+    #[test]
+    fn matvec_fast_path_matches_naive_both_transposes() {
+        let (m, k) = (37, 90);
+        let mut rng = StdRng::seed_from_u64(9);
+        for &ta in &[Trans::No, Trans::Yes] {
+            let a = rand_vec(&mut rng, m * k);
+            let x = rand_vec(&mut rng, k);
+            let mut c = rand_vec(&mut rng, m);
+            let mut want = c.clone();
+            sgemm(m, 1, k, 1.5, &a, ta, &x, Trans::No, 1.0, &mut c);
+            naive_gemm(m, 1, k, 1.5, &a, ta, &x, Trans::No, 1.0, &mut want);
+            assert_close(&c, &want, 1e-4, &format!("matvec({ta:?})"));
+        }
+    }
+
+    #[test]
+    fn im2col_center_column_is_the_full_receptive_field() {
+        // 3x3 input, 3x3 kernel, stride 1, pad 1: the centre output's
+        // column is the whole image; the corner output's column has the
+        // padded positions zeroed.
+        let x: Vec<f32> = (1..=9).map(|v| v as f32).collect();
+        let (oh, ow) = conv_out_hw(3, 3, 3, 1, 1);
+        assert_eq!((oh, ow), (3, 3));
+        let mut col = vec![f32::NAN; 9 * 9];
+        im2col_into(&x, 1, 3, 3, 3, 1, 1, &mut col, 9, 0);
+        let center: Vec<f32> = (0..9).map(|r| col[r * 9 + 4]).collect();
+        assert_eq!(center, x);
+        let corner: Vec<f32> = (0..9).map(|r| col[r * 9]).collect();
+        assert_eq!(corner, vec![0.0, 0.0, 0.0, 0.0, 1.0, 2.0, 0.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn col2im_is_the_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y — pins the
+        // scatter-add against the gather over every stride/pad case.
+        let mut rng = StdRng::seed_from_u64(17);
+        for &(c, h, w, ksize, stride, pad) in &[
+            (1usize, 5usize, 7usize, 3usize, 1usize, 1usize),
+            (2, 6, 6, 3, 2, 1),
+            (3, 8, 5, 3, 1, 0),
+            (1, 7, 7, 5, 2, 2),
+        ] {
+            let (oh, ow) = conv_out_hw(h, w, ksize, stride, pad);
+            let rows = c * ksize * ksize;
+            let x = rand_vec(&mut rng, c * h * w);
+            let y = rand_vec(&mut rng, rows * oh * ow);
+            let mut col = vec![0.0f32; rows * oh * ow];
+            im2col_into(&x, c, h, w, ksize, stride, pad, &mut col, oh * ow, 0);
+            let lhs: f64 = col
+                .iter()
+                .zip(&y)
+                .map(|(&a, &b)| f64::from(a) * f64::from(b))
+                .sum();
+            let mut back = vec![0.0f32; c * h * w];
+            col2im_into(&y, c, h, w, ksize, stride, pad, &mut back, oh * ow, 0);
+            let rhs: f64 = x
+                .iter()
+                .zip(&back)
+                .map(|(&a, &b)| f64::from(a) * f64::from(b))
+                .sum();
+            assert!(
+                (lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()),
+                "adjoint mismatch ({c},{h},{w},k{ksize},s{stride},p{pad}): {lhs} vs {rhs}"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_im2col_offsets_are_independent_blocks() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let (c, h, w, ksize, stride, pad) = (2, 6, 6, 3, 1, 1);
+        let (oh, ow) = conv_out_hw(h, w, ksize, stride, pad);
+        let l = oh * ow;
+        let rows = c * ksize * ksize;
+        let x0 = rand_vec(&mut rng, c * h * w);
+        let x1 = rand_vec(&mut rng, c * h * w);
+        let mut big = vec![f32::NAN; rows * 2 * l];
+        im2col_into(&x0, c, h, w, ksize, stride, pad, &mut big, 2 * l, 0);
+        im2col_into(&x1, c, h, w, ksize, stride, pad, &mut big, 2 * l, l);
+        let mut single = vec![0.0f32; rows * l];
+        im2col_into(&x1, c, h, w, ksize, stride, pad, &mut single, l, 0);
+        for r in 0..rows {
+            assert_eq!(&big[r * 2 * l + l..][..l], &single[r * l..][..l]);
+        }
+    }
+
+    #[test]
+    fn matmul_view_known_answer() {
+        let a = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec(&[3, 2], vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul_view(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn with_scratch_reuses_and_survives_nesting() {
+        with_scratch(|s| {
+            s.col.resize(128, 1.0);
+            // A nested call must not observe (or clobber) the outer
+            // workspace.
+            with_scratch(|inner| {
+                assert!(inner.col.is_empty());
+                inner.col.resize(4, 2.0);
+            });
+            assert_eq!(s.col.len(), 128);
+        });
+        // The outermost workspace went back to the pool last.
+        with_scratch(|s| assert_eq!(s.col.len(), 128));
+    }
+}

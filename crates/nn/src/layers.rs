@@ -5,7 +5,15 @@
 //! training loop keeps each layer's input and hands it back to
 //! [`Layer::backward`], which lets one shared network reference serve
 //! many rayon workers computing per-sample gradients concurrently.
+//!
+//! Convolution and dense layers evaluate through the [`crate::gemm`]
+//! compute core (im2col + blocked `sgemm`); the original naive loops
+//! survive as `forward_reference` / `backward_reference` so
+//! equivalence tests and the gradient checker pin the fast path to
+//! them. [`Layer::forward_batch`] packs many samples into a single
+//! GEMM per layer for batched inference.
 
+use crate::gemm::{self, Trans};
 use crate::tensor::Tensor;
 use rand::rngs::StdRng;
 use rand_distr::{Distribution, Normal};
@@ -54,12 +62,211 @@ impl Conv2d {
     }
 
     fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
-        let oh = (h + 2 * self.pad - self.ksize) / self.stride + 1;
-        let ow = (w + 2 * self.pad - self.ksize) / self.stride + 1;
-        (oh, ow)
+        gemm::conv_out_hw(h, w, self.ksize, self.stride, self.pad)
     }
 
-    fn forward(&self, x: &Tensor) -> Tensor {
+    /// GEMM-backed forward pass: lower the input with im2col, then one
+    /// `weight [out_ch, c*k*k] . col [c*k*k, oh*ow]` product on top of
+    /// the broadcast bias.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let [c, h, w] = *x.shape() else {
+            panic!("Conv2d expects [c, h, w], got {:?}", x.shape())
+        };
+        assert_eq!(c, self.in_ch, "input channel mismatch");
+        let (oh, ow) = self.out_hw(h, w);
+        let l = oh * ow;
+        let k2c = self.in_ch * self.ksize * self.ksize;
+        let mut out = vec![0.0f32; self.out_ch * l];
+        for (oc, &bv) in self.bias.data().iter().enumerate() {
+            out[oc * l..(oc + 1) * l].fill(bv);
+        }
+        gemm::with_scratch(|s| {
+            s.col.resize(k2c * l, 0.0);
+            gemm::im2col_into(
+                x.data(),
+                c,
+                h,
+                w,
+                self.ksize,
+                self.stride,
+                self.pad,
+                &mut s.col,
+                l,
+                0,
+            );
+            gemm::sgemm(
+                self.out_ch,
+                l,
+                k2c,
+                1.0,
+                self.weight.data(),
+                Trans::No,
+                &s.col,
+                Trans::No,
+                1.0,
+                &mut out,
+            );
+        });
+        Tensor::from_vec(&[self.out_ch, oh, ow], out)
+    }
+
+    /// Batched forward pass: every sample's im2col block lands side by
+    /// side in one `[c*k*k, N*oh*ow]` matrix, so the whole batch is a
+    /// single GEMM against the filter bank.
+    pub fn forward_batch(&self, xs: &[Tensor]) -> Vec<Tensor> {
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        unpack_batch(&self.forward_batch_packed(xs))
+    }
+
+    /// Batched forward pass from per-sample `[c, h, w]` tensors
+    /// straight into the packed `[out_ch, n, oh, ow]` layout (see
+    /// [`pack_batch`]): the batched GEMM's output rows already hold
+    /// each channel's per-sample planes side by side, so producing the
+    /// packed layout is free. This is the entry point of the packed
+    /// inference path — the first convolution lowers per-sample inputs
+    /// without materialising a packed copy of them first.
+    pub fn forward_batch_packed(&self, xs: &[Tensor]) -> Tensor {
+        let mut out = Vec::new();
+        let shape =
+            gemm::with_scratch(|s| self.forward_batch_packed_into(xs, &mut s.col, &mut out));
+        Tensor::from_vec(&shape, out)
+    }
+
+    /// Buffer-level core of [`Self::forward_batch_packed`]: lowers the
+    /// samples into the recycled im2col scratch `col` and GEMMs into
+    /// `out` (grown, never shrunk — only the returned
+    /// `[out_ch, n, oh, ow]` extent is meaningful). The batched
+    /// inference walk recycles both buffers across layers and batches
+    /// to keep their pages warm.
+    pub(crate) fn forward_batch_packed_into(
+        &self,
+        xs: &[Tensor],
+        col: &mut Vec<f32>,
+        out: &mut Vec<f32>,
+    ) -> [usize; 4] {
+        let [c, h, w] = *xs[0].shape() else {
+            panic!("Conv2d expects [c, h, w], got {:?}", xs[0].shape())
+        };
+        assert_eq!(c, self.in_ch, "input channel mismatch");
+        for x in xs {
+            assert_eq!(x.shape(), xs[0].shape(), "batch shape mismatch");
+        }
+        let (oh, ow) = self.out_hw(h, w);
+        let l = oh * ow;
+        let nl = xs.len() * l;
+        let k2c = self.in_ch * self.ksize * self.ksize;
+        if col.len() < k2c * nl {
+            col.resize(k2c * nl, 0.0);
+        }
+        for (si, x) in xs.iter().enumerate() {
+            gemm::im2col_into(
+                x.data(),
+                c,
+                h,
+                w,
+                self.ksize,
+                self.stride,
+                self.pad,
+                col,
+                nl,
+                si * l,
+            );
+        }
+        self.gemm_packed(xs.len(), oh, ow, col, out)
+    }
+
+    /// Forward pass on a packed `[c, n, h, w]` batch (see
+    /// [`pack_batch`]): one GEMM produces the `[out_ch, n, oh, ow]`
+    /// output directly in the same layout, so stacks of convolutional
+    /// layers hand the batch along without any per-sample unpacking.
+    pub fn forward_packed(&self, x: &Tensor) -> Tensor {
+        let [_, n, h, w] = *x.shape() else {
+            panic!("packed Conv2d expects [c, n, h, w], got {:?}", x.shape())
+        };
+        let mut out = Vec::new();
+        let shape = gemm::with_scratch(|s| {
+            self.forward_packed_into(x.data(), n, h, w, &mut s.col, &mut out)
+        });
+        Tensor::from_vec(&shape, out)
+    }
+
+    /// Buffer-level core of [`Self::forward_packed`]; buffer contract
+    /// as in [`Self::forward_batch_packed_into`].
+    pub(crate) fn forward_packed_into(
+        &self,
+        x: &[f32],
+        n: usize,
+        h: usize,
+        w: usize,
+        col: &mut Vec<f32>,
+        out: &mut Vec<f32>,
+    ) -> [usize; 4] {
+        assert_eq!(
+            x.len(),
+            self.in_ch * n * h * w,
+            "packed batch shape mismatch"
+        );
+        let (oh, ow) = self.out_hw(h, w);
+        let nl = n * oh * ow;
+        let k2c = self.in_ch * self.ksize * self.ksize;
+        if col.len() < k2c * nl {
+            col.resize(k2c * nl, 0.0);
+        }
+        gemm::im2col_packed_into(
+            x,
+            self.in_ch,
+            n,
+            h,
+            w,
+            self.ksize,
+            self.stride,
+            self.pad,
+            col,
+        );
+        self.gemm_packed(n, oh, ow, col, out)
+    }
+
+    /// Bias-prefills `out` and multiplies the filter bank against the
+    /// already-lowered `col` matrix. Shared tail of the packed forward
+    /// variants.
+    fn gemm_packed(
+        &self,
+        n: usize,
+        oh: usize,
+        ow: usize,
+        col: &[f32],
+        out: &mut Vec<f32>,
+    ) -> [usize; 4] {
+        let nl = n * oh * ow;
+        let k2c = self.in_ch * self.ksize * self.ksize;
+        if out.len() < self.out_ch * nl {
+            out.resize(self.out_ch * nl, 0.0);
+        }
+        let od = &mut out[..self.out_ch * nl];
+        for (oc, &bv) in self.bias.data().iter().enumerate() {
+            od[oc * nl..(oc + 1) * nl].fill(bv);
+        }
+        gemm::sgemm(
+            self.out_ch,
+            nl,
+            k2c,
+            1.0,
+            self.weight.data(),
+            Trans::No,
+            &col[..k2c * nl],
+            Trans::No,
+            1.0,
+            od,
+        );
+        [self.out_ch, n, oh, ow]
+    }
+
+    /// Naive 7-loop forward pass, kept as the correctness reference
+    /// for the GEMM path (equivalence-tested in `tests/proptest_nn.rs`
+    /// and benchmarked in `nn_kernels`).
+    pub fn forward_reference(&self, x: &Tensor) -> Tensor {
         let [c, h, w] = *x.shape() else {
             panic!("Conv2d expects [c, h, w], got {:?}", x.shape())
         };
@@ -101,7 +308,82 @@ impl Conv2d {
         out
     }
 
-    fn backward(&self, x: &Tensor, gout: &Tensor) -> (Tensor, Vec<Tensor>) {
+    /// GEMM-backed backward pass over the im2col lowering:
+    /// `gW = gout . col^T`, `gcol = W^T . gout`, `gin = col2im(gcol)`,
+    /// `gb` = per-filter row sums of `gout`.
+    pub fn backward(&self, x: &Tensor, gout: &Tensor) -> (Tensor, Vec<Tensor>) {
+        let [c, h, w] = *x.shape() else {
+            panic!("Conv2d expects [c, h, w], got {:?}", x.shape())
+        };
+        let (oh, ow) = self.out_hw(h, w);
+        debug_assert_eq!(gout.shape(), &[self.out_ch, oh, ow]);
+        let l = oh * ow;
+        let k2c = self.in_ch * self.ksize * self.ksize;
+        let god = gout.data();
+        let mut gin = Tensor::zeros(x.shape());
+        let mut gw = Tensor::zeros(self.weight.shape());
+        let mut gb = Tensor::zeros(self.bias.shape());
+        for (oc, gv) in gb.data_mut().iter_mut().enumerate() {
+            *gv = god[oc * l..(oc + 1) * l].iter().sum();
+        }
+        gemm::with_scratch(|s| {
+            s.col.resize(k2c * l, 0.0);
+            gemm::im2col_into(
+                x.data(),
+                c,
+                h,
+                w,
+                self.ksize,
+                self.stride,
+                self.pad,
+                &mut s.col,
+                l,
+                0,
+            );
+            gemm::sgemm(
+                self.out_ch,
+                k2c,
+                l,
+                1.0,
+                god,
+                Trans::No,
+                &s.col,
+                Trans::Yes,
+                0.0,
+                gw.data_mut(),
+            );
+            s.aux.resize(k2c * l, 0.0);
+            gemm::sgemm(
+                k2c,
+                l,
+                self.out_ch,
+                1.0,
+                self.weight.data(),
+                Trans::Yes,
+                god,
+                Trans::No,
+                0.0,
+                &mut s.aux,
+            );
+            gemm::col2im_into(
+                &s.aux,
+                c,
+                h,
+                w,
+                self.ksize,
+                self.stride,
+                self.pad,
+                gin.data_mut(),
+                l,
+                0,
+            );
+        });
+        (gin, vec![gw, gb])
+    }
+
+    /// Naive backward pass, the correctness reference for
+    /// [`Self::backward`].
+    pub fn backward_reference(&self, x: &Tensor, gout: &Tensor) -> (Tensor, Vec<Tensor>) {
         let [c, h, w] = *x.shape() else {
             panic!("Conv2d expects [c, h, w], got {:?}", x.shape())
         };
@@ -162,7 +444,7 @@ pub struct MaxPool2d {
 impl MaxPool2d {
     /// Output extent: floor division, but never below 1 — windows at
     /// the border (or on inputs smaller than the window) are clamped.
-    fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+    pub(crate) fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
         (
             (h.saturating_sub(self.size) / self.size) + 1,
             (w.saturating_sub(self.size) / self.size) + 1,
@@ -175,9 +457,48 @@ impl MaxPool2d {
         };
         let (oh, ow) = self.out_hw(h, w);
         let mut out = Tensor::zeros(&[c, oh, ow]);
-        let xd = x.data();
-        let od = out.data_mut();
-        for ch in 0..c {
+        self.pool_planes(x.data(), c, h, w, out.data_mut());
+        out
+    }
+
+    /// Pools `planes` independent `[h, w]` planes from `xd` into `od`.
+    /// The planes of a packed `[c, n, h, w]` batch are pooled exactly
+    /// like the channels of a single `[c, h, w]` sample, so both the
+    /// single and packed forward passes share this body.
+    pub(crate) fn pool_planes(
+        &self,
+        xd: &[f32],
+        planes: usize,
+        h: usize,
+        w: usize,
+        od: &mut [f32],
+    ) {
+        let (oh, ow) = self.out_hw(h, w);
+        let s = self.size;
+        if s == 2 && 2 * oh <= h && 2 * ow <= w {
+            // Every window sits fully inside the plane, so the border
+            // clamping below is dead weight: take the four candidates
+            // branch-free, in the same ky/kx scan order (`>` keeps the
+            // first maximum, bit-identical to the general path).
+            let keep = |acc: f32, v: f32| if v > acc { v } else { acc };
+            for ch in 0..planes {
+                let plane = &xd[ch * h * w..][..h * w];
+                for oy in 0..oh {
+                    let r0 = &plane[2 * oy * w..][..w];
+                    let r1 = &plane[(2 * oy + 1) * w..][..w];
+                    let orow = &mut od[(ch * oh + oy) * ow..][..ow];
+                    for (o, (p0, p1)) in orow
+                        .iter_mut()
+                        .zip(r0.chunks_exact(2).zip(r1.chunks_exact(2)))
+                    {
+                        let m = keep(keep(f32::NEG_INFINITY, p0[0]), p0[1]);
+                        *o = keep(keep(m, p1[0]), p1[1]);
+                    }
+                }
+            }
+            return;
+        }
+        for ch in 0..planes {
             for oy in 0..oh {
                 for ox in 0..ow {
                     let mut best = f32::NEG_INFINITY;
@@ -193,7 +514,6 @@ impl MaxPool2d {
                 }
             }
         }
-        out
     }
 
     fn backward(&self, x: &Tensor, gout: &Tensor) -> Tensor {
@@ -259,7 +579,62 @@ impl Dense {
         }
     }
 
-    fn forward(&self, x: &Tensor) -> Tensor {
+    /// GEMM-backed forward pass: `y = W . x + b` through the `n == 1`
+    /// matvec fast path of [`gemm::sgemm`].
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.len(), self.in_dim, "Dense input width mismatch");
+        let mut out = self.bias.data().to_vec();
+        gemm::sgemm(
+            self.out_dim,
+            1,
+            self.in_dim,
+            1.0,
+            self.weight.data(),
+            Trans::No,
+            x.data(),
+            Trans::No,
+            1.0,
+            &mut out,
+        );
+        Tensor::from_vec(&[self.out_dim], out)
+    }
+
+    /// Batched forward pass: rows of `X [N, in_dim]` are the samples,
+    /// so the whole batch is one `Y = X . W^T + b` product.
+    pub fn forward_batch(&self, xs: &[Tensor]) -> Vec<Tensor> {
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        let nb = xs.len();
+        let mut xmat = vec![0.0f32; nb * self.in_dim];
+        for (x, row) in xs.iter().zip(xmat.chunks_mut(self.in_dim)) {
+            assert_eq!(x.len(), self.in_dim, "Dense input width mismatch");
+            row.copy_from_slice(x.data());
+        }
+        let mut y = vec![0.0f32; nb * self.out_dim];
+        for row in y.chunks_mut(self.out_dim) {
+            row.copy_from_slice(self.bias.data());
+        }
+        gemm::sgemm(
+            nb,
+            self.out_dim,
+            self.in_dim,
+            1.0,
+            &xmat,
+            Trans::No,
+            self.weight.data(),
+            Trans::Yes,
+            1.0,
+            &mut y,
+        );
+        y.chunks(self.out_dim)
+            .map(|row| Tensor::from_vec(&[self.out_dim], row.to_vec()))
+            .collect()
+    }
+
+    /// Naive matvec forward pass, the correctness reference for
+    /// [`Self::forward`].
+    pub fn forward_reference(&self, x: &Tensor) -> Tensor {
         assert_eq!(x.len(), self.in_dim, "Dense input width mismatch");
         let xd = x.data();
         let wd = self.weight.data();
@@ -276,7 +651,43 @@ impl Dense {
         Tensor::from_vec(&[self.out_dim], out)
     }
 
-    fn backward(&self, x: &Tensor, gout: &Tensor) -> (Tensor, Vec<Tensor>) {
+    /// GEMM-backed backward pass: the rank-1 update `gW = gout . x^T`
+    /// and the transposed matvec `gin = W^T . gout`.
+    pub fn backward(&self, x: &Tensor, gout: &Tensor) -> (Tensor, Vec<Tensor>) {
+        debug_assert_eq!(gout.len(), self.out_dim);
+        let mut gw = Tensor::zeros(self.weight.shape());
+        let mut gin = Tensor::zeros(x.shape());
+        gemm::sgemm(
+            self.out_dim,
+            self.in_dim,
+            1,
+            1.0,
+            gout.data(),
+            Trans::No,
+            x.data(),
+            Trans::No,
+            0.0,
+            gw.data_mut(),
+        );
+        gemm::sgemm(
+            self.in_dim,
+            1,
+            self.out_dim,
+            1.0,
+            self.weight.data(),
+            Trans::Yes,
+            gout.data(),
+            Trans::No,
+            0.0,
+            gin.data_mut(),
+        );
+        let gb = Tensor::from_vec(&[self.out_dim], gout.data().to_vec());
+        (gin, vec![gw, gb])
+    }
+
+    /// Naive backward pass, the correctness reference for
+    /// [`Self::backward`].
+    pub fn backward_reference(&self, x: &Tensor, gout: &Tensor) -> (Tensor, Vec<Tensor>) {
         debug_assert_eq!(gout.len(), self.out_dim);
         let xd = x.data();
         let god = gout.data();
@@ -286,8 +697,7 @@ impl Dense {
         {
             let gwd = gw.data_mut();
             let gind = gin.data_mut();
-            for o in 0..self.out_dim {
-                let g = god[o];
+            for (o, &g) in god.iter().enumerate() {
                 if g == 0.0 {
                     continue;
                 }
@@ -326,15 +736,55 @@ impl Layer {
             Layer::MaxPool2d(l) => l.forward(x),
             Layer::Relu => {
                 let mut out = x.clone();
+                // Written as a select, not a conditional store: random-
+                // sign activations make the branch unpredictable, and
+                // the select form vectorises.
                 for v in out.data_mut() {
-                    if *v < 0.0 {
-                        *v = 0.0;
-                    }
+                    *v = if *v < 0.0 { 0.0 } else { *v };
                 }
                 out
             }
             Layer::Flatten => x.clone().reshape(&[x.len()]),
             Layer::Dense(l) => l.forward(x),
+        }
+    }
+
+    /// Batched forward pass over same-shaped inputs. Convolution and
+    /// dense layers fuse the batch into a single GEMM; the cheap
+    /// elementwise/pooling layers map over the samples.
+    pub fn forward_batch(&self, xs: &[Tensor]) -> Vec<Tensor> {
+        match self {
+            Layer::Conv2d(l) => l.forward_batch(xs),
+            Layer::Dense(l) => l.forward_batch(xs),
+            _ => xs.iter().map(|x| self.forward(x)).collect(),
+        }
+    }
+
+    /// Forward pass on a packed `[c, n, h, w]` batch (see
+    /// [`pack_batch`]). Returns `None` for layers that need per-sample
+    /// tensors (`Flatten`, `Dense`) — the caller unpacks there and
+    /// continues sample-wise.
+    pub fn forward_packed(&self, x: &Tensor) -> Option<Tensor> {
+        match self {
+            Layer::Conv2d(l) => Some(l.forward_packed(x)),
+            Layer::MaxPool2d(l) => {
+                let [c, n, h, w] = *x.shape() else {
+                    panic!("packed MaxPool2d expects [c, n, h, w], got {:?}", x.shape())
+                };
+                let (oh, ow) = l.out_hw(h, w);
+                let mut out = Tensor::zeros(&[c, n, oh, ow]);
+                l.pool_planes(x.data(), c * n, h, w, out.data_mut());
+                Some(out)
+            }
+            Layer::Relu => {
+                let mut out = x.clone();
+                // Select, not a conditional store — see `forward`.
+                for v in out.data_mut() {
+                    *v = if *v < 0.0 { 0.0 } else { *v };
+                }
+                Some(out)
+            }
+            Layer::Flatten | Layer::Dense(_) => None,
         }
     }
 
@@ -346,10 +796,9 @@ impl Layer {
             Layer::MaxPool2d(l) => (l.backward(x, gout), Vec::new()),
             Layer::Relu => {
                 let mut gin = gout.clone();
+                // Select, not a conditional store — see `forward`.
                 for (g, &v) in gin.data_mut().iter_mut().zip(x.data()) {
-                    if v <= 0.0 {
-                        *g = 0.0;
-                    }
+                    *g = if v <= 0.0 { 0.0 } else { *g };
                 }
                 (gin, Vec::new())
             }
@@ -416,6 +865,68 @@ impl Layer {
     }
 }
 
+/// Packs `n` same-shaped `[c, h, w]` samples into the `[c, n, h, w]`
+/// batch layout [`Layer::forward_packed`] consumes: channel `ic` of
+/// sample `si` lands at plane `ic*n + si`, so every channel's per-
+/// sample planes sit side by side and a convolution's batched GEMM
+/// output is already in this layout. Returns `None` when the samples
+/// are not 3-D images (dense-only stacks take the sample-wise path).
+pub fn pack_batch(xs: &[Tensor]) -> Option<Tensor> {
+    if !matches!(xs.first()?.shape(), [_, _, _]) {
+        return None;
+    }
+    let mut d = Vec::new();
+    let shape = pack_batch_into(xs, &mut d);
+    Some(Tensor::from_vec(&shape, d))
+}
+
+/// Buffer-level core of [`pack_batch`] (the samples must already be
+/// known to be 3-D). `out` is grown, never shrunk; only the returned
+/// `[c, n, h, w]` extent is meaningful.
+pub(crate) fn pack_batch_into(xs: &[Tensor], out: &mut Vec<f32>) -> [usize; 4] {
+    let [c, h, w] = *xs[0].shape() else {
+        panic!(
+            "pack_batch expects [c, h, w] samples, got {:?}",
+            xs[0].shape()
+        )
+    };
+    let plane = h * w;
+    let n = xs.len();
+    if out.len() < c * n * plane {
+        out.resize(c * n * plane, 0.0);
+    }
+    for (si, x) in xs.iter().enumerate() {
+        assert_eq!(x.shape(), xs[0].shape(), "batch shape mismatch");
+        for ic in 0..c {
+            out[(ic * n + si) * plane..][..plane].copy_from_slice(&x.data()[ic * plane..][..plane]);
+        }
+    }
+    [c, n, h, w]
+}
+
+/// Splits a packed `[c, n, h, w]` batch back into `n` per-sample
+/// `[c, h, w]` tensors: the inverse of [`pack_batch`].
+pub fn unpack_batch(x: &Tensor) -> Vec<Tensor> {
+    let [c, n, h, w] = *x.shape() else {
+        panic!("unpack_batch expects [c, n, h, w], got {:?}", x.shape())
+    };
+    unpack_planes(x.data(), c, n, h, w)
+}
+
+/// Buffer-level core of [`unpack_batch`].
+pub(crate) fn unpack_planes(xd: &[f32], c: usize, n: usize, h: usize, w: usize) -> Vec<Tensor> {
+    let plane = h * w;
+    (0..n)
+        .map(|si| {
+            let mut d = vec![0.0f32; c * plane];
+            for ic in 0..c {
+                d[ic * plane..][..plane].copy_from_slice(&xd[(ic * n + si) * plane..][..plane]);
+            }
+            Tensor::from_vec(&[c, h, w], d)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -465,9 +976,11 @@ mod tests {
             );
         }
 
-        // Check parameter gradients on a sample of positions.
-        let n_params = layer.params().len();
-        for p in 0..n_params {
+        // Check parameter gradients on a sample of positions. `p`
+        // indexes the layer's params afresh each use because the layer
+        // is mutated inside the loop, so a range loop is the shape.
+        #[allow(clippy::needless_range_loop)]
+        for p in 0..layer.params().len() {
             let plen = layer.params()[p].len();
             for idx in (0..plen).step_by((plen / 13).max(1)) {
                 let orig = layer.params()[p].data()[idx];
@@ -619,6 +1132,146 @@ mod tests {
         assert_eq!(waypoints[5], vec![32, 16, 16]);
         assert_eq!(waypoints[8], vec![64, 4, 4]);
         assert_eq!(waypoints[9], vec![1024]);
+    }
+
+    fn rand_tensor(shape: &[usize], rng: &mut StdRng) -> Tensor {
+        let d = Normal::new(0.0, 1.0).unwrap();
+        let vol: usize = shape.iter().product();
+        Tensor::from_vec(shape, (0..vol).map(|_| d.sample(rng) as f32).collect())
+    }
+
+    fn assert_close(got: &Tensor, want: &Tensor, what: &str) {
+        assert_eq!(got.shape(), want.shape(), "{what} shape");
+        for (i, (g, w)) in got.data().iter().zip(want.data()).enumerate() {
+            assert!(
+                (g - w).abs() <= 1e-4 * (1.0 + w.abs()),
+                "{what}[{i}]: {g} vs {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn conv_gemm_path_matches_reference() {
+        let mut r = rng();
+        for &(in_ch, out_ch, stride, hw) in &[(1, 4, 1, 9), (2, 3, 2, 8), (3, 5, 1, 6)] {
+            let conv = Conv2d::new(in_ch, out_ch, 3, stride, &mut r);
+            let x = rand_tensor(&[in_ch, hw, hw], &mut r);
+            assert_close(&conv.forward(&x), &conv.forward_reference(&x), "fwd");
+            let gout = rand_tensor(conv.forward(&x).shape(), &mut r);
+            let (gin, gp) = conv.backward(&x, &gout);
+            let (gin_r, gp_r) = conv.backward_reference(&x, &gout);
+            assert_close(&gin, &gin_r, "gin");
+            assert_close(&gp[0], &gp_r[0], "gw");
+            assert_close(&gp[1], &gp_r[1], "gb");
+        }
+    }
+
+    #[test]
+    fn dense_gemm_path_matches_reference() {
+        let mut r = rng();
+        let d = Dense::new(37, 11, &mut r);
+        let x = rand_tensor(&[37], &mut r);
+        assert_close(&d.forward(&x), &d.forward_reference(&x), "fwd");
+        let gout = rand_tensor(&[11], &mut r);
+        let (gin, gp) = d.backward(&x, &gout);
+        let (gin_r, gp_r) = d.backward_reference(&x, &gout);
+        assert_close(&gin, &gin_r, "gin");
+        assert_close(&gp[0], &gp_r[0], "gw");
+        assert_close(&gp[1], &gp_r[1], "gb");
+    }
+
+    #[test]
+    fn conv_batched_forward_matches_single() {
+        let mut r = rng();
+        let conv = Conv2d::new(2, 4, 3, 2, &mut r);
+        let xs: Vec<Tensor> = (0..5).map(|_| rand_tensor(&[2, 9, 9], &mut r)).collect();
+        let batched = conv.forward_batch(&xs);
+        assert_eq!(batched.len(), xs.len());
+        for (x, got) in xs.iter().zip(&batched) {
+            assert_close(got, &conv.forward(x), "batched conv");
+        }
+        assert!(conv.forward_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn pack_unpack_batch_round_trips() {
+        let mut r = rng();
+        let xs: Vec<Tensor> = (0..4).map(|_| rand_tensor(&[3, 5, 6], &mut r)).collect();
+        let packed = pack_batch(&xs).expect("3-D samples pack");
+        assert_eq!(packed.shape(), &[3, 4, 5, 6]);
+        for (orig, got) in xs.iter().zip(unpack_batch(&packed)) {
+            assert_eq!(orig, &got, "pack/unpack must round-trip exactly");
+        }
+        // 1-D samples (dense-only stacks) are not packable.
+        assert!(pack_batch(&[rand_tensor(&[7], &mut r)]).is_none());
+    }
+
+    #[test]
+    fn packed_layer_walk_matches_per_sample_forward() {
+        let mut r = rng();
+        let conv = Conv2d::new(2, 4, 3, 1, &mut r);
+        let xs: Vec<Tensor> = (0..5).map(|_| rand_tensor(&[2, 8, 8], &mut r)).collect();
+        // Conv entry from per-sample tensors lands in the packed
+        // layout; pool/relu keep it; results match sample-wise runs.
+        let mut packed = conv.forward_batch_packed(&xs);
+        let single = conv.forward(&xs[0]);
+        assert_eq!(
+            packed.shape(),
+            &[single.shape()[0], 5, single.shape()[1], single.shape()[2]],
+            "packed output shape interleaves the batch dimension"
+        );
+        let pipeline = [Layer::Relu, Layer::MaxPool2d(MaxPool2d { size: 2 })];
+        for layer in &pipeline {
+            packed = layer.forward_packed(&packed).expect("packable layer");
+        }
+        let mut want: Vec<Tensor> = xs.iter().map(|x| conv.forward(x)).collect();
+        for layer in &pipeline {
+            want = want.iter().map(|x| layer.forward(x)).collect();
+        }
+        for (w, got) in want.iter().zip(unpack_batch(&packed)) {
+            assert_eq!(w, &got, "packed walk must match per-sample layers exactly");
+        }
+        // Conv2d::forward_packed consumes the packed layout directly.
+        let repacked = pack_batch(&xs).unwrap();
+        for (w, got) in xs
+            .iter()
+            .map(|x| conv.forward(x))
+            .zip(unpack_batch(&conv.forward_packed(&repacked)))
+        {
+            assert_eq!(
+                &w, &got,
+                "packed conv must match single-sample conv exactly"
+            );
+        }
+    }
+
+    #[test]
+    fn dense_batched_forward_matches_single() {
+        let mut r = rng();
+        let d = Dense::new(24, 7, &mut r);
+        let xs: Vec<Tensor> = (0..9).map(|_| rand_tensor(&[24], &mut r)).collect();
+        let batched = d.forward_batch(&xs);
+        assert_eq!(batched.len(), xs.len());
+        for (x, got) in xs.iter().zip(&batched) {
+            assert_close(got, &d.forward(x), "batched dense");
+        }
+        assert!(d.forward_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn layer_forward_batch_maps_elementwise_layers() {
+        let mut r = rng();
+        let xs: Vec<Tensor> = (0..3).map(|_| rand_tensor(&[2, 4, 4], &mut r)).collect();
+        for layer in [
+            Layer::Relu,
+            Layer::MaxPool2d(MaxPool2d { size: 2 }),
+            Layer::Flatten,
+        ] {
+            let batched = layer.forward_batch(&xs);
+            for (x, got) in xs.iter().zip(&batched) {
+                assert_eq!(got, &layer.forward(x));
+            }
+        }
     }
 
     #[test]

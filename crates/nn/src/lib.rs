@@ -5,8 +5,12 @@
 //! on the CPU:
 //!
 //! * [`tensor`] — a minimal dense `f32` tensor.
+//! * [`gemm`] — the compute core: cache-blocked parallel [`gemm::sgemm`]
+//!   plus im2col/col2im lowering and reusable scratch buffers.
 //! * [`layers`] — Conv2d / MaxPool2d / ReLU / Flatten / Dense with
-//!   hand-derived backward passes (finite-difference-checked in tests).
+//!   hand-derived backward passes (finite-difference-checked in tests);
+//!   convolution and dense evaluate through the GEMM core, with the
+//!   original naive loops kept as `*_reference` pins.
 //! * [`network`] — [`network::Sequential`] stacks and the two-part
 //!   [`network::Cnn`] expressing both the late-merging structure
 //!   (Figures 7/10) and the early-merging baseline (Figure 6).
@@ -18,6 +22,7 @@
 //!   Section 6 (continuous evolvement / top evolvement / from scratch).
 //! * [`serialize`] — JSON model persistence.
 
+pub mod gemm;
 pub mod layers;
 pub mod loss;
 pub mod network;

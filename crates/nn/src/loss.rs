@@ -69,8 +69,8 @@ mod tests {
             lp.data_mut()[i] += eps;
             let mut lm = logits.clone();
             lm.data_mut()[i] -= eps;
-            let num = (softmax_cross_entropy(&lp, 1).0 - softmax_cross_entropy(&lm, 1).0)
-                / (2.0 * eps);
+            let num =
+                (softmax_cross_entropy(&lp, 1).0 - softmax_cross_entropy(&lm, 1).0) / (2.0 * eps);
             assert!(
                 (num - grad.data()[i]).abs() < 1e-3,
                 "at {i}: {num} vs {}",

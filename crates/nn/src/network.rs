@@ -9,7 +9,8 @@
 //! (Figure 6) is the degenerate case of a single tower consuming all
 //! channels stacked into one multi-channel image.
 
-use crate::layers::Layer;
+use crate::gemm;
+use crate::layers::{self, Layer};
 use crate::tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -44,6 +45,88 @@ impl Sequential {
         let mut cur = x.clone();
         for l in &self.layers {
             cur = l.forward(&cur);
+        }
+        cur
+    }
+
+    /// Batched forward pass over same-shaped inputs: each GEMM-backed
+    /// layer processes the whole batch in one product.
+    pub fn forward_batch(&self, xs: Vec<Tensor>) -> Vec<Tensor> {
+        let mut cur = xs;
+        let mut li = 0;
+        // Image-shaped batches run the convolutional prefix packed as
+        // one `[c, n, h, w]` block (see `layers::pack_batch`): each
+        // conv/pool/relu layer hands the whole batch along without
+        // per-sample unpack copies. A leading convolution lowers the
+        // per-sample inputs directly into the packed layout; otherwise
+        // the batch is packed up front. The walk ping-pongs between two
+        // recycled scratch buffers (batch-sized activations live above
+        // the allocator's mmap threshold, so fresh allocations would
+        // page-fault on every layer) and ReLU runs in place.
+        // Sample-wise processing resumes at the first layer that needs
+        // individual tensors (`Flatten`).
+        let packable = matches!(
+            self.layers.first(),
+            Some(Layer::Conv2d(_) | Layer::MaxPool2d(_) | Layer::Relu)
+        );
+        if cur.len() > 1 && cur[0].shape().len() == 3 && packable {
+            cur = gemm::with_scratch(|s| {
+                let mut ping = std::mem::take(&mut s.ping);
+                let mut pong = std::mem::take(&mut s.pong);
+                let mut shape = match &self.layers[0] {
+                    Layer::Conv2d(l) => {
+                        li = 1;
+                        l.forward_batch_packed_into(&cur, &mut s.col, &mut ping)
+                    }
+                    _ => layers::pack_batch_into(&cur, &mut ping),
+                };
+                while li < self.layers.len() {
+                    let [c, n, h, w] = shape;
+                    match &self.layers[li] {
+                        Layer::Conv2d(l) => {
+                            shape = l.forward_packed_into(
+                                &ping[..c * n * h * w],
+                                n,
+                                h,
+                                w,
+                                &mut s.col,
+                                &mut pong,
+                            );
+                            std::mem::swap(&mut ping, &mut pong);
+                        }
+                        Layer::MaxPool2d(l) => {
+                            let (oh, ow) = l.out_hw(h, w);
+                            if pong.len() < c * n * oh * ow {
+                                pong.resize(c * n * oh * ow, 0.0);
+                            }
+                            l.pool_planes(
+                                &ping[..c * n * h * w],
+                                c * n,
+                                h,
+                                w,
+                                &mut pong[..c * n * oh * ow],
+                            );
+                            shape = [c, n, oh, ow];
+                            std::mem::swap(&mut ping, &mut pong);
+                        }
+                        Layer::Relu => {
+                            for v in &mut ping[..c * n * h * w] {
+                                *v = if *v < 0.0 { 0.0 } else { *v };
+                            }
+                        }
+                        Layer::Flatten | Layer::Dense(_) => break,
+                    }
+                    li += 1;
+                }
+                let [c, n, h, w] = shape;
+                let out = layers::unpack_planes(&ping[..c * n * h * w], c, n, h, w);
+                s.ping = ping;
+                s.pong = pong;
+                out
+            });
+        }
+        for l in &self.layers[li..] {
+            cur = l.forward_batch(&cur);
         }
         cur
     }
@@ -89,7 +172,12 @@ impl Sequential {
     pub fn zero_grads(&self) -> SeqGrads {
         self.layers
             .iter()
-            .map(|l| l.params().iter().map(|p| Tensor::zeros(p.shape())).collect())
+            .map(|l| {
+                l.params()
+                    .iter()
+                    .map(|p| Tensor::zeros(p.shape()))
+                    .collect()
+            })
             .collect()
     }
 
@@ -233,6 +321,51 @@ impl Cnn {
         self.head.forward(&merged)
     }
 
+    /// Batched forward pass over many samples' channel sets, returning
+    /// one logits tensor per sample. Samples are packed so every
+    /// convolution and dense layer runs a single GEMM per tower (or
+    /// head) for the whole batch — this is the inference path behind
+    /// [`crate::train::evaluate`] and the selector's batched
+    /// prediction.
+    pub fn forward_batch(&self, batch: &[&[Tensor]]) -> Vec<Tensor> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        // Transpose the per-sample tower inputs into per-tower batches
+        // up front so each tensor moves (rather than clones) into its
+        // tower's batched forward pass.
+        let mut by_tower: Vec<Vec<Tensor>> = (0..self.towers.len())
+            .map(|_| Vec::with_capacity(batch.len()))
+            .collect();
+        for ch in batch {
+            for (ti, x) in self.tower_inputs(ch).into_iter().enumerate() {
+                by_tower[ti].push(x);
+            }
+        }
+        let mut feats: Vec<Vec<Tensor>> = vec![Vec::with_capacity(self.towers.len()); batch.len()];
+        for (tower, xs) in self.towers.iter().zip(by_tower) {
+            for (f, o) in feats.iter_mut().zip(tower.forward_batch(xs)) {
+                f.push(o);
+            }
+        }
+        let merged: Vec<Tensor> = feats
+            .iter()
+            .map(|fs| {
+                let refs: Vec<&Tensor> = fs.iter().collect();
+                Tensor::concat_flat(&refs)
+            })
+            .collect();
+        self.head.forward_batch(merged)
+    }
+
+    /// Batched argmax predictions, parallel to `batch`.
+    pub fn predict_batch(&self, batch: &[&[Tensor]]) -> Vec<usize> {
+        self.forward_batch(batch)
+            .iter()
+            .map(|logits| argmax(logits.data()))
+            .collect()
+    }
+
     /// Forward pass with activation caching for backprop.
     pub fn forward_cached(&self, channels: &[Tensor]) -> CnnCache {
         let tower_inputs = self.tower_inputs(channels);
@@ -302,7 +435,11 @@ impl Cnn {
 
     /// Total trainable parameter count.
     pub fn num_params(&self) -> usize {
-        self.towers.iter().map(Sequential::num_params).sum::<usize>() + self.head.num_params()
+        self.towers
+            .iter()
+            .map(Sequential::num_params)
+            .sum::<usize>()
+            + self.head.num_params()
     }
 
     /// Predicted class (argmax of the logits).
@@ -365,7 +502,10 @@ mod tests {
         let d = Normal::new(0.0, 1.0).unwrap();
         (0..channels)
             .map(|_| {
-                Tensor::from_vec(&[8, 8], (0..64).map(|_| d.sample(&mut rng) as f32).collect())
+                Tensor::from_vec(
+                    &[8, 8],
+                    (0..64).map(|_| d.sample(&mut rng) as f32).collect(),
+                )
             })
             .collect()
     }
@@ -391,6 +531,28 @@ mod tests {
         let plain = net.forward(&ch);
         let cache = net.forward_cached(&ch);
         assert_eq!(cache.logits, plain);
+    }
+
+    #[test]
+    fn batched_forward_matches_single_samples() {
+        for (towers, channels, seed) in [(2usize, 2usize, 21u64), (1, 2, 22)] {
+            let net = tiny_cnn(towers, channels, seed);
+            let samples: Vec<Vec<Tensor>> =
+                (0..5).map(|i| sample_channels(channels, 100 + i)).collect();
+            let refs: Vec<&[Tensor]> = samples.iter().map(|s| s.as_slice()).collect();
+            let batched = net.forward_batch(&refs);
+            assert_eq!(batched.len(), samples.len());
+            for (s, got) in samples.iter().zip(&batched) {
+                let want = net.forward(s);
+                assert_eq!(got.shape(), want.shape());
+                for (g, w) in got.data().iter().zip(want.data()) {
+                    assert!((g - w).abs() <= 1e-4 * (1.0 + w.abs()), "{g} vs {w}");
+                }
+            }
+            let preds = net.predict_batch(&refs);
+            assert_eq!(preds.len(), samples.len());
+            assert!(net.forward_batch(&[]).is_empty());
+        }
     }
 
     #[test]
@@ -470,7 +632,10 @@ mod tests {
         let mut net = tiny_cnn(2, 2, 1);
         let tags: Vec<bool> = net.params_mut_flat().iter().map(|(_, t)| *t).collect();
         // Two towers with one conv each (2 tensors) then head (4).
-        assert_eq!(tags, vec![true, true, true, true, false, false, false, false]);
+        assert_eq!(
+            tags,
+            vec![true, true, true, true, false, false, false, false]
+        );
     }
 
     #[test]

@@ -89,7 +89,11 @@ impl Optimizer {
         self.t += 1;
         let flat = grads.flat();
         let params = net.params_mut_flat();
-        assert_eq!(flat.len(), params.len(), "gradient/parameter layout mismatch");
+        assert_eq!(
+            flat.len(),
+            params.len(),
+            "gradient/parameter layout mismatch"
+        );
         for (i, (param, in_tower)) in params.into_iter().enumerate() {
             if self.freeze_towers && in_tower {
                 continue;

@@ -121,9 +121,7 @@ pub fn describe_structure(net: &Cnn) -> String {
         1
     };
     for (ti, t) in net.towers.iter().enumerate() {
-        out.push_str(&format!(
-            "tower {ti}: INPUT({h} x {w} x {in_ch})\n"
-        ));
+        out.push_str(&format!("tower {ti}: INPUT({h} x {w} x {in_ch})\n"));
         let mut shape = vec![in_ch, h, w];
         for l in &t.layers {
             shape = l.out_shape(&shape);
@@ -140,9 +138,17 @@ pub fn describe_structure(net: &Cnn) -> String {
         .towers
         .iter()
         .map(|t| {
-            t.out_shape(&[if net.towers.len() == 1 { net.num_channels } else { 1 }, h, w])
-                .iter()
-                .product::<usize>()
+            t.out_shape(&[
+                if net.towers.len() == 1 {
+                    net.num_channels
+                } else {
+                    1
+                },
+                h,
+                w,
+            ])
+            .iter()
+            .product::<usize>()
         })
         .sum::<usize>()];
     for l in &net.head.layers {
@@ -181,10 +187,7 @@ mod tests {
         let t = &net.towers[0];
         // After conv1+pool: 16x64x64; conv2+pool: 32x16x16;
         // conv3+pool: 64x4x4; flatten: 1024 (Figure 10's waypoints).
-        assert_eq!(
-            t.out_shape(&[1, 128, 128]),
-            vec![1024],
-        );
+        assert_eq!(t.out_shape(&[1, 128, 128]), vec![1024],);
         let partial = Sequential::new(t.layers[..3].to_vec());
         assert_eq!(partial.out_shape(&[1, 128, 128]), vec![16, 64, 64]);
         let partial = Sequential::new(t.layers[..6].to_vec());

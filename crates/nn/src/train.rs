@@ -109,16 +109,40 @@ fn train_step(net: &mut Cnn, samples: &[Sample], batch: &[usize], opt: &mut Opti
     lsum * scale
 }
 
+/// Inference batch size for [`evaluate`] and [`confusion_matrix`]:
+/// chunks of this many samples are packed into one GEMM per layer.
+pub const EVAL_BATCH: usize = 64;
+
 /// Fraction of samples whose argmax prediction matches the label.
+///
+/// Inference runs through [`Cnn::predict_batch`] in chunks of
+/// [`EVAL_BATCH`] samples, so each network layer does one GEMM per
+/// chunk instead of one per sample.
+///
+/// An empty slice scores `0.0` — a defined value rather than the
+/// `0 / 0 = NaN` a naive ratio would produce — and a single sample
+/// degenerates to a batch of one (scoring exactly `0.0` or `1.0`).
 pub fn evaluate(net: &Cnn, samples: &[Sample]) -> f64 {
     if samples.is_empty() {
         return 0.0;
     }
-    let correct: usize = samples
-        .par_iter()
-        .map(|s| (net.predict(&s.channels) == s.label) as usize)
-        .sum();
+    let correct: usize = batched_predictions(net, samples)
+        .into_iter()
+        .zip(samples)
+        .filter(|(p, s)| *p == s.label)
+        .count();
     correct as f64 / samples.len() as f64
+}
+
+/// Predicted label for every sample, via chunked batched inference.
+fn batched_predictions(net: &Cnn, samples: &[Sample]) -> Vec<usize> {
+    let mut preds = Vec::with_capacity(samples.len());
+    for chunk in samples.chunks(EVAL_BATCH) {
+        let refs: Vec<&[crate::tensor::Tensor]> =
+            chunk.iter().map(|s| s.channels.as_slice()).collect();
+        preds.extend(net.predict_batch(&refs));
+    }
+    preds
 }
 
 /// Class-probability vector for one sample.
@@ -126,15 +150,12 @@ pub fn predict_proba(net: &Cnn, channels: &[crate::tensor::Tensor]) -> Vec<f32> 
     softmax(net.forward(channels).data())
 }
 
-/// `confusion[truth][predicted]` counts over `samples`.
+/// `confusion[truth][predicted]` counts over `samples`, using the
+/// same chunked batched inference as [`evaluate`].
 pub fn confusion_matrix(net: &Cnn, samples: &[Sample], classes: usize) -> Vec<Vec<usize>> {
     let mut m = vec![vec![0usize; classes]; classes];
-    let preds: Vec<(usize, usize)> = samples
-        .par_iter()
-        .map(|s| (s.label, net.predict(&s.channels)))
-        .collect();
-    for (t, p) in preds {
-        m[t][p] += 1;
+    for (p, s) in batched_predictions(net, samples).into_iter().zip(samples) {
+        m[s.label][p] += 1;
     }
     m
 }
@@ -264,6 +285,40 @@ mod tests {
         let report = train(&mut net, &[], &TrainConfig::default());
         assert!(report.loss_history.is_empty());
         assert_eq!(net, before);
+    }
+
+    #[test]
+    fn evaluate_empty_slice_is_zero_not_nan() {
+        let net = toy_net(1);
+        let acc = evaluate(&net, &[]);
+        assert_eq!(acc, 0.0);
+        assert!(!acc.is_nan());
+    }
+
+    #[test]
+    fn evaluate_single_sample_is_zero_or_one() {
+        let net = toy_net(1);
+        let samples = toy_samples(1, 2);
+        let acc = evaluate(&net, &samples);
+        assert!(acc == 0.0 || acc == 1.0, "got {acc}");
+        // Consistent with the per-sample prediction path.
+        let want = (net.predict(&samples[0].channels) == samples[0].label) as usize as f64;
+        assert_eq!(acc, want);
+    }
+
+    #[test]
+    fn evaluate_crosses_batch_boundaries_consistently() {
+        // More samples than EVAL_BATCH: chunked batching must count
+        // every sample exactly once.
+        let samples = toy_samples(EVAL_BATCH + 9, 5);
+        let net = toy_net(3);
+        let acc = evaluate(&net, &samples);
+        let per_sample = samples
+            .iter()
+            .filter(|s| net.predict(&s.channels) == s.label)
+            .count() as f64
+            / samples.len() as f64;
+        assert!((acc - per_sample).abs() < 1e-12, "{acc} vs {per_sample}");
     }
 
     #[test]

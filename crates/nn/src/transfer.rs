@@ -302,4 +302,3 @@ mod tests {
         assert_eq!(Migration::ALL.len(), 3);
     }
 }
-

@@ -39,10 +39,7 @@ pub fn best_format<S: Scalar>(matrix: &CooMatrix<S>, platform: &PlatformModel) -
 
 /// Labels every matrix (class index into the platform's format set),
 /// in parallel.
-pub fn label_dataset<S: Scalar>(
-    matrices: &[CooMatrix<S>],
-    platform: &PlatformModel,
-) -> Vec<usize> {
+pub fn label_dataset<S: Scalar>(matrices: &[CooMatrix<S>], platform: &PlatformModel) -> Vec<usize> {
     label_dataset_noisy(matrices, platform, 0.0, 0)
 }
 
@@ -91,7 +88,7 @@ fn hash_normal(a: u64, b: u64, seed: u64) -> f64 {
     let mut x = a
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
         .wrapping_add(b.wrapping_mul(0xC2B2_AE3D_27D4_EB4F))
-        .wrapping_add(seed.wrapping_mul(0x165_667B1_9E37_79F9));
+        .wrapping_add(seed.wrapping_mul(0x1656_67B1_9E37_79F9));
     let mut sum = 0.0f64;
     for _ in 0..4 {
         // xorshift64* step.
@@ -158,9 +155,7 @@ mod tests {
     fn label_dataset_is_consistent_with_best_format() {
         let mats: Vec<CooMatrix<f32>> = (0..4)
             .map(|k| {
-                let t: Vec<_> = (0..64)
-                    .map(|i| (i, (i * (k + 1)) % 64, 1.0f32))
-                    .collect();
+                let t: Vec<_> = (0..64).map(|i| (i, (i * (k + 1)) % 64, 1.0f32)).collect();
                 CooMatrix::from_triplets(64, 64, &t).unwrap()
             })
             .collect();

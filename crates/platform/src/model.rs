@@ -191,8 +191,7 @@ impl PlatformModel {
     /// profile's exact distance distribution — spatial information the
     /// scalar feature vector only sees as a mean and a maximum.
     fn gather_bytes(&self, p: &WorkloadProfile, accesses: f64) -> f64 {
-        let window = (self.cache_bytes / VAL_BYTES)
-            .max(p.stats.ncols as f64 * self.locality_frac);
+        let window = (self.cache_bytes / VAL_BYTES).max(p.stats.ncols as f64 * self.locality_frac);
         let miss = 1.0 - p.dist_within(window);
         accesses * miss * LINE_BYTES
     }
@@ -209,9 +208,7 @@ impl PlatformModel {
 
         let (bytes, elements, extra) = match format {
             SparseFormat::Coo => {
-                let b = nnz * (VAL_BYTES + 2.0 * IDX_BYTES)
-                    + y_bytes
-                    + self.gather_bytes(p, nnz);
+                let b = nnz * (VAL_BYTES + 2.0 * IDX_BYTES) + y_bytes + self.gather_bytes(p, nnz);
                 // Atomic / merge updates serialise under contention.
                 (b, nnz, nnz * self.atomic_ns)
             }
@@ -331,7 +328,9 @@ impl PlatformModel {
             SparseFormat::Bsr => ((s.nblocks * 16) as f64 * VAL_BYTES, 2.0),
             // Tile descriptors need a scan plus per-tile setup.
             SparseFormat::Csr5 => (
-                nnz * (VAL_BYTES + IDX_BYTES) + (m + 1.0) * PTR_BYTES + (nnz / TILE_NNZ).ceil() * 8.0,
+                nnz * (VAL_BYTES + IDX_BYTES)
+                    + (m + 1.0) * PTR_BYTES
+                    + (nnz / TILE_NNZ).ceil() * 8.0,
                 1.0,
             ),
         };
@@ -416,9 +415,7 @@ mod tests {
     fn sparse_diagonals_do_not_favour_dia() {
         // Entries scattered over many half-empty diagonals.
         let n = 512;
-        let t: Vec<_> = (0..n)
-            .map(|i| (i, (i * 97 + 13) % n, 1.0f32))
-            .collect();
+        let t: Vec<_> = (0..n).map(|i| (i, (i * 97 + 13) % n, 1.0f32)).collect();
         let m = CooMatrix::from_triplets(n, n, &t).unwrap();
         let p = profile(&m);
         let intel = PlatformModel::intel_cpu();
@@ -450,7 +447,9 @@ mod tests {
     #[test]
     fn hypersparse_favours_coo_on_cpu() {
         let n = 4096;
-        let t: Vec<_> = (0..40).map(|k| (k * 97 % n, (k * 31) % n, 1.0f32)).collect();
+        let t: Vec<_> = (0..40)
+            .map(|k| (k * 97 % n, (k * 31) % n, 1.0f32))
+            .collect();
         let m = CooMatrix::from_triplets(n, n, &t).unwrap();
         let p = profile(&m);
         let intel = PlatformModel::intel_cpu();
@@ -676,6 +675,8 @@ mod amortized_tests {
         let t: Vec<_> = (0..n).map(|i| (i, n - 1 - i, 1.0f32)).collect();
         let p = WorkloadProfile::compute(&CooMatrix::from_triplets(n, n, &t).unwrap());
         let plat = PlatformModel::intel_cpu();
-        assert!(plat.conversion_estimate(&p, SparseFormat::Dia).is_infinite());
+        assert!(plat
+            .conversion_estimate(&p, SparseFormat::Dia)
+            .is_infinite());
     }
 }

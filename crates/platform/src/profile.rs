@@ -100,9 +100,9 @@ impl WorkloadProfile {
         let mut best_k = 0usize;
         let mut best = f64::INFINITY;
         let mut covered = 0usize;
-        for k in 0..=max_len {
+        for (k, &al) in at_least.iter().enumerate().take(max_len + 1) {
             if k > 0 {
-                covered += at_least[k];
+                covered += al;
             }
             let overflow = stats.nnz - covered;
             let cost = (stats.nrows * k) as f64 * ell_cost + overflow as f64 * coo_cost;

@@ -14,11 +14,7 @@ use dnnspmv_sparse::{CooMatrix, Scalar};
 /// Raw (unnormalised) row histogram: `R[row_band][dist_bin]` counts the
 /// nonzeros of that row band at that diagonal distance. This is
 /// Algorithm 1 verbatim.
-pub fn row_histogram_counts<S: Scalar>(
-    matrix: &CooMatrix<S>,
-    bands: usize,
-    bins: usize,
-) -> Image {
+pub fn row_histogram_counts<S: Scalar>(matrix: &CooMatrix<S>, bands: usize, bins: usize) -> Image {
     assert!(bands > 0 && bins > 0, "histogram shape must be positive");
     let mut im = Image::zeros(bands, bins);
     let max_dim = matrix.nrows().max(matrix.ncols());
@@ -33,11 +29,7 @@ pub fn row_histogram_counts<S: Scalar>(
 }
 
 /// Raw column histogram: the same construction over column bands.
-pub fn col_histogram_counts<S: Scalar>(
-    matrix: &CooMatrix<S>,
-    bands: usize,
-    bins: usize,
-) -> Image {
+pub fn col_histogram_counts<S: Scalar>(matrix: &CooMatrix<S>, bands: usize, bins: usize) -> Image {
     assert!(bands > 0 && bins > 0, "histogram shape must be positive");
     let mut im = Image::zeros(bands, bins);
     let max_dim = matrix.nrows().max(matrix.ncols());

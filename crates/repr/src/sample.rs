@@ -47,9 +47,9 @@ pub fn density<S: Scalar>(matrix: &CooMatrix<S>, size: usize) -> Image {
     };
     let row_sizes = band_sizes(m);
     let col_sizes = band_sizes(n);
-    for rb in 0..size {
-        for cb in 0..size {
-            let area = row_sizes[rb] * col_sizes[cb];
+    for (rb, &rs) in row_sizes.iter().enumerate() {
+        for (cb, &cs) in col_sizes.iter().enumerate() {
+            let area = rs * cs;
             if area > 0.0 {
                 *counts.get_mut(rb, cb) /= area;
             }
@@ -132,7 +132,10 @@ mod tests {
         let dense = CooMatrix::from_triplets(5, 5, &t).unwrap();
         let im = density(&dense, 3);
         for &v in im.data() {
-            assert!((v - 1.0).abs() < 1e-6, "fully dense block should be 1, got {v}");
+            assert!(
+                (v - 1.0).abs() < 1e-6,
+                "fully dense block should be 1, got {v}"
+            );
         }
     }
 

@@ -71,9 +71,9 @@ proptest! {
         let rows = band(m.nrows());
         let cols = band(m.ncols());
         let mut total = 0.0;
-        for r in 0..size {
-            for c in 0..size {
-                total += d.get(r, c) as f64 * rows[r] * cols[c];
+        for (r, &rs) in rows.iter().enumerate() {
+            for (c, &cs) in cols.iter().enumerate() {
+                total += d.get(r, c) as f64 * rs * cs;
             }
         }
         prop_assert!((total - m.nnz() as f64).abs() < 1e-3 * (1.0 + m.nnz() as f64));

@@ -164,10 +164,7 @@ mod tests {
         // Figure 1 of the paper: ptr = [0 2 4 7 (9)], cols as listed.
         assert_eq!(csr.row_ptr(), &[0, 2, 4, 7, 9]);
         assert_eq!(csr.col_indices(), &[0, 1, 1, 2, 0, 2, 3, 1, 3]);
-        assert_eq!(
-            csr.values(),
-            &[1.0, 5.0, 2.0, 6.0, 8.0, 3.0, 7.0, 9.0, 4.0]
-        );
+        assert_eq!(csr.values(), &[1.0, 5.0, 2.0, 6.0, 8.0, 3.0, 7.0, 9.0, 4.0]);
     }
 
     #[test]

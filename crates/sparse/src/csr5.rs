@@ -150,12 +150,12 @@ impl<S: Scalar> Spmv<S> for Csr5Matrix<S> {
         assert_eq!(x.len(), self.ncols, "x length must equal ncols");
         assert_eq!(y.len(), self.nrows, "y length must equal nrows");
         // Sequentially the tiled traversal degenerates to a CSR scan.
-        for r in 0..self.nrows {
+        for (r, yr) in y.iter_mut().enumerate() {
             let mut acc = S::ZERO;
             for i in self.row_ptr[r]..self.row_ptr[r + 1] {
                 acc += self.vals[i] * x[self.cols[i] as usize];
             }
-            y[r] = acc;
+            *yr = acc;
         }
     }
 
@@ -292,8 +292,7 @@ mod tests {
 
     #[test]
     fn empty_rows_are_skipped_in_tiles() {
-        let coo =
-            CooMatrix::from_triplets(6, 6, &[(0, 0, 1.0), (5, 5, 2.0)]).unwrap();
+        let coo = CooMatrix::from_triplets(6, 6, &[(0, 0, 1.0), (5, 5, 2.0)]).unwrap();
         let m = Csr5Matrix::from_coo_with_tile(&coo, 1);
         assert_eq!(m.tile_start_row.as_slice(), &[0, 5]);
         let x = vec![1.0; 6];

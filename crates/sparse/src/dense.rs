@@ -96,8 +96,7 @@ mod tests {
 
     #[test]
     fn densify_and_multiply_matches_sparse() {
-        let coo =
-            CooMatrix::from_triplets(3, 2, &[(0, 0, 1.0), (1, 1, 2.0), (2, 0, 3.0)]).unwrap();
+        let coo = CooMatrix::from_triplets(3, 2, &[(0, 0, 1.0), (1, 1, 2.0), (2, 0, 3.0)]).unwrap();
         let d = DenseMatrix::from_coo(&coo);
         assert_eq!(d.nnz(), 3);
         let x = [2.0, 5.0];

@@ -42,14 +42,8 @@ impl<S: Scalar> DiaMatrix<S> {
 
     /// Converts from COO, failing if more than `max_diags` distinct
     /// diagonals would be materialised.
-    pub fn from_coo_with_limit(
-        coo: &CooMatrix<S>,
-        max_diags: usize,
-    ) -> Result<Self, SparseError> {
-        let mut offsets: Vec<i64> = coo
-            .iter()
-            .map(|(r, c, _)| c as i64 - r as i64)
-            .collect();
+    pub fn from_coo_with_limit(coo: &CooMatrix<S>, max_diags: usize) -> Result<Self, SparseError> {
+        let mut offsets: Vec<i64> = coo.iter().map(|(r, c, _)| c as i64 - r as i64).collect();
         offsets.sort_unstable();
         offsets.dedup();
         if offsets.len() > max_diags {
@@ -62,9 +56,7 @@ impl<S: Scalar> DiaMatrix<S> {
         let mut data = vec![S::ZERO; offsets.len() * nrows];
         for (r, c, v) in coo.iter() {
             let off = c as i64 - r as i64;
-            let d = offsets
-                .binary_search(&off)
-                .expect("offset collected above");
+            let d = offsets.binary_search(&off).expect("offset collected above");
             data[d * nrows + r] = v;
         }
         Ok(Self {
@@ -235,8 +227,7 @@ mod tests {
     #[test]
     fn rectangular_matrices_work() {
         // Wide matrix: diagonals extend past nrows.
-        let coo =
-            CooMatrix::from_triplets(2, 5, &[(0, 0, 1.0), (0, 4, 2.0), (1, 3, 3.0)]).unwrap();
+        let coo = CooMatrix::from_triplets(2, 5, &[(0, 0, 1.0), (0, 4, 2.0), (1, 3, 3.0)]).unwrap();
         let dia = DiaMatrix::from_coo(&coo).unwrap();
         assert_eq!(dia.to_coo(), coo);
         let x = [1.0, 1.0, 1.0, 1.0, 1.0];
@@ -254,7 +245,13 @@ mod tests {
         let t: Vec<_> = (0..n).map(|i| (i, n - 1 - i, 1.0)).collect();
         let coo = CooMatrix::from_triplets(n, n, &t).unwrap();
         let e = DiaMatrix::from_coo_with_limit(&coo, 8).unwrap_err();
-        assert!(matches!(e, SparseError::TooManyDiagonals { ndiags: 16, limit: 8 }));
+        assert!(matches!(
+            e,
+            SparseError::TooManyDiagonals {
+                ndiags: 16,
+                limit: 8
+            }
+        ));
     }
 
     #[test]

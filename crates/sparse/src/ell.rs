@@ -39,10 +39,7 @@ impl<S: Scalar> EllMatrix<S> {
     }
 
     /// Converts from COO, failing if the longest row exceeds `max_width`.
-    pub fn from_coo_with_limit(
-        coo: &CooMatrix<S>,
-        max_width: usize,
-    ) -> Result<Self, SparseError> {
+    pub fn from_coo_with_limit(coo: &CooMatrix<S>, max_width: usize) -> Result<Self, SparseError> {
         let ptr = coo.row_offsets();
         let width = (0..coo.nrows())
             .map(|r| ptr[r + 1] - ptr[r])
@@ -214,7 +211,9 @@ mod tests {
     #[test]
     fn fill_ratio_penalises_skew() {
         // Uniform rows: perfect fill.
-        let t: Vec<_> = (0..8).flat_map(|i| [(i, i, 1.0), (i, (i + 1) % 8, 2.0)]).collect();
+        let t: Vec<_> = (0..8)
+            .flat_map(|i| [(i, i, 1.0), (i, (i + 1) % 8, 2.0)])
+            .collect();
         let coo = CooMatrix::from_triplets(8, 8, &t).unwrap();
         let ell = EllMatrix::from_coo(&coo).unwrap();
         assert_eq!(ell.fill_ratio(), 1.0);
@@ -232,7 +231,13 @@ mod tests {
         let t: Vec<_> = (0..32).map(|j| (0, j, 1.0)).collect();
         let coo = CooMatrix::from_triplets(4, 32, &t).unwrap();
         let e = EllMatrix::from_coo_with_limit(&coo, 16).unwrap_err();
-        assert!(matches!(e, SparseError::RowTooWide { width: 32, limit: 16 }));
+        assert!(matches!(
+            e,
+            SparseError::RowTooWide {
+                width: 32,
+                limit: 16
+            }
+        ));
     }
 
     #[test]

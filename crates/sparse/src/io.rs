@@ -126,7 +126,11 @@ pub fn read_matrix_market<S: Scalar, R: Read>(reader: R) -> Result<CooMatrix<S>,
     let nnz = parse_dim(dims[2], lineno)?;
 
     let mut b = CooBuilder::new(nrows, ncols)?;
-    b.reserve(if sym == Symmetry::General { nnz } else { 2 * nnz });
+    b.reserve(if sym == Symmetry::General {
+        nnz
+    } else {
+        2 * nnz
+    });
     let mut seen = 0usize;
     for l in lines {
         lineno += 1;
@@ -246,7 +250,8 @@ mod tests {
 
     #[test]
     fn expands_symmetric() {
-        let src = "%%MatrixMarket matrix coordinate real symmetric\n3 3 3\n1 1 4.0\n2 1 1.0\n3 2 2.0\n";
+        let src =
+            "%%MatrixMarket matrix coordinate real symmetric\n3 3 3\n1 1 4.0\n2 1 1.0\n3 2 2.0\n";
         let m: CooMatrix<f64> = read_matrix_market(src.as_bytes()).unwrap();
         assert_eq!(m.nnz(), 5); // diagonal entry not duplicated
         assert_eq!(m.get(0, 1), 1.0);
@@ -256,8 +261,7 @@ mod tests {
 
     #[test]
     fn expands_skew_symmetric_with_negation() {
-        let src =
-            "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 3.0\n";
+        let src = "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 3.0\n";
         let m: CooMatrix<f64> = read_matrix_market(src.as_bytes()).unwrap();
         assert_eq!(m.get(1, 0), 3.0);
         assert_eq!(m.get(0, 1), -3.0);
@@ -292,12 +296,7 @@ mod tests {
 
     #[test]
     fn write_read_round_trip() {
-        let m = CooMatrix::from_triplets(
-            4,
-            3,
-            &[(0, 0, 1.25), (1, 2, -0.5), (3, 1, 1e6)],
-        )
-        .unwrap();
+        let m = CooMatrix::from_triplets(4, 3, &[(0, 0, 1.25), (1, 2, -0.5), (3, 1, 1e6)]).unwrap();
         let mut buf = Vec::new();
         write_matrix_market(&m, &mut buf).unwrap();
         let back: CooMatrix<f64> = read_matrix_market(buf.as_slice()).unwrap();

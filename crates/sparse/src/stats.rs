@@ -81,7 +81,11 @@ impl MatrixStats {
         let row_mean = sum as f64 / nrows as f64;
         let var = (sumsq / nrows as f64 - row_mean * row_mean).max(0.0);
         let row_std = var.sqrt();
-        let row_cv = if row_mean > 0.0 { row_std / row_mean } else { 0.0 };
+        let row_cv = if row_mean > 0.0 {
+            row_std / row_mean
+        } else {
+            0.0
+        };
 
         // Diagonal occupancy via a dense offset table (offset range is
         // -(nrows-1) ..= (ncols-1)).
@@ -241,8 +245,7 @@ mod tests {
     #[test]
     fn rectangular_matrix_diag_table_is_large_enough() {
         // Entry in the extreme corners exercises the offset table bounds.
-        let coo =
-            CooMatrix::from_triplets(3, 7, &[(2, 0, 1.0), (0, 6, 1.0)]).unwrap();
+        let coo = CooMatrix::from_triplets(3, 7, &[(2, 0, 1.0), (0, 6, 1.0)]).unwrap();
         let s = MatrixStats::compute(&coo);
         assert_eq!(s.ndiags, 2);
         assert_eq!(s.bandwidth, 6);

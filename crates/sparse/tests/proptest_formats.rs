@@ -2,9 +2,7 @@
 //! through COO exactly, every kernel computes the same product, and the
 //! parallel kernels agree with the sequential ones.
 
-use dnnspmv_sparse::{
-    AnyMatrix, CooMatrix, CsrMatrix, MatrixStats, Scalar, SparseFormat, Spmv,
-};
+use dnnspmv_sparse::{AnyMatrix, CooMatrix, CsrMatrix, MatrixStats, Scalar, SparseFormat, Spmv};
 use proptest::prelude::*;
 
 /// Strategy: a random sparse matrix with bounded dimensions and nnz.

@@ -123,6 +123,9 @@ impl DecisionTree {
         let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, score)
         let n_features = x[0].len();
         let total = idx.len() as f64;
+        // `f` indexes a column across many rows of `x`, not one slice,
+        // so the range loop is the natural shape here.
+        #[allow(clippy::needless_range_loop)]
         for f in 0..n_features {
             let mut order: Vec<usize> = idx.to_vec();
             order.sort_unstable_by(|&a, &b| {
@@ -140,9 +143,9 @@ impl DecisionTree {
                 }
                 let nl = w + 1;
                 let nr = order.len() - nl;
-                let score = (nl as f64 / total) * gini(&left, nl)
-                    + (nr as f64 / total) * gini(&right, nr);
-                if best.map_or(true, |(_, _, s)| score < s) {
+                let score =
+                    (nl as f64 / total) * gini(&left, nl) + (nr as f64 / total) * gini(&right, nr);
+                if best.is_none_or(|(_, _, s)| score < s) {
                     best = Some((f, (a + b) / 2.0, score));
                 }
             }
@@ -189,7 +192,11 @@ impl DecisionTree {
                     left,
                     right,
                 } => {
-                    node = if x[*feature] <= *threshold { left } else { right };
+                    node = if x[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }

@@ -103,7 +103,11 @@ fn main() {
         let t0 = std::time::Instant::now();
         let (x, iters, resid) = conjugate_gradient(&stored, &b_vec, 500, 1e-4);
         let dt = t0.elapsed().as_secs_f64();
-        let marker = if format == chosen_format { "  <- selected" } else { "" };
+        let marker = if format == chosen_format {
+            "  <- selected"
+        } else {
+            ""
+        };
         println!(
             "{format:>5}: {iters} iterations, residual {resid:.2e}, {dt:.3}s, x[0] = {:.4}{marker}",
             x[0]

@@ -67,7 +67,10 @@ fn main() {
         config.repr,
         &config.repr_config,
     );
-    let train_src: Vec<_> = train_idx.iter().map(|&i| intel_samples[i].clone()).collect();
+    let train_src: Vec<_> = train_idx
+        .iter()
+        .map(|&i| intel_samples[i].clone())
+        .collect();
     let amd_train: Vec<_> = train_idx.iter().map(|&i| amd_samples[i].clone()).collect();
     let amd_test: Vec<_> = test_idx.iter().map(|&i| amd_samples[i].clone()).collect();
 

@@ -51,7 +51,12 @@ fn main() {
     // 3. Predict the best format for a fresh matrix and run SpMV in it.
     let matrix = generate(MatrixClass::Banded, 160, 20260707);
     let probs = selector.predict_proba(&matrix);
-    println!("\nnew {}x{} banded matrix, {} nonzeros", matrix.nrows(), matrix.ncols(), matrix.nnz());
+    println!(
+        "\nnew {}x{} banded matrix, {} nonzeros",
+        matrix.nrows(),
+        matrix.ncols(),
+        matrix.nnz()
+    );
     for (f, p) in selector.formats.iter().zip(&probs) {
         println!("  P({f:>5}) = {p:.3}");
     }

@@ -48,12 +48,7 @@ fn main() {
         let folds = kfold(dataset.matrices.len(), 5, 7);
         let (train_idx, test_idx) = &folds[0];
 
-        let samples = make_samples(
-            &dataset.matrices,
-            &labels,
-            config.repr,
-            &config.repr_config,
-        );
+        let samples = make_samples(&dataset.matrices, &labels, config.repr, &config.repr_config);
         let train: Vec<_> = train_idx.iter().map(|&i| samples[i].clone()).collect();
         let test: Vec<_> = test_idx.iter().map(|&i| samples[i].clone()).collect();
 

@@ -50,11 +50,15 @@ fn parse_options(args: &[String]) -> Options {
             }
             "--matrices" => {
                 i += 1;
-                o.matrices = need(args, i, "--matrices").parse().unwrap_or_else(|_| die("--matrices needs a number"));
+                o.matrices = need(args, i, "--matrices")
+                    .parse()
+                    .unwrap_or_else(|_| die("--matrices needs a number"));
             }
             "--epochs" => {
                 i += 1;
-                o.epochs = need(args, i, "--epochs").parse().unwrap_or_else(|_| die("--epochs needs a number"));
+                o.epochs = need(args, i, "--epochs")
+                    .parse()
+                    .unwrap_or_else(|_| die("--epochs needs a number"));
             }
             "--platform" => {
                 i += 1;
@@ -147,16 +151,27 @@ fn cmd_test(o: &Options) {
     if sel.formats != o.platform.formats() {
         die("model's format set does not match the chosen platform");
     }
-    let samples = make_samples(&data.matrices, &labels, sel.config.repr, &sel.config.repr_config);
+    let samples = make_samples(
+        &data.matrices,
+        &labels,
+        sel.config.repr,
+        &sel.config.repr_config,
+    );
     let acc = sel.accuracy(&samples);
-    println!("held-out accuracy on {} fresh matrices: {acc:.3}", data.len());
+    println!(
+        "held-out accuracy on {} fresh matrices: {acc:.3}",
+        data.len()
+    );
     if acc > 0.9 {
         println!("(the artifact's check: accuracy should be larger than 90%)");
     }
 }
 
 fn cmd_predict(o: &Options) {
-    let path = o.file.as_deref().unwrap_or_else(|| die("predict needs a .mtx path"));
+    let path = o
+        .file
+        .as_deref()
+        .unwrap_or_else(|| die("predict needs a .mtx path"));
     let matrix: CooMatrix<f32> =
         read_matrix_market_path(path).unwrap_or_else(|e| die(&format!("{path}: {e}")));
     let sel = FormatSelector::load(&o.model)
@@ -170,7 +185,10 @@ fn cmd_predict(o: &Options) {
 }
 
 fn cmd_stats(o: &Options) {
-    let path = o.file.as_deref().unwrap_or_else(|| die("stats needs a .mtx path"));
+    let path = o
+        .file
+        .as_deref()
+        .unwrap_or_else(|| die("stats needs a .mtx path"));
     let matrix: CooMatrix<f32> =
         read_matrix_market_path(path).unwrap_or_else(|e| die(&format!("{path}: {e}")));
     let s = MatrixStats::compute(&matrix);

@@ -54,8 +54,7 @@ fn end_to_end_cpu_pipeline_beats_chance_out_of_sample() {
     let samples = make_samples(&data.matrices, &labels, cfg.repr, &cfg.repr_config);
     let train: Vec<_> = train_idx.iter().map(|&i| samples[i].clone()).collect();
     let test: Vec<_> = test_idx.iter().map(|&i| samples[i].clone()).collect();
-    let (sel, report) =
-        FormatSelector::train_on_samples(&train, intel.formats().to_vec(), &cfg);
+    let (sel, report) = FormatSelector::train_on_samples(&train, intel.formats().to_vec(), &cfg);
     assert!(!report.loss_history.is_empty());
     let acc = sel.accuracy(&test);
     // Majority class (CSR) is ~70%; the trained model must at least be
@@ -67,8 +66,7 @@ fn end_to_end_cpu_pipeline_beats_chance_out_of_sample() {
 fn predictions_always_yield_runnable_spmv() {
     let data = small_dataset(3);
     let intel = PlatformModel::intel_cpu();
-    let (sel, _) =
-        FormatSelector::train_on_platform(&data.matrices, &intel, &small_config());
+    let (sel, _) = FormatSelector::train_on_platform(&data.matrices, &intel, &small_config());
     for m in data.matrices.iter().take(20) {
         let stored = sel.prepare(m);
         let x: Vec<f32> = (0..m.ncols()).map(|i| (i % 5) as f32 - 2.0).collect();
@@ -118,7 +116,12 @@ fn dt_and_cnn_solve_the_same_task() {
     // on labels they trained on.
     let dt_acc = dt.accuracy(&data.matrices, &labels);
     assert!(dt_acc > 0.8, "DT in-sample {dt_acc}");
-    let samples = make_samples(&data.matrices, &labels, cnn.config.repr, &cnn.config.repr_config);
+    let samples = make_samples(
+        &data.matrices,
+        &labels,
+        cnn.config.repr,
+        &cnn.config.repr_config,
+    );
     let cnn_acc = cnn.accuracy(&samples);
     assert!(cnn_acc > 0.6, "CNN in-sample {cnn_acc}");
 }
@@ -133,21 +136,28 @@ fn migration_improves_over_unmigrated_source() {
     let amd_labels = label_dataset(&data.matrices, &amd);
     let samples_src = make_samples(&data.matrices, &intel_labels, cfg.repr, &cfg.repr_config);
     let samples_tgt = make_samples(&data.matrices, &amd_labels, cfg.repr, &cfg.repr_config);
-    let (source, _) = FormatSelector::train_on_samples(
-        &samples_src[..120],
-        intel.formats().to_vec(),
-        &cfg,
-    );
-    let test = &samples_tgt[120..];
-    let before = source.accuracy(test);
+    // Interleaved split: the dataset is ordered base-then-augmented, so
+    // a prefix/suffix split would hold out *all* augmented matrices and
+    // measure base->augmented distribution shift instead of migration.
+    let held_out = |i: &usize| i % 3 == 0;
+    let train_src: Vec<_> = (0..samples_src.len())
+        .filter(|i| !held_out(i))
+        .map(|i| samples_src[i].clone())
+        .collect();
+    let train_tgt: Vec<_> = (0..samples_tgt.len())
+        .filter(|i| !held_out(i))
+        .map(|i| samples_tgt[i].clone())
+        .collect();
+    let test: Vec<_> = (0..samples_tgt.len())
+        .filter(held_out)
+        .map(|i| samples_tgt[i].clone())
+        .collect();
+    let (source, _) = FormatSelector::train_on_samples(&train_src, intel.formats().to_vec(), &cfg);
+    let before = source.accuracy(&test);
     let mut migrate_cfg = cfg.train.clone();
     migrate_cfg.epochs = 16;
-    let (migrated, _) = source.migrate(
-        Migration::ContinuousEvolvement,
-        &samples_tgt[..120],
-        &migrate_cfg,
-    );
-    let after = migrated.accuracy(test);
+    let (migrated, _) = source.migrate(Migration::ContinuousEvolvement, &train_tgt, &migrate_cfg);
+    let after = migrated.accuracy(&test);
     // Small sample sizes make this noisy; migration must not fall off a
     // cliff relative to the unmigrated source, and usually improves.
     assert!(
@@ -165,8 +175,7 @@ fn every_selected_format_is_convertible_or_has_fallback() {
     let awkward = dnnspmv::sparse::CooMatrix::from_triplets(n, n, &t).unwrap();
     let data = small_dataset(13);
     let intel = PlatformModel::intel_cpu();
-    let (sel, _) =
-        FormatSelector::train_on_platform(&data.matrices, &intel, &small_config());
+    let (sel, _) = FormatSelector::train_on_platform(&data.matrices, &intel, &small_config());
     let stored = sel.prepare(&awkward);
     // DIA is infeasible here; whatever was chosen must reproduce COO.
     assert_ne!(stored.format(), SparseFormat::Dia);

@@ -1,0 +1,365 @@
+//! Vendored stand-in for the `criterion` crate (see
+//! `vendor/README.md`).
+//!
+//! Keeps the harness API (`criterion_group!` / `criterion_main!`,
+//! groups, `bench_function`, `bench_with_input`, `Bencher::iter`) but
+//! replaces the statistics engine with a plain monotonic-clock timer.
+//! Three modes, picked at startup:
+//!
+//! - **test** (`--test` on the command line, as `cargo test` passes to
+//!   `harness = false` bench targets): run every benchmark body once,
+//!   no timing — benches become smoke tests.
+//! - **quick** (default for `cargo bench`): a short calibrated run per
+//!   benchmark, printing median ns/iter.
+//! - **full** (`CRITERION_FULL=1`): honours `sample_size` /
+//!   `measurement_time` / `warm_up_time` and prints min/median/max —
+//!   use this when citing numbers.
+//!
+//! A positional command-line argument filters benchmark ids by
+//! substring, like upstream.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Test,
+    Quick,
+    Full,
+}
+
+fn detect_mode_and_filter() -> (Mode, Option<String>) {
+    let mut mode = if std::env::var_os("CRITERION_FULL").is_some() {
+        Mode::Full
+    } else {
+        Mode::Quick
+    };
+    let mut filter = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--test" => mode = Mode::Test,
+            "--bench" => {}
+            s if s.starts_with("--") => {}
+            s => filter = Some(s.to_owned()),
+        }
+    }
+    (mode, filter)
+}
+
+/// Benchmark-run configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    mode: Mode,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let (mode, filter) = detect_mode_and_filter();
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+            mode,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark (full mode).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Total measurement budget per benchmark (full mode).
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Warm-up budget per benchmark (full mode).
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(self, &id, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing the group's id prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = format!("{}/{}", self.name, id.into().0);
+        run_benchmark(self.criterion, &full_id, |b| f(b));
+        self
+    }
+
+    /// Runs `group/id` with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full_id = format!("{}/{}", self.name, id.into().0);
+        run_benchmark(self.criterion, &full_id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (bookkeeping no-op here).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    /// Id from a parameter value alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_owned())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Times the benchmark body handed to it by `iter`.
+pub struct Bencher {
+    mode: Mode,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    /// Median/min/max ns per iteration, filled by `iter`.
+    result: Option<(f64, f64, f64)>,
+}
+
+impl Bencher {
+    /// Measures `f` according to the active mode.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match self.mode {
+            Mode::Test => {
+                black_box(f());
+            }
+            Mode::Quick => {
+                let iters = calibrate(&mut f, Duration::from_millis(20));
+                let mut samples: Vec<f64> = (0..3).map(|_| time_batch(&mut f, iters)).collect();
+                self.result = Some(summarise(&mut samples));
+            }
+            Mode::Full => {
+                // Warm up for the configured budget.
+                let warm_until = Instant::now() + self.warm_up_time;
+                while Instant::now() < warm_until {
+                    black_box(f());
+                }
+                let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+                let iters = calibrate(&mut f, Duration::from_secs_f64(per_sample.min(0.05))).max(1);
+                let mut samples: Vec<f64> = (0..self.sample_size)
+                    .map(|_| time_batch(&mut f, iters))
+                    .collect();
+                self.result = Some(summarise(&mut samples));
+            }
+        }
+    }
+}
+
+/// Picks an iteration count so one sample takes roughly `target`.
+fn calibrate<O, F: FnMut() -> O>(f: &mut F, target: Duration) -> u64 {
+    let start = Instant::now();
+    black_box(f());
+    let one = start.elapsed().max(Duration::from_nanos(20));
+    (target.as_secs_f64() / one.as_secs_f64()).clamp(1.0, 1e7) as u64
+}
+
+/// Mean ns/iter over one batch of `iters` calls.
+fn time_batch<O, F: FnMut() -> O>(f: &mut F, iters: u64) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn summarise(samples: &mut [f64]) -> (f64, f64, f64) {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    (
+        samples[samples.len() / 2],
+        samples[0],
+        samples[samples.len() - 1],
+    )
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(c: &mut Criterion, id: &str, mut f: F) {
+    if let Some(filter) = &c.filter {
+        if !id.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        mode: c.mode,
+        sample_size: c.sample_size,
+        measurement_time: c.measurement_time,
+        warm_up_time: c.warm_up_time,
+        result: None,
+    };
+    f(&mut b);
+    match (c.mode, b.result) {
+        (Mode::Test, _) => println!("test {id} ... ok"),
+        (_, Some((median, min, max))) => {
+            println!(
+                "{id:<50} time: [{} {} {}]",
+                format_ns(min),
+                format_ns(median),
+                format_ns(max)
+            );
+        }
+        (_, None) => println!("{id:<50} (no measurement: iter never called)"),
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.3} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring upstream's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_a_result() {
+        let mut c = Criterion {
+            sample_size: 3,
+            measurement_time: Duration::from_millis(10),
+            warm_up_time: Duration::from_millis(1),
+            mode: Mode::Quick,
+            filter: None,
+        };
+        let mut group = c.benchmark_group("g");
+        let mut ran = false;
+        group.bench_function("f", |b| {
+            b.iter(|| std::hint::black_box(3u64.pow(7)));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_ids() {
+        let mut c = Criterion {
+            sample_size: 2,
+            measurement_time: Duration::from_millis(5),
+            warm_up_time: Duration::from_millis(1),
+            mode: Mode::Quick,
+            filter: Some("match_me".into()),
+        };
+        let mut ran = false;
+        c.bench_function("other", |_b| ran = true);
+        assert!(!ran);
+        c.bench_function("does_match_me_yes", |_b| ran = true);
+        assert!(ran);
+    }
+
+    #[test]
+    fn test_mode_runs_body_once_without_timing() {
+        let mut c = Criterion {
+            sample_size: 2,
+            measurement_time: Duration::from_millis(5),
+            warm_up_time: Duration::from_millis(1),
+            mode: Mode::Test,
+            filter: None,
+        };
+        let mut calls = 0u32;
+        c.bench_function("once", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::from_parameter("csr").0, "csr");
+        assert_eq!(BenchmarkId::new("spmv", 1024).0, "spmv/1024");
+    }
+}

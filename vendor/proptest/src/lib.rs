@@ -1,0 +1,414 @@
+//! Vendored stand-in for the `proptest` crate (see
+//! `vendor/README.md`).
+//!
+//! Supports the subset the workspace's property tests use: the
+//! [`proptest!`] macro with `pat in strategy` bindings and a
+//! `proptest_config` attribute, range / tuple / `collection::vec`
+//! strategies, `prop_map` / `prop_flat_map` combinators, and the
+//! `prop_assert!` family. Unlike upstream there is **no shrinking**
+//! and no persisted failure file: cases are generated from a seed
+//! derived deterministically from the test name and case index, so a
+//! failure reproduces on every run and reports its case number.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, RngExt, SampleUniform, SeedableRng};
+
+/// Runner configuration (`cases` only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// A failed (or rejected) test case.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// Assertion failure with its message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// An assertion failure.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+/// Generators of random values, composable with `prop_map` /
+/// `prop_flat_map`.
+pub trait Strategy: Sized {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transforms generated values.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F> {
+        Map { inner: self, f }
+    }
+
+    /// Builds a dependent strategy from each generated value.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F> {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+impl<T: SampleUniform> Strategy for std::ops::Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.random_range(self.start..self.end)
+    }
+}
+
+impl<T: SampleUniform> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{SizeBounds, Strategy};
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+
+    /// Vectors of `element` values with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeBounds>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeBounds,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.random_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Inclusive length bounds for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeBounds {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<std::ops::Range<usize>> for SizeBounds {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeBounds {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeBounds {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        SizeBounds {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeBounds {
+    fn from(n: usize) -> Self {
+        SizeBounds { lo: n, hi: n }
+    }
+}
+
+/// Drives one property test: `cases` deterministic cases seeded from
+/// the test name. Panics (failing the test) on the first `Err`, with
+/// enough context to reproduce.
+pub fn run_cases<F>(config: &ProptestConfig, test_name: &str, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    // FNV-1a over the name keeps seeds stable across runs/platforms.
+    let mut name_hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        name_hash ^= u64::from(b);
+        name_hash = name_hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    for case_idx in 0..config.cases {
+        let seed = name_hash ^ (u64::from(case_idx) << 32);
+        let mut rng = StdRng::seed_from_u64(seed);
+        if let Err(e) = case(&mut rng) {
+            panic!(
+                "property test `{test_name}` failed at case {case_idx}/{}: {e}",
+                config.cases
+            );
+        }
+    }
+}
+
+/// Hands the per-case RNG to strategies (macro plumbing).
+pub fn generate_value<S: Strategy>(strategy: &S, rng: &mut StdRng) -> S::Value {
+    strategy.generate(rng)
+}
+
+/// Splits an independent generator off the case RNG, so each `pat in
+/// strategy` binding consumes its own stream regardless of how many
+/// draws earlier bindings made.
+pub fn split_rng(rng: &mut StdRng) -> StdRng {
+    StdRng::seed_from_u64(rng.next_u64())
+}
+
+pub mod prelude {
+    //! Everything the tests import.
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+/// Defines property tests: `proptest! { #[test] fn name(x in strat) { .. } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr); ) => {};
+    (config = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            $crate::run_cases(&__config, stringify!($name), |__rng| {
+                $(
+                    let $pat = {
+                        let mut __strat_rng = $crate::split_rng(__rng);
+                        $crate::generate_value(&($strat), &mut __strat_rng)
+                    };
+                )+
+                let __run = || -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                };
+                __run()
+            });
+        }
+        $crate::__proptest_impl!{ config = ($cfg); $($rest)* }
+    };
+}
+
+/// `assert!` that fails the surrounding property case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Skips the rest of the case when `cond` is false. Upstream rejects
+/// the case and resamples; this stand-in counts it as passing, which
+/// keeps the deterministic case count but weakens coverage — keep
+/// assumptions rare.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)+)?) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// `assert_eq!` that fails the surrounding property case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {:?} != {:?}: {}",
+            l,
+            r,
+            ::std::format!($($fmt)+)
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let cfg = ProptestConfig::with_cases(50);
+        crate::run_cases(&cfg, "bounds", |rng| {
+            let (a, b) = crate::generate_value(&(1usize..5, -2.0f64..2.0), rng);
+            prop_assert!((1..5).contains(&a));
+            prop_assert!((-2.0..2.0).contains(&b));
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn vec_strategy_respects_size_bounds() {
+        let cfg = ProptestConfig::with_cases(50);
+        crate::run_cases(&cfg, "sizes", |rng| {
+            let v = crate::generate_value(&crate::collection::vec(0u64..10, 2..6), rng);
+            prop_assert!((2..=5).contains(&v.len()), "len {}", v.len());
+            let w = crate::generate_value(&crate::collection::vec(0u64..10, 3..=3), rng);
+            prop_assert_eq!(w.len(), 3);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let cfg = ProptestConfig::with_cases(20);
+        crate::run_cases(&cfg, "compose", |rng| {
+            let s = (2usize..6).prop_flat_map(|n| {
+                crate::collection::vec(0usize..100, n..=n).prop_map(move |v| (n, v))
+            });
+            let (n, v) = crate::generate_value(&s, rng);
+            prop_assert_eq!(v.len(), n);
+            Ok(())
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_case_number() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn always_fails(x in 0usize..10) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+
+    #[test]
+    fn macro_defines_runnable_tests() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            fn sum_commutes(a in 0i64..100, b in 0i64..100) {
+                prop_assert_eq!(a + b, b + a);
+            }
+            fn tuple_pattern((x, y) in (0usize..4, 0usize..4)) {
+                prop_assert!(x < 4 && y < 4);
+            }
+        }
+        sum_commutes();
+        tuple_pattern();
+    }
+}

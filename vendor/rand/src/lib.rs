@@ -1,0 +1,263 @@
+//! Vendored stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! ships minimal, dependency-free implementations of the external
+//! crates it uses (see `vendor/README.md`). This crate covers the
+//! subset of the `rand` 0.10 API that dnnspmv calls: [`SeedableRng`],
+//! [`rngs::StdRng`], and the [`RngExt`] helpers `random` /
+//! `random_range`.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — fast,
+//! well-distributed, and deterministic across platforms, which is all
+//! the synthetic dataset generator and network initialisers need. It
+//! is **not** the same stream as upstream `StdRng` (ChaCha12), so
+//! seeds produce different (but equally reproducible) data.
+
+/// A source of random `u64`s.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types samplable uniformly over their "natural" range
+/// (`[0, 1)` for floats, the full domain for integers and `bool`).
+pub trait Random: Sized {
+    /// Draws one value from `rng`.
+    fn random(rng: &mut impl RngCore) -> Self;
+}
+
+impl Random for u64 {
+    fn random(rng: &mut impl RngCore) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Random for u32 {
+    fn random(rng: &mut impl RngCore) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Random for usize {
+    fn random(rng: &mut impl RngCore) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Random for i64 {
+    fn random(rng: &mut impl RngCore) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Random for bool {
+    fn random(rng: &mut impl RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Random for f64 {
+    fn random(rng: &mut impl RngCore) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for f32 {
+    fn random(rng: &mut impl RngCore) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Types with uniform sampling over a caller-supplied range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi]` (`hi` inclusive iff `inclusive`).
+    fn sample_range(rng: &mut impl RngCore, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(rng: &mut impl RngCore, lo: Self, hi: Self, inclusive: bool) -> Self {
+                let span = (hi as i128) - (lo as i128) + if inclusive { 1 } else { 0 };
+                assert!(span > 0, "cannot sample from empty range");
+                // Modulo bias is < 2^-64 * span: irrelevant here.
+                let off = (rng.next_u64() as u128 % span as u128) as i128;
+                (lo as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(rng: &mut impl RngCore, lo: Self, hi: Self, _inclusive: bool) -> Self {
+                assert!(lo <= hi, "cannot sample from empty range");
+                let f = <$t as Random>::random(rng);
+                lo + f * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+/// Range-shaped arguments accepted by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// `(low, high, inclusive)` bounds of the range.
+    fn bounds(self) -> (T, T, bool);
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn bounds(self) -> (T, T, bool) {
+        (self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn bounds(self) -> (T, T, bool) {
+        let (lo, hi) = self.into_inner();
+        (lo, hi, true)
+    }
+}
+
+/// Convenience sampling methods, mirroring `rand::Rng`.
+pub trait RngExt: RngCore {
+    /// A uniform draw over `T`'s natural range.
+    fn random<T: Random>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::random(self)
+    }
+
+    /// A uniform draw from the given range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn random_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        let (lo, hi, inclusive) = range.bounds();
+        T::sample_range(self, lo, hi, inclusive)
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rngs::StdRng;
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_floats_stay_in_range() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let f: f64 = r.random();
+            assert!((0.0..1.0).contains(&f));
+            let g: f32 = r.random();
+            assert!((0.0..1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v = r.random_range(3usize..=11);
+            assert!((3..=11).contains(&v));
+            let w = r.random_range(-5i64..5);
+            assert!((-5..5).contains(&w));
+            let f = r.random_range(0.35f64..1.0);
+            assert!((0.35..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn full_range_hits_every_value_eventually() {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[r.random_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = StdRng::seed_from_u64(2);
+        let _ = r.random_range(5usize..5);
+    }
+}

@@ -1,0 +1,117 @@
+//! Vendored stand-in for the `rand_distr` crate (see `vendor/README.md`).
+//!
+//! Only what dnnspmv uses: the [`Distribution`] trait and the
+//! [`Normal`] distribution, sampled with Box–Muller (the sine half of
+//! each pair is discarded to keep the sampler stateless — throughput
+//! is irrelevant at our call rates).
+
+use rand::{Random, RngCore};
+
+/// Types that generate values of `T` from a source of randomness.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore>(&self, rng: &mut R) -> T;
+}
+
+/// Error from invalid distribution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NormalError;
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid normal distribution parameters")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for f32 {}
+    impl Sealed for f64 {}
+}
+
+/// Floating-point types [`Normal`] can produce (`f32`, `f64`).
+pub trait Float: Copy + sealed::Sealed {
+    /// Lossy conversion from `f64`.
+    fn from_f64(v: f64) -> Self;
+    /// Widening conversion to `f64`.
+    fn into_f64(self) -> f64;
+}
+
+impl Float for f64 {
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+
+    fn into_f64(self) -> f64 {
+        self
+    }
+}
+
+impl Float for f32 {
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+
+    fn into_f64(self) -> f64 {
+        f64::from(self)
+    }
+}
+
+/// Gaussian distribution with the given mean and standard deviation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal<F> {
+    mean: F,
+    std_dev: F,
+}
+
+impl<F: Float> Normal<F> {
+    /// Creates a normal distribution.
+    ///
+    /// # Errors
+    /// Rejects non-finite parameters and negative deviations.
+    pub fn new(mean: F, std_dev: F) -> Result<Self, NormalError> {
+        let (m, s) = (mean.into_f64(), std_dev.into_f64());
+        if !m.is_finite() || !s.is_finite() || s < 0.0 {
+            return Err(NormalError);
+        }
+        Ok(Self { mean, std_dev })
+    }
+}
+
+impl<F: Float> Distribution<F> for Normal<F> {
+    fn sample<R: RngCore>(&self, rng: &mut R) -> F {
+        // Box–Muller: u ∈ (0, 1], v ∈ [0, 1).
+        let u: f64 = 1.0 - f64::random(rng);
+        let v: f64 = f64::random(rng);
+        let z = (-2.0 * u.ln()).sqrt() * (std::f64::consts::TAU * v).cos();
+        F::from_f64(self.mean.into_f64() + self.std_dev.into_f64() * z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Normal::new(0.0f64, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0f64, 1.0).is_ok());
+        assert!(Normal::new(0.0f32, 0.5).is_ok());
+    }
+
+    #[test]
+    fn moments_are_roughly_right() {
+        let d = Normal::new(2.0f64, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+}

@@ -1,0 +1,259 @@
+//! Vendored stand-in for the `rayon` crate (see `vendor/README.md`).
+//!
+//! Exposes the parallel-iterator API surface dnnspmv uses —
+//! `par_iter`, `into_par_iter`, `par_chunks_mut`, and the adapter /
+//! terminal methods chained on them — but executes **sequentially**.
+//! The build container is single-core (`available_parallelism() == 1`),
+//! so a thread pool would only add overhead; on bigger machines the
+//! real rayon can be swapped back in without touching call sites
+//! because every method keeps rayon's exact signature (including the
+//! `|| identity` closures of `fold`/`reduce`).
+//!
+//! Sequential execution is also *deterministic*, which the training
+//! loop's loss-reproducibility tests appreciate.
+
+use std::iter::{Enumerate, Zip};
+
+/// Number of worker threads "in the pool".
+///
+/// Mirrors `rayon::current_num_threads`; used by the sparse kernels to
+/// size row chunks.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs two closures "in parallel" (sequentially here) and returns
+/// both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// A "parallel" iterator: a thin wrapper over a sequential iterator
+/// that provides rayon's method set.
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    /// Maps each item.
+    pub fn map<F, U>(self, f: F) -> ParIter<std::iter::Map<I, F>>
+    where
+        F: FnMut(I::Item) -> U,
+    {
+        ParIter(self.0.map(f))
+    }
+
+    /// Pairs each item with its index.
+    pub fn enumerate(self) -> ParIter<Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    /// Zips with another parallel iterator.
+    pub fn zip<J: Iterator>(self, other: ParIter<J>) -> ParIter<Zip<I, J>> {
+        ParIter(self.0.zip(other.0))
+    }
+
+    /// Keeps items satisfying the predicate.
+    pub fn filter<F>(self, f: F) -> ParIter<std::iter::Filter<I, F>>
+    where
+        F: FnMut(&I::Item) -> bool,
+    {
+        ParIter(self.0.filter(f))
+    }
+
+    /// Rayon-style fold: builds per-split accumulators (a single one
+    /// here) to be combined by [`Folded::reduce`].
+    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> Folded<T>
+    where
+        ID: Fn() -> T,
+        F: FnMut(T, I::Item) -> T,
+    {
+        Folded(self.0.fold(identity(), fold_op))
+    }
+
+    /// Reduces all items starting from an identity value.
+    pub fn reduce<ID, F>(self, identity: ID, op: F) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        F: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// Applies `f` to every item.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: FnMut(I::Item),
+    {
+        self.0.for_each(f)
+    }
+
+    /// Sums the items.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<I::Item>,
+    {
+        self.0.sum()
+    }
+
+    /// Minimum item, if any.
+    pub fn min(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.min()
+    }
+
+    /// Maximum item, if any.
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.max()
+    }
+
+    /// Number of items.
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    /// Collects into a container (order-preserving, like rayon's
+    /// indexed collect).
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<I::Item>,
+    {
+        self.0.collect()
+    }
+}
+
+/// Result of [`ParIter::fold`]: the per-split accumulators.
+pub struct Folded<T>(T);
+
+impl<T> Folded<T> {
+    /// Combines the accumulators (a no-op for the single sequential
+    /// split, but `identity`/`op` keep rayon's signature).
+    pub fn reduce<ID, F>(self, _identity: ID, _op: F) -> T
+    where
+        ID: Fn() -> T,
+        F: FnMut(T, T) -> T,
+    {
+        self.0
+    }
+}
+
+/// `par_iter` on slices (and anything derefing to them).
+pub trait ParSliceExt<T> {
+    /// Parallel shared iterator.
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+}
+
+impl<T> ParSliceExt<T> for [T] {
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+        ParIter(self.iter())
+    }
+}
+
+/// `par_iter_mut` / `par_chunks_mut` on mutable slices.
+pub trait ParSliceMutExt<T> {
+    /// Parallel exclusive iterator.
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
+    /// Parallel iterator over `size`-element chunks.
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T> ParSliceMutExt<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
+        ParIter(self.iter_mut())
+    }
+
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter(self.chunks_mut(size))
+    }
+}
+
+/// `into_par_iter` for owned collections and ranges.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item;
+    /// Underlying sequential iterator.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = std::vec::IntoIter<T>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = std::ops::Range<usize>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter(self)
+    }
+}
+
+pub mod prelude {
+    //! Rayon's prelude: the traits that add `par_*` methods.
+    pub use crate::{IntoParallelIterator, ParSliceExt, ParSliceMutExt};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_sum_matches_sequential() {
+        let v: Vec<u64> = (0..100).collect();
+        let par: u64 = v.par_iter().map(|&x| x * 2).sum();
+        assert_eq!(par, 9900);
+    }
+
+    #[test]
+    fn fold_reduce_accumulates() {
+        let idx = [0usize, 1, 2, 3];
+        let (sum, count) = idx
+            .par_iter()
+            .fold(|| (0usize, 0usize), |(s, c), &i| (s + i, c + 1))
+            .reduce(|| (0, 0), |(s1, c1), (s2, c2)| (s1 + s2, c1 + c2));
+        assert_eq!((sum, count), (6, 4));
+    }
+
+    #[test]
+    fn chunks_mut_covers_all_elements() {
+        let mut v = vec![0usize; 10];
+        v.par_chunks_mut(3).enumerate().for_each(|(ci, chunk)| {
+            for x in chunk {
+                *x = ci;
+            }
+        });
+        assert_eq!(v, [0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+    }
+
+    #[test]
+    fn zip_filter_count() {
+        let a = [1, 2, 3, 4];
+        let b = [1, 0, 3, 0];
+        let hits = a
+            .par_iter()
+            .zip(b.par_iter())
+            .filter(|(x, y)| x == y)
+            .count();
+        assert_eq!(hits, 2);
+    }
+
+    #[test]
+    fn into_par_iter_collects_in_order() {
+        let v: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(v, [0, 1, 4, 9, 16]);
+    }
+}

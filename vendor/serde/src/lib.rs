@@ -1,0 +1,399 @@
+//! Vendored stand-in for the `serde` crate (see `vendor/README.md`).
+//!
+//! Real serde abstracts over streaming (de)serialisers; this workspace
+//! only ever round-trips through JSON, so the model here is simpler:
+//! every [`Serialize`] type renders itself into a [`Value`] tree and
+//! every [`Deserialize`] type rebuilds itself from one. `serde_json`
+//! then just prints and parses `Value`s. Derive macros
+//! (`#[derive(Serialize, Deserialize)]`) are provided by the
+//! companion `serde_derive` crate and emit the same externally-tagged
+//! enum layout as upstream serde, so the JSON on disk stays
+//! interchangeable with real-serde readers.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A parsed/printable JSON-shaped value tree.
+///
+/// Objects preserve insertion order (`Vec` of pairs, not a map): field
+/// order in serialised output matches declaration order, like serde.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Negative integers.
+    I64(i64),
+    /// Non-negative integers.
+    U64(u64),
+    /// Floating-point numbers.
+    F64(f64),
+    /// Strings.
+    Str(String),
+    /// Arrays.
+    Seq(Vec<Value>),
+    /// Objects, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+/// Error produced while rebuilding a value tree into a typed value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// An error with the given message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Value {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    fn unexpected(&self, wanted: &str) -> Error {
+        Error::custom(format!("expected {wanted}, found {}", self.type_name()))
+    }
+
+    /// Looks up a required object field (derive-codegen helper).
+    pub fn field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Object(pairs) => pairs
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error::custom(format!("missing field `{name}`"))),
+            other => Err(other.unexpected("object")),
+        }
+    }
+
+    /// The elements of an array.
+    pub fn as_seq(&self) -> Result<&[Value], Error> {
+        match self {
+            Value::Seq(items) => Ok(items),
+            other => Err(other.unexpected("array")),
+        }
+    }
+
+    /// The pairs of an object.
+    pub fn as_object(&self) -> Result<&[(String, Value)], Error> {
+        match self {
+            Value::Object(pairs) => Ok(pairs),
+            other => Err(other.unexpected("object")),
+        }
+    }
+
+    fn as_u64(&self) -> Result<u64, Error> {
+        match *self {
+            Value::U64(n) => Ok(n),
+            Value::I64(n) if n >= 0 => Ok(n as u64),
+            ref other => Err(other.unexpected("unsigned integer")),
+        }
+    }
+
+    fn as_i64(&self) -> Result<i64, Error> {
+        match *self {
+            Value::I64(n) => Ok(n),
+            Value::U64(n) => {
+                i64::try_from(n).map_err(|_| Error::custom(format!("integer {n} overflows i64")))
+            }
+            ref other => Err(other.unexpected("integer")),
+        }
+    }
+
+    fn as_f64(&self) -> Result<f64, Error> {
+        match *self {
+            Value::F64(x) => Ok(x),
+            Value::I64(n) => Ok(n as f64),
+            Value::U64(n) => Ok(n as f64),
+            // serde_json writes non-finite floats as `null`.
+            Value::Null => Ok(f64::NAN),
+            ref other => Err(other.unexpected("number")),
+        }
+    }
+}
+
+/// Types renderable into a [`Value`] tree.
+pub trait Serialize {
+    /// Renders `self` as a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types rebuildable from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self`, validating shape and ranges.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match *v {
+            Value::Bool(b) => Ok(b),
+            ref other => Err(other.unexpected("bool")),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_u64()?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!(
+                        "integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n < 0 { Value::I64(n) } else { Value::U64(n as u64) }
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_i64()?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!(
+                        "integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        // Exact: every f32 is representable as f64, and shortest-f64
+        // printing round-trips it back bit-for-bit through `as f32`.
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.as_f64()? as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(other.unexpected("string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_seq()?.iter().map(Deserialize::from_value).collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = v.as_seq()?;
+        if items.len() != N {
+            return Err(Error::custom(format!(
+                "expected array of length {N}, found {}",
+                items.len()
+            )));
+        }
+        let vec: Vec<T> = items
+            .iter()
+            .map(Deserialize::from_value)
+            .collect::<Result<_, _>>()?;
+        vec.try_into()
+            .map_err(|_| Error::custom("array length changed during conversion"))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($n:expr => $($t:ident . $idx:tt),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let items = v.as_seq()?;
+                if items.len() != $n {
+                    return Err(Error::custom(format!(
+                        "expected tuple of length {}, found {}", $n, items.len())));
+                }
+                Ok(($($t::from_value(&items[$idx])?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple!(1 => A.0);
+impl_tuple!(2 => A.0, B.1);
+impl_tuple!(3 => A.0, B.1, C.2);
+impl_tuple!(4 => A.0, B.1, C.2, D.3);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f32::from_value(&0.1f32.to_value()).unwrap(), 0.1f32);
+        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn integer_coercion_checks_sign_and_range() {
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+        assert!(usize::from_value(&Value::I64(-1)).is_err());
+        assert_eq!(usize::from_value(&Value::I64(5)).unwrap(), 5);
+        assert_eq!(f64::from_value(&Value::U64(5)).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(String::from("a"), vec![1.5f64, 2.5])];
+        let back: Vec<(String, Vec<f64>)> = Deserialize::from_value(&v.to_value()).unwrap();
+        assert_eq!(back, v);
+
+        let arr = [3usize, 1, 4];
+        let back: [usize; 3] = Deserialize::from_value(&arr.to_value()).unwrap();
+        assert_eq!(back, arr);
+        assert!(<[usize; 2]>::from_value(&arr.to_value()).is_err());
+
+        let boxed = Box::new(9i64);
+        let back: Box<i64> = Deserialize::from_value(&boxed.to_value()).unwrap();
+        assert_eq!(back, boxed);
+
+        let opt: Option<u32> = None;
+        assert_eq!(<Option<u32>>::from_value(&opt.to_value()).unwrap(), None);
+    }
+
+    #[test]
+    fn missing_field_reports_name() {
+        let obj = Value::Object(vec![("a".into(), Value::U64(1))]);
+        assert_eq!(obj.field("a").unwrap(), &Value::U64(1));
+        let err = obj.field("b").unwrap_err().to_string();
+        assert!(err.contains("missing field `b`"), "{err}");
+    }
+}

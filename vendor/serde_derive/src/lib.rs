@@ -1,0 +1,480 @@
+//! Vendored stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! Upstream serde_derive builds on `syn`/`quote`; neither is available
+//! offline, so this crate parses the item declaration directly from
+//! the [`proc_macro::TokenStream`] and emits the trait impls as
+//! generated source text. Only the shapes this workspace derives are
+//! supported: structs with named fields, and enums with unit, newtype
+//! / tuple, and struct variants, with at most simple `<T: Bound>`
+//! generics (no lifetimes or `where` clauses). The generated code
+//! targets the vendored value-tree `serde` and keeps upstream's
+//! externally-tagged JSON enum layout.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (value-tree flavour).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render(&item, true)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (value-tree flavour).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render(&item, false)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+struct Item {
+    name: String,
+    /// Raw generic parameter declarations, e.g. `["S : Scalar"]`.
+    params: Vec<String>,
+    /// Bare parameter names, e.g. `["S"]`.
+    param_names: Vec<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    data: VariantData,
+}
+
+enum VariantData {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Self {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Skips `#[...]` attributes (doc comments arrive in this form).
+    fn skip_attributes(&mut self) {
+        while matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            self.pos += 1; // '#'
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+            {
+                self.pos += 1;
+            }
+        }
+    }
+
+    /// Skips `pub` / `pub(...)`.
+    fn skip_visibility(&mut self) {
+        if matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            self.pos += 1;
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.pos += 1;
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde derive: expected {what}, found {other:?}"),
+        }
+    }
+
+    fn expect_punct(&mut self, ch: char) {
+        match self.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ch => {}
+            other => panic!("serde derive: expected `{ch}`, found {other:?}"),
+        }
+    }
+}
+
+fn is_punct(t: &TokenTree, ch: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attributes();
+    c.skip_visibility();
+    let kw = c.expect_ident("`struct` or `enum`");
+    let name = c.expect_ident("item name");
+
+    let mut params = Vec::new();
+    let mut param_names = Vec::new();
+    if matches!(c.peek(), Some(t) if is_punct(t, '<')) {
+        c.pos += 1;
+        let mut depth = 1usize;
+        let mut current: Vec<TokenTree> = Vec::new();
+        loop {
+            let t = c.next().expect("serde derive: unterminated generics");
+            if is_punct(&t, '<') {
+                depth += 1;
+            } else if is_punct(&t, '>') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            if depth == 1 && is_punct(&t, ',') {
+                push_param(&mut params, &mut param_names, &current);
+                current.clear();
+            } else {
+                current.push(t);
+            }
+        }
+        push_param(&mut params, &mut param_names, &current);
+    }
+
+    let body = match c.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("serde derive: expected a braced body, found {other:?}"),
+    };
+
+    let kind = match kw.as_str() {
+        "struct" => Kind::Struct(parse_named_fields(body)),
+        "enum" => Kind::Enum(parse_variants(body)),
+        other => panic!("serde derive: unsupported item kind `{other}`"),
+    };
+
+    Item {
+        name,
+        params,
+        param_names,
+        kind,
+    }
+}
+
+fn push_param(params: &mut Vec<String>, names: &mut Vec<String>, tokens: &[TokenTree]) {
+    if tokens.is_empty() {
+        return;
+    }
+    params.push(join(tokens));
+    // First ident is the parameter name (lifetimes and `const` params
+    // are unsupported, matching the workspace's usage).
+    match &tokens[0] {
+        TokenTree::Ident(i) if i.to_string() != "const" => names.push(i.to_string()),
+        other => panic!("serde derive: unsupported generic parameter starting at {other:?}"),
+    }
+}
+
+fn join(tokens: &[TokenTree]) -> String {
+    tokens
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Parses `name: Type, ...` bodies, returning the field names.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut c = Cursor::new(body);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attributes();
+        c.skip_visibility();
+        if c.at_end() {
+            break;
+        }
+        fields.push(c.expect_ident("field name"));
+        c.expect_punct(':');
+        // Skip the type: everything up to the next comma outside
+        // `<...>` (commas inside parens/brackets live in sub-groups
+        // and are invisible at this level).
+        let mut angle_depth = 0usize;
+        while let Some(t) = c.peek() {
+            if is_punct(t, '<') {
+                angle_depth += 1;
+            } else if is_punct(t, '>') {
+                angle_depth = angle_depth.saturating_sub(1);
+            } else if is_punct(t, ',') && angle_depth == 0 {
+                c.pos += 1;
+                break;
+            }
+            c.pos += 1;
+        }
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(body);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attributes();
+        if c.at_end() {
+            break;
+        }
+        let name = c.expect_ident("variant name");
+        let data = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                c.pos += 1;
+                VariantData::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                c.pos += 1;
+                VariantData::Struct(fields)
+            }
+            _ => VariantData::Unit,
+        };
+        variants.push(Variant { name, data });
+        if matches!(c.peek(), Some(t) if is_punct(t, ',')) {
+            c.pos += 1;
+        }
+    }
+    variants
+}
+
+/// Number of elements in a tuple-variant payload.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut arity = 1;
+    let mut angle_depth = 0usize;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        if is_punct(t, '<') {
+            angle_depth += 1;
+            trailing_comma = false;
+        } else if is_punct(t, '>') {
+            angle_depth = angle_depth.saturating_sub(1);
+            trailing_comma = false;
+        } else if is_punct(t, ',') && angle_depth == 0 {
+            arity += 1;
+            trailing_comma = true;
+        } else {
+            trailing_comma = false;
+        }
+    }
+    if trailing_comma {
+        arity -= 1;
+    }
+    arity
+}
+
+/// `impl<...> Trait for Name<...>` generics, with the serde bound
+/// appended to every type parameter.
+fn generics(item: &Item, trait_path: &str) -> (String, String) {
+    if item.params.is_empty() {
+        return (String::new(), String::new());
+    }
+    let impl_params: Vec<String> = item
+        .params
+        .iter()
+        .map(|p| {
+            if p.contains(':') {
+                format!("{p} + {trait_path}")
+            } else {
+                format!("{p}: {trait_path}")
+            }
+        })
+        .collect();
+    (
+        format!("<{}>", impl_params.join(", ")),
+        format!("<{}>", item.param_names.join(", ")),
+    )
+}
+
+fn render(item: &Item, serialize: bool) -> String {
+    if serialize {
+        render_serialize(item)
+    } else {
+        render_deserialize(item)
+    }
+}
+
+fn render_serialize(item: &Item) -> String {
+    let (impl_generics, ty_generics) = generics(item, "::serde::Serialize");
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{}])", pairs.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(serialize_arm).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl{impl_generics} ::serde::Serialize for {name}{ty_generics} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn serialize_arm(v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.data {
+        VariantData::Unit => format!(
+            "Self::{vname} => ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+        ),
+        VariantData::Tuple(1) => format!(
+            "Self::{vname}(f0) => ::serde::Value::Object(::std::vec![\
+             (::std::string::String::from(\"{vname}\"), ::serde::Serialize::to_value(f0))]),"
+        ),
+        VariantData::Tuple(n) => {
+            let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                .collect();
+            format!(
+                "Self::{vname}({}) => ::serde::Value::Object(::std::vec![\
+                 (::std::string::String::from(\"{vname}\"), \
+                 ::serde::Value::Seq(::std::vec![{}]))]),",
+                binders.join(", "),
+                elems.join(", ")
+            )
+        }
+        VariantData::Struct(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "Self::{vname} {{ {} }} => ::serde::Value::Object(::std::vec![\
+                 (::std::string::String::from(\"{vname}\"), \
+                 ::serde::Value::Object(::std::vec![{}]))]),",
+                fields.join(", "),
+                pairs.join(", ")
+            )
+        }
+    }
+}
+
+fn render_deserialize(item: &Item) -> String {
+    let (impl_generics, ty_generics) = generics(item, "::serde::Deserialize");
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.field(\"{f}\")?)?,"))
+                .collect();
+            format!("::std::result::Result::Ok(Self {{ {} }})", inits.join(" "))
+        }
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.data, VariantData::Unit))
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok(Self::{0}),", v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !matches!(v.data, VariantData::Unit))
+                .map(deserialize_data_arm)
+                .collect();
+            let unknown = format!(
+                "other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown variant `{{other}}` of {name}\"))),"
+            );
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{ {unit} {unknown} }},\n\
+                 ::serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                 let (tag, inner) = &pairs[0];\n\
+                 let _ = &inner;\n\
+                 match tag.as_str() {{ {data} {unknown} }}\n\
+                 }},\n\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(\
+                 \"expected an externally tagged {name} value\")),\n\
+                 }}",
+                unit = unit_arms.join(" "),
+                data = data_arms.join(" "),
+            )
+        }
+    };
+    format!(
+        "impl{impl_generics} ::serde::Deserialize for {name}{ty_generics} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}
+
+fn deserialize_data_arm(v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.data {
+        VariantData::Unit => unreachable!("unit variants handled in the string arm"),
+        VariantData::Tuple(1) => format!(
+            "\"{vname}\" => ::std::result::Result::Ok(\
+             Self::{vname}(::serde::Deserialize::from_value(inner)?)),"
+        ),
+        VariantData::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "\"{vname}\" => {{\n\
+                 let items = inner.as_seq()?;\n\
+                 if items.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::Error::custom(\
+                 \"wrong tuple variant arity\"));\n\
+                 }}\n\
+                 ::std::result::Result::Ok(Self::{vname}({}))\n\
+                 }},",
+                elems.join(", ")
+            )
+        }
+        VariantData::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(inner.field(\"{f}\")?)?,"))
+                .collect();
+            format!(
+                "\"{vname}\" => ::std::result::Result::Ok(Self::{vname} {{ {} }}),",
+                inits.join(" ")
+            )
+        }
+    }
+}
