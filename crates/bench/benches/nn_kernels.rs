@@ -1,11 +1,15 @@
 //! Criterion benches for the GEMM compute core: naive vs GEMM-backed
-//! convolution at the paper's 128x128 input size, and single-sample vs
-//! batched CNN prediction. Run with `CRITERION_FULL=1 cargo bench -p
-//! dnnspmv-bench --bench nn_kernels` when citing numbers.
+//! convolution at the paper's 128x128 input size, single-sample vs
+//! batched CNN prediction, and per-sample vs batched training steps.
+//! Run with `CRITERION_FULL=1 cargo bench -p dnnspmv-bench --bench
+//! nn_kernels` when citing numbers.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dnnspmv_nn::layers::{Conv2d, Dense};
-use dnnspmv_nn::{build_cnn, CnnConfig, Merging, Tensor};
+use dnnspmv_nn::{
+    build_cnn, train_step, train_step_reference, BatchTrainState, CnnConfig, Merging, Optimizer,
+    OptimizerKind, Sample, Tensor,
+};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::hint::black_box;
@@ -100,12 +104,57 @@ fn bench_predict_batched(c: &mut Criterion) {
     group.finish();
 }
 
+/// Whole training step: the per-sample reference loop vs the batched
+/// GEMM path (one forward/backward per batch, single optimiser
+/// update). The acceptance target is batched >= 2x at batch 32.
+fn bench_train_step(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let net0 = build_cnn(
+        Merging::Late,
+        2,
+        (32, 32),
+        4,
+        &CnnConfig {
+            conv_channels: [4, 8, 8],
+            hidden: 16,
+            seed: 7,
+        },
+    );
+    let samples: Vec<Sample> = (0..32)
+        .map(|i| Sample {
+            channels: (0..2).map(|_| rand_tensor(&[32, 32], &mut rng)).collect(),
+            label: i % 4,
+        })
+        .collect();
+    let mut group = c.benchmark_group("cnn_train_step");
+    for &n in &[8usize, 32] {
+        let batch: Vec<usize> = (0..n).collect();
+        group.bench_with_input(BenchmarkId::new("reference", n), &n, |b, _| {
+            let mut net = net0.clone();
+            let mut opt = Optimizer::new(&mut net, OptimizerKind::adam(), 1e-3, false);
+            let mut accum = net.zero_grads();
+            b.iter(|| {
+                black_box(train_step_reference(
+                    &mut net, &samples, &batch, &mut opt, &mut accum,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("batched", n), &n, |b, _| {
+            let mut net = net0.clone();
+            let mut opt = Optimizer::new(&mut net, OptimizerKind::adam(), 1e-3, false);
+            let mut state = BatchTrainState::new(&net);
+            b.iter(|| black_box(train_step(&mut net, &samples, &batch, &mut opt, &mut state)))
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(20)
         .measurement_time(std::time::Duration::from_secs(2))
         .warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_conv_forward, bench_dense_forward, bench_predict_batched
+    targets = bench_conv_forward, bench_dense_forward, bench_predict_batched, bench_train_step
 }
 criterion_main!(benches);

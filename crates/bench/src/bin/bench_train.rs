@@ -1,0 +1,201 @@
+//! `bench_train` — measures the batched GEMM training path against the
+//! per-sample reference and writes a machine-readable summary.
+//!
+//! ```text
+//! bench_train [--json FILE] [--steps N] [--batch N]
+//! ```
+//!
+//! Runs `N` optimisation steps (default 30) at the given batch size
+//! (default 32) through both [`dnnspmv_nn::train_step`] and
+//! [`dnnspmv_nn::train_step_reference`] on identically initialised
+//! networks, then trains both paths end-to-end under the same seed to
+//! bound their loss-history divergence. Results go to stdout and to
+//! `BENCH_train.json` (or `--json FILE`).
+
+use dnnspmv_nn::{
+    build_cnn, train, train_reference, train_step, train_step_reference, BatchTrainState,
+    CnnConfig, Merging, Optimizer, OptimizerKind, Sample, Tensor, TrainConfig,
+};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::Serialize;
+use std::io::Write;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct PathStats {
+    steps: usize,
+    batch: usize,
+    samples_per_sec: f64,
+    mean_step_ms: f64,
+    min_step_ms: f64,
+    max_step_ms: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    /// Per-sample loop with a single preallocated gradient accumulator
+    /// — the "before" this PR measures against.
+    reference: PathStats,
+    /// Batched path: one GEMM per layer forward and backward, fused
+    /// batch loss, one optimiser update.
+    batched: PathStats,
+    /// batched samples/sec over reference samples/sec.
+    speedup: f64,
+    /// Largest per-step |loss difference| between the two paths over a
+    /// full same-seed training run (acceptance bound: 1e-3).
+    loss_max_abs_diff: f32,
+}
+
+fn sample_set(n: usize, channels: usize, hw: usize, classes: usize, seed: u64) -> Vec<Sample> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| Sample {
+            channels: (0..channels)
+                .map(|_| {
+                    Tensor::from_vec(
+                        &[hw, hw],
+                        (0..hw * hw).map(|_| rng.random::<f32>() - 0.5).collect(),
+                    )
+                })
+                .collect(),
+            label: i % classes,
+        })
+        .collect()
+}
+
+fn time_steps(steps: usize, mut f: impl FnMut()) -> (f64, f64, f64) {
+    let (mut total, mut min, mut max) = (0.0f64, f64::INFINITY, 0.0f64);
+    for _ in 0..steps {
+        let t0 = Instant::now();
+        f();
+        let dt = t0.elapsed().as_secs_f64();
+        total += dt;
+        min = min.min(dt);
+        max = max.max(dt);
+    }
+    (total, min, max)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path = String::from("BENCH_train.json");
+    let mut steps = 30usize;
+    let mut batch = 32usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => {
+                i += 1;
+                json_path = args.get(i).expect("--json needs a path").clone();
+            }
+            "--steps" => {
+                i += 1;
+                steps = args
+                    .get(i)
+                    .expect("--steps needs a number")
+                    .parse()
+                    .unwrap();
+            }
+            "--batch" => {
+                i += 1;
+                batch = args
+                    .get(i)
+                    .expect("--batch needs a number")
+                    .parse()
+                    .unwrap();
+            }
+            other => {
+                eprintln!("usage: bench_train [--json FILE] [--steps N] [--batch N]");
+                panic!("unknown flag '{other}'");
+            }
+        }
+        i += 1;
+    }
+
+    let classes = 4;
+    let net0 = build_cnn(
+        Merging::Late,
+        2,
+        (32, 32),
+        classes,
+        &CnnConfig {
+            conv_channels: [4, 8, 8],
+            hidden: 16,
+            seed: 7,
+        },
+    );
+    let samples = sample_set(batch, 2, 32, classes, 11);
+    let idx: Vec<usize> = (0..batch).collect();
+
+    // Reference path, one warm-up step before timing.
+    let mut net = net0.clone();
+    let mut opt = Optimizer::new(&mut net, OptimizerKind::adam(), 1e-3, false);
+    let mut accum = net.zero_grads();
+    train_step_reference(&mut net, &samples, &idx, &mut opt, &mut accum);
+    let (total, min, max) = time_steps(steps, || {
+        train_step_reference(&mut net, &samples, &idx, &mut opt, &mut accum);
+    });
+    let reference = PathStats {
+        steps,
+        batch,
+        samples_per_sec: (steps * batch) as f64 / total,
+        mean_step_ms: 1e3 * total / steps as f64,
+        min_step_ms: 1e3 * min,
+        max_step_ms: 1e3 * max,
+    };
+
+    // Batched path, same warm-up protocol.
+    let mut net = net0.clone();
+    let mut opt = Optimizer::new(&mut net, OptimizerKind::adam(), 1e-3, false);
+    let mut state = BatchTrainState::new(&net);
+    train_step(&mut net, &samples, &idx, &mut opt, &mut state);
+    let (total, min, max) = time_steps(steps, || {
+        train_step(&mut net, &samples, &idx, &mut opt, &mut state);
+    });
+    let batched = PathStats {
+        steps,
+        batch,
+        samples_per_sec: (steps * batch) as f64 / total,
+        mean_step_ms: 1e3 * total / steps as f64,
+        min_step_ms: 1e3 * min,
+        max_step_ms: 1e3 * max,
+    };
+
+    // Same-seed end-to-end agreement between the two paths.
+    let cfg = TrainConfig {
+        epochs: 3,
+        batch_size: batch.min(8),
+        ..TrainConfig::default()
+    };
+    let train_set = sample_set(3 * cfg.batch_size + 2, 2, 32, classes, 13);
+    let mut a = net0.clone();
+    let mut b = net0.clone();
+    let ra = train(&mut a, &train_set, &cfg);
+    let rb = train_reference(&mut b, &train_set, &cfg);
+    let loss_max_abs_diff = ra
+        .loss_history
+        .iter()
+        .zip(&rb.loss_history)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0f32, f32::max);
+
+    let report = Report {
+        speedup: batched.samples_per_sec / reference.samples_per_sec,
+        reference,
+        batched,
+        loss_max_abs_diff,
+    };
+    let json = serde_json::to_string(&report).expect("serialisable report");
+    println!("{json}");
+    let mut f = std::fs::File::create(&json_path).expect("writable json path");
+    f.write_all(json.as_bytes()).expect("write json");
+    f.write_all(b"\n").expect("write json");
+    eprintln!(
+        "wrote {json_path}: {:.1}x speedup at batch {batch} ({:.0} vs {:.0} samples/sec), max loss diff {:.2e}",
+        report.speedup,
+        report.batched.samples_per_sec,
+        report.reference.samples_per_sec,
+        report.loss_max_abs_diff
+    );
+}

@@ -102,47 +102,87 @@ pub fn sgemm(
         }
         return;
     }
+    if ta == Trans::No && tb == Trans::Yes && m * n <= 64 * 1024 {
+        // Inner-product regime: both operands walk `k` contiguously, so
+        // each C element is a straight dot product — no packing needed
+        // (the blocked path's packing costs more than the whole product
+        // at these shapes). This is the shape of every weight-gradient
+        // GEMM (`gW = gout . act^T` with the batch reduction fused into
+        // `k`), where C is tiny and `k` is huge; the `m * n` cap keeps
+        // genuinely large C matrices on the blocked path where B panels
+        // get reused. Sixteen lane-wise partial sums keep enough
+        // independent dependency chains in flight for the loop to
+        // vectorise and hide FP-add latency; a plain (or 4-way) dot is
+        // one serial chain and runs several times slower. The huge-`k`
+        // rows are walked in `DOT_KC`-element chunks: every `(i, j)`
+        // pair touches each chunk while it is cache-resident, where
+        // unchunked dots would re-stream whole megabyte-scale rows
+        // from memory `n` (resp. `m`) times over.
+        const DOT_KC: usize = 16 * 1024;
+        for p0 in (0..k).step_by(DOT_KC) {
+            let p1 = (p0 + DOT_KC).min(k);
+            c.par_chunks_mut(n).enumerate().for_each(|(i, crow)| {
+                let ach = &a[i * k + p0..i * k + p1];
+                for (j, cv) in crow.iter_mut().enumerate() {
+                    *cv += alpha * lane_dot(ach, &b[j * k + p0..j * k + p1]);
+                }
+            });
+        }
+        return;
+    }
     if k <= SMALL_K && tb == Trans::No {
         // Short-inner-dimension regime (im2col convolutions: k is
         // in_ch * ksize^2, n is the whole output plane). Packing into
         // micro-panels costs more than it saves here; a row-per-output
         // sweep of contiguous axpy updates streams B at full width.
         // Four rank-1 updates are fused per sweep so each C row is
-        // read/written k/4 times instead of k — batched calls have C
-        // rows far larger than L1, so this is what keeps them cheap.
+        // read/written k/4 times instead of k. The column dimension is
+        // tiled so the B tile (k rows x AXPY_NB) stays cache-resident
+        // while every C row revisits it — batched calls have B far
+        // larger than cache, and untiled sweeps would re-stream it
+        // from memory once per output row. Tiling never splits the k
+        // loop, so accumulation order per element is unchanged.
         // Rows of C are disjoint, so parallelise over them directly.
-        c.par_chunks_mut(n).enumerate().for_each(|(i, crow)| {
-            let at = |p: usize| {
-                alpha
-                    * match ta {
-                        Trans::No => a[i * k + p],
-                        Trans::Yes => a[p * m + i],
+        const AXPY_NB: usize = 1024;
+        for j0 in (0..n).step_by(AXPY_NB) {
+            let j1 = n.min(j0 + AXPY_NB);
+            c.par_chunks_mut(n).enumerate().for_each(|(i, crow)| {
+                let crow = &mut crow[j0..j1];
+                let at = |p: usize| {
+                    alpha
+                        * match ta {
+                            Trans::No => a[i * k + p],
+                            Trans::Yes => a[p * m + i],
+                        }
+                };
+                let nb = j1 - j0;
+                let mut p = 0;
+                while p + 4 <= k {
+                    let (a0, a1, a2, a3) = (at(p), at(p + 1), at(p + 2), at(p + 3));
+                    let b0 = &b[p * n + j0..][..nb];
+                    let b1 = &b[(p + 1) * n + j0..][..nb];
+                    let b2 = &b[(p + 2) * n + j0..][..nb];
+                    let b3 = &b[(p + 3) * n + j0..][..nb];
+                    for (t, cv) in crow.iter_mut().enumerate() {
+                        *cv = b3[t].mul_add(
+                            a3,
+                            b2[t].mul_add(a2, b1[t].mul_add(a1, b0[t].mul_add(a0, *cv))),
+                        );
                     }
-            };
-            let mut p = 0;
-            while p + 4 <= k {
-                let (a0, a1, a2, a3) = (at(p), at(p + 1), at(p + 2), at(p + 3));
-                let b0 = &b[p * n..(p + 1) * n];
-                let b1 = &b[(p + 1) * n..(p + 2) * n];
-                let b2 = &b[(p + 2) * n..(p + 3) * n];
-                let b3 = &b[(p + 3) * n..(p + 4) * n];
-                let rows = b0.iter().zip(b1).zip(b2).zip(b3);
-                for (cv, (((&v0, &v1), &v2), &v3)) in crow.iter_mut().zip(rows) {
-                    *cv += a0 * v0 + a1 * v1 + a2 * v2 + a3 * v3;
+                    p += 4;
                 }
-                p += 4;
-            }
-            while p < k {
-                let av = at(p);
-                if av != 0.0 {
-                    let brow = &b[p * n..(p + 1) * n];
-                    for (cv, &bv) in crow.iter_mut().zip(brow) {
-                        *cv += av * bv;
+                while p < k {
+                    let av = at(p);
+                    if av != 0.0 {
+                        let brow = &b[p * n + j0..][..nb];
+                        for (t, cv) in crow.iter_mut().enumerate() {
+                            *cv = brow[t].mul_add(av, *cv);
+                        }
                     }
+                    p += 1;
                 }
-                p += 1;
-            }
-        });
+            });
+        }
         return;
     }
 
@@ -184,7 +224,7 @@ fn matvec(m: usize, k: usize, alpha: f32, a: &[f32], ta: Trans, x: &[f32], c: &m
                 let row = &a[i * k..(i + 1) * k];
                 let mut acc = 0.0f32;
                 for (&av, &xv) in row.iter().zip(x) {
-                    acc += av * xv;
+                    acc = av.mul_add(xv, acc);
                 }
                 *cv += alpha * acc;
             }
@@ -197,7 +237,7 @@ fn matvec(m: usize, k: usize, alpha: f32, a: &[f32], ta: Trans, x: &[f32], c: &m
                 if s != 0.0 {
                     let row = &a[p * m..(p + 1) * m];
                     for (cv, &av) in c.iter_mut().zip(row) {
-                        *cv += s * av;
+                        *cv = av.mul_add(s, *cv);
                     }
                 }
             }
@@ -309,7 +349,7 @@ fn micro_kernel(
             let av = arow[ii];
             let dst = &mut acc[ii * NR..(ii + 1) * NR];
             for (d, &bv) in dst.iter_mut().zip(brow) {
-                *d += av * bv;
+                *d = av.mul_add(bv, *d);
             }
         }
     }
@@ -324,6 +364,47 @@ fn micro_kernel(
 
 /// Convolution output extent for an `h x w` input, square `ksize`
 /// kernel, `stride`, and symmetric zero `pad`.
+/// Dot product with sixteen independent fused partial sums, so the
+/// accumulation vectorises and pipelines instead of forming one serial
+/// latency chain. Slice-level core of the inner-product GEMM path,
+/// reused directly by the fused per-sample weight-gradient
+/// accumulation. `mul_add` lowers to a fused instruction under the
+/// workspace's `target-cpu=native` build; rustc never contracts
+/// `a * b + c` on its own, so the explicit call halves the arithmetic
+/// uops (the same reasoning applies to every kernel in this module).
+pub fn lane_dot(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = [0.0f32; 16];
+    let mut pa = a.chunks_exact(16);
+    let mut pb = b.chunks_exact(16);
+    for (ca, cb) in (&mut pa).zip(&mut pb) {
+        for (l, s) in acc.iter_mut().enumerate() {
+            *s = ca[l].mul_add(cb[l], *s);
+        }
+    }
+    let mut tail = 0.0f32;
+    for (x, y) in pa.remainder().iter().zip(pb.remainder()) {
+        tail = x.mul_add(*y, tail);
+    }
+    acc.iter().sum::<f32>() + tail
+}
+
+/// Sum of a slice with sixteen independent partial sums, so the adds
+/// vectorise and pipeline instead of forming one serial latency chain.
+/// The batched bias gradients reduce rows of `n * oh * ow` elements —
+/// a naive sequential sum is the latency-bound outlier in an
+/// otherwise GEMM-shaped backward pass.
+pub fn lane_sum(xs: &[f32]) -> f32 {
+    let mut acc = [0.0f32; 16];
+    let mut chunks = xs.chunks_exact(16);
+    for ch in &mut chunks {
+        for (s, &v) in acc.iter_mut().zip(ch) {
+            *s += v;
+        }
+    }
+    let tail: f32 = chunks.remainder().iter().sum();
+    acc.iter().sum::<f32>() + tail
+}
+
 pub fn conv_out_hw(h: usize, w: usize, ksize: usize, stride: usize, pad: usize) -> (usize, usize) {
     (
         (h + 2 * pad - ksize) / stride + 1,
@@ -426,6 +507,33 @@ fn im2col_channel(
         for kx in 0..ksize {
             let r = (ic * ksize + ky) * ksize + kx;
             let row = &mut col[r * ld + col_off..][..oh * ow];
+            if stride == 1 && ow == w {
+                // "Same" convolution: every output row is exactly one
+                // input row shifted by `kx - pad`, and consecutive rows
+                // advance by `w` on both sides — so the whole vertical
+                // run of valid rows is ONE contiguous copy. The copy
+                // bleeds neighbouring-row values into the padded edge
+                // columns, which the fixup loop below zeroes (at most
+                // two scalar writes per row); that replaces `oh`
+                // short per-row copies with one streaming memcpy.
+                let ylo = pad.saturating_sub(ky);
+                let yhi = (h + pad - ky).min(oh);
+                row[..ylo * ow].fill(0.0);
+                row[yhi * ow..].fill(0.0);
+                if yhi <= ylo {
+                    continue;
+                }
+                let (lo, hi) = valid_ox_range(w, ow, kx, stride, pad);
+                let d0 = ylo * ow + lo;
+                let d1 = (yhi - 1) * ow + hi;
+                let s0 = (ylo + ky - pad) * w + lo + kx - pad;
+                row[d0..d1].copy_from_slice(&xc[s0..s0 + (d1 - d0)]);
+                for oy in ylo..yhi {
+                    row[oy * ow..oy * ow + lo].fill(0.0);
+                    row[oy * ow + hi..(oy + 1) * ow].fill(0.0);
+                }
+                continue;
+            }
             for oy in 0..oh {
                 let iy = (oy * stride + ky) as isize - pad as isize;
                 let dst = &mut row[oy * ow..(oy + 1) * ow];
@@ -440,6 +548,16 @@ fn im2col_channel(
                 if stride == 1 {
                     let sx = lo + kx - pad;
                     dst[lo..hi].copy_from_slice(&src[sx..sx + (hi - lo)]);
+                } else if stride == 2 && hi > lo {
+                    // Strided gather as a pair-wise deinterleave so the
+                    // copy vectorises (shuffles instead of scalar loads).
+                    let sx = 2 * lo + kx - pad;
+                    let s = &src[sx..sx + 2 * (hi - lo) - 1];
+                    let d = &mut dst[lo..hi];
+                    for (dv, sp) in d.iter_mut().zip(s.chunks_exact(2)) {
+                        *dv = sp[0];
+                    }
+                    d[hi - lo - 1] = s[2 * (hi - lo - 1)];
                 } else {
                     for (ox, d) in dst.iter_mut().enumerate().take(hi).skip(lo) {
                         *d = src[ox * stride + kx - pad];
@@ -471,18 +589,99 @@ pub fn col2im_into(
     assert!(col_off + oh * ow <= ld, "column block exceeds row stride");
     for ic in 0..c {
         let gc = &mut gin[ic * h * w..(ic + 1) * h * w];
-        for ky in 0..ksize {
-            for kx in 0..ksize {
-                let r = (ic * ksize + ky) * ksize + kx;
-                let row = &col[r * ld + col_off..][..oh * ow];
-                for oy in 0..oh {
-                    let iy = (oy * stride + ky) as isize - pad as isize;
-                    if iy < 0 || iy >= h as isize {
-                        continue;
+        col2im_channel(gc, ic, h, w, ksize, stride, pad, oh, ow, col, ld, col_off);
+    }
+}
+
+/// Scatter-adds an im2col-layout gradient of a packed `[c, n, h, w]`
+/// batch back onto the image grid: the adjoint of
+/// [`im2col_packed_into`]. `gin` accumulates (`+=`) and must be zeroed
+/// by the caller when a fresh gradient is wanted.
+#[allow(clippy::too_many_arguments)]
+pub fn col2im_packed_into(
+    col: &[f32],
+    c: usize,
+    n: usize,
+    h: usize,
+    w: usize,
+    ksize: usize,
+    stride: usize,
+    pad: usize,
+    gin: &mut [f32],
+) {
+    assert_eq!(gin.len(), c * n * h * w, "output buffer shape mismatch");
+    let (oh, ow) = conv_out_hw(h, w, ksize, stride, pad);
+    let ld = n * oh * ow;
+    for si in 0..n {
+        for ic in 0..c {
+            let gc = &mut gin[(ic * n + si) * h * w..][..h * w];
+            col2im_channel(
+                gc,
+                ic,
+                h,
+                w,
+                ksize,
+                stride,
+                pad,
+                oh,
+                ow,
+                col,
+                ld,
+                si * oh * ow,
+            );
+        }
+    }
+}
+
+/// Scatter-adds channel `ic`'s `ksize*ksize` im2col rows back onto one
+/// `[h, w]` plane `gc`. Shared body of [`col2im_into`] and
+/// [`col2im_packed_into`].
+#[allow(clippy::too_many_arguments)]
+fn col2im_channel(
+    gc: &mut [f32],
+    ic: usize,
+    h: usize,
+    w: usize,
+    ksize: usize,
+    stride: usize,
+    pad: usize,
+    oh: usize,
+    ow: usize,
+    col: &[f32],
+    ld: usize,
+    col_off: usize,
+) {
+    for ky in 0..ksize {
+        for kx in 0..ksize {
+            let r = (ic * ksize + ky) * ksize + kx;
+            let row = &col[r * ld + col_off..][..oh * ow];
+            for oy in 0..oh {
+                let iy = (oy * stride + ky) as isize - pad as isize;
+                if iy < 0 || iy >= h as isize {
+                    continue;
+                }
+                let src = &row[oy * ow..(oy + 1) * ow];
+                let dst = &mut gc[iy as usize * w..(iy as usize + 1) * w];
+                let (lo, hi) = valid_ox_range(w, ow, kx, stride, pad);
+                if stride == 1 {
+                    // Contiguous mirror of the im2col copy: a straight
+                    // slice accumulate, which vectorises.
+                    let sx = lo + kx - pad;
+                    for (d, &s) in dst[sx..sx + (hi - lo)].iter_mut().zip(&src[lo..hi]) {
+                        *d += s;
                     }
-                    let src = &row[oy * ow..(oy + 1) * ow];
-                    let dst = &mut gc[iy as usize * w..(iy as usize + 1) * w];
-                    let (lo, hi) = valid_ox_range(w, ow, kx, stride, pad);
+                } else if stride == 2 && hi > lo {
+                    // Strided scatter as a pair-wise interleave so the
+                    // accumulate vectorises, mirroring the im2col
+                    // deinterleave.
+                    let sx = 2 * lo + kx - pad;
+                    let d = &mut dst[sx..sx + 2 * (hi - lo) - 1];
+                    let s = &src[lo..hi];
+                    for (dp, &sv) in d.chunks_exact_mut(2).zip(s) {
+                        dp[0] += sv;
+                    }
+                    d[2 * (hi - lo - 1)] += s[hi - lo - 1];
+                } else {
                     for ox in lo..hi {
                         dst[ox * stride + kx - pad] += src[ox];
                     }
@@ -660,9 +859,12 @@ mod tests {
 
     #[test]
     fn sgemm_handles_all_transpose_combinations() {
-        // k = 70 exercises the axpy regime, k = 400 the packed one.
+        // k = 70 exercises the axpy regime (and, for No/Yes, the dot
+        // fast path), k = 400 the packed one; (80, 900, 70) pushes
+        // m * n past the dot path's cap so No/Yes also lands on the
+        // packed kernel.
         let mut rng = StdRng::seed_from_u64(7);
-        for &(m, n, k) in &[(19usize, 23usize, 70usize), (19, 23, 400)] {
+        for &(m, n, k) in &[(19usize, 23usize, 70usize), (19, 23, 400), (80, 900, 70)] {
             for &ta in &[Trans::No, Trans::Yes] {
                 for &tb in &[Trans::No, Trans::Yes] {
                     let a = rand_vec(&mut rng, m * k);
@@ -764,6 +966,42 @@ mod tests {
             assert!(
                 (lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()),
                 "adjoint mismatch ({c},{h},{w},k{ksize},s{stride},p{pad}): {lhs} vs {rhs}"
+            );
+        }
+    }
+
+    #[test]
+    fn packed_col2im_is_the_adjoint_of_packed_im2col() {
+        // Same inner-product identity as the per-sample test, but over
+        // the `[c, n, h, w]` batch layout the training path scatters
+        // into.
+        let mut rng = StdRng::seed_from_u64(29);
+        for &(c, n, h, w, ksize, stride, pad) in &[
+            (2usize, 3usize, 6usize, 6usize, 3usize, 1usize, 1usize),
+            (1, 4, 7, 5, 3, 2, 1),
+            (3, 1, 8, 8, 3, 1, 1),
+        ] {
+            let (oh, ow) = conv_out_hw(h, w, ksize, stride, pad);
+            let rows = c * ksize * ksize;
+            let x = rand_vec(&mut rng, c * n * h * w);
+            let y = rand_vec(&mut rng, rows * n * oh * ow);
+            let mut col = vec![0.0f32; rows * n * oh * ow];
+            im2col_packed_into(&x, c, n, h, w, ksize, stride, pad, &mut col);
+            let lhs: f64 = col
+                .iter()
+                .zip(&y)
+                .map(|(&a, &b)| f64::from(a) * f64::from(b))
+                .sum();
+            let mut back = vec![0.0f32; c * n * h * w];
+            col2im_packed_into(&y, c, n, h, w, ksize, stride, pad, &mut back);
+            let rhs: f64 = x
+                .iter()
+                .zip(&back)
+                .map(|(&a, &b)| f64::from(a) * f64::from(b))
+                .sum();
+            assert!(
+                (lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()),
+                "packed adjoint mismatch ({c},{n},{h},{w},k{ksize},s{stride},p{pad}): {lhs} vs {rhs}"
             );
         }
     }

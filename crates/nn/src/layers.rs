@@ -381,6 +381,83 @@ impl Conv2d {
         (gin, vec![gw, gb])
     }
 
+    /// Batched backward pass on the packed `[c, n, h, w]` layout: one
+    /// GEMM for the weight gradient with the batch reduction fused into
+    /// its inner dimension (`gW [out_ch, c*k*k] = gout [out_ch, n*oh*ow]
+    /// . col^T`), and — when `gin` is wanted — one GEMM plus a packed
+    /// col2im scatter for the input gradient. `col` is the im2col
+    /// lowering of this layer's packed input, reused from the forward
+    /// pass instead of being recomputed. `gw`/`gb` are overwritten;
+    /// `aux` is recycled scratch; `gin` is grown, never shrunk, and
+    /// only its `[in_ch, n, h, w]` extent is meaningful.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn backward_packed_into(
+        &self,
+        n: usize,
+        h: usize,
+        w: usize,
+        gout: &[f32],
+        col: &[f32],
+        aux: &mut Vec<f32>,
+        gin: Option<&mut Vec<f32>>,
+        gw: &mut Tensor,
+        gb: &mut Tensor,
+    ) {
+        let (oh, ow) = self.out_hw(h, w);
+        let nl = n * oh * ow;
+        let k2c = self.in_ch * self.ksize * self.ksize;
+        assert!(col.len() >= k2c * nl, "im2col buffer too small");
+        assert_eq!(gout.len(), self.out_ch * nl, "packed gout mismatch");
+        for (oc, gv) in gb.data_mut().iter_mut().enumerate() {
+            *gv = gemm::lane_sum(&gout[oc * nl..(oc + 1) * nl]);
+        }
+        gemm::sgemm(
+            self.out_ch,
+            k2c,
+            nl,
+            1.0,
+            gout,
+            Trans::No,
+            &col[..k2c * nl],
+            Trans::Yes,
+            0.0,
+            gw.data_mut(),
+        );
+        if let Some(gin) = gin {
+            if aux.len() < k2c * nl {
+                aux.resize(k2c * nl, 0.0);
+            }
+            gemm::sgemm(
+                k2c,
+                nl,
+                self.out_ch,
+                1.0,
+                self.weight.data(),
+                Trans::Yes,
+                gout,
+                Trans::No,
+                0.0,
+                &mut aux[..k2c * nl],
+            );
+            let vol = self.in_ch * n * h * w;
+            if gin.len() < vol {
+                gin.resize(vol, 0.0);
+            }
+            gin[..vol].fill(0.0);
+            gemm::col2im_packed_into(
+                &aux[..k2c * nl],
+                self.in_ch,
+                n,
+                h,
+                w,
+                self.ksize,
+                self.stride,
+                self.pad,
+                &mut gin[..vol],
+            );
+        }
+    }
+
     /// Naive backward pass, the correctness reference for
     /// [`Self::backward`].
     pub fn backward_reference(&self, x: &Tensor, gout: &Tensor) -> (Tensor, Vec<Tensor>) {
@@ -516,16 +593,135 @@ impl MaxPool2d {
         }
     }
 
+    /// [`Self::pool_planes`] plus the winning input index of every
+    /// window (absolute within `xd`), in the same scan order with the
+    /// same first-maximum tie rule — outputs are bit-identical. The
+    /// cached batched path stores `idx` so its backward pass scatters
+    /// directly instead of rescanning every window.
+    pub(crate) fn pool_planes_indexed(
+        &self,
+        xd: &[f32],
+        planes: usize,
+        h: usize,
+        w: usize,
+        od: &mut [f32],
+        idx: &mut [u32],
+    ) {
+        let (oh, ow) = self.out_hw(h, w);
+        debug_assert_eq!(od.len(), planes * oh * ow);
+        debug_assert_eq!(idx.len(), planes * oh * ow);
+        if self.size == 2 && 2 * oh <= h && 2 * ow <= w {
+            for ch in 0..planes {
+                let pb = ch * h * w;
+                for oy in 0..oh {
+                    let y0 = 2 * oy;
+                    for ox in 0..ow {
+                        let i0 = pb + y0 * w + 2 * ox;
+                        let (i1, i2) = (i0 + 1, i0 + w);
+                        let i3 = i2 + 1;
+                        let (mut bv, mut bi) = (xd[i0], i0);
+                        if xd[i1] > bv {
+                            (bv, bi) = (xd[i1], i1);
+                        }
+                        if xd[i2] > bv {
+                            (bv, bi) = (xd[i2], i2);
+                        }
+                        if xd[i3] > bv {
+                            (bv, bi) = (xd[i3], i3);
+                        }
+                        let o = (ch * oh + oy) * ow + ox;
+                        od[o] = bv;
+                        idx[o] = bi as u32;
+                    }
+                }
+            }
+            return;
+        }
+        for ch in 0..planes {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut arg = 0usize;
+                    for ky in oy * self.size..(oy * self.size + self.size).min(h) {
+                        for kx in ox * self.size..(ox * self.size + self.size).min(w) {
+                            let i = (ch * h + ky) * w + kx;
+                            if xd[i] > best {
+                                best = xd[i];
+                                arg = i;
+                            }
+                        }
+                    }
+                    let o = (ch * oh + oy) * ow + ox;
+                    od[o] = best;
+                    idx[o] = arg as u32;
+                }
+            }
+        }
+    }
+
+    /// Scatter the output gradient onto the argmax indices recorded by
+    /// [`Self::pool_planes_indexed`]. `gind` is overwritten; the
+    /// accumulation order matches [`Self::unpool_planes`] exactly.
+    pub(crate) fn unpool_indexed(&self, god: &[f32], idx: &[u32], gind: &mut [f32]) {
+        debug_assert_eq!(god.len(), idx.len());
+        gind.fill(0.0);
+        for (&i, &g) in idx.iter().zip(god) {
+            gind[i as usize] += g;
+        }
+    }
+
+    /// [`Self::unpool_indexed`] with a fused ReLU gate: when the pool
+    /// consumes a ReLU's output, a window's max is zero exactly when
+    /// the ReLU input at its argmax was non-positive, so gating on the
+    /// *pooled* value while scattering replaces the separate
+    /// full-resolution gate pass over the ReLU layer (which becomes a
+    /// no-op on the already-gated gradient).
+    pub(crate) fn unpool_indexed_gated(
+        &self,
+        god: &[f32],
+        idx: &[u32],
+        pooled: &[f32],
+        gind: &mut [f32],
+    ) {
+        debug_assert_eq!(god.len(), idx.len());
+        debug_assert_eq!(god.len(), pooled.len());
+        gind.fill(0.0);
+        for ((&i, &g), &p) in idx.iter().zip(god).zip(pooled) {
+            gind[i as usize] += if p > 0.0 { g } else { 0.0 };
+        }
+    }
+
     fn backward(&self, x: &Tensor, gout: &Tensor) -> Tensor {
         let [c, h, w] = *x.shape() else {
             panic!("MaxPool2d expects [c, h, w], got {:?}", x.shape())
         };
-        let (oh, ow) = self.out_hw(h, w);
+        debug_assert_eq!(gout.len(), {
+            let (oh, ow) = self.out_hw(h, w);
+            c * oh * ow
+        });
         let mut gin = Tensor::zeros(x.shape());
-        let xd = x.data();
-        let god = gout.data();
-        let gind = gin.data_mut();
-        for ch in 0..c {
+        self.unpool_planes(x.data(), c, h, w, gout.data(), gin.data_mut());
+        gin
+    }
+
+    /// Routes each output gradient back to its window's argmax over
+    /// `planes` independent `[h, w]` planes — the backward twin of
+    /// [`Self::pool_planes`], shared by the per-sample and the packed
+    /// `[c, n, h, w]` batched paths. `gind` is overwritten.
+    pub(crate) fn unpool_planes(
+        &self,
+        xd: &[f32],
+        planes: usize,
+        h: usize,
+        w: usize,
+        god: &[f32],
+        gind: &mut [f32],
+    ) {
+        let (oh, ow) = self.out_hw(h, w);
+        debug_assert_eq!(gind.len(), planes * h * w);
+        debug_assert_eq!(god.len(), planes * oh * ow);
+        gind.fill(0.0);
+        for ch in 0..planes {
             for oy in 0..oh {
                 for ox in 0..ow {
                     // Recompute the argmax; the first maximum wins ties,
@@ -545,7 +741,6 @@ impl MaxPool2d {
                 }
             }
         }
-        gin
     }
 }
 
@@ -611,8 +806,24 @@ impl Dense {
             assert_eq!(x.len(), self.in_dim, "Dense input width mismatch");
             row.copy_from_slice(x.data());
         }
-        let mut y = vec![0.0f32; nb * self.out_dim];
-        for row in y.chunks_mut(self.out_dim) {
+        let mut y = Vec::new();
+        self.forward_rows_into(&xmat, nb, &mut y);
+        y[..nb * self.out_dim]
+            .chunks(self.out_dim)
+            .map(|row| Tensor::from_vec(&[self.out_dim], row.to_vec()))
+            .collect()
+    }
+
+    /// Buffer-level batched forward pass: `Y [nb, out_dim] = X
+    /// [nb, in_dim] . W^T + b` in one GEMM. `y` is grown, never shrunk;
+    /// only the `[nb, out_dim]` extent is meaningful.
+    pub(crate) fn forward_rows_into(&self, x: &[f32], nb: usize, y: &mut Vec<f32>) {
+        assert_eq!(x.len(), nb * self.in_dim, "Dense row-matrix mismatch");
+        if y.len() < nb * self.out_dim {
+            y.resize(nb * self.out_dim, 0.0);
+        }
+        let yd = &mut y[..nb * self.out_dim];
+        for row in yd.chunks_mut(self.out_dim) {
             row.copy_from_slice(self.bias.data());
         }
         gemm::sgemm(
@@ -620,16 +831,68 @@ impl Dense {
             self.out_dim,
             self.in_dim,
             1.0,
-            &xmat,
+            x,
             Trans::No,
             self.weight.data(),
             Trans::Yes,
             1.0,
-            &mut y,
+            yd,
         );
-        y.chunks(self.out_dim)
-            .map(|row| Tensor::from_vec(&[self.out_dim], row.to_vec()))
-            .collect()
+    }
+
+    /// Buffer-level batched backward pass over `[nb, dim]` row
+    /// matrices: the weight gradient is a single `gW = gout^T . X` GEMM
+    /// with the batch reduction fused into its inner dimension, the
+    /// bias gradient is the column sum of `gout`, and — when wanted —
+    /// the input gradient is `gin = gout . W`. `gw`/`gb` are
+    /// overwritten; `gin` is grown, never shrunk.
+    pub(crate) fn backward_rows_into(
+        &self,
+        x: &[f32],
+        nb: usize,
+        gout: &[f32],
+        gin: Option<&mut Vec<f32>>,
+        gw: &mut Tensor,
+        gb: &mut Tensor,
+    ) {
+        assert_eq!(x.len(), nb * self.in_dim, "Dense row-matrix mismatch");
+        assert_eq!(gout.len(), nb * self.out_dim, "Dense gout mismatch");
+        gemm::sgemm(
+            self.out_dim,
+            self.in_dim,
+            nb,
+            1.0,
+            gout,
+            Trans::Yes,
+            x,
+            Trans::No,
+            0.0,
+            gw.data_mut(),
+        );
+        let gbd = gb.data_mut();
+        gbd.fill(0.0);
+        for grow in gout.chunks(self.out_dim) {
+            for (gv, &g) in gbd.iter_mut().zip(grow) {
+                *gv += g;
+            }
+        }
+        if let Some(gin) = gin {
+            if gin.len() < nb * self.in_dim {
+                gin.resize(nb * self.in_dim, 0.0);
+            }
+            gemm::sgemm(
+                nb,
+                self.in_dim,
+                self.out_dim,
+                1.0,
+                gout,
+                Trans::No,
+                self.weight.data(),
+                Trans::No,
+                0.0,
+                &mut gin[..nb * self.in_dim],
+            );
+        }
     }
 
     /// Naive matvec forward pass, the correctness reference for
@@ -863,6 +1126,16 @@ impl Layer {
             Layer::Dense(l) => format!("Dense({} -> {})", l.in_dim, l.out_dim),
         }
     }
+}
+
+/// Grows `v` to at least `len` and returns the `[0, len)` window.
+/// Shared convention of every recycled batch buffer: grow, never
+/// shrink, and only the returned extent is meaningful.
+pub(crate) fn ensure_len<T: Clone + Default>(v: &mut Vec<T>, len: usize) -> &mut [T] {
+    if v.len() < len {
+        v.resize(len, T::default());
+    }
+    &mut v[..len]
 }
 
 /// Packs `n` same-shaped `[c, h, w]` samples into the `[c, n, h, w]`

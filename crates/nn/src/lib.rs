@@ -15,9 +15,12 @@
 //!   [`network::Cnn`] expressing both the late-merging structure
 //!   (Figures 7/10) and the early-merging baseline (Figure 6).
 //! * [`structures`] — builders reproducing Figure 10's layer schedule.
-//! * [`loss`], [`optimizer`], [`mod@train`] — softmax cross-entropy, SGD
-//!   with momentum / Adam, and a rayon-parallel mini-batch loop that
-//!   records the loss curves plotted in Figure 11.
+//! * [`loss`], [`optimizer`], [`mod@train`] — softmax cross-entropy
+//!   (per-sample and fused batched), SGD with momentum / Adam driven by
+//!   one accumulated gradient set per step, and a mini-batch loop that
+//!   trains through the batched GEMM forward/backward path (with the
+//!   per-sample loop pinned as [`train::train_reference`]) and records
+//!   the loss curves plotted in Figure 11.
 //! * [`transfer`] — the cross-architecture migration strategies of
 //!   Section 6 (continuous evolvement / top evolvement / from scratch).
 //! * [`serialize`] — JSON model persistence.
@@ -34,9 +37,12 @@ pub mod train;
 pub mod transfer;
 
 pub use layers::Layer;
-pub use network::{Cnn, Sample, Sequential};
+pub use network::{Cnn, CnnBatchCache, CnnGrads, Sample, Sequential};
 pub use optimizer::{Optimizer, OptimizerKind};
 pub use structures::{build_cnn, describe_structure, CnnConfig, Merging};
 pub use tensor::Tensor;
-pub use train::{evaluate, train, TrainConfig, TrainReport};
+pub use train::{
+    evaluate, train, train_reference, train_step, train_step_reference, BatchTrainState,
+    StepTimeStats, TrainConfig, TrainReport,
+};
 pub use transfer::{migrate, Migration};

@@ -23,6 +23,52 @@ pub fn softmax_cross_entropy(logits: &Tensor, label: usize) -> (f32, Tensor) {
     (loss, Tensor::from_vec(logits.shape(), grad))
 }
 
+/// Fused batched softmax cross-entropy: the mean loss over the batch
+/// plus the gradient of that mean w.r.t. every logit, in one pass.
+///
+/// `logits` holds `labels.len()` rows of `classes` logits (the layout
+/// of [`crate::network::CnnBatchCache::logits_rows`]). `grad` is
+/// overwritten (grown, never shrunk) with `[n, classes]` rows of
+/// `(softmax(row) - onehot(label)) / n` — the gradient of the *mean*
+/// loss, already scaled by `1/n`, so a batched training step hands it
+/// straight to [`crate::network::Cnn::backward_batch`] and the
+/// resulting batch-summed gradients come out as batch means.
+pub fn softmax_cross_entropy_batch(
+    logits: &[f32],
+    classes: usize,
+    labels: &[usize],
+    grad: &mut Vec<f32>,
+) -> f32 {
+    let n = labels.len();
+    assert!(n > 0, "batch loss needs at least one sample");
+    assert_eq!(logits.len(), n * classes, "logits shape mismatch");
+    if grad.len() < n * classes {
+        grad.resize(n * classes, 0.0);
+    }
+    let inv = 1.0 / n as f32;
+    let mut loss = 0.0f32;
+    for (&label, (row, grow)) in labels
+        .iter()
+        .zip(logits.chunks(classes).zip(grad.chunks_mut(classes)))
+    {
+        assert!(label < classes, "label {label} out of range {classes}");
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for (g, &l) in grow.iter_mut().zip(row) {
+            let e = (l - max).exp();
+            *g = e;
+            sum += e;
+        }
+        loss += -(grow[label] / sum).max(1e-12).ln();
+        let s = inv / sum;
+        for g in grow.iter_mut() {
+            *g *= s;
+        }
+        grow[label] -= inv;
+    }
+    loss * inv
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,5 +138,51 @@ mod tests {
     fn bad_label_panics() {
         let logits = Tensor::from_vec(&[2], vec![0.0, 0.0]);
         let _ = softmax_cross_entropy(&logits, 5);
+    }
+
+    #[test]
+    fn batch_loss_matches_per_sample_mean() {
+        let rows = [
+            (vec![0.5f32, -1.0, 2.0, 0.0], 1usize),
+            (vec![3.0, 0.25, -0.5, 1.0], 0),
+            (vec![-2.0, -2.0, -2.0, 5.5], 3),
+        ];
+        let n = rows.len();
+        let logits: Vec<f32> = rows.iter().flat_map(|(r, _)| r.clone()).collect();
+        let labels: Vec<usize> = rows.iter().map(|&(_, l)| l).collect();
+        let mut grad = Vec::new();
+        let loss = softmax_cross_entropy_batch(&logits, 4, &labels, &mut grad);
+        let mut want_loss = 0.0f32;
+        for (si, (r, l)) in rows.iter().enumerate() {
+            let (pl, pg) = softmax_cross_entropy(&Tensor::from_vec(&[4], r.clone()), *l);
+            want_loss += pl;
+            for (g, w) in grad[si * 4..][..4].iter().zip(pg.data()) {
+                // Batched gradient rows are pre-scaled by 1/n.
+                assert!((g - w / n as f32).abs() < 1e-6, "{g} vs {}", w / n as f32);
+            }
+        }
+        assert!((loss - want_loss / n as f32).abs() < 1e-6);
+        // Each gradient row sums to zero, like the per-sample fused
+        // gradient.
+        for row in grad[..n * 4].chunks(4) {
+            assert!(row.iter().sum::<f32>().abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn batch_loss_reuses_a_larger_buffer() {
+        // A stale oversized buffer must not leak into the result.
+        let mut grad = vec![9.0f32; 64];
+        let loss = softmax_cross_entropy_batch(&[0.0, 0.0], 2, &[1], &mut grad);
+        assert!((loss - (2.0f32).ln()).abs() < 1e-6);
+        assert!((grad[0] - 0.5).abs() < 1e-6 && (grad[1] + 0.5).abs() < 1e-6);
+        assert_eq!(grad.len(), 64, "buffer must not shrink");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn batch_bad_label_panics() {
+        let mut grad = Vec::new();
+        let _ = softmax_cross_entropy_batch(&[0.0, 0.0], 2, &[2], &mut grad);
     }
 }

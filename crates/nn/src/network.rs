@@ -159,6 +159,287 @@ impl Sequential {
         (g, grads)
     }
 
+    /// Index of the first layer that consumes row matrices (`Flatten`
+    /// or `Dense`); everything before it runs on the packed
+    /// `[c, n, h, w]` layout.
+    fn batch_split(&self) -> usize {
+        self.layers
+            .iter()
+            .position(|l| matches!(l, Layer::Flatten | Layer::Dense(_)))
+            .unwrap_or(self.layers.len())
+    }
+
+    /// Batched forward pass over the packed `[c, n, h, w]` layout that
+    /// keeps every layer's input in `cache` for
+    /// [`Self::backward_batch`]. The caller fills the stack input via
+    /// [`SeqBatchCache::input_packed`] first. The convolutional prefix
+    /// runs packed; at the first `Flatten`/`Dense` the activation is
+    /// regathered into an `[n, dim]` row matrix (a boundary `Flatten`
+    /// is absorbed into that repack) and the tail runs on rows.
+    pub(crate) fn forward_batch_cached_packed(&self, cache: &mut SeqBatchCache) {
+        let n = cache.n;
+        let split = self.batch_split();
+        cache.split = split;
+        cache.packed_input = true;
+        cache.packed.resize_with(split + 1, Vec::new);
+        cache.packed_shapes.resize(split + 1, [0; 4]);
+        cache.cols.resize_with(split, Vec::new);
+        cache.pool_idx.resize_with(split, Vec::new);
+        for li in 0..split {
+            let [c, _, h, w] = cache.packed_shapes[li];
+            let (done, rest) = cache.packed.split_at_mut(li + 1);
+            let x = &done[li][..c * n * h * w];
+            let out = &mut rest[0];
+            cache.packed_shapes[li + 1] = match &self.layers[li] {
+                // The im2col lowering lands in the cache so the
+                // backward pass can reuse it for the weight-gradient
+                // GEMM without re-lowering the activations.
+                Layer::Conv2d(l) => l.forward_packed_into(x, n, h, w, &mut cache.cols[li], out),
+                // Pooling records each window's argmax so the backward
+                // pass scatters instead of rescanning the windows.
+                Layer::MaxPool2d(l) => {
+                    let (oh, ow) = l.out_hw(h, w);
+                    let od = layers::ensure_len(out, c * n * oh * ow);
+                    let idx = layers::ensure_len(&mut cache.pool_idx[li], c * n * oh * ow);
+                    l.pool_planes_indexed(x, c * n, h, w, od, idx);
+                    [c, n, oh, ow]
+                }
+                Layer::Relu => {
+                    let od = layers::ensure_len(out, c * n * h * w);
+                    for (o, &v) in od.iter_mut().zip(x) {
+                        *o = if v < 0.0 { 0.0 } else { v };
+                    }
+                    [c, n, h, w]
+                }
+                Layer::Flatten | Layer::Dense(_) => {
+                    unreachable!("rows layer inside the packed prefix")
+                }
+            };
+        }
+        // Repack boundary: gather the last packed activation into
+        // `[n, c*h*w]` rows — for a boundary `Flatten` this *is* its
+        // batched forward pass, so the walk resumes after it.
+        cache.rows_start = split
+            + match self.layers.get(split) {
+                Some(Layer::Flatten) => 1,
+                _ => 0,
+            };
+        let count = self.layers.len() - cache.rows_start;
+        cache.rows.resize_with(count + 1, Vec::new);
+        cache.row_dims.resize(count + 1, 0);
+        let [c, _, h, w] = cache.packed_shapes[split];
+        let (hw, chw) = (h * w, c * h * w);
+        cache.row_dims[0] = chw;
+        {
+            let (packed, rows) = (&cache.packed, &mut cache.rows);
+            let src = &packed[split][..c * n * hw];
+            let dst = layers::ensure_len(&mut rows[0], n * chw);
+            for si in 0..n {
+                for ic in 0..c {
+                    dst[si * chw + ic * hw..][..hw]
+                        .copy_from_slice(&src[(ic * n + si) * hw..][..hw]);
+                }
+            }
+        }
+        self.forward_rows_walk(cache);
+    }
+
+    /// Batched cached forward pass for a stack that starts on row
+    /// matrices (the head). The caller fills the stack input via
+    /// [`SeqBatchCache::input_rows`] first.
+    pub(crate) fn forward_batch_cached_rows(&self, cache: &mut SeqBatchCache) {
+        cache.split = 0;
+        cache.rows_start = 0;
+        cache.packed_input = false;
+        let count = self.layers.len();
+        cache.rows.resize_with(count + 1, Vec::new);
+        cache.row_dims.resize(count + 1, 0);
+        self.forward_rows_walk(cache);
+    }
+
+    /// Rows-region forward walk shared by both cached entry points:
+    /// `cache.rows[0]` / `cache.row_dims[0]` hold the region's input.
+    fn forward_rows_walk(&self, cache: &mut SeqBatchCache) {
+        let n = cache.n;
+        for (j, layer) in self.layers[cache.rows_start..].iter().enumerate() {
+            let dim = cache.row_dims[j];
+            let (done, rest) = cache.rows.split_at_mut(j + 1);
+            let x = &done[j][..n * dim];
+            let out = &mut rest[0];
+            cache.row_dims[j + 1] = match layer {
+                Layer::Dense(l) => {
+                    l.forward_rows_into(x, n, out);
+                    l.out_dim
+                }
+                Layer::Relu => {
+                    let od = layers::ensure_len(out, n * dim);
+                    for (o, &v) in od.iter_mut().zip(x) {
+                        *o = if v < 0.0 { 0.0 } else { v };
+                    }
+                    dim
+                }
+                Layer::Flatten => {
+                    layers::ensure_len(out, n * dim).copy_from_slice(x);
+                    dim
+                }
+                other => panic!(
+                    "image layer {} after the flatten boundary",
+                    other.describe()
+                ),
+            };
+        }
+    }
+
+    /// Batched backward pass from the gradient on the stack's output
+    /// rows. Every parameter gradient is computed by a single GEMM with
+    /// the batch reduction fused into its inner dimension, ping-ponging
+    /// the activation gradient through the recycled scratch buffers;
+    /// `grads` (shaped by [`Self::zero_grads`]) is overwritten with the
+    /// batch-*summed* gradients. `gin_rows`, honoured only for
+    /// rows-input stacks, receives the gradient w.r.t. the stack input;
+    /// packed-input stacks skip the first layer's input gradient
+    /// entirely — nothing consumes it.
+    pub(crate) fn backward_batch(
+        &self,
+        cache: &SeqBatchCache,
+        gout: &[f32],
+        grads: &mut SeqGrads,
+        gin_rows: Option<&mut Vec<f32>>,
+    ) {
+        let n = cache.n;
+        debug_assert_eq!(grads.len(), self.layers.len());
+        let out_dim = *cache.row_dims.last().expect("cache holds a forward pass");
+        assert_eq!(gout.len(), n * out_dim, "output-gradient shape mismatch");
+        gemm::with_scratch(|s| {
+            let mut ping = std::mem::take(&mut s.ping);
+            let mut pong = std::mem::take(&mut s.pong);
+            layers::ensure_len(&mut ping, n * out_dim).copy_from_slice(gout);
+            let want_rows_gin = gin_rows.is_some();
+            let rows_count = self.layers.len() - cache.rows_start;
+            for j in (0..rows_count).rev() {
+                let li = cache.rows_start + j;
+                let dim_in = cache.row_dims[j];
+                let x = &cache.rows[j][..n * dim_in];
+                match &self.layers[li] {
+                    Layer::Dense(l) => {
+                        let [gw, gb] = &mut grads[li][..] else {
+                            panic!("Dense gradient slot holds [gw, gb]")
+                        };
+                        let need_gin = j > 0 || cache.packed_input || want_rows_gin;
+                        l.backward_rows_into(
+                            x,
+                            n,
+                            &ping[..n * l.out_dim],
+                            need_gin.then_some(&mut pong),
+                            gw,
+                            gb,
+                        );
+                        if need_gin {
+                            std::mem::swap(&mut ping, &mut pong);
+                        }
+                    }
+                    Layer::Relu => {
+                        for (g, &v) in ping[..n * dim_in].iter_mut().zip(x) {
+                            *g = if v <= 0.0 { 0.0 } else { *g };
+                        }
+                    }
+                    Layer::Flatten => {}
+                    other => panic!(
+                        "image layer {} after the flatten boundary",
+                        other.describe()
+                    ),
+                }
+            }
+            if cache.packed_input {
+                // Boundary: scatter the row gradient back into the
+                // packed layout (the adjoint of the forward gather).
+                let [c, _, h, w] = cache.packed_shapes[cache.split];
+                let (hw, chw) = (h * w, c * h * w);
+                {
+                    let src = &ping[..n * chw];
+                    let dst = layers::ensure_len(&mut pong, c * n * hw);
+                    for si in 0..n {
+                        for ic in 0..c {
+                            dst[(ic * n + si) * hw..][..hw]
+                                .copy_from_slice(&src[si * chw + ic * hw..][..hw]);
+                        }
+                    }
+                }
+                std::mem::swap(&mut ping, &mut pong);
+                // Set when a pool's scatter already applied the gate of
+                // the ReLU directly below it (see `unpool_indexed_gated`).
+                let mut relu_gated = false;
+                for li in (0..cache.split).rev() {
+                    let [c, _, h, w] = cache.packed_shapes[li];
+                    let [c2, _, oh, ow] = cache.packed_shapes[li + 1];
+                    let x = &cache.packed[li][..c * n * h * w];
+                    match &self.layers[li] {
+                        Layer::Conv2d(l) => {
+                            let [gw, gb] = &mut grads[li][..] else {
+                                panic!("Conv2d gradient slot holds [gw, gb]")
+                            };
+                            // The stack input's gradient has no
+                            // consumer — the first conv skips its input
+                            // GEMM and col2im scatter entirely.
+                            let need_gin = li > 0;
+                            l.backward_packed_into(
+                                n,
+                                h,
+                                w,
+                                &ping[..c2 * n * oh * ow],
+                                &cache.cols[li],
+                                &mut s.aux,
+                                need_gin.then_some(&mut pong),
+                                gw,
+                                gb,
+                            );
+                            if need_gin {
+                                std::mem::swap(&mut ping, &mut pong);
+                            }
+                        }
+                        Layer::MaxPool2d(l) => {
+                            // Pure scatter onto the argmax indices the
+                            // forward pass recorded — no window rescan.
+                            // When a ReLU feeds this pool, its gate is
+                            // folded into the scatter.
+                            let god = &ping[..c2 * n * oh * ow];
+                            let pidx = &cache.pool_idx[li][..c2 * n * oh * ow];
+                            let gind = layers::ensure_len(&mut pong, c * n * h * w);
+                            if li > 0 && matches!(self.layers[li - 1], Layer::Relu) {
+                                let pooled = &cache.packed[li + 1][..c2 * n * oh * ow];
+                                l.unpool_indexed_gated(god, pidx, pooled, gind);
+                                relu_gated = true;
+                            } else {
+                                l.unpool_indexed(god, pidx, gind);
+                            }
+                            std::mem::swap(&mut ping, &mut pong);
+                        }
+                        Layer::Relu => {
+                            if relu_gated {
+                                // The pool above already gated the
+                                // scattered gradient; the pass here
+                                // would be a no-op.
+                                relu_gated = false;
+                            } else {
+                                for (g, &v) in ping[..c * n * h * w].iter_mut().zip(x) {
+                                    *g = if v <= 0.0 { 0.0 } else { *g };
+                                }
+                            }
+                        }
+                        Layer::Flatten | Layer::Dense(_) => {
+                            unreachable!("rows layer inside the packed prefix")
+                        }
+                    }
+                }
+            } else if let Some(gin) = gin_rows {
+                let dim0 = cache.row_dims[0];
+                layers::ensure_len(gin, n * dim0).copy_from_slice(&ping[..n * dim0]);
+            }
+            s.ping = ping;
+            s.pong = pong;
+        });
+    }
+
     /// Output shape for a given input shape.
     pub fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
         let mut s = in_shape.to_vec();
@@ -191,6 +472,74 @@ impl Sequential {
     }
 }
 
+/// Activation caches of one batched forward pass through a
+/// [`Sequential`], consumed by [`Sequential::backward_batch`].
+///
+/// Layers `[0, split)` ran on the packed `[c, n, h, w]` layout:
+/// `packed[i]` holds layer `i`'s input and `packed[split]` the last
+/// packed activation. Layers `[rows_start, len)` ran on `[n, dim]` row
+/// matrices: `rows[j]` holds layer `rows_start + j`'s input and the
+/// last entry the stack output (`rows_start` is `split`, or `split + 1`
+/// when the boundary `Flatten` was absorbed into the repack). All
+/// buffers grow and are never shrunk; only the extents named by
+/// `packed_shapes` / `row_dims` for the cached batch size `n` are
+/// meaningful, so re-running a pass reuses every allocation.
+#[derive(Debug, Clone, Default)]
+pub struct SeqBatchCache {
+    n: usize,
+    split: usize,
+    rows_start: usize,
+    packed_input: bool,
+    packed: Vec<Vec<f32>>,
+    packed_shapes: Vec<[usize; 4]>,
+    /// Per-layer im2col lowerings from the forward pass (filled only at
+    /// `Conv2d` indices); the backward weight-gradient GEMM reuses them
+    /// instead of re-lowering the activations.
+    cols: Vec<Vec<f32>>,
+    /// Per-layer pooling argmax indices from the forward pass (filled
+    /// only at `MaxPool2d` indices); backward scatters onto them.
+    pool_idx: Vec<Vec<u32>>,
+    rows: Vec<Vec<f32>>,
+    row_dims: Vec<usize>,
+}
+
+impl SeqBatchCache {
+    /// Declares a packed `[c, n, h, w]` stack input and returns its
+    /// buffer for the caller to fill.
+    fn input_packed(&mut self, shape: [usize; 4]) -> &mut [f32] {
+        self.n = shape[1];
+        if self.packed.is_empty() {
+            self.packed.push(Vec::new());
+        }
+        if self.packed_shapes.is_empty() {
+            self.packed_shapes.push([0; 4]);
+        }
+        self.packed_shapes[0] = shape;
+        layers::ensure_len(&mut self.packed[0], shape.iter().product())
+    }
+
+    /// Declares an `[n, dim]` rows stack input and returns its buffer
+    /// for the caller to fill.
+    fn input_rows(&mut self, n: usize, dim: usize) -> &mut [f32] {
+        self.n = n;
+        if self.rows.is_empty() {
+            self.rows.push(Vec::new());
+        }
+        if self.row_dims.is_empty() {
+            self.row_dims.push(0);
+        }
+        self.row_dims[0] = dim;
+        layers::ensure_len(&mut self.rows[0], n * dim)
+    }
+
+    /// Stack output of the cached pass as `[n, dim]` rows.
+    pub fn out_rows(&self) -> (&[f32], usize) {
+        let dim = *self.row_dims.last().expect("cache holds a forward pass");
+        let last = self.rows.last().expect("cache holds a forward pass");
+        (&last[..self.n * dim], dim)
+    }
+}
+
 /// The paper's CNN: convolutional towers plus a fully-connected head.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Cnn {
@@ -214,6 +563,35 @@ pub struct CnnCache {
     head_layer_inputs: Vec<Tensor>,
     /// Network output (logits).
     pub logits: Tensor,
+}
+
+/// Activation caches and gradient scratch of one batched training
+/// step through a [`Cnn`], reused across steps by
+/// [`crate::train::train`] so the whole loop runs allocation-free in
+/// steady state.
+#[derive(Debug, Clone, Default)]
+pub struct CnnBatchCache {
+    towers: Vec<SeqBatchCache>,
+    head: SeqBatchCache,
+    tower_feat: Vec<usize>,
+    n: usize,
+    /// Head-input gradient rows, split per tower during backward.
+    gmerged: Vec<f32>,
+    /// One tower's output-gradient rows (columns gathered out of
+    /// `gmerged`).
+    gtower: Vec<f32>,
+}
+
+impl CnnBatchCache {
+    /// Logits of the cached pass as `[n, classes]` rows.
+    pub fn logits_rows(&self) -> (&[f32], usize) {
+        self.head.out_rows()
+    }
+
+    /// Batch size of the cached pass.
+    pub fn batch_len(&self) -> usize {
+        self.n
+    }
 }
 
 /// Parameter gradients of a whole [`Cnn`].
@@ -250,6 +628,15 @@ impl CnnGrads {
         }
     }
 
+    /// Zeroes every gradient tensor in place (shape-preserving), so
+    /// the buffer can be reused as a fresh accumulator.
+    pub fn clear(&mut self) {
+        for t in &mut self.towers {
+            clear_seq(t);
+        }
+        clear_seq(&mut self.head);
+    }
+
     /// Flat view of every gradient tensor, tower layers first then head
     /// (the order [`Cnn::params_mut_flat`] uses).
     pub fn flat(&self) -> Vec<&Tensor> {
@@ -270,6 +657,14 @@ fn add_seq(a: &mut SeqGrads, b: &SeqGrads) {
     for (la, lb) in a.iter_mut().zip(b) {
         for (pa, pb) in la.iter_mut().zip(lb) {
             pa.add_assign(pb);
+        }
+    }
+}
+
+fn clear_seq(g: &mut SeqGrads) {
+    for l in g {
+        for p in l {
+            p.data_mut().fill(0.0);
         }
     }
 }
@@ -364,6 +759,129 @@ impl Cnn {
             .iter()
             .map(|logits| argmax(logits.data()))
             .collect()
+    }
+
+    /// Batched forward pass that keeps every layer's input in `cache`
+    /// for [`Self::backward_batch`] — the forward half of the batched
+    /// training step. Tower inputs are packed straight from the
+    /// samples' channel tensors into each tower's `[c, n, h, w]` input
+    /// buffer, tower output rows are gathered into the head's merged
+    /// `[n, feat_total]` input, and the cached logits come back through
+    /// [`CnnBatchCache::logits_rows`].
+    pub fn forward_batch_cached(&self, batch: &[&[Tensor]], cache: &mut CnnBatchCache) {
+        let n = batch.len();
+        assert!(n > 0, "batched training needs at least one sample");
+        let (h, w) = self.channel_shape;
+        let early = self.towers.len() == 1;
+        let per_tower_c = if early { self.num_channels } else { 1 };
+        assert!(
+            early || self.towers.len() == self.num_channels,
+            "{} towers cannot consume {} channels",
+            self.towers.len(),
+            self.num_channels
+        );
+        for ch in batch {
+            assert_eq!(
+                ch.len(),
+                self.num_channels,
+                "sample has {} channels, network expects {}",
+                ch.len(),
+                self.num_channels
+            );
+            for c in ch.iter() {
+                assert_eq!(c.shape(), &[h, w], "channel shape mismatch");
+            }
+        }
+        cache.n = n;
+        cache
+            .towers
+            .resize_with(self.towers.len(), Default::default);
+        for (ti, (tower, tc)) in self.towers.iter().zip(&mut cache.towers).enumerate() {
+            let dst = tc.input_packed([per_tower_c, n, h, w]);
+            for (si, ch) in batch.iter().enumerate() {
+                for ic in 0..per_tower_c {
+                    let src = if early { ch[ic].data() } else { ch[ti].data() };
+                    dst[(ic * n + si) * (h * w)..][..h * w].copy_from_slice(src);
+                }
+            }
+            tower.forward_batch_cached_packed(tc);
+        }
+        cache.tower_feat.clear();
+        for tc in &cache.towers {
+            cache.tower_feat.push(tc.out_rows().1);
+        }
+        let feat_total: usize = cache.tower_feat.iter().sum();
+        {
+            let CnnBatchCache {
+                towers: tcs,
+                head,
+                tower_feat,
+                ..
+            } = cache;
+            let merged = head.input_rows(n, feat_total);
+            let mut off = 0usize;
+            for (tc, &feat) in tcs.iter().zip(tower_feat.iter()) {
+                let (src, dim) = tc.out_rows();
+                debug_assert_eq!(dim, feat);
+                for si in 0..n {
+                    merged[si * feat_total + off..][..feat]
+                        .copy_from_slice(&src[si * dim..][..dim]);
+                }
+                off += feat;
+            }
+        }
+        self.head.forward_batch_cached_rows(&mut cache.head);
+    }
+
+    /// Batched backward pass from the gradient on the cached logits
+    /// rows (`[n, classes]`, e.g. the output of
+    /// [`crate::loss::softmax_cross_entropy_batch`]). Overwrites
+    /// `grads` (shaped by [`Self::zero_grads`]) with the batch-summed
+    /// parameter gradients: one weight-gradient GEMM per layer with the
+    /// batch reduction fused into its inner dimension, no per-sample
+    /// gradient sets. With `freeze_towers` the tower gradients are
+    /// zeroed and their backward walks — and the head-input gradient
+    /// feeding them — are skipped entirely.
+    pub fn backward_batch(
+        &self,
+        cache: &mut CnnBatchCache,
+        glogits: &[f32],
+        freeze_towers: bool,
+        grads: &mut CnnGrads,
+    ) {
+        let n = cache.n;
+        let CnnBatchCache {
+            towers: tcs,
+            head,
+            tower_feat,
+            gmerged,
+            gtower,
+            ..
+        } = cache;
+        let gin = (!freeze_towers).then_some(&mut *gmerged);
+        self.head
+            .backward_batch(head, glogits, &mut grads.head, gin);
+        if freeze_towers {
+            for t in &mut grads.towers {
+                clear_seq(t);
+            }
+            return;
+        }
+        let feat_total: usize = tower_feat.iter().sum();
+        let mut off = 0usize;
+        for ((tower, tc), (tg, &feat)) in self
+            .towers
+            .iter()
+            .zip(tcs.iter())
+            .zip(grads.towers.iter_mut().zip(tower_feat.iter()))
+        {
+            let g = layers::ensure_len(gtower, n * feat);
+            for si in 0..n {
+                g[si * feat..][..feat].copy_from_slice(&gmerged[si * feat_total + off..][..feat]);
+            }
+            tower.backward_batch(tc, &gtower[..n * feat], tg, None);
+            off += feat;
+        }
     }
 
     /// Forward pass with activation caching for backprop.
@@ -552,6 +1070,57 @@ mod tests {
             let preds = net.predict_batch(&refs);
             assert_eq!(preds.len(), samples.len());
             assert!(net.forward_batch(&[]).is_empty());
+        }
+    }
+
+    #[test]
+    fn batched_cached_forward_and_backward_match_per_sample() {
+        for (towers, channels, seed) in [(2usize, 2usize, 31u64), (1, 2, 32)] {
+            let net = tiny_cnn(towers, channels, seed);
+            let samples: Vec<Vec<Tensor>> =
+                (0..4).map(|i| sample_channels(channels, 200 + i)).collect();
+            let refs: Vec<&[Tensor]> = samples.iter().map(|s| s.as_slice()).collect();
+            let mut cache = CnnBatchCache::default();
+            net.forward_batch_cached(&refs, &mut cache);
+            assert_eq!(cache.batch_len(), samples.len());
+            let (logits, classes) = cache.logits_rows();
+            assert_eq!(classes, 3);
+            for (si, s) in samples.iter().enumerate() {
+                let want = net.forward(s);
+                for (g, w) in logits[si * classes..][..classes].iter().zip(want.data()) {
+                    assert!((g - w).abs() <= 1e-4 * (1.0 + w.abs()), "{g} vs {w}");
+                }
+            }
+            // Batch-summed gradients against the per-sample sum.
+            let glogits: Vec<f32> = (0..samples.len() * classes)
+                .map(|i| (i as f32 * 0.37).sin())
+                .collect();
+            let mut want = net.zero_grads();
+            for (si, s) in samples.iter().enumerate() {
+                let c = net.forward_cached(s);
+                let gl = Tensor::from_vec(&[classes], glogits[si * classes..][..classes].to_vec());
+                want.add_assign(&net.backward(&c, &gl));
+            }
+            let mut got = net.zero_grads();
+            net.backward_batch(&mut cache, &glogits, false, &mut got);
+            for (a, b) in got.flat().iter().zip(want.flat()) {
+                for (x, y) in a.data().iter().zip(b.data()) {
+                    assert!((x - y).abs() <= 1e-4 * (1.0 + y.abs()), "{x} vs {y}");
+                }
+            }
+            // Frozen towers: identical head gradients, zeroed tower
+            // gradients (their backward walks are skipped).
+            let mut frozen = net.zero_grads();
+            net.backward_batch(&mut cache, &glogits, true, &mut frozen);
+            for (a, b) in frozen.head.iter().flatten().zip(got.head.iter().flatten()) {
+                assert_eq!(a, b, "frozen head gradients must be unchanged");
+            }
+            assert!(frozen
+                .towers
+                .iter()
+                .flatten()
+                .flatten()
+                .all(|t| t.data().iter().all(|&v| v == 0.0)));
         }
     }
 

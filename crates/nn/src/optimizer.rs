@@ -84,8 +84,18 @@ impl Optimizer {
         self.lr = lr;
     }
 
-    /// Applies one update step with mean gradients `grads`.
-    pub fn step(&mut self, net: &mut Cnn, grads: &CnnGrads) {
+    /// Whether tower parameters are frozen (top evolvement).
+    pub fn freeze_towers(&self) -> bool {
+        self.freeze_towers
+    }
+
+    /// Applies one update step with effective gradients
+    /// `scale * grads` — a single accumulated gradient set per step.
+    /// The batched training path hands over already-averaged gradients
+    /// with `scale == 1.0`; the per-sample reference hands over the
+    /// batch *sum* with `scale == 1/batch`, fusing the mean into the
+    /// update instead of sweeping the whole gradient set first.
+    pub fn step(&mut self, net: &mut Cnn, grads: &CnnGrads, scale: f32) {
         self.t += 1;
         let flat = grads.flat();
         let params = net.params_mut_flat();
@@ -101,9 +111,9 @@ impl Optimizer {
             let g = flat[i];
             match self.kind {
                 OptimizerKind::Sgd { momentum } => {
-                    // m = momentum * m + g; p -= lr * m
+                    // m = momentum * m + scale * g; p -= lr * m
                     self.m[i].scale(momentum);
-                    self.m[i].add_assign(g);
+                    self.m[i].axpy(scale, g);
                     param.axpy(-self.lr, &self.m[i]);
                 }
                 OptimizerKind::Adam { beta1, beta2, eps } => {
@@ -113,8 +123,9 @@ impl Optimizer {
                     let bc2 = 1.0 - beta2.powi(self.t as i32);
                     let pd = param.data_mut();
                     for j in 0..gd.len() {
-                        md[j] = beta1 * md[j] + (1.0 - beta1) * gd[j];
-                        vd[j] = beta2 * vd[j] + (1.0 - beta2) * gd[j] * gd[j];
+                        let gj = scale * gd[j];
+                        md[j] = beta1 * md[j] + (1.0 - beta1) * gj;
+                        vd[j] = beta2 * vd[j] + (1.0 - beta2) * gj * gj;
                         let mhat = md[j] / bc1;
                         let vhat = vd[j] / bc2;
                         pd[j] -= self.lr * mhat / (vhat.sqrt() + eps);
@@ -181,7 +192,7 @@ mod tests {
             .collect();
         let g = unit_grads(&n);
         let mut opt = Optimizer::new(&mut n, OptimizerKind::Sgd { momentum: 0.0 }, 0.1, false);
-        opt.step(&mut n, &g);
+        opt.step(&mut n, &g, 1.0);
         for (i, (p, _)) in n.params_mut_flat().iter().enumerate() {
             assert!((p.data()[0] - (before[i] - 0.1)).abs() < 1e-6);
         }
@@ -193,8 +204,8 @@ mod tests {
         let start = n.params_mut_flat()[0].0.data()[0];
         let g = unit_grads(&n);
         let mut opt = Optimizer::new(&mut n, OptimizerKind::Sgd { momentum: 0.9 }, 0.1, false);
-        opt.step(&mut n, &g);
-        opt.step(&mut n, &g);
+        opt.step(&mut n, &g, 1.0);
+        opt.step(&mut n, &g, 1.0);
         // After two steps: lr*(1) + lr*(1 + 0.9) = 0.1 + 0.19 = 0.29.
         let now = n.params_mut_flat()[0].0.data()[0];
         assert!((start - now - 0.29).abs() < 1e-6, "moved {}", start - now);
@@ -210,11 +221,36 @@ mod tests {
             .collect();
         let g = unit_grads(&n);
         let mut opt = Optimizer::new(&mut n, OptimizerKind::adam(), 0.01, false);
-        opt.step(&mut n, &g);
+        opt.step(&mut n, &g, 1.0);
         for (i, (p, _)) in n.params_mut_flat().iter().enumerate() {
             let delta = (start[i] - p.data()[0]).abs();
             // First Adam step with constant gradient is ~lr.
             assert!(delta > 0.005 && delta < 0.015, "delta {delta}");
+        }
+    }
+
+    #[test]
+    fn scaled_step_matches_prescaled_gradients() {
+        // step(g, s) must equal step(s * g, 1.0) for both update rules
+        // — the contract that lets the reference path hand over batch
+        // sums with scale = 1/batch.
+        for kind in [OptimizerKind::Sgd { momentum: 0.9 }, OptimizerKind::adam()] {
+            let mut a = net(9);
+            let mut b = a.clone();
+            let g = unit_grads(&a);
+            let mut pre = unit_grads(&a);
+            pre.scale(0.25);
+            let mut oa = Optimizer::new(&mut a, kind, 0.05, false);
+            let mut ob = Optimizer::new(&mut b, kind, 0.05, false);
+            for _ in 0..3 {
+                oa.step(&mut a, &g, 0.25);
+                ob.step(&mut b, &pre, 1.0);
+            }
+            for ((pa, _), (pb, _)) in a.params_mut_flat().iter().zip(b.params_mut_flat().iter()) {
+                for (x, y) in pa.data().iter().zip(pb.data()) {
+                    assert!((x - y).abs() < 1e-6, "{x} vs {y}");
+                }
+            }
         }
     }
 
@@ -228,7 +264,7 @@ mod tests {
             .collect();
         let g = unit_grads(&n);
         let mut opt = Optimizer::new(&mut n, OptimizerKind::Sgd { momentum: 0.0 }, 0.1, true);
-        opt.step(&mut n, &g);
+        opt.step(&mut n, &g, 1.0);
         for (i, (p, in_tower)) in n.params_mut_flat().iter().enumerate() {
             if *in_tower {
                 assert_eq!(p.data()[0], before[i].0, "tower param {i} moved");

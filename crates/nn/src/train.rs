@@ -1,18 +1,27 @@
-//! Mini-batch training loop with rayon-parallel gradient computation.
+//! Mini-batch training loop over the batched GEMM compute core.
 //!
-//! Per-sample gradients within a batch are computed concurrently (the
-//! forward/backward passes are stateless w.r.t. the network) and
-//! reduced tree-wise; the parameter update is sequential. The loss at
-//! every step is recorded so `repro fig11` can plot convergence curves
-//! like the paper's Figure 11.
+//! [`train`] runs every optimisation step through
+//! [`Cnn::forward_batch_cached`] / [`Cnn::backward_batch`]: one GEMM
+//! per layer for the batch's activations, one GEMM per layer for its
+//! weight gradients (the batch reduction fused into the GEMM inner
+//! dimension), and a single fused softmax-cross-entropy pass over the
+//! logit rows. The optimiser consumes one accumulated gradient set per
+//! step. [`train_reference`] pins the original per-sample
+//! forward/backward loop — numerically equivalent (losses match within
+//! float tolerance under the same seed) and the baseline the batched
+//! path is benchmarked against.
+//!
+//! The loss at every step is recorded so `repro fig11` can plot
+//! convergence curves like the paper's Figure 11, and each report
+//! carries per-epoch samples/sec plus step-time statistics.
 
-use crate::loss::{softmax, softmax_cross_entropy};
-use crate::network::{argmax, Cnn, Sample};
+use crate::loss::{softmax, softmax_cross_entropy, softmax_cross_entropy_batch};
+use crate::network::{argmax, Cnn, CnnBatchCache, CnnGrads, Sample};
 use crate::optimizer::{Optimizer, OptimizerKind};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Training hyper-parameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -44,6 +53,19 @@ impl Default for TrainConfig {
     }
 }
 
+/// Wall-clock statistics over the optimisation steps of one run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct StepTimeStats {
+    /// Number of optimisation steps timed.
+    pub steps: usize,
+    /// Mean step duration in milliseconds.
+    pub mean_ms: f64,
+    /// Fastest step in milliseconds.
+    pub min_ms: f64,
+    /// Slowest step in milliseconds.
+    pub max_ms: f64,
+}
+
 /// What a training run produced.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrainReport {
@@ -51,13 +73,71 @@ pub struct TrainReport {
     pub loss_history: Vec<f32>,
     /// Training accuracy measured after each epoch.
     pub epoch_train_acc: Vec<f64>,
+    /// Training throughput per epoch (samples / step wall-time,
+    /// excluding the end-of-epoch evaluation pass).
+    pub epoch_samples_per_sec: Vec<f64>,
+    /// Step wall-time statistics over the whole run.
+    pub step_time: StepTimeStats,
 }
 
-/// Trains `net` on `samples` in place.
+/// Reusable buffers for the batched training step: the activation
+/// cache, one accumulated gradient set, and the logit-gradient /
+/// label scratch. Create once per training run and hand to every
+/// [`train_step`]; all allocations are amortised across steps.
+#[derive(Debug, Clone)]
+pub struct BatchTrainState {
+    cache: CnnBatchCache,
+    grads: CnnGrads,
+    glogits: Vec<f32>,
+    labels: Vec<usize>,
+}
+
+impl BatchTrainState {
+    /// Buffers sized for `net`'s parameter layout.
+    pub fn new(net: &Cnn) -> Self {
+        Self {
+            cache: CnnBatchCache::default(),
+            grads: net.zero_grads(),
+            glogits: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+}
+
+/// Trains `net` on `samples` in place via the batched GEMM path.
 pub fn train(net: &mut Cnn, samples: &[Sample], cfg: &TrainConfig) -> TrainReport {
+    let mut state = BatchTrainState::new(net);
+    train_impl(net, samples, cfg, move |net, samples, batch, opt| {
+        train_step(net, samples, batch, opt, &mut state)
+    })
+}
+
+/// Trains `net` via the pinned per-sample reference path. Slower than
+/// [`train`] but numerically the baseline: under the same config and
+/// seed both paths see identical batches and their loss histories
+/// agree to float tolerance.
+pub fn train_reference(net: &mut Cnn, samples: &[Sample], cfg: &TrainConfig) -> TrainReport {
+    let mut accum = net.zero_grads();
+    train_impl(net, samples, cfg, move |net, samples, batch, opt| {
+        train_step_reference(net, samples, batch, opt, &mut accum)
+    })
+}
+
+/// Shared epoch/shuffle/instrumentation loop; `step` is either the
+/// batched or the per-sample reference step. Both paths draw batches
+/// from the same seeded shuffle, so their step sequences line up
+/// one-to-one.
+fn train_impl(
+    net: &mut Cnn,
+    samples: &[Sample],
+    cfg: &TrainConfig,
+    mut step: impl FnMut(&mut Cnn, &[Sample], &[usize], &mut Optimizer) -> f32,
+) -> TrainReport {
     let mut report = TrainReport {
         loss_history: Vec::new(),
         epoch_train_acc: Vec::new(),
+        epoch_samples_per_sec: Vec::new(),
+        step_time: StepTimeStats::default(),
     };
     if samples.is_empty() || cfg.epochs == 0 {
         return report;
@@ -65,47 +145,102 @@ pub fn train(net: &mut Cnn, samples: &[Sample], cfg: &TrainConfig) -> TrainRepor
     let mut opt = Optimizer::new(net, cfg.optimizer, cfg.lr, cfg.freeze_towers);
     let mut order: Vec<usize> = (0..samples.len()).collect();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let (mut total_s, mut min_s, mut max_s, mut steps) = (0.0f64, f64::INFINITY, 0.0f64, 0usize);
     for _epoch in 0..cfg.epochs {
         // Fisher–Yates shuffle.
         for i in (1..order.len()).rev() {
             order.swap(i, rng.random_range(0..=i));
         }
+        let mut epoch_s = 0.0f64;
         for batch_idx in order.chunks(cfg.batch_size.max(1)) {
-            let loss = train_step(net, samples, batch_idx, &mut opt);
+            let t0 = Instant::now();
+            let loss = step(net, samples, batch_idx, &mut opt);
+            let dt = t0.elapsed().as_secs_f64();
+            epoch_s += dt;
+            total_s += dt;
+            min_s = min_s.min(dt);
+            max_s = max_s.max(dt);
+            steps += 1;
             report.loss_history.push(loss);
         }
+        report.epoch_samples_per_sec.push(if epoch_s > 0.0 {
+            samples.len() as f64 / epoch_s
+        } else {
+            0.0
+        });
         report.epoch_train_acc.push(evaluate(net, samples));
     }
+    report.step_time = StepTimeStats {
+        steps,
+        mean_ms: 1e3 * total_s / steps as f64,
+        min_ms: 1e3 * min_s,
+        max_ms: 1e3 * max_s,
+    };
     report
 }
 
-/// One optimisation step on the given sample indices; returns the mean
-/// batch loss *before* the update.
-fn train_step(net: &mut Cnn, samples: &[Sample], batch: &[usize], opt: &mut Optimizer) -> f32 {
-    let shared: &Cnn = net;
-    let (mut gsum, lsum) = batch
-        .par_iter()
-        .fold(
-            || (shared.zero_grads(), 0.0f32),
-            |(mut g, l), &i| {
-                let s = &samples[i];
-                let cache = shared.forward_cached(&s.channels);
-                let (loss, gl) = softmax_cross_entropy(&cache.logits, s.label);
-                let sg = shared.backward(&cache, &gl);
-                g.add_assign(&sg);
-                (g, l + loss)
-            },
-        )
-        .reduce(
-            || (shared.zero_grads(), 0.0f32),
-            |(mut g1, l1), (g2, l2)| {
-                g1.add_assign(&g2);
-                (g1, l1 + l2)
-            },
-        );
+/// One batched optimisation step on the given sample indices; returns
+/// the mean batch loss *before* the update.
+///
+/// The whole batch runs as one forward pass (one GEMM per layer), one
+/// fused loss/gradient pass over the logit rows, and one backward pass
+/// whose weight-gradient GEMMs fold the batch reduction into their
+/// inner dimension — the optimiser then applies the single accumulated
+/// (already batch-averaged) gradient set.
+pub fn train_step(
+    net: &mut Cnn,
+    samples: &[Sample],
+    batch: &[usize],
+    opt: &mut Optimizer,
+    state: &mut BatchTrainState,
+) -> f32 {
+    let refs: Vec<&[crate::tensor::Tensor]> = batch
+        .iter()
+        .map(|&i| samples[i].channels.as_slice())
+        .collect();
+    state.labels.clear();
+    state.labels.extend(batch.iter().map(|&i| samples[i].label));
+    net.forward_batch_cached(&refs, &mut state.cache);
+    let (logits, classes) = state.cache.logits_rows();
+    let loss = softmax_cross_entropy_batch(logits, classes, &state.labels, &mut state.glogits);
+    net.backward_batch(
+        &mut state.cache,
+        &state.glogits[..batch.len() * classes],
+        opt.freeze_towers(),
+        &mut state.grads,
+    );
+    // The loss gradient is pre-scaled by 1/batch, so the summed
+    // parameter gradients are already batch means.
+    opt.step(net, &state.grads, 1.0);
+    loss
+}
+
+/// One per-sample reference optimisation step; returns the mean batch
+/// loss *before* the update.
+///
+/// Gradients reduce sequentially into the single preallocated `accum`
+/// set (cleared on entry) — no per-sample gradient sets are kept. The
+/// optimiser folds the batch mean into the update via its `scale`
+/// argument instead of rescaling the accumulator first.
+pub fn train_step_reference(
+    net: &mut Cnn,
+    samples: &[Sample],
+    batch: &[usize],
+    opt: &mut Optimizer,
+    accum: &mut CnnGrads,
+) -> f32 {
+    accum.clear();
+    let mut lsum = 0.0f32;
+    for &i in batch {
+        let s = &samples[i];
+        let cache = net.forward_cached(&s.channels);
+        let (loss, gl) = softmax_cross_entropy(&cache.logits, s.label);
+        let sg = net.backward(&cache, &gl);
+        accum.add_assign(&sg);
+        lsum += loss;
+    }
     let scale = 1.0 / batch.len() as f32;
-    gsum.scale(scale);
-    opt.step(net, &gsum);
+    opt.step(net, accum, scale);
     lsum * scale
 }
 
@@ -271,11 +406,50 @@ mod tests {
         let mut b = toy_net(5);
         let rb = train(&mut b, &samples, &cfg);
         assert_eq!(ra.loss_history.len(), rb.loss_history.len());
-        // Parallel reduction order varies, but the result must agree to
-        // float tolerance — gradients are means of identical values.
         for (x, y) in ra.loss_history.iter().zip(&rb.loss_history) {
             assert!((x - y).abs() < 1e-4, "{x} vs {y}");
         }
+        assert_eq!(ra.epoch_train_acc, rb.epoch_train_acc);
+    }
+
+    #[test]
+    fn batched_and_reference_training_agree() {
+        // Same seed, same batches (including a final short batch:
+        // 10 samples, batch 4) — the loss histories must line up step
+        // by step within float tolerance.
+        let samples = toy_samples(10, 21);
+        let cfg = TrainConfig {
+            epochs: 3,
+            batch_size: 4,
+            lr: 2e-3,
+            ..TrainConfig::default()
+        };
+        let mut a = toy_net(23);
+        let mut b = a.clone();
+        let ra = train(&mut a, &samples, &cfg);
+        let rb = train_reference(&mut b, &samples, &cfg);
+        assert_eq!(ra.loss_history.len(), rb.loss_history.len());
+        for (i, (x, y)) in ra.loss_history.iter().zip(&rb.loss_history).enumerate() {
+            assert!((x - y).abs() <= 1e-3, "step {i}: batched {x} vs ref {y}");
+        }
+        assert_eq!(ra.epoch_train_acc, rb.epoch_train_acc);
+    }
+
+    #[test]
+    fn report_carries_throughput_and_step_stats() {
+        let samples = toy_samples(12, 31);
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 4,
+            ..TrainConfig::default()
+        };
+        let mut net = toy_net(33);
+        let report = train(&mut net, &samples, &cfg);
+        assert_eq!(report.epoch_samples_per_sec.len(), cfg.epochs);
+        assert!(report.epoch_samples_per_sec.iter().all(|&s| s > 0.0));
+        assert_eq!(report.step_time.steps, report.loss_history.len());
+        assert!(report.step_time.min_ms <= report.step_time.mean_ms);
+        assert!(report.step_time.mean_ms <= report.step_time.max_ms);
     }
 
     #[test]
@@ -284,6 +458,7 @@ mod tests {
         let before = net.clone();
         let report = train(&mut net, &[], &TrainConfig::default());
         assert!(report.loss_history.is_empty());
+        assert_eq!(report.step_time, StepTimeStats::default());
         assert_eq!(net, before);
     }
 
@@ -379,5 +554,26 @@ mod tests {
             },
         );
         assert_eq!(net.towers[0], tower_before);
+    }
+
+    #[test]
+    fn frozen_batched_and_reference_paths_agree() {
+        // Top evolvement through both paths: identical loss histories
+        // and bit-identical towers.
+        let samples = toy_samples(8, 41);
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 3,
+            freeze_towers: true,
+            ..TrainConfig::default()
+        };
+        let mut a = toy_net(43);
+        let mut b = a.clone();
+        let ra = train(&mut a, &samples, &cfg);
+        let rb = train_reference(&mut b, &samples, &cfg);
+        for (x, y) in ra.loss_history.iter().zip(&rb.loss_history) {
+            assert!((x - y).abs() <= 1e-3, "{x} vs {y}");
+        }
+        assert_eq!(a.towers, b.towers);
     }
 }

@@ -15,6 +15,13 @@
 //!   codes" feature extractor) and retrain only the fully connected
 //!   head. Fewer parameters to fit, so fewer labels needed.
 //! * [`from_scratch`] — the baseline: fresh random parameters.
+//!
+//! All strategies fine-tune through [`train`]'s batched GEMM path, so
+//! each step is one forward/backward pass over the whole mini-batch.
+//! Under top evolvement the optimiser's `freeze_towers` flag makes
+//! [`crate::network::Cnn::backward_batch`] skip the tower backward
+//! walks entirely — frozen fine-tuning pays only for the head's
+//! gradients, and tower parameters stay bit-identical to the source.
 
 use crate::network::{Cnn, Sample};
 use crate::structures::{build_cnn, CnnConfig, Merging};

@@ -1,0 +1,212 @@
+//! Equivalence and gradient-correctness tests for the batched training
+//! path: `forward_batch_cached` + `softmax_cross_entropy_batch` +
+//! `backward_batch` against the per-sample reference, plus a
+//! finite-difference check of parameter gradients through the fused
+//! batched loss.
+
+use dnnspmv_nn::layers::{Conv2d, Dense, Layer, MaxPool2d};
+use dnnspmv_nn::loss::{softmax_cross_entropy, softmax_cross_entropy_batch};
+use dnnspmv_nn::network::CnnBatchCache;
+use dnnspmv_nn::tensor::Tensor;
+use dnnspmv_nn::{Cnn, CnnGrads, Sequential};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const CLASSES: usize = 3;
+const HW: usize = 8;
+
+/// Small Cnn on 8x8 channels (below `build_cnn`'s minimum input size,
+/// so assembled directly): one tower per channel when `late`, one
+/// tower consuming all channels otherwise, plus a Dense-ReLU-Dense
+/// head.
+fn tiny_cnn(num_channels: usize, late: bool, seed: u64) -> Cnn {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tower = |in_ch: usize, rng: &mut StdRng| {
+        Sequential::new(vec![
+            Layer::Conv2d(Conv2d::new(in_ch, 2, 3, 1, rng)),
+            Layer::Relu,
+            Layer::MaxPool2d(MaxPool2d { size: 2 }),
+            Layer::Flatten,
+        ])
+    };
+    let ntowers = if late { num_channels } else { 1 };
+    let towers: Vec<Sequential> = (0..ntowers)
+        .map(|_| tower(if late { 1 } else { num_channels }, &mut rng))
+        .collect();
+    let feat = ntowers * 2 * (HW / 2) * (HW / 2);
+    let head = Sequential::new(vec![
+        Layer::Dense(Dense::new(feat, 8, &mut rng)),
+        Layer::Relu,
+        Layer::Dense(Dense::new(8, CLASSES, &mut rng)),
+    ]);
+    Cnn {
+        towers,
+        head,
+        channel_shape: (HW, HW),
+        num_channels,
+    }
+}
+
+fn randn_channels(num_channels: usize, rng: &mut StdRng) -> Vec<Tensor> {
+    use rand_distr::{Distribution, Normal};
+    let d = Normal::new(0.0, 1.0).expect("valid");
+    (0..num_channels)
+        .map(|_| {
+            Tensor::from_vec(
+                &[HW, HW],
+                (0..HW * HW).map(|_| d.sample(rng) as f32).collect(),
+            )
+        })
+        .collect()
+}
+
+/// Batch-mean gradients through the batched path.
+fn batched_grads(net: &Cnn, batch: &[Vec<Tensor>], labels: &[usize]) -> (f32, CnnGrads) {
+    let refs: Vec<&[Tensor]> = batch.iter().map(|c| c.as_slice()).collect();
+    let mut cache = CnnBatchCache::default();
+    net.forward_batch_cached(&refs, &mut cache);
+    let mut glogits = Vec::new();
+    let (logits, classes) = cache.logits_rows();
+    let loss = softmax_cross_entropy_batch(logits, classes, labels, &mut glogits);
+    let mut grads = net.zero_grads();
+    net.backward_batch(
+        &mut cache,
+        &glogits[..batch.len() * classes],
+        false,
+        &mut grads,
+    );
+    (loss, grads)
+}
+
+/// Batch-mean gradients through the per-sample reference path.
+fn reference_grads(net: &Cnn, batch: &[Vec<Tensor>], labels: &[usize]) -> (f32, CnnGrads) {
+    let mut sum = net.zero_grads();
+    let mut lsum = 0.0f32;
+    for (channels, &label) in batch.iter().zip(labels) {
+        let cache = net.forward_cached(channels);
+        let (loss, gl) = softmax_cross_entropy(&cache.logits, label);
+        sum.add_assign(&net.backward(&cache, &gl));
+        lsum += loss;
+    }
+    let inv = 1.0 / batch.len() as f32;
+    sum.scale(inv);
+    (lsum * inv, sum)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // The batched backward pass — one weight-gradient GEMM per layer
+    // with the batch reduction fused into its inner dimension — must
+    // reproduce the per-sample gradient means for any batch size
+    // (including 1) on both merging structures.
+    #[test]
+    fn backward_batch_matches_per_sample_gradient_means(
+        num_channels in 1usize..3,
+        late_bit in 0usize..2,
+        batch in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let late = late_bit == 1;
+        let net = tiny_cnn(num_channels, late, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xbeef);
+        let samples: Vec<Vec<Tensor>> =
+            (0..batch).map(|_| randn_channels(num_channels, &mut rng)).collect();
+        let labels: Vec<usize> = (0..batch).map(|i| (seed as usize + i) % CLASSES).collect();
+        let (loss_b, gb) = batched_grads(&net, &samples, &labels);
+        let (loss_r, gr) = reference_grads(&net, &samples, &labels);
+        prop_assert!((loss_b - loss_r).abs() <= 1e-4 * (1.0 + loss_r.abs()),
+            "loss {loss_b} vs {loss_r}");
+        for (pi, (g, w)) in gb.flat().iter().zip(gr.flat()).enumerate() {
+            prop_assert_eq!(g.shape(), w.shape());
+            for (i, (a, b)) in g.data().iter().zip(w.data()).enumerate() {
+                prop_assert!((a - b).abs() <= 1e-4 * (1.0 + b.abs()),
+                    "param {}[{}]: {} vs {}", pi, i, a, b);
+            }
+        }
+    }
+}
+
+/// Mean batch loss of `net` on `batch` through the batched forward +
+/// fused loss — the scalar the finite-difference check probes.
+fn batch_loss(net: &Cnn, batch: &[Vec<Tensor>], labels: &[usize]) -> f32 {
+    let refs: Vec<&[Tensor]> = batch.iter().map(|c| c.as_slice()).collect();
+    let mut cache = CnnBatchCache::default();
+    net.forward_batch_cached(&refs, &mut cache);
+    let mut glogits = Vec::new();
+    let (logits, classes) = cache.logits_rows();
+    softmax_cross_entropy_batch(logits, classes, labels, &mut glogits)
+}
+
+#[test]
+fn batched_parameter_gradients_match_finite_differences() {
+    let mut net = tiny_cnn(2, true, 77);
+    let mut rng = StdRng::seed_from_u64(78);
+    let samples: Vec<Vec<Tensor>> = (0..3).map(|_| randn_channels(2, &mut rng)).collect();
+    let labels = vec![0usize, 2, 1];
+    let (_, grads) = batched_grads(&net, &samples, &labels);
+    let analytic: Vec<Vec<f32>> = grads.flat().iter().map(|g| g.data().to_vec()).collect();
+    let eps = 1e-2f32;
+    let (mut checked, mut bad) = (0usize, 0usize);
+    for (pi, arow) in analytic.iter().enumerate() {
+        let len = arow.len();
+        for idx in (0..len).step_by((len / 4).max(1)) {
+            let probe = |net: &mut Cnn, delta: f32| {
+                net.params_mut_flat()[pi].0.data_mut()[idx] += delta;
+            };
+            probe(&mut net, eps);
+            let lp = batch_loss(&net, &samples, &labels);
+            probe(&mut net, -2.0 * eps);
+            let lm = batch_loss(&net, &samples, &labels);
+            probe(&mut net, eps);
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = arow[idx];
+            checked += 1;
+            if (num - ana).abs() > 2e-2 * (1.0 + num.abs().max(ana.abs())) {
+                bad += 1;
+            }
+        }
+    }
+    // ReLU/pool kinks can spoil a few probes; the overwhelming
+    // majority must agree.
+    assert!(checked >= 20, "only {checked} probes");
+    assert!(
+        bad * 10 <= checked,
+        "{bad}/{checked} finite-diff checks failed"
+    );
+}
+
+#[test]
+fn batched_path_handles_a_short_trailing_batch() {
+    // 7 samples split 4 + 3 (batch size not a divisor of the dataset):
+    // running the two chunks through the SAME reused cache must still
+    // match the reference, proving stale larger-batch state cannot
+    // leak into a smaller batch.
+    let net = tiny_cnn(1, true, 91);
+    let mut rng = StdRng::seed_from_u64(92);
+    let samples: Vec<Vec<Tensor>> = (0..7).map(|_| randn_channels(1, &mut rng)).collect();
+    let labels: Vec<usize> = (0..7).map(|i| i % CLASSES).collect();
+    let mut cache = CnnBatchCache::default();
+    let mut glogits = Vec::new();
+    let mut grads = net.zero_grads();
+    for (chunk, lchunk) in samples.chunks(4).zip(labels.chunks(4)) {
+        let refs: Vec<&[Tensor]> = chunk.iter().map(|c| c.as_slice()).collect();
+        net.forward_batch_cached(&refs, &mut cache);
+        let (logits, classes) = cache.logits_rows();
+        let loss = softmax_cross_entropy_batch(logits, classes, lchunk, &mut glogits);
+        net.backward_batch(
+            &mut cache,
+            &glogits[..chunk.len() * classes],
+            false,
+            &mut grads,
+        );
+        let (loss_r, gr) = reference_grads(&net, chunk, lchunk);
+        assert!((loss - loss_r).abs() <= 1e-4 * (1.0 + loss_r.abs()));
+        for (g, w) in grads.flat().iter().zip(gr.flat()) {
+            for (a, b) in g.data().iter().zip(w.data()) {
+                assert!((a - b).abs() <= 1e-4 * (1.0 + b.abs()), "{a} vs {b}");
+            }
+        }
+    }
+}

@@ -125,7 +125,7 @@ impl<S: Scalar> Spmv<S> for CsrMatrix<S> {
         // Chunk rows; rayon load-balances across chunks, which is enough
         // unless row lengths are pathologically skewed (that is exactly
         // the case where CSR loses to load-balanced formats like CSR5).
-        let chunk = (self.nrows / (rayon::current_num_threads().max(1) * 8)).max(64);
+        let chunk = crate::spmv::par_chunk_rows(self.nrows, 8);
         y.par_chunks_mut(chunk).enumerate().for_each(|(ci, ys)| {
             let base = ci * chunk;
             for (i, out) in ys.iter_mut().enumerate() {

@@ -153,7 +153,7 @@ impl<S: Scalar> Spmv<S> for EllMatrix<S> {
             return;
         }
         // Rows all cost the same in ELL, so plain chunking balances.
-        let chunk = (self.nrows / (rayon::current_num_threads().max(1) * 4)).max(64);
+        let chunk = crate::spmv::par_chunk_rows(self.nrows, 4);
         y.par_chunks_mut(chunk).enumerate().for_each(|(ci, ys)| {
             let base = ci * chunk;
             for (i, out) in ys.iter_mut().enumerate() {

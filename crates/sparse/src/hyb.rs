@@ -186,7 +186,7 @@ impl<S: Scalar> Spmv<S> for HybMatrix<S> {
         }
         // Parallel ELL pass; the COO tail is by construction small, so a
         // sequential fix-up pass costs little and avoids write conflicts.
-        let chunk = (self.nrows / (rayon::current_num_threads().max(1) * 4)).max(64);
+        let chunk = crate::spmv::par_chunk_rows(self.nrows, 4);
         y.par_chunks_mut(chunk).enumerate().for_each(|(ci, ys)| {
             let rbase = ci * chunk;
             for (i, out) in ys.iter_mut().enumerate() {

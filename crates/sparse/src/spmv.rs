@@ -32,6 +32,15 @@ pub trait Spmv<S: Scalar>: Send + Sync {
     }
 }
 
+/// Row-chunk size for rayon-parallel SpMV kernels: splits `nrows` into
+/// roughly `factor` chunks per thread (over-decomposition smooths load
+/// imbalance from skewed row lengths), floored at 64 rows so tiny
+/// matrices don't drown in task overhead. Formats pick `factor` by how
+/// uneven their per-row work is — CSR uses 8, ELL/HYB 4.
+pub fn par_chunk_rows(nrows: usize, factor: usize) -> usize {
+    (nrows / (rayon::current_num_threads().max(1) * factor)).max(64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -63,5 +72,24 @@ mod tests {
     fn spmv_alloc_allocates_correct_length() {
         let id = Identity(2);
         assert_eq!(id.spmv_alloc(&[4.0, 5.0]), vec![4.0, 5.0]);
+    }
+
+    #[test]
+    fn par_chunk_rows_floors_small_matrices() {
+        assert_eq!(par_chunk_rows(0, 8), 64);
+        assert_eq!(par_chunk_rows(63, 8), 64);
+        assert_eq!(par_chunk_rows(10_000, 1), {
+            let t = rayon::current_num_threads().max(1);
+            (10_000 / t).max(64)
+        });
+    }
+
+    #[test]
+    fn par_chunk_rows_scales_with_factor() {
+        let t = rayon::current_num_threads().max(1);
+        let big = 1 << 20;
+        assert_eq!(par_chunk_rows(big, 8), (big / (t * 8)).max(64));
+        // More chunks per thread -> smaller chunks (down to the floor).
+        assert!(par_chunk_rows(big, 8) <= par_chunk_rows(big, 4));
     }
 }

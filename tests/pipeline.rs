@@ -139,7 +139,7 @@ fn migration_improves_over_unmigrated_source() {
     // Interleaved split: the dataset is ordered base-then-augmented, so
     // a prefix/suffix split would hold out *all* augmented matrices and
     // measure base->augmented distribution shift instead of migration.
-    let held_out = |i: &usize| i % 3 == 0;
+    let held_out = |i: &usize| i.is_multiple_of(3);
     let train_src: Vec<_> = (0..samples_src.len())
         .filter(|i| !held_out(i))
         .map(|i| samples_src[i].clone())
