@@ -2,19 +2,22 @@
 //! per-sample reference and writes a machine-readable summary.
 //!
 //! ```text
-//! bench_train [--json FILE] [--steps N] [--batch N]
+//! bench_train [--json FILE] [--steps N] [--batch N] [--ckpt-dir DIR]
 //! ```
 //!
 //! Runs `N` optimisation steps (default 30) at the given batch size
 //! (default 32) through both [`dnnspmv_nn::train_step`] and
 //! [`dnnspmv_nn::train_step_reference`] on identically initialised
 //! networks, then trains both paths end-to-end under the same seed to
-//! bound their loss-history divergence. Results go to stdout and to
-//! `BENCH_train.json` (or `--json FILE`).
+//! bound their loss-history divergence. A final section measures the
+//! cost of per-epoch checkpointing and verifies kill-and-resume
+//! reproduces the uninterrupted loss history. Results go to stdout and
+//! to `BENCH_train.json` (or `--json FILE`).
 
 use dnnspmv_nn::{
-    build_cnn, train, train_reference, train_step, train_step_reference, BatchTrainState,
-    CnnConfig, Merging, Optimizer, OptimizerKind, Sample, Tensor, TrainConfig,
+    build_cnn, checkpoint_path, train, train_reference, train_step, train_step_reference,
+    train_with_hooks, BatchTrainState, CnnConfig, Merging, Optimizer, OptimizerKind, Sample,
+    Tensor, TrainConfig, TrainHooks,
 };
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -33,6 +36,23 @@ struct PathStats {
 }
 
 #[derive(Serialize)]
+struct CheckpointStats {
+    epochs: usize,
+    /// Wall time of the run with checkpointing disabled.
+    plain_s: f64,
+    /// Wall time of the same-seed run writing a checkpoint every epoch.
+    checkpointed_s: f64,
+    /// Extra wall time per checkpoint write.
+    overhead_ms_per_epoch: f64,
+    /// Overhead as a fraction of the plain run (can be negative under
+    /// timer noise on fast runs).
+    overhead_frac: f64,
+    /// Largest |loss difference| between an uninterrupted run and a
+    /// kill-at-half + resume run under the same seed (bound: 1e-4).
+    resume_loss_max_abs_diff: f32,
+}
+
+#[derive(Serialize)]
 struct Report {
     /// Per-sample loop with a single preallocated gradient accumulator
     /// — the "before" this PR measures against.
@@ -45,6 +65,8 @@ struct Report {
     /// Largest per-step |loss difference| between the two paths over a
     /// full same-seed training run (acceptance bound: 1e-3).
     loss_max_abs_diff: f32,
+    /// Cost and exactness of per-epoch checkpointing (PR 3).
+    checkpoint: CheckpointStats,
 }
 
 fn sample_set(n: usize, channels: usize, hw: usize, classes: usize, seed: u64) -> Vec<Sample> {
@@ -82,6 +104,7 @@ fn main() {
     let mut json_path = String::from("BENCH_train.json");
     let mut steps = 30usize;
     let mut batch = 32usize;
+    let mut keep_ckpt_dir: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -105,8 +128,14 @@ fn main() {
                     .parse()
                     .unwrap();
             }
+            "--ckpt-dir" => {
+                i += 1;
+                keep_ckpt_dir = Some(args.get(i).expect("--ckpt-dir needs a path").clone());
+            }
             other => {
-                eprintln!("usage: bench_train [--json FILE] [--steps N] [--batch N]");
+                eprintln!(
+                    "usage: bench_train [--json FILE] [--steps N] [--batch N] [--ckpt-dir DIR]"
+                );
                 panic!("unknown flag '{other}'");
             }
         }
@@ -180,11 +209,97 @@ fn main() {
         .map(|(x, y)| (x - y).abs())
         .fold(0.0f32, f32::max);
 
+    // Checkpointing cost + kill-and-resume exactness (same seed).
+    let ckpt_epochs = 6usize;
+    let ckpt_cfg = TrainConfig {
+        epochs: ckpt_epochs,
+        batch_size: cfg.batch_size,
+        ..TrainConfig::default()
+    };
+    // --ckpt-dir keeps the checkpoints around for inspection / manual
+    // resume experiments; the default is a throwaway temp directory.
+    let ckpt_dir = match &keep_ckpt_dir {
+        Some(d) => std::path::PathBuf::from(d),
+        None => std::env::temp_dir().join(format!("bench_train_ckpt_{}", std::process::id())),
+    };
+    let ckpt_dir_s = ckpt_dir.to_string_lossy().into_owned();
+
+    let mut plain_net = net0.clone();
+    let t0 = Instant::now();
+    let plain_report = train(&mut plain_net, &train_set, &ckpt_cfg);
+    let plain_s = t0.elapsed().as_secs_f64();
+
+    let mut ck_net = net0.clone();
+    let t0 = Instant::now();
+    let _ = train(
+        &mut ck_net,
+        &train_set,
+        &TrainConfig {
+            checkpoint_dir: Some(ckpt_dir_s.clone()),
+            ..ckpt_cfg.clone()
+        },
+    );
+    let checkpointed_s = t0.elapsed().as_secs_f64();
+
+    // Kill at the halfway checkpoint, resume, and compare loss history
+    // against the uninterrupted run.
+    let mut killed = net0.clone();
+    train_with_hooks(
+        &mut killed,
+        &train_set,
+        &TrainConfig {
+            checkpoint_dir: Some(ckpt_dir_s.clone()),
+            ..ckpt_cfg.clone()
+        },
+        TrainHooks {
+            abort_after_epoch: Some(ckpt_epochs / 2),
+            ..TrainHooks::default()
+        },
+    )
+    .expect("interrupted run");
+    let mut resumed = net0.clone();
+    let resumed_report = train_with_hooks(
+        &mut resumed,
+        &train_set,
+        &TrainConfig {
+            resume_from: Some(checkpoint_path(&ckpt_dir).to_string_lossy().into_owned()),
+            ..ckpt_cfg.clone()
+        },
+        TrainHooks::default(),
+    )
+    .expect("resumed run");
+    let resume_loss_max_abs_diff = plain_report
+        .loss_history
+        .iter()
+        .zip(&resumed_report.loss_history)
+        .map(|(x, y)| (x - y).abs())
+        .fold(
+            if plain_report.loss_history.len() == resumed_report.loss_history.len() {
+                0.0f32
+            } else {
+                f32::INFINITY
+            },
+            f32::max,
+        );
+    if keep_ckpt_dir.is_none() {
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
+    }
+
+    let checkpoint = CheckpointStats {
+        epochs: ckpt_epochs,
+        plain_s,
+        checkpointed_s,
+        overhead_ms_per_epoch: 1e3 * (checkpointed_s - plain_s) / ckpt_epochs as f64,
+        overhead_frac: (checkpointed_s - plain_s) / plain_s,
+        resume_loss_max_abs_diff,
+    };
+
     let report = Report {
         speedup: batched.samples_per_sec / reference.samples_per_sec,
         reference,
         batched,
         loss_max_abs_diff,
+        checkpoint,
     };
     let json = serde_json::to_string(&report).expect("serialisable report");
     println!("{json}");
@@ -197,5 +312,12 @@ fn main() {
         report.batched.samples_per_sec,
         report.reference.samples_per_sec,
         report.loss_max_abs_diff
+    );
+    eprintln!(
+        "checkpointing: {:+.2} ms/epoch ({:+.1}%) over {} epochs; kill-and-resume loss diff {:.2e}",
+        report.checkpoint.overhead_ms_per_epoch,
+        1e2 * report.checkpoint.overhead_frac,
+        report.checkpoint.epochs,
+        report.checkpoint.resume_loss_max_abs_diff
     );
 }

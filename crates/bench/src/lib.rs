@@ -120,7 +120,7 @@ impl ExpConfig {
             lr: self.lr,
             optimizer: OptimizerKind::adam(),
             seed: self.seed ^ 0x7EA1,
-            freeze_towers: false,
+            ..TrainConfig::default()
         }
     }
 }

@@ -1,10 +1,17 @@
 //! The decision-tree baseline packaged as a drop-in selector — the
 //! "DT" columns of Tables 2 and 3.
 
+use crate::error::SelectorError;
+use dnnspmv_nn::serialize::{fnv1a64, read_envelope_path, write_envelope_atomic};
+use dnnspmv_nn::NnError;
 use dnnspmv_sparse::{CooMatrix, Scalar, SparseFormat};
-use dnnspmv_tree::{features, DecisionTree, TreeConfig};
+use dnnspmv_tree::{features, DecisionTree, TreeConfig, NUM_FEATURES};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Envelope kind tag for persisted [`DtSelector`]s.
+pub const KIND_DT_SELECTOR: &str = "dt-selector";
 
 /// SMAT-style decision-tree format selector.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -48,6 +55,49 @@ impl DtSelector {
             .filter(|(m, &l)| self.predict_label(*m) == l)
             .count();
         hits as f64 / matrices.len() as f64
+    }
+
+    /// Internal consistency of a (possibly deserialized) selector:
+    /// the tree's structure must validate, its feature width must be
+    /// the extractor's [`NUM_FEATURES`], and its class count must
+    /// match the format set — the invariants that keep
+    /// [`Self::predict`] panic-free on any input matrix.
+    pub fn validate(&self) -> Result<(), SelectorError> {
+        self.tree
+            .validate()
+            .map_err(|m| SelectorError::Nn(NnError::InvalidModel(m)))?;
+        if self.formats.is_empty() {
+            return Err(SelectorError::Invalid("empty format set".into()));
+        }
+        if self.tree.n_features() != NUM_FEATURES {
+            return Err(SelectorError::Invalid(format!(
+                "tree expects {} features but the extractor produces {NUM_FEATURES}",
+                self.tree.n_features()
+            )));
+        }
+        if self.tree.n_classes() != self.formats.len() {
+            return Err(SelectorError::Invalid(format!(
+                "tree predicts {} classes but the format set has {}",
+                self.tree.n_classes(),
+                self.formats.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Saves the selector as an enveloped, checksummed JSON artefact,
+    /// written atomically. Does not validate (see
+    /// [`crate::FormatSelector::save`] for the rationale).
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), SelectorError> {
+        let fp = fnv1a64(format!("dt|{:?}", self.formats).as_bytes());
+        write_envelope_atomic(KIND_DT_SELECTOR, fp, self, path).map_err(SelectorError::from)
+    }
+
+    /// Loads and validates a selector saved by [`Self::save`].
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, SelectorError> {
+        let (sel, _): (Self, u64) = read_envelope_path(KIND_DT_SELECTOR, path)?;
+        sel.validate()?;
+        Ok(sel)
     }
 
     /// `confusion[truth][predicted]` over a labelled set.
@@ -135,5 +185,40 @@ mod tests {
         let json = serde_json::to_string(&dt).unwrap();
         let back: DtSelector = serde_json::from_str(&json).unwrap();
         assert_eq!(back, dt);
+    }
+
+    #[test]
+    fn enveloped_save_load_validates() {
+        let data = Dataset::generate(&DatasetSpec {
+            n_base: 30,
+            n_augmented: 0,
+            ..DatasetSpec::tiny(9)
+        });
+        let platform = PlatformModel::intel_cpu();
+        let labels = label_dataset(&data.matrices, &platform);
+        let dt = DtSelector::train(&data.matrices, &labels, platform.formats().to_vec());
+        let dir = std::env::temp_dir().join("dnnspmv_dt_robust");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("dt.json");
+        dt.save(&p).unwrap();
+        let back = DtSelector::load(&p).unwrap();
+        assert_eq!(back, dt);
+
+        // Format set shrunk below the tree's class count: rejected at
+        // load even though the envelope is intact.
+        let mut broken = dt.clone();
+        broken.formats.pop();
+        broken.save(&p).unwrap();
+        let err = DtSelector::load(&p).unwrap_err();
+        assert!(matches!(err, SelectorError::Invalid(_)), "{err}");
+
+        // Truncated file: typed parse error.
+        let text = {
+            dt.save(&p).unwrap();
+            std::fs::read_to_string(&p).unwrap()
+        };
+        std::fs::write(&p, &text[..text.len() / 2]).unwrap();
+        assert!(DtSelector::load(&p).is_err());
+        std::fs::remove_file(&p).ok();
     }
 }

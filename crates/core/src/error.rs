@@ -1,0 +1,48 @@
+//! Typed errors for selector persistence and serving.
+
+use dnnspmv_nn::NnError;
+use std::fmt;
+
+/// What can go wrong constructing, loading or serving a selector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectorError {
+    /// A network-layer failure (envelope, checksum, validation, …).
+    Nn(NnError),
+    /// Filesystem failure outside the nn envelope machinery.
+    Io(String),
+    /// The artefact parsed and checksummed but is internally
+    /// inconsistent as a *selector* (format set vs network output,
+    /// representation vs input channels, …).
+    Invalid(String),
+}
+
+impl fmt::Display for SelectorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectorError::Nn(e) => write!(f, "{e}"),
+            SelectorError::Io(m) => write!(f, "i/o: {m}"),
+            SelectorError::Invalid(m) => write!(f, "invalid selector: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SelectorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SelectorError::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for SelectorError {
+    fn from(e: NnError) -> Self {
+        SelectorError::Nn(e)
+    }
+}
+
+impl From<std::io::Error> for SelectorError {
+    fn from(e: std::io::Error) -> Self {
+        SelectorError::Io(e.to_string())
+    }
+}

@@ -15,11 +15,20 @@
 //! Inference normalises the input matrix and takes the CNN's argmax.
 //! [`FormatSelector::migrate`] ports a trained selector to another
 //! platform via transfer learning (Section 6).
+//!
+//! For deployment, [`SelectorService`] wraps the CNN in a
+//! graceful-degradation ladder (CNN → decision tree → CSR) with
+//! observable fallback counters, and all persistence goes through
+//! validated, checksummed envelopes surfacing [`SelectorError`].
 
 pub mod baseline;
+pub mod error;
 pub mod samples;
 pub mod selector;
+pub mod service;
 
 pub use baseline::DtSelector;
+pub use error::SelectorError;
 pub use samples::make_samples;
 pub use selector::{FormatSelector, SelectorConfig};
+pub use service::{Selection, SelectionSource, SelectorService, ServiceReport};

@@ -1,10 +1,12 @@
 //! The trained CNN format selector.
 
+use crate::error::SelectorError;
 use crate::samples::{make_channels, make_samples};
 use dnnspmv_nn::network::Cnn;
+use dnnspmv_nn::serialize::{model_fingerprint, read_envelope_path, write_envelope_atomic};
 use dnnspmv_nn::train::{confusion_matrix, evaluate, predict_proba};
 use dnnspmv_nn::transfer::Migration;
-use dnnspmv_nn::{build_cnn, CnnConfig, Merging, Sample, TrainConfig, TrainReport};
+use dnnspmv_nn::{build_cnn, CnnConfig, Merging, NnError, Sample, TrainConfig, TrainReport};
 use dnnspmv_platform::{label_dataset, PlatformModel};
 use dnnspmv_repr::{ReprConfig, ReprKind};
 use dnnspmv_sparse::{AnyMatrix, CooMatrix, Scalar, SparseFormat};
@@ -70,8 +72,20 @@ impl FormatSelector {
         formats: Vec<SparseFormat>,
         config: &SelectorConfig,
     ) -> (Self, TrainReport) {
+        Self::try_train_with_labels(matrices, labels, formats, config).expect("training failed")
+    }
+
+    /// Fallible [`Self::train_with_labels`]: training errors (a
+    /// diverged run, a rejected `resume_from` checkpoint) surface as
+    /// `Err` instead of a panic.
+    pub fn try_train_with_labels<S: Scalar>(
+        matrices: &[CooMatrix<S>],
+        labels: &[usize],
+        formats: Vec<SparseFormat>,
+        config: &SelectorConfig,
+    ) -> Result<(Self, TrainReport), SelectorError> {
         let samples = make_samples(matrices, labels, config.repr, &config.repr_config);
-        Self::train_on_samples(&samples, formats, config)
+        Self::try_train_on_samples(&samples, formats, config)
     }
 
     /// Construction from prebuilt samples (lets callers reuse one
@@ -81,7 +95,19 @@ impl FormatSelector {
         formats: Vec<SparseFormat>,
         config: &SelectorConfig,
     ) -> (Self, TrainReport) {
-        assert!(!formats.is_empty(), "need a non-empty format set");
+        Self::try_train_on_samples(samples, formats, config).expect("training failed")
+    }
+
+    /// Fallible [`Self::train_on_samples`] (see
+    /// [`Self::try_train_with_labels`]).
+    pub fn try_train_on_samples(
+        samples: &[Sample],
+        formats: Vec<SparseFormat>,
+        config: &SelectorConfig,
+    ) -> Result<(Self, TrainReport), SelectorError> {
+        if formats.is_empty() {
+            return Err(SelectorError::Invalid("need a non-empty format set".into()));
+        }
         let shape = config.repr_config.channel_shape(config.repr);
         let mut net = build_cnn(
             config.merging,
@@ -90,15 +116,20 @@ impl FormatSelector {
             formats.len(),
             &config.cnn,
         );
-        let report = dnnspmv_nn::train(&mut net, samples, &config.train);
-        (
+        let report = dnnspmv_nn::train_with_hooks(
+            &mut net,
+            samples,
+            &config.train,
+            dnnspmv_nn::TrainHooks::default(),
+        )?;
+        Ok((
             Self {
                 net,
                 formats,
                 config: config.clone(),
             },
             report,
-        )
+        ))
     }
 
     /// Predicts the best storage format for a matrix.
@@ -145,7 +176,10 @@ impl FormatSelector {
     pub fn prepare<S: Scalar>(&self, matrix: &CooMatrix<S>) -> AnyMatrix<S> {
         let mut order: Vec<(usize, f32)> =
             self.predict_proba(matrix).into_iter().enumerate().collect();
-        order.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("probabilities are not NaN"));
+        // NaN probabilities (a damaged network's logits can overflow
+        // softmax) sort as equal instead of panicking; the CSR tail
+        // below still guarantees a usable result.
+        order.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         for (label, _) in order {
             if let Ok(m) = AnyMatrix::convert(matrix, self.formats[label]) {
                 return m;
@@ -194,19 +228,71 @@ impl FormatSelector {
         )
     }
 
-    /// Saves the selector (network + format mapping + config) as JSON.
-    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), String> {
-        let f = std::fs::File::create(path).map_err(|e| format!("create: {e}"))?;
-        serde_json::to_writer(std::io::BufWriter::new(f), self)
-            .map_err(|e| format!("serialise: {e}"))
+    /// Internal consistency of the selector as a whole: the network
+    /// must validate structurally, and its input/output contract must
+    /// match the declared representation and format set. Everything a
+    /// loaded artefact needs before [`Self::predict`] can be trusted
+    /// not to panic.
+    pub fn validate(&self) -> Result<(), SelectorError> {
+        self.net
+            .validate()
+            .map_err(|m| SelectorError::Nn(NnError::InvalidModel(m)))?;
+        if self.formats.is_empty() {
+            return Err(SelectorError::Invalid("empty format set".into()));
+        }
+        let out = self.net.out_dim();
+        if out != Some(self.formats.len()) {
+            return Err(SelectorError::Invalid(format!(
+                "network emits {out:?} classes but the format set has {}",
+                self.formats.len()
+            )));
+        }
+        let channels = self.config.repr.channels();
+        if self.net.num_channels != channels {
+            return Err(SelectorError::Invalid(format!(
+                "network expects {} input channels but representation {:?} produces {channels}",
+                self.net.num_channels, self.config.repr
+            )));
+        }
+        let shape = self.config.repr_config.channel_shape(self.config.repr);
+        if self.net.channel_shape != shape {
+            return Err(SelectorError::Invalid(format!(
+                "network expects {:?} channel shape but representation config produces {shape:?}",
+                self.net.channel_shape
+            )));
+        }
+        Ok(())
     }
 
-    /// Loads a selector saved by [`Self::save`].
-    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, String> {
-        let f = std::fs::File::open(path).map_err(|e| format!("open: {e}"))?;
-        serde_json::from_reader(std::io::BufReader::new(f)).map_err(|e| format!("deserialise: {e}"))
+    /// Saves the selector (network + format mapping + config) as an
+    /// enveloped, checksummed JSON artefact, written atomically.
+    /// Deliberately does not validate — tests persist broken selectors
+    /// to prove [`Self::load`] rejects them.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), SelectorError> {
+        write_envelope_atomic(KIND_SELECTOR, model_fingerprint(&self.net), self, path)
+            .map_err(SelectorError::from)
+    }
+
+    /// Loads and validates a selector saved by [`Self::save`].
+    ///
+    /// Corrupted, truncated or internally inconsistent files return a
+    /// typed `Err`; a returned selector has passed [`Self::validate`].
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, SelectorError> {
+        let (sel, fingerprint): (Self, u64) = read_envelope_path(KIND_SELECTOR, path)?;
+        sel.validate()?;
+        let derived = model_fingerprint(&sel.net);
+        if derived != fingerprint {
+            return Err(SelectorError::Nn(NnError::ConfigMismatch(format!(
+                "selector fingerprint {fingerprint:#018x} does not match its network \
+                 ({derived:#018x})"
+            ))));
+        }
+        Ok(sel)
     }
 }
+
+/// Envelope kind tag for persisted [`FormatSelector`]s.
+pub const KIND_SELECTOR: &str = "format-selector";
 
 #[cfg(test)]
 mod tests {
@@ -234,7 +320,7 @@ mod tests {
                 lr: 2e-3,
                 optimizer: OptimizerKind::adam(),
                 seed: 13,
-                freeze_towers: false,
+                ..TrainConfig::default()
             },
             ..SelectorConfig::default()
         }
@@ -330,6 +416,59 @@ mod tests {
         for m in data.matrices.iter().take(5) {
             assert_eq!(back.predict(m), sel.predict(m));
         }
+    }
+
+    #[test]
+    fn corrupted_and_mismatched_selector_files_error_cleanly() {
+        use dnnspmv_nn::NnError;
+
+        let data = small_dataset();
+        let platform = PlatformModel::intel_cpu();
+        let (sel, _) = FormatSelector::train_on_platform(&data.matrices, &platform, &test_config());
+        let dir = std::env::temp_dir().join("dnnspmv_core_robust");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("selector.json");
+        sel.save(&p).unwrap();
+        let text = std::fs::read_to_string(&p).unwrap();
+
+        // Truncated file: parse error, not a panic.
+        std::fs::write(&p, &text[..text.len() / 3]).unwrap();
+        let err = FormatSelector::load(&p).unwrap_err();
+        assert!(matches!(err, SelectorError::Nn(NnError::Serde(_))), "{err}");
+
+        // Flipped payload byte: checksum failure.
+        let mangled = text.replacen("formats", "f0rmats", 1);
+        assert_ne!(mangled, text);
+        std::fs::write(&p, &mangled).unwrap();
+        let err = FormatSelector::load(&p).unwrap_err();
+        assert!(
+            matches!(err, SelectorError::Nn(NnError::ChecksumMismatch { .. })),
+            "{err}"
+        );
+
+        // Structurally inconsistent selector (format set grown past the
+        // network's output dimension), saved with a *valid* envelope:
+        // only load-time validation can reject it.
+        let mut broken = sel.clone();
+        broken.formats.push(SparseFormat::Csr);
+        broken.save(&p).unwrap();
+        let err = FormatSelector::load(&p).unwrap_err();
+        assert!(matches!(err, SelectorError::Invalid(_)), "{err}");
+
+        // Declared channel count mangled inside the network.
+        let mut broken = sel.clone();
+        broken.net.num_channels = 17;
+        broken.save(&p).unwrap();
+        let err = FormatSelector::load(&p).unwrap_err();
+        assert!(
+            matches!(err, SelectorError::Nn(NnError::InvalidModel(_))),
+            "{err}"
+        );
+
+        // The pristine artefact still loads after all that.
+        sel.save(&p).unwrap();
+        assert!(FormatSelector::load(&p).is_ok());
+        std::fs::remove_file(&p).ok();
     }
 
     #[test]

@@ -1,0 +1,325 @@
+//! Graceful-degradation inference: CNN → decision tree → static CSR.
+//!
+//! A deployed selector sits on the hot path of someone else's solver,
+//! so a bad model file or a pathological input must never take the
+//! host down — at worst the caller gets CSR, the format every library
+//! supports. [`SelectorService`] wraps the CNN selector with a
+//! fallback ladder:
+//!
+//! 1. **CNN** — used when its probabilities are finite and the top
+//!    class clears the confidence threshold. Panics inside the network
+//!    (defence in depth; load-time validation should make them
+//!    unreachable) are caught and demoted to a fallback.
+//! 2. **Decision tree** — the SMAT-style baseline, structurally
+//!    simpler and independent of the CNN artefact.
+//! 3. **Static default** — CSR unless configured otherwise.
+//!
+//! Every decision increments an observable counter
+//! ([`SelectorService::report`]), so a deployment that silently
+//! degrades to CSR shows up in monitoring instead of in a performance
+//! regression hunt.
+
+use crate::baseline::DtSelector;
+use crate::error::SelectorError;
+use crate::selector::FormatSelector;
+use dnnspmv_sparse::{CooMatrix, Scalar, SparseFormat};
+use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which rung of the ladder produced a [`Selection`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SelectionSource {
+    /// The CNN selector answered with confidence.
+    Cnn,
+    /// The decision-tree baseline answered.
+    Tree,
+    /// The static default format.
+    Default,
+}
+
+/// One format decision, with provenance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Selection {
+    /// The chosen storage format.
+    pub format: SparseFormat,
+    /// Which predictor chose it.
+    pub source: SelectionSource,
+    /// Top-class probability when the CNN answered, `None` otherwise.
+    pub confidence: Option<f32>,
+}
+
+/// Monotonic counters describing what the ladder has been doing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct ServiceReport {
+    /// CNN answered.
+    pub cnn_ok: u64,
+    /// CNN panicked and was demoted (defence in depth).
+    pub cnn_panic: u64,
+    /// CNN produced NaN/Inf probabilities.
+    pub cnn_nonfinite: u64,
+    /// CNN's top class fell below the confidence threshold.
+    pub cnn_low_confidence: u64,
+    /// Decision tree answered.
+    pub tree_ok: u64,
+    /// Decision tree panicked and was demoted.
+    pub tree_panic: u64,
+    /// The static default format was used.
+    pub default_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    cnn_ok: AtomicU64,
+    cnn_panic: AtomicU64,
+    cnn_nonfinite: AtomicU64,
+    cnn_low_confidence: AtomicU64,
+    tree_ok: AtomicU64,
+    tree_panic: AtomicU64,
+    default_used: AtomicU64,
+}
+
+/// Fault-tolerant format-selection front end (see module docs).
+#[derive(Debug)]
+pub struct SelectorService {
+    cnn: Option<FormatSelector>,
+    tree: Option<DtSelector>,
+    default_format: SparseFormat,
+    confidence_threshold: f32,
+    counters: Counters,
+}
+
+impl SelectorService {
+    /// Builds a service over an optional CNN selector and an optional
+    /// tree baseline. Both are validated up front — a service never
+    /// holds a predictor that load-time checks would reject.
+    pub fn new(
+        cnn: Option<FormatSelector>,
+        tree: Option<DtSelector>,
+    ) -> Result<Self, SelectorError> {
+        if let Some(c) = &cnn {
+            c.validate()?;
+        }
+        if let Some(t) = &tree {
+            t.validate()?;
+        }
+        Ok(Self {
+            cnn,
+            tree,
+            default_format: SparseFormat::Csr,
+            confidence_threshold: 0.0,
+            counters: Counters::default(),
+        })
+    }
+
+    /// Requires the CNN's top-class probability to reach `t` before its
+    /// answer is trusted (default 0: any finite answer is accepted).
+    pub fn with_confidence_threshold(mut self, t: f32) -> Self {
+        self.confidence_threshold = t;
+        self
+    }
+
+    /// Replaces the static fallback format (default CSR).
+    pub fn with_default_format(mut self, f: SparseFormat) -> Self {
+        self.default_format = f;
+        self
+    }
+
+    /// The static fallback format.
+    pub fn default_format(&self) -> SparseFormat {
+        self.default_format
+    }
+
+    /// Picks a storage format for `matrix`, degrading down the ladder
+    /// as needed. Total: never panics, always returns a format.
+    pub fn select<S: Scalar>(&self, matrix: &CooMatrix<S>) -> Selection {
+        if let Some(cnn) = &self.cnn {
+            match catch_unwind(AssertUnwindSafe(|| cnn.predict_proba(matrix))) {
+                Err(_) => {
+                    self.counters.cnn_panic.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(probs) if probs.iter().any(|p| !p.is_finite()) => {
+                    self.counters.cnn_nonfinite.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(probs) => {
+                    let (best, &p) = probs
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                        .expect("validated selector has a non-empty class set");
+                    if p < self.confidence_threshold {
+                        self.counters
+                            .cnn_low_confidence
+                            .fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        self.counters.cnn_ok.fetch_add(1, Ordering::Relaxed);
+                        return Selection {
+                            format: cnn.formats[best],
+                            source: SelectionSource::Cnn,
+                            confidence: Some(p),
+                        };
+                    }
+                }
+            }
+        }
+        if let Some(tree) = &self.tree {
+            match catch_unwind(AssertUnwindSafe(|| tree.predict(matrix))) {
+                Ok(format) => {
+                    self.counters.tree_ok.fetch_add(1, Ordering::Relaxed);
+                    return Selection {
+                        format,
+                        source: SelectionSource::Tree,
+                        confidence: None,
+                    };
+                }
+                Err(_) => {
+                    self.counters.tree_panic.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        self.counters.default_used.fetch_add(1, Ordering::Relaxed);
+        Selection {
+            format: self.default_format,
+            source: SelectionSource::Default,
+            confidence: None,
+        }
+    }
+
+    /// Snapshot of the fallback counters.
+    pub fn report(&self) -> ServiceReport {
+        ServiceReport {
+            cnn_ok: self.counters.cnn_ok.load(Ordering::Relaxed),
+            cnn_panic: self.counters.cnn_panic.load(Ordering::Relaxed),
+            cnn_nonfinite: self.counters.cnn_nonfinite.load(Ordering::Relaxed),
+            cnn_low_confidence: self.counters.cnn_low_confidence.load(Ordering::Relaxed),
+            tree_ok: self.counters.tree_ok.load(Ordering::Relaxed),
+            tree_panic: self.counters.tree_panic.load(Ordering::Relaxed),
+            default_used: self.counters.default_used.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selector::SelectorConfig;
+    use dnnspmv_gen::{Dataset, DatasetSpec};
+    use dnnspmv_nn::{CnnConfig, TrainConfig};
+    use dnnspmv_platform::{label_dataset, PlatformModel};
+    use dnnspmv_repr::{ReprConfig, ReprKind};
+
+    fn test_config() -> SelectorConfig {
+        SelectorConfig {
+            repr: ReprKind::Histogram,
+            repr_config: ReprConfig {
+                image_size: 32,
+                hist_rows: 32,
+                hist_bins: 16,
+            },
+            cnn: CnnConfig {
+                conv_channels: [4, 8, 8],
+                hidden: 16,
+                seed: 11,
+            },
+            train: TrainConfig {
+                epochs: 4,
+                batch_size: 16,
+                lr: 2e-3,
+                seed: 13,
+                ..TrainConfig::default()
+            },
+            ..SelectorConfig::default()
+        }
+    }
+
+    fn dataset() -> Dataset {
+        Dataset::generate(&DatasetSpec {
+            n_base: 60,
+            n_augmented: 0,
+            dim_min: 48,
+            dim_max: 160,
+            ..DatasetSpec::tiny(31)
+        })
+    }
+
+    fn trained_pair() -> (FormatSelector, DtSelector, Dataset) {
+        let data = dataset();
+        let platform = PlatformModel::intel_cpu();
+        let labels = label_dataset(&data.matrices, &platform);
+        let (cnn, _) = FormatSelector::train_with_labels(
+            &data.matrices,
+            &labels,
+            platform.formats().to_vec(),
+            &test_config(),
+        );
+        let dt = DtSelector::train(&data.matrices, &labels, platform.formats().to_vec());
+        (cnn, dt, data)
+    }
+
+    #[test]
+    fn healthy_service_answers_from_the_cnn() {
+        let (cnn, dt, data) = trained_pair();
+        let svc = SelectorService::new(Some(cnn), Some(dt)).unwrap();
+        for m in data.matrices.iter().take(8) {
+            let sel = svc.select(m);
+            assert_eq!(sel.source, SelectionSource::Cnn);
+            assert!(sel.confidence.unwrap() > 0.0);
+        }
+        let r = svc.report();
+        assert_eq!(r.cnn_ok, 8);
+        assert_eq!(
+            r.tree_ok + r.default_used + r.cnn_panic + r.cnn_nonfinite,
+            0
+        );
+    }
+
+    #[test]
+    fn poisoned_cnn_degrades_to_tree_then_counts_it() {
+        let (mut cnn, dt, data) = trained_pair();
+        // Blow up the head weights: logits overflow, softmax goes NaN.
+        for layer in &mut cnn.net.head.layers {
+            if let dnnspmv_nn::Layer::Dense(d) = layer {
+                for v in d.weight.data_mut() {
+                    *v = 1e30;
+                }
+            }
+        }
+        let svc = SelectorService::new(Some(cnn), Some(dt)).unwrap();
+        let sel = svc.select(&data.matrices[0]);
+        assert_eq!(sel.source, SelectionSource::Tree);
+        let r = svc.report();
+        assert_eq!(r.cnn_nonfinite, 1);
+        assert_eq!(r.tree_ok, 1);
+        assert_eq!(r.cnn_ok, 0);
+    }
+
+    #[test]
+    fn no_predictors_still_yields_the_default_format() {
+        let svc = SelectorService::new(None, None).unwrap();
+        let data = dataset();
+        let sel = svc.select(&data.matrices[0]);
+        assert_eq!(sel.source, SelectionSource::Default);
+        assert_eq!(sel.format, SparseFormat::Csr);
+        assert_eq!(svc.report().default_used, 1);
+    }
+
+    #[test]
+    fn unreachable_confidence_threshold_falls_through() {
+        let (cnn, dt, data) = trained_pair();
+        let svc = SelectorService::new(Some(cnn), Some(dt))
+            .unwrap()
+            .with_confidence_threshold(1.1);
+        let sel = svc.select(&data.matrices[0]);
+        assert_eq!(sel.source, SelectionSource::Tree);
+        let r = svc.report();
+        assert_eq!(r.cnn_low_confidence, 1);
+        assert_eq!(r.tree_ok, 1);
+    }
+
+    #[test]
+    fn invalid_predictor_is_rejected_at_construction() {
+        let (mut cnn, _, _) = trained_pair();
+        cnn.formats.clear();
+        assert!(SelectorService::new(Some(cnn), None).is_err());
+    }
+}

@@ -1,0 +1,81 @@
+//! Typed errors for model persistence, checkpointing and training.
+//!
+//! Everything that can go wrong while reading an on-disk artefact —
+//! I/O failures, malformed JSON, envelope/version mismatches, corrupted
+//! payloads, structurally invalid networks — maps to a [`NnError`]
+//! variant so callers can branch on the failure class instead of
+//! string-matching, and so no panic is reachable from file contents.
+
+use std::fmt;
+
+/// Why a model, checkpoint or training run failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NnError {
+    /// Underlying I/O failure (open/read/write/rename).
+    Io(String),
+    /// JSON (de)serialisation failure.
+    Serde(String),
+    /// The artefact's envelope declares an unsupported format version.
+    FormatVersion {
+        /// Version found in the file.
+        found: u32,
+        /// Highest version this build understands.
+        supported: u32,
+    },
+    /// The envelope holds a different kind of artefact than requested
+    /// (e.g. a checkpoint passed where a model was expected).
+    WrongKind {
+        /// Kind tag found in the file.
+        found: String,
+        /// Kind tag the caller expected.
+        expected: String,
+    },
+    /// The payload bytes do not hash to the stored checksum — the file
+    /// was truncated or corrupted after writing.
+    ChecksumMismatch {
+        /// Checksum recorded in the envelope.
+        stored: u64,
+        /// Checksum recomputed over the payload.
+        computed: u64,
+    },
+    /// The artefact belongs to a different configuration (fingerprint
+    /// mismatch) — e.g. resuming a checkpoint under changed
+    /// hyper-parameters or a different dataset size.
+    ConfigMismatch(String),
+    /// The deserialised value is structurally inconsistent (tensor
+    /// shape/data mismatch, impossible layer chain, wrong head width).
+    InvalidModel(String),
+    /// Training diverged and exhausted its rollback budget.
+    Diverged(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Io(m) => write!(f, "i/o error: {m}"),
+            NnError::Serde(m) => write!(f, "deserialise: {m}"),
+            NnError::FormatVersion { found, supported } => write!(
+                f,
+                "unsupported format version {found} (this build supports <= {supported})"
+            ),
+            NnError::WrongKind { found, expected } => {
+                write!(f, "artefact kind '{found}' where '{expected}' was expected")
+            }
+            NnError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "payload checksum mismatch (stored {stored:#018x}, computed {computed:#018x})"
+            ),
+            NnError::ConfigMismatch(m) => write!(f, "configuration mismatch: {m}"),
+            NnError::InvalidModel(m) => write!(f, "invalid model: {m}"),
+            NnError::Diverged(m) => write!(f, "training diverged: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {}
+
+impl From<std::io::Error> for NnError {
+    fn from(e: std::io::Error) -> Self {
+        NnError::Io(e.to_string())
+    }
+}

@@ -1111,6 +1111,119 @@ impl Layer {
         }
     }
 
+    /// Non-panicking [`Self::out_shape`]: propagates a shape through
+    /// the layer, reporting malformed chains (wrong rank, channel
+    /// mismatches, kernels larger than their padded input, zero
+    /// strides) as `Err` instead of panicking. This is what
+    /// [`crate::network::Cnn::validate`] walks after deserialising a
+    /// model, so the panics in the hot forward paths become
+    /// load-time errors.
+    pub fn try_out_shape(&self, in_shape: &[usize]) -> Result<Vec<usize>, String> {
+        match self {
+            Layer::Conv2d(l) => {
+                let [c, h, w] = *in_shape else {
+                    return Err(format!("Conv2d expects [c, h, w], got {in_shape:?}"));
+                };
+                if c != l.in_ch {
+                    return Err(format!(
+                        "Conv2d expects {} input channels, got {c}",
+                        l.in_ch
+                    ));
+                }
+                if l.stride == 0 {
+                    return Err("Conv2d stride must be >= 1".into());
+                }
+                if l.ksize == 0 {
+                    return Err("Conv2d kernel must be >= 1".into());
+                }
+                let span = |d: usize| {
+                    d.checked_add(2 * l.pad)
+                        .filter(|&p| p >= l.ksize)
+                        .map(|p| (p - l.ksize) / l.stride + 1)
+                };
+                match (span(h), span(w)) {
+                    (Some(oh), Some(ow)) => Ok(vec![l.out_ch, oh, ow]),
+                    _ => Err(format!(
+                        "Conv2d kernel {k}x{k} does not fit a {h}x{w} input with padding {p}",
+                        k = l.ksize,
+                        p = l.pad
+                    )),
+                }
+            }
+            Layer::MaxPool2d(l) => {
+                let [c, h, w] = *in_shape else {
+                    return Err(format!("MaxPool2d expects [c, h, w], got {in_shape:?}"));
+                };
+                if l.size == 0 {
+                    return Err("MaxPool2d window must be >= 1".into());
+                }
+                let (oh, ow) = l.out_hw(h, w);
+                Ok(vec![c, oh, ow])
+            }
+            Layer::Relu => Ok(in_shape.to_vec()),
+            Layer::Flatten => {
+                let mut vol = 1usize;
+                for &d in in_shape {
+                    vol = vol
+                        .checked_mul(d)
+                        .ok_or_else(|| format!("Flatten volume overflows on {in_shape:?}"))?;
+                }
+                Ok(vec![vol])
+            }
+            Layer::Dense(l) => {
+                let vol: usize = in_shape.iter().product();
+                if vol != l.in_dim {
+                    return Err(format!(
+                        "Dense expects input width {}, got {vol} (shape {in_shape:?})",
+                        l.in_dim
+                    ));
+                }
+                Ok(vec![l.out_dim])
+            }
+        }
+    }
+
+    /// Checks the layer's own parameter tensors: shape metadata
+    /// consistent with the buffers, declared dimensions matching the
+    /// weight shapes, and every value finite. Complements
+    /// [`Self::try_out_shape`] (which checks how layers chain).
+    pub fn validate_params(&self) -> Result<(), String> {
+        let check = |name: &str, t: &Tensor, want: &[usize]| -> Result<(), String> {
+            if !t.is_consistent() {
+                return Err(format!(
+                    "{name} tensor shape {:?} does not match its {} data elements",
+                    t.shape(),
+                    t.len()
+                ));
+            }
+            if t.shape() != want {
+                return Err(format!(
+                    "{name} tensor has shape {:?}, expected {want:?}",
+                    t.shape()
+                ));
+            }
+            if !t.is_finite() {
+                return Err(format!("{name} tensor holds non-finite values"));
+            }
+            Ok(())
+        };
+        match self {
+            Layer::Conv2d(l) => {
+                check(
+                    "Conv2d weight",
+                    &l.weight,
+                    &[l.out_ch, l.in_ch, l.ksize, l.ksize],
+                )?;
+                check("Conv2d bias", &l.bias, &[l.out_ch])
+            }
+            Layer::Dense(l) => {
+                check("Dense weight", &l.weight, &[l.out_dim, l.in_dim])?;
+                check("Dense bias", &l.bias, &[l.out_dim])
+            }
+            _ => Ok(()),
+        }
+    }
+
     /// Human-readable description (used by `repro fig10`).
     pub fn describe(&self) -> String {
         match self {

@@ -23,8 +23,14 @@
 //!   the loss curves plotted in Figure 11.
 //! * [`transfer`] — the cross-architecture migration strategies of
 //!   Section 6 (continuous evolvement / top evolvement / from scratch).
-//! * [`serialize`] — JSON model persistence.
+//! * [`serialize`] — versioned, checksummed, atomically-written JSON
+//!   persistence with load-time structural validation.
+//! * [`checkpoint`], [`error`] — crash-safe epoch-boundary training
+//!   checkpoints and the typed error they (and every other persistence
+//!   path) surface failures through.
 
+pub mod checkpoint;
+pub mod error;
 pub mod gemm;
 pub mod layers;
 pub mod loss;
@@ -36,13 +42,16 @@ pub mod tensor;
 pub mod train;
 pub mod transfer;
 
+pub use checkpoint::{checkpoint_path, load_checkpoint, save_checkpoint, TrainCheckpoint};
+pub use error::NnError;
 pub use layers::Layer;
 pub use network::{Cnn, CnnBatchCache, CnnGrads, Sample, Sequential};
 pub use optimizer::{Optimizer, OptimizerKind};
 pub use structures::{build_cnn, describe_structure, CnnConfig, Merging};
 pub use tensor::Tensor;
 pub use train::{
-    evaluate, train, train_reference, train_step, train_step_reference, BatchTrainState,
-    StepTimeStats, TrainConfig, TrainReport,
+    evaluate, train, train_reference, train_step, train_step_reference, train_with_hooks,
+    BatchTrainState, DivergenceConfig, RecoveryStats, StepTimeStats, TrainConfig, TrainHooks,
+    TrainReport,
 };
 pub use transfer::{migrate, Migration};

@@ -637,6 +637,22 @@ impl CnnGrads {
         clear_seq(&mut self.head);
     }
 
+    /// Global L2 norm over every gradient tensor, accumulated in f64.
+    ///
+    /// Non-finite gradients propagate: any NaN yields NaN, any ±Inf
+    /// yields +Inf — so a single `!norm.is_finite()` check covers the
+    /// divergence guard's whole "poisoned gradient" class.
+    pub fn global_norm(&self) -> f64 {
+        let mut acc = 0.0f64;
+        for t in self.flat() {
+            for &v in t.data() {
+                let v = v as f64;
+                acc += v * v;
+            }
+        }
+        acc.sqrt()
+    }
+
     /// Flat view of every gradient tensor, tower layers first then head
     /// (the order [`Cnn::params_mut_flat`] uses).
     pub fn flat(&self) -> Vec<&Tensor> {
@@ -964,6 +980,86 @@ impl Cnn {
     pub fn predict(&self, channels: &[Tensor]) -> usize {
         let logits = self.forward(channels);
         argmax(logits.data())
+    }
+
+    /// Number of classes this network emits (the width of its output
+    /// vector), or `None` if the layer chain is malformed.
+    pub fn out_dim(&self) -> Option<usize> {
+        let shape = self.validated_out_shape().ok()?;
+        match shape.as_slice() {
+            [d] => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// Structural validation for deserialised networks.
+    ///
+    /// The forward paths assert their invariants (channel counts, tensor
+    /// shapes, layer ordering) with panics — fine for networks built by
+    /// [`crate::structures::build_cnn`], fatal for networks read from
+    /// disk. This walks every invariant those asserts rely on and
+    /// reports the first violation as `Err`, so `load_model` can reject
+    /// a corrupted or hand-mangled file up front and inference never
+    /// panics on artefact contents.
+    pub fn validate(&self) -> Result<(), String> {
+        self.validated_out_shape().map(|_| ())
+    }
+
+    /// Shared walk behind [`Self::validate`] / [`Self::out_dim`]:
+    /// checks every parameter tensor and propagates shapes through the
+    /// towers and head, returning the head's output shape.
+    fn validated_out_shape(&self) -> Result<Vec<usize>, String> {
+        let (h, w) = self.channel_shape;
+        if h == 0 || w == 0 {
+            return Err(format!("channel shape {h}x{w} has a zero extent"));
+        }
+        if self.num_channels == 0 {
+            return Err("network declares zero input channels".into());
+        }
+        let per_tower_c = if self.towers.len() == 1 {
+            self.num_channels
+        } else if self.towers.len() == self.num_channels {
+            1
+        } else {
+            return Err(format!(
+                "{} towers cannot consume {} channels",
+                self.towers.len(),
+                self.num_channels
+            ));
+        };
+        let mut feat_total = 0usize;
+        for (ti, tower) in self.towers.iter().enumerate() {
+            let mut shape = vec![per_tower_c, h, w];
+            for (li, layer) in tower.layers.iter().enumerate() {
+                layer
+                    .validate_params()
+                    .map_err(|e| format!("tower {ti} layer {li}: {e}"))?;
+                shape = layer
+                    .try_out_shape(&shape)
+                    .map_err(|e| format!("tower {ti} layer {li}: {e}"))?;
+            }
+            // The merge flattens each tower's output; any shape concats.
+            feat_total += shape.iter().product::<usize>();
+        }
+        let mut shape = vec![feat_total];
+        for (li, layer) in self.head.layers.iter().enumerate() {
+            layer
+                .validate_params()
+                .map_err(|e| format!("head layer {li}: {e}"))?;
+            if matches!(layer, Layer::Conv2d(_) | Layer::MaxPool2d(_)) {
+                return Err(format!(
+                    "head layer {li}: image layer {} after the flatten boundary",
+                    layer.describe()
+                ));
+            }
+            shape = layer
+                .try_out_shape(&shape)
+                .map_err(|e| format!("head layer {li}: {e}"))?;
+        }
+        match shape.as_slice() {
+            [d] if *d > 0 => Ok(shape),
+            _ => Err(format!("head output shape {shape:?} is not a class vector")),
+        }
     }
 }
 

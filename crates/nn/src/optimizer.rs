@@ -41,7 +41,11 @@ impl OptimizerKind {
 }
 
 /// Stateful optimiser bound to one network's parameter layout.
-#[derive(Debug, Clone)]
+///
+/// Serialisable so checkpoints capture the full training state: the
+/// moment buffers and step counter resume bit-for-bit, keeping a
+/// resumed run's loss history identical to an uninterrupted one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Optimizer {
     kind: OptimizerKind,
     lr: f32,

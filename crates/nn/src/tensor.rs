@@ -45,6 +45,35 @@ impl Tensor {
         &self.shape
     }
 
+    /// Whether the data length matches the shape's volume.
+    ///
+    /// Construction through [`Tensor::from_vec`] guarantees this, but
+    /// serde's derived `Deserialize` rebuilds the fields verbatim — a
+    /// hand-edited or corrupted JSON file can declare any shape next to
+    /// any buffer. Validation passes call this before the strided
+    /// kernels (which index by shape) ever touch the data. The volume
+    /// is computed with checked multiplication so absurd shapes from
+    /// hostile files read as inconsistent rather than wrapping around.
+    pub fn is_consistent(&self) -> bool {
+        let mut vol = 1usize;
+        for &d in &self.shape {
+            match vol.checked_mul(d) {
+                Some(v) => vol = v,
+                None => return false,
+            }
+        }
+        vol == self.data.len()
+    }
+
+    /// Whether every element is finite (no NaN/Inf).
+    ///
+    /// serde_json writes non-finite floats as `null` and reads them
+    /// back as NaN, and out-of-range literals (`1e40`) overflow to
+    /// infinity — so a round trip cannot be assumed finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
     /// Total number of elements.
     #[inline]
     pub fn len(&self) -> usize {

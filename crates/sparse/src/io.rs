@@ -126,11 +126,19 @@ pub fn read_matrix_market<S: Scalar, R: Read>(reader: R) -> Result<CooMatrix<S>,
     let nnz = parse_dim(dims[2], lineno)?;
 
     let mut b = CooBuilder::new(nrows, ncols)?;
-    b.reserve(if sym == Symmetry::General {
-        nnz
-    } else {
-        2 * nnz
-    });
+    // The declared nnz is untrusted input: a hostile size line could
+    // otherwise request an enormous (or, for symmetric files, an
+    // overflowing `2 * nnz`) up-front allocation before a single entry
+    // is parsed. Cap the hint; the builder still grows to any real size.
+    const RESERVE_CAP: usize = 1 << 22;
+    b.reserve(
+        if sym == Symmetry::General {
+            nnz
+        } else {
+            nnz.saturating_mul(2)
+        }
+        .min(RESERVE_CAP),
+    );
     let mut seen = 0usize;
     for l in lines {
         lineno += 1;
@@ -161,10 +169,21 @@ pub fn read_matrix_market<S: Scalar, R: Read>(reader: R) -> Result<CooMatrix<S>,
                     line: lineno,
                     message: "missing value".into(),
                 })?;
-                S::from_f64(vs.parse::<f64>().map_err(|_| SparseError::Parse {
+                let parsed = vs.parse::<f64>().map_err(|_| SparseError::Parse {
                     line: lineno,
                     message: format!("bad value '{vs}'"),
-                })?)
+                })?;
+                // `parse::<f64>` happily accepts "NaN"/"inf" (and
+                // overflows out-of-range literals to infinity); a
+                // non-finite entry would silently poison every SpMV
+                // and representation built from this matrix.
+                if !parsed.is_finite() {
+                    return Err(SparseError::Parse {
+                        line: lineno,
+                        message: format!("non-finite value '{vs}'"),
+                    });
+                }
+                S::from_f64(parsed)
             }
         };
         b.push(r - 1, c - 1, v)?;
@@ -292,6 +311,63 @@ mod tests {
         let src = "%%MatrixMarket matrix array real general\n2 2\n1.0\n";
         let e = read_matrix_market::<f64, _>(src.as_bytes()).unwrap_err();
         assert!(e.to_string().contains("coordinate"));
+    }
+
+    #[test]
+    fn rejects_empty_file_and_truncated_header() {
+        let e = read_matrix_market::<f64, _>("".as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("empty file"), "{e}");
+        // Header with too few tokens.
+        let e = read_matrix_market::<f64, _>("%%MatrixMarket matrix\n".as_bytes()).unwrap_err();
+        assert!(matches!(e, SparseError::Parse { line: 1, .. }), "{e}");
+        // Header but no size line.
+        let src = "%%MatrixMarket matrix coordinate real general\n% only comments\n";
+        let e = read_matrix_market::<f64, _>(src.as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("missing size line"), "{e}");
+    }
+
+    #[test]
+    fn rejects_out_of_range_indices() {
+        // Row index past the declared dimensions: typed error from the
+        // builder's bounds check, not a later panic.
+        let src = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        let e = read_matrix_market::<f64, _>(src.as_bytes()).unwrap_err();
+        assert!(matches!(e, SparseError::IndexOutOfBounds { .. }), "{e}");
+    }
+
+    #[test]
+    fn rejects_overflowing_index_literals() {
+        let src = "%%MatrixMarket matrix coordinate real general\n2 2 1\n\
+                   99999999999999999999999999 1 1.0\n";
+        let e = read_matrix_market::<f64, _>(src.as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("bad integer"), "{e}");
+    }
+
+    #[test]
+    fn rejects_non_numeric_and_non_finite_values() {
+        let src = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 abc\n";
+        let e = read_matrix_market::<f64, _>(src.as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("bad value"), "{e}");
+        for v in ["NaN", "inf", "-inf", "1e999"] {
+            let src = format!("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 {v}\n");
+            let e = read_matrix_market::<f64, _>(src.as_bytes()).unwrap_err();
+            assert!(e.to_string().contains("non-finite"), "{v}: {e}");
+        }
+    }
+
+    #[test]
+    fn hostile_nnz_declaration_does_not_preallocate() {
+        // usize::MAX entries declared; the reserve hint must be capped
+        // (and `2 * nnz` for symmetric files must not overflow). The
+        // parse still fails cleanly on the entry-count mismatch.
+        for sym in ["general", "symmetric"] {
+            let src = format!(
+                "%%MatrixMarket matrix coordinate real {sym}\n2 2 {}\n1 1 1.0\n",
+                usize::MAX
+            );
+            let e = read_matrix_market::<f64, _>(src.as_bytes()).unwrap_err();
+            assert!(e.to_string().contains("declared"), "{sym}: {e}");
+        }
     }
 
     #[test]

@@ -215,6 +215,66 @@ impl DecisionTree {
         hit as f64 / x.len() as f64
     }
 
+    /// Feature-row width this tree was trained on.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Number of classes this tree predicts over.
+    pub fn n_classes(&self) -> usize {
+        self.config.n_classes
+    }
+
+    /// Structural validation for trees rebuilt from serialized data.
+    ///
+    /// Training establishes these invariants by construction, but
+    /// serde's derived `Deserialize` rebuilds fields verbatim — a
+    /// corrupted or hand-edited file can hold split feature indices
+    /// past the row width (an out-of-bounds panic in [`Self::predict`])
+    /// or leaf classes past `n_classes`. Walks every node and reports
+    /// the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.config.n_classes == 0 {
+            return Err("tree declares zero classes".into());
+        }
+        fn walk(n: &Node, n_features: usize, n_classes: usize, depth: usize) -> Result<(), String> {
+            match n {
+                Node::Leaf { class, counts } => {
+                    if *class >= n_classes {
+                        return Err(format!(
+                            "leaf class {class} outside 0..{n_classes} (depth {depth})"
+                        ));
+                    }
+                    if counts.len() != n_classes {
+                        return Err(format!(
+                            "leaf histogram has {} bins, expected {n_classes} (depth {depth})",
+                            counts.len()
+                        ));
+                    }
+                    Ok(())
+                }
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    if *feature >= n_features {
+                        return Err(format!(
+                            "split on feature {feature} but rows have {n_features} (depth {depth})"
+                        ));
+                    }
+                    if !threshold.is_finite() {
+                        return Err(format!("non-finite split threshold at depth {depth}"));
+                    }
+                    walk(left, n_features, n_classes, depth + 1)?;
+                    walk(right, n_features, n_classes, depth + 1)
+                }
+            }
+        }
+        walk(&self.root, self.n_features, self.config.n_classes, 0)
+    }
+
     /// Number of decision nodes plus leaves.
     pub fn node_count(&self) -> usize {
         fn walk(n: &Node) -> usize {
@@ -358,6 +418,47 @@ mod tests {
     fn wrong_width_prediction_panics() {
         let t = DecisionTree::train(&[vec![0.0], vec![1.0]], &[0, 1], TreeConfig::new(2));
         let _ = t.predict(&[0.0, 1.0]);
+    }
+
+    #[test]
+    fn validate_accepts_trained_trees() {
+        let (x, y) = xor_data();
+        let t = DecisionTree::train(&x, &y, TreeConfig::new(2));
+        assert!(t.validate().is_ok());
+        assert_eq!(t.n_features(), 2);
+        assert_eq!(t.n_classes(), 2);
+    }
+
+    #[test]
+    fn validate_catches_out_of_range_split_feature() {
+        // Simulate a corrupted on-disk tree: deserialize a payload
+        // whose split feature indexes past the row width. Without
+        // validation, predict() would panic on the row access.
+        let (x, y) = xor_data();
+        let t = DecisionTree::train(&x, &y, TreeConfig::new(2));
+        let json = serde_json::to_string(&t).unwrap();
+        assert!(json.contains("\"feature\":0") || json.contains("\"feature\":1"));
+        let mangled = json.replacen("\"feature\":0", "\"feature\":9", 1).replacen(
+            "\"feature\":1",
+            "\"feature\":9",
+            1,
+        );
+        let bad: DecisionTree = serde_json::from_str(&mangled).unwrap();
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("feature 9"), "{err}");
+    }
+
+    #[test]
+    fn validate_catches_out_of_range_leaf_class() {
+        let x = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let y = vec![1, 1, 1];
+        let t = DecisionTree::train(&x, &y, TreeConfig::new(3));
+        let json = serde_json::to_string(&t).unwrap();
+        let mangled = json.replacen("\"class\":1", "\"class\":7", 1);
+        assert_ne!(mangled, json);
+        let bad: DecisionTree = serde_json::from_str(&mangled).unwrap();
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("class 7"), "{err}");
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! dnnspmv train   [--model FILE] [--matrices N] [--epochs N] [--platform intel|amd|gpu]
+//!                 [--checkpoint-dir DIR] [--resume FILE]
 //! dnnspmv test    [--model FILE] [--matrices N] [--platform intel|amd|gpu]
 //! dnnspmv predict <matrix.mtx> [--model FILE]
 //! dnnspmv stats   <matrix.mtx>
@@ -31,6 +32,8 @@ struct Options {
     epochs: usize,
     platform: PlatformModel,
     file: Option<String>,
+    checkpoint_dir: Option<String>,
+    resume: Option<String>,
 }
 
 fn parse_options(args: &[String]) -> Options {
@@ -40,6 +43,8 @@ fn parse_options(args: &[String]) -> Options {
         epochs: 14,
         platform: PlatformModel::intel_cpu(),
         file: None,
+        checkpoint_dir: None,
+        resume: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -59,6 +64,14 @@ fn parse_options(args: &[String]) -> Options {
                 o.epochs = need(args, i, "--epochs")
                     .parse()
                     .unwrap_or_else(|_| die("--epochs needs a number"));
+            }
+            "--checkpoint-dir" => {
+                i += 1;
+                o.checkpoint_dir = Some(need(args, i, "--checkpoint-dir"));
+            }
+            "--resume" => {
+                i += 1;
+                o.resume = Some(need(args, i, "--resume"));
             }
             "--platform" => {
                 i += 1;
@@ -90,7 +103,7 @@ fn die(msg: &str) -> ! {
     std::process::exit(2);
 }
 
-fn selector_config(epochs: usize) -> SelectorConfig {
+fn selector_config(o: &Options) -> SelectorConfig {
     SelectorConfig {
         repr_config: ReprConfig {
             image_size: 32,
@@ -98,7 +111,9 @@ fn selector_config(epochs: usize) -> SelectorConfig {
             hist_bins: 32,
         },
         train: TrainConfig {
-            epochs,
+            epochs: o.epochs,
+            checkpoint_dir: o.checkpoint_dir.clone(),
+            resume_from: o.resume.clone(),
             ..TrainConfig::default()
         },
         ..SelectorConfig::default()
@@ -124,13 +139,17 @@ fn cmd_train(o: &Options) {
     let data = dataset(o.matrices, 1);
     let t0 = std::time::Instant::now();
     let labels = label_dataset_noisy(&data.matrices, &o.platform, 0.05, 1);
-    let cfg = selector_config(o.epochs);
-    let (sel, report) = FormatSelector::train_with_labels(
+    let cfg = selector_config(o);
+    let (sel, report) = FormatSelector::try_train_with_labels(
         &data.matrices,
         &labels,
         o.platform.formats().to_vec(),
         &cfg,
-    );
+    )
+    .unwrap_or_else(|e| die(&format!("training: {e}")));
+    if let Some(epoch) = report.recovery.resumed_at_epoch {
+        println!("resumed from checkpoint at epoch {epoch}");
+    }
     let samples = make_samples(&data.matrices, &labels, cfg.repr, &cfg.repr_config);
     println!(
         "training accuracy: {:.3} ({} steps, {:.1}s)",
@@ -138,7 +157,8 @@ fn cmd_train(o: &Options) {
         report.loss_history.len(),
         t0.elapsed().as_secs_f64()
     );
-    sel.save(&o.model).unwrap_or_else(|e| die(&e));
+    sel.save(&o.model)
+        .unwrap_or_else(|e| die(&format!("saving {}: {e}", o.model)));
     println!("model saved to {}", o.model);
 }
 

@@ -2,10 +2,13 @@
 //! matrix generation through labelling, normalisation, training,
 //! prediction, and format application.
 
-use dnnspmv::core::{make_samples, DtSelector, FormatSelector, SelectorConfig};
+use dnnspmv::core::{
+    make_samples, DtSelector, FormatSelector, SelectionSource, SelectorConfig, SelectorError,
+    SelectorService,
+};
 use dnnspmv::gen::{kfold, Dataset, DatasetSpec};
 use dnnspmv::nn::transfer::Migration;
-use dnnspmv::nn::TrainConfig;
+use dnnspmv::nn::{checkpoint_path, train_with_hooks, NnError, TrainConfig, TrainHooks};
 use dnnspmv::platform::{label_dataset, label_dataset_noisy, PlatformModel};
 use dnnspmv::repr::{ReprConfig, ReprKind};
 use dnnspmv::sparse::{AnyMatrix, Scalar, SparseFormat, Spmv};
@@ -204,6 +207,147 @@ fn representations_flow_into_training_for_all_kinds() {
         assert_eq!(p.len(), 4, "{kind:?}");
         assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
     }
+}
+
+#[test]
+fn saved_selector_round_trips_and_corruption_is_a_typed_error() {
+    let data = small_dataset(23);
+    let intel = PlatformModel::intel_cpu();
+    let (sel, _) = FormatSelector::train_on_platform(&data.matrices, &intel, &small_config());
+    let path = std::env::temp_dir().join(format!("pipeline_sel_{}.json", std::process::id()));
+    let path_s = path.to_string_lossy().into_owned();
+    sel.save(&path_s).unwrap();
+
+    // A clean reload predicts identically.
+    let loaded = FormatSelector::load(&path_s).unwrap();
+    for m in data.matrices.iter().take(6) {
+        assert_eq!(loaded.predict(m), sel.predict(m));
+    }
+
+    // Truncation surfaces as a deserialisation error, not a panic.
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+    match FormatSelector::load(&path_s) {
+        Err(SelectorError::Nn(NnError::Serde(_))) => {}
+        other => panic!("truncated file: expected Serde error, got {other:?}"),
+    }
+
+    // A single flipped byte in the payload trips the checksum.
+    std::fs::write(&path, text.replacen("formats", "f0rmats", 1)).unwrap();
+    match FormatSelector::load(&path_s) {
+        Err(SelectorError::Nn(NnError::ChecksumMismatch { .. })) => {}
+        other => panic!("bit flip: expected ChecksumMismatch, got {other:?}"),
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn training_resumes_after_a_simulated_crash() {
+    let data = small_dataset(29);
+    let intel = PlatformModel::intel_cpu();
+    let labels = label_dataset(&data.matrices, &intel);
+    let cfg = small_config();
+    let samples = make_samples(&data.matrices, &labels, cfg.repr, &cfg.repr_config);
+    let shape = samples[0].channels[0].shape();
+    let build = || {
+        dnnspmv::nn::build_cnn(
+            cfg.merging,
+            samples[0].channels.len(),
+            (shape[0], shape[1]),
+            intel.formats().len(),
+            &cfg.cnn,
+        )
+    };
+    let dir = std::env::temp_dir().join(format!("pipeline_ckpt_{}", std::process::id()));
+    let train_cfg = TrainConfig {
+        epochs: 4,
+        checkpoint_dir: Some(dir.to_string_lossy().into_owned()),
+        ..cfg.train.clone()
+    };
+
+    // The uninterrupted run is the ground truth.
+    let mut full_net = build();
+    let full =
+        train_with_hooks(&mut full_net, &samples, &train_cfg, TrainHooks::default()).unwrap();
+
+    // "Crash" after epoch 2, then resume from the checkpoint on disk.
+    let mut killed = build();
+    train_with_hooks(
+        &mut killed,
+        &samples,
+        &train_cfg,
+        TrainHooks {
+            abort_after_epoch: Some(2),
+            ..TrainHooks::default()
+        },
+    )
+    .unwrap();
+    let mut resumed_net = build();
+    let resumed = train_with_hooks(
+        &mut resumed_net,
+        &samples,
+        &TrainConfig {
+            resume_from: Some(checkpoint_path(&dir).to_string_lossy().into_owned()),
+            ..train_cfg.clone()
+        },
+        TrainHooks::default(),
+    )
+    .unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(resumed.recovery.resumed_at_epoch, Some(2));
+    assert_eq!(full.loss_history.len(), resumed.loss_history.len());
+    for (a, b) in full.loss_history.iter().zip(&resumed.loss_history) {
+        assert!(
+            (a - b).abs() <= 1e-4,
+            "loss diverged after resume: {a} vs {b}"
+        );
+    }
+    assert_eq!(full_net, resumed_net, "resumed weights differ");
+}
+
+#[test]
+fn selector_service_degrades_cnn_to_tree_to_default() {
+    let data = small_dataset(31);
+    let intel = PlatformModel::intel_cpu();
+    let labels = label_dataset(&data.matrices, &intel);
+    let (cnn, _) = FormatSelector::train_with_labels(
+        &data.matrices,
+        &labels,
+        intel.formats().to_vec(),
+        &small_config(),
+    );
+    let dt = DtSelector::train(&data.matrices, &labels, intel.formats().to_vec());
+
+    // Rung 1: a healthy CNN answers.
+    let svc = SelectorService::new(Some(cnn.clone()), Some(dt.clone())).unwrap();
+    assert_eq!(svc.select(&data.matrices[0]).source, SelectionSource::Cnn);
+    assert_eq!(svc.report().cnn_ok, 1);
+
+    // Rung 2: a CNN with finite but absurd weights passes load-time
+    // validation, overflows at inference, and degrades to the tree.
+    let mut bad = cnn;
+    for layer in &mut bad.net.head.layers {
+        if let dnnspmv::nn::Layer::Dense(d) = layer {
+            for v in d.weight.data_mut() {
+                *v = 1e30;
+            }
+        }
+    }
+    let svc = SelectorService::new(Some(bad), Some(dt)).unwrap();
+    let sel = svc.select(&data.matrices[0]);
+    assert_eq!(sel.source, SelectionSource::Tree);
+    assert!(intel.formats().contains(&sel.format));
+    let r = svc.report();
+    assert_eq!(r.cnn_nonfinite, 1);
+    assert_eq!(r.tree_ok, 1);
+
+    // Rung 3: with no predictors at all, the static default holds.
+    let svc = SelectorService::new(None, None).unwrap();
+    let sel = svc.select(&data.matrices[0]);
+    assert_eq!(sel.source, SelectionSource::Default);
+    assert_eq!(sel.format, SparseFormat::Csr);
+    assert_eq!(svc.report().default_used, 1);
 }
 
 #[test]

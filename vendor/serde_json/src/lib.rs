@@ -317,13 +317,25 @@ impl<'a> Parser<'a> {
                     }
                 }
                 _ => {
-                    // Re-decode UTF-8 starting here (multi-byte chars).
+                    // Consume the whole run of plain characters up to the
+                    // next quote or escape and validate it as UTF-8 once.
+                    // (`"` and `\` are ASCII, so they never appear inside
+                    // a multi-byte sequence — the run can't split a char.)
+                    // Per-character re-validation of the remaining input
+                    // would be quadratic in the string length, which
+                    // matters for multi-megabyte envelope payloads.
                     let start = self.pos - 1;
-                    let s = std::str::from_utf8(&self.bytes[start..])
+                    let mut end = self.pos;
+                    while let Some(&c) = self.bytes.get(end) {
+                        if c == b'"' || c == b'\\' {
+                            break;
+                        }
+                        end += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..end])
                         .map_err(|_| Error::new("invalid utf-8 in string"))?;
-                    let ch = s.chars().next().unwrap();
-                    out.push(ch);
-                    self.pos = start + ch.len_utf8();
+                    out.push_str(s);
+                    self.pos = end;
                 }
             }
         }
