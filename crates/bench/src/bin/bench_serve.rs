@@ -1,0 +1,75 @@
+//! `bench_serve` — soak the admission-controlled selector server and
+//! write p50/p99 latency, shed rate, and breaker transitions to JSON.
+//!
+//! ```text
+//! bench_serve [--json FILE] [--clients N] [--requests N] [--workers N]
+//!             [--queue N] [--matrices N] [--epochs N]
+//! ```
+//!
+//! See [`dnnspmv_bench::serve`] for the phase structure. The default
+//! output file is `BENCH_serve.json`.
+
+use dnnspmv_bench::serve::{run_serve_bench, ServeBenchConfig};
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path = String::from("BENCH_serve.json");
+    let mut cfg = ServeBenchConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        let numeric = |args: &[String], i: usize, flag: &str| -> usize {
+            args.get(i)
+                .unwrap_or_else(|| panic!("{flag} needs a number"))
+                .parse()
+                .unwrap_or_else(|_| panic!("{flag} needs a number"))
+        };
+        match args[i].as_str() {
+            "--json" => {
+                i += 1;
+                json_path = args.get(i).expect("--json needs a path").clone();
+            }
+            "--clients" => {
+                i += 1;
+                cfg.clients = numeric(&args, i, "--clients");
+            }
+            "--requests" => {
+                i += 1;
+                cfg.requests_per_client = numeric(&args, i, "--requests");
+            }
+            "--workers" => {
+                i += 1;
+                cfg.workers = numeric(&args, i, "--workers");
+            }
+            "--queue" => {
+                i += 1;
+                cfg.queue_capacity = numeric(&args, i, "--queue");
+            }
+            "--matrices" => {
+                i += 1;
+                cfg.matrices = numeric(&args, i, "--matrices");
+            }
+            "--epochs" => {
+                i += 1;
+                cfg.epochs = numeric(&args, i, "--epochs");
+            }
+            other => {
+                eprintln!(
+                    "usage: bench_serve [--json FILE] [--clients N] [--requests N] \
+                     [--workers N] [--queue N] [--matrices N] [--epochs N]"
+                );
+                panic!("unknown flag '{other}'");
+            }
+        }
+        i += 1;
+    }
+
+    let report = run_serve_bench(&cfg);
+    eprint!("{}", report.render());
+    let json = serde_json::to_string(&report).expect("serialisable report");
+    println!("{json}");
+    let mut f = std::fs::File::create(&json_path).expect("writable json path");
+    f.write_all(json.as_bytes()).expect("write json");
+    f.write_all(b"\n").expect("write json");
+    eprintln!("wrote {json_path}");
+}

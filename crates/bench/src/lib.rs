@@ -19,7 +19,11 @@
 //! | `labels`   | §7.1 sanity    | [`experiments::labels::LabelStats`] |
 //! | `sweep`    | §4 size remark | [`experiments::sweep::SweepResult`] |
 
+//! The `bench_serve` binary (also `dnnspmv serve-bench`) is the soak
+//! driver for the admission-controlled server: [`serve`].
+
 pub mod experiments;
+pub mod serve;
 
 use dnnspmv_core::SelectorConfig;
 use dnnspmv_gen::DatasetSpec;

@@ -1,0 +1,337 @@
+//! `serve-bench` — soak driver for the admission-controlled selector
+//! server.
+//!
+//! Trains a small CNN+tree ladder, then drives a [`SelectorServer`]
+//! through three phases with a pool of client threads:
+//!
+//! 1. **steady** — healthy CNN under sustained parallel load;
+//! 2. **fault** — an injected panic storm in the CNN rung (the breaker
+//!    trips, the tree keeps answering);
+//! 3. **recovery** — the fault clears, a half-open probe restores the
+//!    CNN, and a hot model reload swaps a new generation in mid-load.
+//!
+//! Per-phase p50/p99/max latency, the overall shed rate, and the
+//! breaker transition counts go to `BENCH_serve.json`.
+
+use dnnspmv_core::{
+    BreakerConfig, BreakerState, CnnFault, DtSelector, FormatSelector, SelectorServer,
+    SelectorService, ServeError, ServeHooks, ServerConfig, ServerReport,
+};
+use dnnspmv_gen::{Dataset, DatasetSpec};
+use dnnspmv_platform::{label_dataset, PlatformModel};
+use serde::Serialize;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Soak parameters.
+#[derive(Debug, Clone)]
+pub struct ServeBenchConfig {
+    /// Matrices in the synthetic training set.
+    pub matrices: usize,
+    /// Training epochs (the model's accuracy is irrelevant here; it
+    /// just has to be a real CNN doing real work per request).
+    pub epochs: usize,
+    /// Parallel client threads.
+    pub clients: usize,
+    /// Requests each client sends per phase.
+    pub requests_per_client: usize,
+    /// Server worker threads.
+    pub workers: usize,
+    /// Bounded queue capacity (small enough that bursts shed).
+    pub queue_capacity: usize,
+    /// Dataset / training seed.
+    pub seed: u64,
+}
+
+impl Default for ServeBenchConfig {
+    fn default() -> Self {
+        Self {
+            matrices: 100,
+            epochs: 2,
+            clients: 12,
+            requests_per_client: 60,
+            workers: 2,
+            // Deliberately smaller than the client pool so sustained
+            // load actually exercises the shedding path.
+            queue_capacity: 4,
+            seed: 41,
+        }
+    }
+}
+
+/// Latency digest for one phase.
+#[derive(Debug, Clone, Serialize)]
+pub struct PhaseStats {
+    /// Phase name (steady / fault / recovery).
+    pub phase: String,
+    /// Requests answered in this phase.
+    pub served: u64,
+    /// Requests shed in this phase.
+    pub shed: u64,
+    /// Median submit→answer latency, milliseconds (served only).
+    pub p50_ms: f64,
+    /// 99th percentile latency, milliseconds.
+    pub p99_ms: f64,
+    /// Worst latency, milliseconds.
+    pub max_ms: f64,
+}
+
+/// Machine-readable soak result (`BENCH_serve.json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeBenchReport {
+    /// Per-phase latency digests.
+    pub phases: Vec<PhaseStats>,
+    /// shed / submitted over the whole run.
+    pub shed_rate: f64,
+    /// Closed/half-open → open transitions (≥ 1: the fault tripped it).
+    pub breaker_to_open: u64,
+    /// Open → half-open transitions (probes issued).
+    pub breaker_to_half_open: u64,
+    /// Half-open → closed transitions (≥ 1: recovery happened).
+    pub breaker_to_closed: u64,
+    /// Successful hot reloads during the run.
+    pub reloads_ok: u64,
+    /// Whether every submission landed in exactly one terminal bucket.
+    pub accounting_exact: bool,
+    /// Full final server counters.
+    pub server: ServerReport,
+}
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * q).round() as usize;
+    sorted_ms[idx]
+}
+
+fn phase_stats(name: &str, latencies_ms: &mut [f64], shed: u64) -> PhaseStats {
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    PhaseStats {
+        phase: name.to_string(),
+        served: latencies_ms.len() as u64,
+        shed,
+        p50_ms: percentile(latencies_ms, 0.50),
+        p99_ms: percentile(latencies_ms, 0.99),
+        max_ms: latencies_ms.last().copied().unwrap_or(0.0),
+    }
+}
+
+/// One phase of parallel hammering; returns served latencies and the
+/// number of sheds observed by the clients.
+fn drive_phase(
+    server: &SelectorServer<f32>,
+    matrices: &[dnnspmv_sparse::CooMatrix<f32>],
+    clients: usize,
+    requests_per_client: usize,
+) -> (Vec<f64>, u64) {
+    let latencies = Mutex::new(Vec::new());
+    let shed = Mutex::new(0u64);
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let latencies = &latencies;
+            let shed = &shed;
+            scope.spawn(move || {
+                let mut mine = Vec::with_capacity(requests_per_client);
+                let mut my_shed = 0u64;
+                for r in 0..requests_per_client {
+                    let m = Arc::new(matrices[(c * 31 + r * 7) % matrices.len()].clone());
+                    let t0 = Instant::now();
+                    match server.submit(m, None).and_then(|p| p.wait()) {
+                        Ok(_) => mine.push(t0.elapsed().as_secs_f64() * 1e3),
+                        Err(ServeError::Overloaded { .. }) => my_shed += 1,
+                        Err(e) => panic!("soak: unexpected error {e}"),
+                    }
+                }
+                latencies.lock().unwrap().extend(mine);
+                *shed.lock().unwrap() += my_shed;
+            });
+        }
+    });
+    (latencies.into_inner().unwrap(), shed.into_inner().unwrap())
+}
+
+/// Runs the full three-phase soak and returns the report.
+pub fn run_serve_bench(cfg: &ServeBenchConfig) -> ServeBenchReport {
+    let data = Dataset::generate(&DatasetSpec {
+        n_base: (cfg.matrices * 8) / 10,
+        n_augmented: cfg.matrices - (cfg.matrices * 8) / 10,
+        dim_min: 48,
+        dim_max: 128,
+        seed: cfg.seed,
+        ..DatasetSpec::default()
+    });
+    let intel = PlatformModel::intel_cpu();
+    let labels = label_dataset(&data.matrices, &intel);
+    let sel_cfg = crate::ExpConfig::quick().selector_config(dnnspmv_repr::ReprKind::Histogram);
+    let sel_cfg = dnnspmv_core::SelectorConfig {
+        train: dnnspmv_nn::TrainConfig {
+            epochs: cfg.epochs,
+            ..sel_cfg.train
+        },
+        ..sel_cfg
+    };
+    let (cnn, _) = FormatSelector::train_with_labels(
+        &data.matrices,
+        &labels,
+        intel.formats().to_vec(),
+        &sel_cfg,
+    );
+    let dt = DtSelector::train(&data.matrices, &labels, intel.formats().to_vec());
+    let service = SelectorService::new(Some(cnn.clone()), Some(dt))
+        .expect("freshly trained predictors validate")
+        .with_confidence_threshold(0.0);
+
+    // Fault phase selector: 0 = healthy, 1 = panic storm.
+    let fault_phase = Arc::new(AtomicU8::new(0));
+    let fp = Arc::clone(&fault_phase);
+    let hooks = ServeHooks {
+        cnn_fault: Some(Arc::new(move |_seq| {
+            if fp.load(Ordering::SeqCst) == 1 {
+                CnnFault::Panic
+            } else {
+                CnnFault::None
+            }
+        })),
+    };
+    let server: SelectorServer<f32> = SelectorServer::with_parts(
+        service,
+        ServerConfig {
+            workers: cfg.workers,
+            queue_capacity: cfg.queue_capacity,
+            breaker: BreakerConfig {
+                failure_threshold: 3,
+                open_backoff: Duration::from_millis(5),
+                max_backoff: Duration::from_millis(50),
+            },
+            ..ServerConfig::default()
+        },
+        hooks,
+        dnnspmv_core::system_clock(),
+    );
+
+    let mut phases = Vec::new();
+
+    // Phase 1: steady healthy load.
+    let (mut lat, shed) = drive_phase(
+        &server,
+        &data.matrices,
+        cfg.clients,
+        cfg.requests_per_client,
+    );
+    phases.push(phase_stats("steady", &mut lat, shed));
+
+    // Phase 2: panic storm — the tree must keep answering.
+    fault_phase.store(1, Ordering::SeqCst);
+    let (mut lat, shed) = drive_phase(
+        &server,
+        &data.matrices,
+        cfg.clients,
+        cfg.requests_per_client,
+    );
+    phases.push(phase_stats("fault", &mut lat, shed));
+
+    // Phase 3: fault clears; a hot reload swaps a new generation in
+    // mid-load, and the half-open probe restores the CNN.
+    fault_phase.store(0, Ordering::SeqCst);
+    let dir = std::env::temp_dir().join(format!("bench_serve_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let model_path = dir.join("model.json");
+    cnn.save(model_path.to_string_lossy().as_ref())
+        .expect("save soak model");
+    server.reload_model(&model_path).expect("hot reload");
+    let (mut lat, shed) = drive_phase(
+        &server,
+        &data.matrices,
+        cfg.clients,
+        cfg.requests_per_client,
+    );
+    phases.push(phase_stats("recovery", &mut lat, shed));
+    // Trickle requests until the half-open probe has closed the
+    // breaker (bounded: the backoff cap is 50 ms).
+    let give_up = Instant::now() + Duration::from_secs(10);
+    while server.report().breaker.state != BreakerState::Closed && Instant::now() < give_up {
+        let m = Arc::new(data.matrices[0].clone());
+        let _ = server.submit(m, None).and_then(|p| p.wait());
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let report = server.report();
+    ServeBenchReport {
+        phases,
+        shed_rate: report.shed as f64 / report.submitted.max(1) as f64,
+        breaker_to_open: report.breaker.to_open,
+        breaker_to_half_open: report.breaker.to_half_open,
+        breaker_to_closed: report.breaker.to_closed,
+        reloads_ok: report.reloads_ok,
+        accounting_exact: report.accounted() == report.submitted,
+        server: report,
+    }
+}
+
+impl ServeBenchReport {
+    /// The report as a JSON line.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("serialisable report")
+    }
+
+    /// Writes the JSON line to `path`.
+    pub fn write_json(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, format!("{}\n", self.to_json()))
+    }
+
+    /// Human-readable summary (stderr companion to the JSON).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for p in &self.phases {
+            out.push_str(&format!(
+                "{:>9}: served {:>5}, shed {:>4}, p50 {:>7.2} ms, p99 {:>7.2} ms, max {:>7.2} ms\n",
+                p.phase, p.served, p.shed, p.p50_ms, p.p99_ms, p.max_ms
+            ));
+        }
+        out.push_str(&format!(
+            "shed rate {:.3}; breaker open/half-open/closed = {}/{}/{}; reloads {}; accounting {}\n",
+            self.shed_rate,
+            self.breaker_to_open,
+            self.breaker_to_half_open,
+            self.breaker_to_closed,
+            self.reloads_ok,
+            if self.accounting_exact { "exact" } else { "LOST REQUESTS" }
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_handles_small_and_empty_inputs() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[3.0], 0.99), 3.0);
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 4.0);
+    }
+
+    #[test]
+    fn tiny_soak_trips_and_recovers() {
+        let r = run_serve_bench(&ServeBenchConfig {
+            matrices: 40,
+            epochs: 1,
+            clients: 4,
+            requests_per_client: 12,
+            workers: 2,
+            queue_capacity: 8,
+            seed: 7,
+        });
+        assert_eq!(r.phases.len(), 3);
+        assert!(r.breaker_to_open >= 1, "fault phase must trip: {r:?}");
+        assert!(r.breaker_to_closed >= 1, "recovery must close: {r:?}");
+        assert_eq!(r.reloads_ok, 1);
+        assert!(r.accounting_exact, "{r:?}");
+    }
+}

@@ -21,14 +21,27 @@
 //! observable fallback counters, and all persistence goes through
 //! validated, checksummed envelopes surfacing [`SelectorError`].
 
+//! [`SelectorServer`] adds the serving layer on top: bounded-queue
+//! admission control, per-request deadlines with cooperative
+//! cancellation, a circuit breaker demoting a misbehaving CNN to the
+//! tree rung, and validated hot model reload.
+
 pub mod baseline;
 pub mod error;
 pub mod samples;
 pub mod selector;
+pub mod server;
 pub mod service;
 
 pub use baseline::DtSelector;
 pub use error::SelectorError;
 pub use samples::make_samples;
 pub use selector::{FormatSelector, SelectorConfig};
-pub use service::{Selection, SelectionSource, SelectorService, ServiceReport};
+pub use server::{
+    load_selector_with_retry, system_clock, BreakerConfig, BreakerSnapshot, BreakerState, ClockFn,
+    PendingSelection, SelectorServer, ServeError, ServeHooks, ServerConfig, ServerReport,
+};
+pub use service::{
+    CnnFault, CnnRungOutcome, GuardedSelection, SelectGuard, Selection, SelectionSource,
+    SelectorService, ServiceReport,
+};

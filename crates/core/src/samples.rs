@@ -21,6 +21,27 @@ pub fn make_channels<S: Scalar>(
         .collect()
 }
 
+/// [`make_channels`] with a cooperative-cancellation checkpoint
+/// threaded into the extraction loops; `None` once `cancel` reports
+/// `true`.
+pub fn make_channels_with_cancel<S: Scalar>(
+    matrix: &CooMatrix<S>,
+    kind: ReprKind,
+    cfg: &ReprConfig,
+    cancel: &dyn Fn() -> bool,
+) -> Option<Vec<Tensor>> {
+    Some(
+        MatrixRepr::extract_with_cancel(matrix, kind, cfg, cancel)?
+            .channels
+            .into_iter()
+            .map(|im| {
+                let (h, w) = (im.height(), im.width());
+                Tensor::from_vec(&[h, w], im.into_vec())
+            })
+            .collect(),
+    )
+}
+
 /// Converts matrices plus labels to training samples, in parallel.
 ///
 /// # Panics

@@ -1,0 +1,953 @@
+//! Admission-controlled concurrent serving layer over [`SelectorService`].
+//!
+//! A selector embedded in someone else's solver library faces traffic it
+//! does not control: bursts beyond its capacity, pathological matrices
+//! that make extraction slow, and model artefacts replaced while
+//! requests are in flight. [`SelectorServer`] turns the single-shot
+//! degradation ladder of [`SelectorService`] into a service that stays
+//! predictable under all three:
+//!
+//! * **Admission control** — a bounded queue feeding a fixed worker
+//!   pool. When the queue is full, new requests are shed immediately
+//!   with [`ServeError::Overloaded`] instead of queueing unboundedly
+//!   and collapsing latency for everyone.
+//! * **Deadlines** — each request may carry a deadline; cooperative
+//!   cancellation checkpoints threaded through representation
+//!   extraction and the CNN forward pass abandon the work as soon as
+//!   the deadline passes ([`ServeError::DeadlineExceeded`]).
+//! * **Circuit breaker** — sustained CNN failures (panics, timeouts,
+//!   non-finite outputs) trip the breaker: traffic is demoted to the
+//!   tree rung while open, a single probe request re-tests the CNN
+//!   after an exponentially growing backoff, and a successful probe
+//!   closes the breaker again.
+//! * **Hot reload** — [`SelectorServer::reload_model`] loads and
+//!   validates a new artefact off the hot path (PR 3's envelope
+//!   checks), atomically swaps it in on success, and keeps serving the
+//!   old model with a typed error on failure. Transient read errors are
+//!   retried with backoff; corrupt artefacts are not.
+//!
+//! Time is injected ([`ClockFn`]), and [`ServeHooks`] can inject CNN
+//! faults per request, so every failure mode above is testable
+//! deterministically.
+
+use crate::error::SelectorError;
+use crate::selector::FormatSelector;
+use crate::service::{
+    CnnFault, CnnRungOutcome, SelectGuard, Selection, SelectionSource, SelectorService,
+    ServiceReport,
+};
+use dnnspmv_nn::NnError;
+use dnnspmv_sparse::{CooMatrix, Scalar};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
+use std::thread;
+use std::time::Duration;
+
+/// Injectable monotonic clock returning nanoseconds since an arbitrary
+/// epoch. Production uses [`system_clock`]; tests drive a fake.
+pub type ClockFn = Arc<dyn Fn() -> u64 + Send + Sync>;
+
+/// Monotonic wall clock (nanoseconds since first use).
+pub fn system_clock() -> ClockFn {
+    static EPOCH: std::sync::OnceLock<std::time::Instant> = std::sync::OnceLock::new();
+    let epoch = *EPOCH.get_or_init(std::time::Instant::now);
+    Arc::new(move || epoch.elapsed().as_nanos() as u64)
+}
+
+/// Circuit-breaker tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Consecutive CNN failures (panic, deadline, non-finite) that trip
+    /// the breaker open.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before the first probe.
+    pub open_backoff: Duration,
+    /// Cap on the exponentially growing backoff after failed probes.
+    pub max_backoff: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            failure_threshold: 3,
+            open_backoff: Duration::from_millis(500),
+            max_backoff: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Circuit-breaker state (the classic three-state machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BreakerState {
+    /// CNN serving normally.
+    Closed,
+    /// CNN demoted; all traffic answers from the tree rung.
+    Open,
+    /// One probe request is re-testing the CNN.
+    HalfOpen,
+}
+
+/// Observable breaker snapshot, including transition counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BreakerSnapshot {
+    /// Current state.
+    pub state: BreakerState,
+    /// Consecutive failures seen while closed.
+    pub consecutive_failures: u32,
+    /// Closed/half-open → open transitions.
+    pub to_open: u64,
+    /// Open → half-open transitions (probe issued).
+    pub to_half_open: u64,
+    /// Half-open → closed transitions (probe succeeded).
+    pub to_closed: u64,
+    /// Backoff the *next* open period would use, in nanoseconds.
+    pub current_backoff_ns: u64,
+}
+
+#[derive(Debug)]
+struct BreakerInner {
+    state: BreakerState,
+    consec: u32,
+    opened_at: u64,
+    backoff_ns: u64,
+    /// A probe is in flight; further half-open traffic is denied.
+    probing: bool,
+    to_open: u64,
+    to_half_open: u64,
+    to_closed: u64,
+}
+
+/// What the breaker allows for the CNN rung of one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Gate {
+    /// Breaker closed: run the CNN.
+    Allow,
+    /// Breaker half-open: run the CNN as the single probe.
+    Probe,
+    /// Breaker open: skip the CNN, answer from the tree.
+    Deny,
+}
+
+#[derive(Debug)]
+struct Breaker {
+    cfg: BreakerConfig,
+    inner: Mutex<BreakerInner>,
+}
+
+impl Breaker {
+    fn new(cfg: BreakerConfig) -> Self {
+        let backoff = cfg.open_backoff.as_nanos() as u64;
+        Self {
+            cfg,
+            inner: Mutex::new(BreakerInner {
+                state: BreakerState::Closed,
+                consec: 0,
+                opened_at: 0,
+                backoff_ns: backoff,
+                probing: false,
+                to_open: 0,
+                to_half_open: 0,
+                to_closed: 0,
+            }),
+        }
+    }
+
+    /// Decides the CNN gate for a request dequeued at `now`.
+    fn gate(&self, now: u64) -> Gate {
+        let mut b = self.inner.lock().expect("breaker lock");
+        match b.state {
+            BreakerState::Closed => Gate::Allow,
+            BreakerState::Open => {
+                if now >= b.opened_at.saturating_add(b.backoff_ns) {
+                    b.state = BreakerState::HalfOpen;
+                    b.to_half_open += 1;
+                    b.probing = true;
+                    Gate::Probe
+                } else {
+                    Gate::Deny
+                }
+            }
+            BreakerState::HalfOpen => {
+                if b.probing {
+                    Gate::Deny
+                } else {
+                    b.probing = true;
+                    Gate::Probe
+                }
+            }
+        }
+    }
+
+    /// Records a healthy CNN answer. Only a successful *probe* closes
+    /// an open breaker; a late success from a request admitted before
+    /// the trip does not.
+    fn on_success(&self, probe: bool) {
+        let mut b = self.inner.lock().expect("breaker lock");
+        b.consec = 0;
+        if probe {
+            b.probing = false;
+            if b.state == BreakerState::HalfOpen {
+                b.state = BreakerState::Closed;
+                b.to_closed += 1;
+                b.backoff_ns = self.cfg.open_backoff.as_nanos() as u64;
+            }
+        }
+    }
+
+    /// Records a CNN failure (panic, deadline, non-finite) at `now`.
+    fn on_failure(&self, probe: bool, now: u64) {
+        let mut b = self.inner.lock().expect("breaker lock");
+        if probe {
+            // Failed probe: reopen with doubled backoff.
+            b.probing = false;
+            b.state = BreakerState::Open;
+            b.opened_at = now;
+            b.to_open += 1;
+            b.backoff_ns = b
+                .backoff_ns
+                .saturating_mul(2)
+                .min(self.cfg.max_backoff.as_nanos() as u64);
+            b.consec = self.cfg.failure_threshold;
+            return;
+        }
+        match b.state {
+            BreakerState::Closed => {
+                b.consec += 1;
+                if b.consec >= self.cfg.failure_threshold {
+                    b.state = BreakerState::Open;
+                    b.opened_at = now;
+                    b.to_open += 1;
+                }
+            }
+            // Late failures of requests admitted before the trip do not
+            // double-trip or extend the open period.
+            BreakerState::Open | BreakerState::HalfOpen => {}
+        }
+    }
+
+    /// Releases a probe slot whose request never reached the CNN rung
+    /// (e.g. its deadline expired while queued).
+    fn abandon_probe(&self) {
+        self.inner.lock().expect("breaker lock").probing = false;
+    }
+
+    fn snapshot(&self) -> BreakerSnapshot {
+        let b = self.inner.lock().expect("breaker lock");
+        BreakerSnapshot {
+            state: b.state,
+            consecutive_failures: b.consec,
+            to_open: b.to_open,
+            to_half_open: b.to_half_open,
+            to_closed: b.to_closed,
+            current_backoff_ns: b.backoff_ns,
+        }
+    }
+}
+
+/// Typed serving errors. Every rejected or abandoned request gets one.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The bounded queue was full; the request was shed on admission.
+    Overloaded {
+        /// The configured queue capacity that was exceeded.
+        capacity: usize,
+    },
+    /// The request's deadline passed before an answer was produced.
+    DeadlineExceeded,
+    /// The server is shutting down and accepts no new work.
+    ShuttingDown,
+    /// A hot reload failed; the previous model keeps serving.
+    Reload(SelectorError),
+    /// The worker handling the request disappeared (never expected;
+    /// defence in depth around thread death).
+    WorkerLost,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { capacity } => {
+                write!(f, "server overloaded (queue capacity {capacity})")
+            }
+            ServeError::DeadlineExceeded => write!(f, "request deadline exceeded"),
+            ServeError::ShuttingDown => write!(f, "server shutting down"),
+            ServeError::Reload(e) => write!(f, "model reload rejected: {e}"),
+            ServeError::WorkerLost => write!(f, "worker lost"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Reload(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Deterministic fault-injection hooks (all `None`/no-op in
+/// production).
+#[derive(Clone, Default)]
+pub struct ServeHooks {
+    /// Consulted once per request that reaches the CNN rung, with the
+    /// request's sequence number; the returned fault is injected into
+    /// the rung. Side effects (advancing a fake clock to simulate a
+    /// latency spike or a hang, parking the worker to hold the queue
+    /// full) are the test harness's levers.
+    pub cnn_fault: Option<Arc<dyn Fn(u64) -> CnnFault + Send + Sync>>,
+}
+
+impl fmt::Debug for ServeHooks {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServeHooks")
+            .field("cnn_fault", &self.cnn_fault.as_ref().map(|_| "<hook>"))
+            .finish()
+    }
+}
+
+/// Server tuning.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads draining the queue (min 1).
+    pub workers: usize,
+    /// Bounded queue capacity; submissions beyond it are shed.
+    pub queue_capacity: usize,
+    /// Deadline applied by [`SelectorServer::select`] when the caller
+    /// does not pass one (`None`: no deadline).
+    pub default_deadline: Option<Duration>,
+    /// Circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Attempts for a hot reload whose artefact read fails transiently.
+    pub reload_attempts: u32,
+    /// Backoff before the first reload retry (doubles per retry).
+    pub reload_backoff: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_capacity: 64,
+            default_deadline: None,
+            breaker: BreakerConfig::default(),
+            reload_attempts: 3,
+            reload_backoff: Duration::from_millis(20),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct ServerCounters {
+    submitted: AtomicU64,
+    shed: AtomicU64,
+    rejected_shutdown: AtomicU64,
+    served_cnn: AtomicU64,
+    served_tree: AtomicU64,
+    served_default: AtomicU64,
+    deadline_in_queue: AtomicU64,
+    deadline_in_flight: AtomicU64,
+    breaker_demoted: AtomicU64,
+    probes_ok: AtomicU64,
+    probes_failed: AtomicU64,
+    reloads_ok: AtomicU64,
+    reloads_rejected: AtomicU64,
+}
+
+/// Monotonic server counters plus breaker and ladder snapshots.
+///
+/// Accounting invariant (once all accepted work has completed):
+/// `submitted == shed + rejected_shutdown + served + deadline_in_queue +
+/// deadline_in_flight` — every request lands in exactly one terminal
+/// bucket, none lost, none double-counted.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServerReport {
+    /// Requests that entered `submit` at all.
+    pub submitted: u64,
+    /// Shed on admission: bounded queue was full.
+    pub shed: u64,
+    /// Rejected because the server was shutting down.
+    pub rejected_shutdown: u64,
+    /// Answered, by any rung (`served_cnn + served_tree +
+    /// served_default`).
+    pub served: u64,
+    /// Answered by the CNN rung.
+    pub served_cnn: u64,
+    /// Answered by the tree rung.
+    pub served_tree: u64,
+    /// Answered by the static default.
+    pub served_default: u64,
+    /// Deadline expired while still queued.
+    pub deadline_in_queue: u64,
+    /// Deadline expired during processing.
+    pub deadline_in_flight: u64,
+    /// Requests whose CNN rung was skipped because the breaker was
+    /// open.
+    pub breaker_demoted: u64,
+    /// Half-open probes that found the CNN healthy.
+    pub probes_ok: u64,
+    /// Half-open probes that failed (breaker reopened).
+    pub probes_failed: u64,
+    /// Hot reloads that swapped a new model in.
+    pub reloads_ok: u64,
+    /// Hot reloads rejected (bad artefact or persistent read failure).
+    pub reloads_rejected: u64,
+    /// Generation number of the live model (starts at 0, +1 per
+    /// successful reload).
+    pub model_generation: u64,
+    /// Breaker snapshot.
+    pub breaker: BreakerSnapshot,
+    /// Degradation-ladder counters, summed across *all* model
+    /// generations ever served (retired generations included).
+    pub ladder: ServiceReport,
+}
+
+impl ServerReport {
+    /// Sum of the terminal buckets; equals `submitted` once all
+    /// accepted work has completed.
+    pub fn accounted(&self) -> u64 {
+        self.shed
+            + self.rejected_shutdown
+            + self.served
+            + self.deadline_in_queue
+            + self.deadline_in_flight
+    }
+}
+
+/// One model generation: an immutable validated service plus its
+/// sequence number. Swapped atomically on hot reload.
+#[derive(Debug)]
+struct Generation {
+    service: SelectorService,
+    number: u64,
+}
+
+struct Job<S: Scalar> {
+    matrix: Arc<CooMatrix<S>>,
+    deadline: Option<u64>,
+    seq: u64,
+    reply: mpsc::Sender<Result<Selection, ServeError>>,
+}
+
+struct Inner<S: Scalar> {
+    cfg: ServerConfig,
+    clock: ClockFn,
+    hooks: ServeHooks,
+    breaker: Breaker,
+    queue: Mutex<VecDeque<Job<S>>>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+    counters: ServerCounters,
+    /// The live generation; readers clone the `Arc` and drop the lock
+    /// before doing any work, so a reload never blocks on inference.
+    slot: RwLock<Arc<Generation>>,
+    /// Retired generations, kept alive so in-flight requests finishing
+    /// against an old model still count in [`ServerReport::ladder`].
+    retired: Mutex<Vec<Arc<Generation>>>,
+    seq: AtomicU64,
+}
+
+impl<S: Scalar> Inner<S> {
+    fn handle(&self, job: Job<S>) {
+        let now = (self.clock)();
+        if job.deadline.is_some_and(|d| now >= d) {
+            self.counters
+                .deadline_in_queue
+                .fetch_add(1, Ordering::Relaxed);
+            let _ = job.reply.send(Err(ServeError::DeadlineExceeded));
+            return;
+        }
+        let generation = self.slot.read().expect("slot lock").clone();
+        let gate = if generation.service.has_cnn() {
+            self.breaker.gate(now)
+        } else {
+            Gate::Allow
+        };
+        let (skip_cnn, probe) = match gate {
+            Gate::Allow => (false, false),
+            Gate::Probe => (false, true),
+            Gate::Deny => {
+                self.counters
+                    .breaker_demoted
+                    .fetch_add(1, Ordering::Relaxed);
+                (true, false)
+            }
+        };
+        // Faults are injected at the CNN rung only: a demoted request
+        // never touches the (possibly faulty) model, which is the point
+        // of the breaker.
+        let inject = if skip_cnn {
+            CnnFault::None
+        } else {
+            self.hooks
+                .cnn_fault
+                .as_ref()
+                .map_or(CnnFault::None, |h| h(job.seq))
+        };
+        let clock = self.clock.clone();
+        let deadline = job.deadline;
+        let cancel = move || deadline.is_some_and(|d| clock() >= d);
+        let out = generation.service.select_guarded(
+            &job.matrix,
+            &SelectGuard {
+                skip_cnn,
+                cancel: Some(&cancel),
+                inject,
+            },
+        );
+        match out.cnn {
+            CnnRungOutcome::Answered | CnnRungOutcome::LowConfidence => {
+                if probe {
+                    self.counters.probes_ok.fetch_add(1, Ordering::Relaxed);
+                }
+                self.breaker.on_success(probe);
+            }
+            CnnRungOutcome::Panicked | CnnRungOutcome::NonFinite | CnnRungOutcome::Cancelled => {
+                if probe {
+                    self.counters.probes_failed.fetch_add(1, Ordering::Relaxed);
+                }
+                self.breaker.on_failure(probe, (self.clock)());
+            }
+            CnnRungOutcome::Skipped | CnnRungOutcome::Absent => {
+                if probe {
+                    self.breaker.abandon_probe();
+                }
+            }
+        }
+        match out.selection {
+            Some(sel) => {
+                let c = match sel.source {
+                    SelectionSource::Cnn => &self.counters.served_cnn,
+                    SelectionSource::Tree => &self.counters.served_tree,
+                    SelectionSource::Default => &self.counters.served_default,
+                };
+                c.fetch_add(1, Ordering::Relaxed);
+                let _ = job.reply.send(Ok(sel));
+            }
+            None => {
+                self.counters
+                    .deadline_in_flight
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ = job.reply.send(Err(ServeError::DeadlineExceeded));
+            }
+        }
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut q = self.queue.lock().expect("queue lock");
+                loop {
+                    if let Some(j) = q.pop_front() {
+                        break Some(j);
+                    }
+                    // Drain-then-exit: queued work admitted before
+                    // shutdown still completes, keeping counters exact.
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        break None;
+                    }
+                    q = self.cv.wait(q).expect("queue lock");
+                }
+            };
+            match job {
+                Some(j) => self.handle(j),
+                None => return,
+            }
+        }
+    }
+}
+
+/// A handle to one submitted request; resolves when a worker answers.
+pub struct PendingSelection {
+    rx: mpsc::Receiver<Result<Selection, ServeError>>,
+}
+
+impl PendingSelection {
+    /// Blocks until the request resolves.
+    pub fn wait(self) -> Result<Selection, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::WorkerLost))
+    }
+}
+
+/// Concurrent, admission-controlled selector server (see module docs).
+pub struct SelectorServer<S: Scalar> {
+    inner: Arc<Inner<S>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl<S: Scalar> SelectorServer<S> {
+    /// Starts a server over a validated service with the system clock
+    /// and no fault hooks.
+    pub fn new(service: SelectorService, cfg: ServerConfig) -> Self {
+        Self::with_parts(service, cfg, ServeHooks::default(), system_clock())
+    }
+
+    /// Starts a server with an injected clock and fault hooks — the
+    /// deterministic-testing constructor.
+    pub fn with_parts(
+        service: SelectorService,
+        cfg: ServerConfig,
+        hooks: ServeHooks,
+        clock: ClockFn,
+    ) -> Self {
+        let workers = cfg.workers.max(1);
+        let inner = Arc::new(Inner {
+            breaker: Breaker::new(cfg.breaker),
+            cfg,
+            clock,
+            hooks,
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            counters: ServerCounters::default(),
+            slot: RwLock::new(Arc::new(Generation { service, number: 0 })),
+            retired: Mutex::new(Vec::new()),
+            seq: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                thread::Builder::new()
+                    .name(format!("dnnspmv-serve-{i}"))
+                    .spawn(move || inner.worker_loop())
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Self {
+            inner,
+            workers: handles,
+        }
+    }
+
+    /// Submits a request with an explicit deadline (`None`: no
+    /// deadline). Sheds immediately with [`ServeError::Overloaded`]
+    /// when the queue is full.
+    pub fn submit(
+        &self,
+        matrix: Arc<CooMatrix<S>>,
+        deadline: Option<Duration>,
+    ) -> Result<PendingSelection, ServeError> {
+        let c = &self.inner.counters;
+        c.submitted.fetch_add(1, Ordering::Relaxed);
+        if self.inner.shutdown.load(Ordering::SeqCst) {
+            c.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::ShuttingDown);
+        }
+        let deadline_ns =
+            deadline.map(|d| (self.inner.clock)().saturating_add(d.as_nanos() as u64));
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            matrix,
+            deadline: deadline_ns,
+            seq: self.inner.seq.fetch_add(1, Ordering::Relaxed),
+            reply: tx,
+        };
+        {
+            let mut q = self.inner.queue.lock().expect("queue lock");
+            if q.len() >= self.inner.cfg.queue_capacity {
+                c.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::Overloaded {
+                    capacity: self.inner.cfg.queue_capacity,
+                });
+            }
+            q.push_back(job);
+        }
+        self.inner.cv.notify_one();
+        Ok(PendingSelection { rx })
+    }
+
+    /// Synchronous convenience: submit with the configured default
+    /// deadline and wait.
+    pub fn select(&self, matrix: &CooMatrix<S>) -> Result<Selection, ServeError> {
+        self.submit(Arc::new(matrix.clone()), self.inner.cfg.default_deadline)?
+            .wait()
+    }
+
+    /// Hot-reloads the model from `path`: loads and validates off the
+    /// hot path (envelope checksum, structural validation, service
+    /// construction), then atomically swaps the new generation in.
+    /// On any failure the old model keeps serving and a typed
+    /// [`ServeError::Reload`] is returned. Transient read errors are
+    /// retried `reload_attempts` times with doubling backoff.
+    pub fn reload_model<P: AsRef<Path>>(&self, path: P) -> Result<u64, ServeError> {
+        self.reload_model_with_sleep(path, &|d| thread::sleep(d))
+    }
+
+    /// [`SelectorServer::reload_model`] with an injectable sleep, so
+    /// retry behaviour is testable without wall-clock waits.
+    pub fn reload_model_with_sleep<P: AsRef<Path>>(
+        &self,
+        path: P,
+        sleep: &dyn Fn(Duration),
+    ) -> Result<u64, ServeError> {
+        let cfg = &self.inner.cfg;
+        let reject = |e: SelectorError| {
+            self.inner
+                .counters
+                .reloads_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            ServeError::Reload(e)
+        };
+        let sel = load_selector_with_retry(
+            path.as_ref(),
+            cfg.reload_attempts,
+            cfg.reload_backoff,
+            sleep,
+        )
+        .map_err(reject)?;
+        // Swap under the write lock; in-flight requests hold an Arc to
+        // the old generation and finish against it undisturbed.
+        {
+            let mut slot = self.inner.slot.write().expect("slot lock");
+            let service = SelectorService::new(Some(sel), slot.service.tree().cloned())
+                .map_err(reject)?
+                .with_confidence_threshold(slot.service.confidence_threshold())
+                .with_default_format(slot.service.default_format());
+            let number = slot.number + 1;
+            let old = std::mem::replace(&mut *slot, Arc::new(Generation { service, number }));
+            self.inner.retired.lock().expect("retired lock").push(old);
+            self.inner
+                .counters
+                .reloads_ok
+                .fetch_add(1, Ordering::Relaxed);
+            Ok(number)
+        }
+    }
+
+    /// Generation number of the live model.
+    pub fn model_generation(&self) -> u64 {
+        self.inner.slot.read().expect("slot lock").number
+    }
+
+    /// Stops accepting new requests; already-queued work still drains.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.cv.notify_all();
+    }
+
+    /// Snapshot of all server counters, the breaker, and the summed
+    /// degradation-ladder counters across every model generation.
+    pub fn report(&self) -> ServerReport {
+        let c = &self.inner.counters;
+        let served_cnn = c.served_cnn.load(Ordering::Relaxed);
+        let served_tree = c.served_tree.load(Ordering::Relaxed);
+        let served_default = c.served_default.load(Ordering::Relaxed);
+        let ladder = {
+            let cur = self.inner.slot.read().expect("slot lock").clone();
+            let mut total = cur.service.report();
+            for g in self.inner.retired.lock().expect("retired lock").iter() {
+                total = total.merged(&g.service.report());
+            }
+            total
+        };
+        ServerReport {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
+            rejected_shutdown: c.rejected_shutdown.load(Ordering::Relaxed),
+            served: served_cnn + served_tree + served_default,
+            served_cnn,
+            served_tree,
+            served_default,
+            deadline_in_queue: c.deadline_in_queue.load(Ordering::Relaxed),
+            deadline_in_flight: c.deadline_in_flight.load(Ordering::Relaxed),
+            breaker_demoted: c.breaker_demoted.load(Ordering::Relaxed),
+            probes_ok: c.probes_ok.load(Ordering::Relaxed),
+            probes_failed: c.probes_failed.load(Ordering::Relaxed),
+            reloads_ok: c.reloads_ok.load(Ordering::Relaxed),
+            reloads_rejected: c.reloads_rejected.load(Ordering::Relaxed),
+            model_generation: self.model_generation(),
+            breaker: self.inner.breaker.snapshot(),
+            ladder,
+        }
+    }
+}
+
+impl<S: Scalar> Drop for SelectorServer<S> {
+    fn drop(&mut self) {
+        self.shutdown();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Loads a selector artefact, retrying *transient* failures (I/O) up
+/// to `attempts` times with a doubling backoff. Non-transient failures
+/// — bad checksum, wrong kind or version, structurally invalid model —
+/// fail immediately: retrying cannot fix a corrupt artefact.
+pub fn load_selector_with_retry(
+    path: &Path,
+    attempts: u32,
+    backoff: Duration,
+    sleep: &dyn Fn(Duration),
+) -> Result<FormatSelector, SelectorError> {
+    let attempts = attempts.max(1);
+    let mut wait = backoff;
+    let mut last = None;
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            sleep(wait);
+            wait = wait.saturating_mul(2);
+        }
+        match FormatSelector::load(path) {
+            Ok(s) => return Ok(s),
+            Err(e) if is_transient(&e) => last = Some(e),
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last.expect("at least one attempt was made"))
+}
+
+fn is_transient(e: &SelectorError) -> bool {
+    matches!(e, SelectorError::Io(_) | SelectorError::Nn(NnError::Io(_)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_clock() -> (Arc<AtomicU64>, ClockFn) {
+        let t = Arc::new(AtomicU64::new(0));
+        let tc = Arc::clone(&t);
+        (t, Arc::new(move || tc.load(Ordering::SeqCst)))
+    }
+
+    fn cfg_100ns() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            open_backoff: Duration::from_nanos(100),
+            max_backoff: Duration::from_nanos(400),
+        }
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_and_recovers_via_probe() {
+        let b = Breaker::new(cfg_100ns());
+        assert_eq!(b.gate(0), Gate::Allow);
+        b.on_failure(false, 0);
+        b.on_failure(false, 0);
+        assert_eq!(b.snapshot().state, BreakerState::Closed);
+        b.on_failure(false, 10);
+        assert_eq!(b.snapshot().state, BreakerState::Open);
+        // Denied while the backoff runs.
+        assert_eq!(b.gate(50), Gate::Deny);
+        // Backoff expired: exactly one probe, everyone else denied.
+        assert_eq!(b.gate(110), Gate::Probe);
+        assert_eq!(b.gate(111), Gate::Deny);
+        b.on_success(true);
+        let s = b.snapshot();
+        assert_eq!(s.state, BreakerState::Closed);
+        assert_eq!((s.to_open, s.to_half_open, s.to_closed), (1, 1, 1));
+    }
+
+    #[test]
+    fn failed_probe_doubles_backoff_up_to_cap() {
+        let b = Breaker::new(cfg_100ns());
+        for _ in 0..3 {
+            b.on_failure(false, 0);
+        }
+        assert_eq!(b.gate(100), Gate::Probe);
+        b.on_failure(true, 100);
+        let s = b.snapshot();
+        assert_eq!(s.state, BreakerState::Open);
+        assert_eq!(s.current_backoff_ns, 200);
+        // Still within the doubled backoff at t=250.
+        assert_eq!(b.gate(250), Gate::Deny);
+        assert_eq!(b.gate(300), Gate::Probe);
+        b.on_failure(true, 300);
+        assert_eq!(b.snapshot().current_backoff_ns, 400);
+        // Third failed probe: doubling is capped at max_backoff.
+        assert_eq!(b.gate(700), Gate::Probe);
+        b.on_failure(true, 700);
+        assert_eq!(b.snapshot().current_backoff_ns, 400, "capped");
+        // A successful probe resets the backoff to the initial value.
+        assert_eq!(b.gate(1100), Gate::Probe);
+        b.on_success(true);
+        assert_eq!(b.snapshot().current_backoff_ns, 100);
+    }
+
+    #[test]
+    fn abandoned_probe_frees_the_slot() {
+        let b = Breaker::new(cfg_100ns());
+        for _ in 0..3 {
+            b.on_failure(false, 0);
+        }
+        assert_eq!(b.gate(100), Gate::Probe);
+        assert_eq!(b.gate(100), Gate::Deny);
+        b.abandon_probe();
+        assert_eq!(b.gate(101), Gate::Probe);
+    }
+
+    #[test]
+    fn late_failures_do_not_extend_the_open_period() {
+        let b = Breaker::new(cfg_100ns());
+        for _ in 0..3 {
+            b.on_failure(false, 10);
+        }
+        let opened = b.snapshot().to_open;
+        // A request admitted before the trip fails afterwards.
+        b.on_failure(false, 90);
+        assert_eq!(b.snapshot().to_open, opened);
+        assert_eq!(b.gate(110), Gate::Probe);
+    }
+
+    #[test]
+    fn transient_read_errors_retry_then_succeed() {
+        let dir = std::env::temp_dir().join(format!("dnnspmv-retry-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("late-model.json");
+        let _ = std::fs::remove_file(&path);
+        // The artefact appears only after the first failed attempt —
+        // the injectable sleep doubles as the "file system catches up"
+        // fault window. An invalid-but-present artefact then still
+        // fails, proving the retry loop stops on non-transient errors.
+        let slept = std::cell::Cell::new(0u32);
+        let waits = std::cell::RefCell::new(Vec::new());
+        let sleep = |d: Duration| {
+            slept.set(slept.get() + 1);
+            waits.borrow_mut().push(d);
+            std::fs::write(&path, b"{").unwrap();
+        };
+        let err = load_selector_with_retry(&path, 3, Duration::from_millis(5), &sleep)
+            .expect_err("a truncated artefact must be rejected without further retries");
+        assert!(matches!(err, SelectorError::Nn(_)));
+        assert_eq!(slept.get(), 1, "non-transient error stops the retries");
+        assert_eq!(waits.borrow()[0], Duration::from_millis(5));
+        let _ = std::fs::remove_file(&path);
+        // Persistent absence exhausts every attempt with doubling waits.
+        let waits2 = std::cell::RefCell::new(Vec::new());
+        let sleep2 = |d: Duration| waits2.borrow_mut().push(d);
+        let err = load_selector_with_retry(&path, 3, Duration::from_millis(5), &sleep2)
+            .expect_err("missing artefact");
+        assert!(is_transient(&err));
+        assert_eq!(
+            *waits2.borrow(),
+            vec![Duration::from_millis(5), Duration::from_millis(10)]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn server_without_predictors_serves_default_and_accounts_exactly() {
+        let (_, clock) = fake_clock();
+        let svc = SelectorService::new(None, None).unwrap();
+        let server: SelectorServer<f32> =
+            SelectorServer::with_parts(svc, ServerConfig::default(), ServeHooks::default(), clock);
+        let m = CooMatrix::from_triplets(4, 4, &[(0, 0, 1.0f32), (3, 3, 2.0)]).unwrap();
+        for _ in 0..5 {
+            let sel = server.select(&m).unwrap();
+            assert_eq!(sel.source, SelectionSource::Default);
+        }
+        let r = server.report();
+        assert_eq!(r.submitted, 5);
+        assert_eq!(r.served_default, 5);
+        assert_eq!(r.accounted(), r.submitted);
+        server.shutdown();
+        assert!(matches!(server.select(&m), Err(ServeError::ShuttingDown)));
+        assert_eq!(server.report().rejected_shutdown, 1);
+    }
+}

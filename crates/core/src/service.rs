@@ -49,6 +49,65 @@ pub struct Selection {
     pub confidence: Option<f32>,
 }
 
+/// Fault injected into the CNN rung by a test harness (see
+/// [`SelectGuard::inject`]). Production callers always pass
+/// [`CnnFault::None`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CnnFault {
+    /// No injected fault: run the real model.
+    #[default]
+    None,
+    /// Panic inside the CNN rung (as a poisoned artefact would).
+    Panic,
+    /// Return all-NaN probabilities (as overflowed logits would).
+    NonFinite,
+}
+
+/// What happened at the CNN rung of a guarded selection — the signal a
+/// circuit breaker classifies into success or failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CnnRungOutcome {
+    /// The CNN answered and its answer was used.
+    Answered,
+    /// The CNN panicked (caught; demoted to a fallback).
+    Panicked,
+    /// The CNN produced NaN/Inf probabilities.
+    NonFinite,
+    /// The CNN answered but below the confidence threshold (healthy
+    /// model, uncertain input).
+    LowConfidence,
+    /// The deadline expired inside extraction or the forward pass.
+    Cancelled,
+    /// The caller asked to skip the CNN (breaker open).
+    Skipped,
+    /// The service holds no CNN.
+    Absent,
+}
+
+/// Per-request options for [`SelectorService::select_guarded`].
+#[derive(Clone, Copy, Default)]
+pub struct SelectGuard<'a> {
+    /// Skip the CNN rung entirely (a tripped circuit breaker demotes
+    /// traffic to the tree this way).
+    pub skip_cnn: bool,
+    /// Cooperative-cancellation checkpoint: polled inside the
+    /// representation extraction, between CNN layers, and between
+    /// ladder rungs. Once it reports `true` the request is abandoned.
+    pub cancel: Option<&'a dyn Fn() -> bool>,
+    /// Injected CNN fault for deterministic failure testing.
+    pub inject: CnnFault,
+}
+
+/// Result of a guarded selection: the decision (absent only when the
+/// request was cancelled) plus what the CNN rung did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuardedSelection {
+    /// The decision, or `None` when the deadline expired first.
+    pub selection: Option<Selection>,
+    /// What happened at the CNN rung.
+    pub cnn: CnnRungOutcome,
+}
+
 /// Monotonic counters describing what the ladder has been doing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub struct ServiceReport {
@@ -60,6 +119,10 @@ pub struct ServiceReport {
     pub cnn_nonfinite: u64,
     /// CNN's top class fell below the confidence threshold.
     pub cnn_low_confidence: u64,
+    /// CNN rung abandoned because the request's deadline expired.
+    pub cnn_cancelled: u64,
+    /// CNN rung skipped on request (circuit breaker open).
+    pub cnn_skipped: u64,
     /// Decision tree answered.
     pub tree_ok: u64,
     /// Decision tree panicked and was demoted.
@@ -68,12 +131,39 @@ pub struct ServiceReport {
     pub default_used: u64,
 }
 
+impl ServiceReport {
+    /// Field-wise sum — used to fold the counters of a retired model
+    /// generation into the live totals across hot reloads.
+    pub fn merged(&self, other: &ServiceReport) -> ServiceReport {
+        ServiceReport {
+            cnn_ok: self.cnn_ok + other.cnn_ok,
+            cnn_panic: self.cnn_panic + other.cnn_panic,
+            cnn_nonfinite: self.cnn_nonfinite + other.cnn_nonfinite,
+            cnn_low_confidence: self.cnn_low_confidence + other.cnn_low_confidence,
+            cnn_cancelled: self.cnn_cancelled + other.cnn_cancelled,
+            cnn_skipped: self.cnn_skipped + other.cnn_skipped,
+            tree_ok: self.tree_ok + other.tree_ok,
+            tree_panic: self.tree_panic + other.tree_panic,
+            default_used: self.default_used + other.default_used,
+        }
+    }
+
+    /// Number of selections actually answered (one per completed
+    /// request; cancelled and skipped rungs answer elsewhere or not at
+    /// all).
+    pub fn answered(&self) -> u64 {
+        self.cnn_ok + self.tree_ok + self.default_used
+    }
+}
+
 #[derive(Debug, Default)]
 struct Counters {
     cnn_ok: AtomicU64,
     cnn_panic: AtomicU64,
     cnn_nonfinite: AtomicU64,
     cnn_low_confidence: AtomicU64,
+    cnn_cancelled: AtomicU64,
+    cnn_skipped: AtomicU64,
     tree_ok: AtomicU64,
     tree_panic: AtomicU64,
     default_used: AtomicU64,
@@ -130,46 +220,117 @@ impl SelectorService {
         self.default_format
     }
 
+    /// The confidence threshold the CNN rung must clear.
+    pub fn confidence_threshold(&self) -> f32 {
+        self.confidence_threshold
+    }
+
+    /// The tree baseline, if any (a serving layer clones it when
+    /// rebuilding the service around a hot-reloaded CNN).
+    pub fn tree(&self) -> Option<&DtSelector> {
+        self.tree.as_ref()
+    }
+
+    /// Whether a CNN rung is present.
+    pub fn has_cnn(&self) -> bool {
+        self.cnn.is_some()
+    }
+
     /// Picks a storage format for `matrix`, degrading down the ladder
     /// as needed. Total: never panics, always returns a format.
     pub fn select<S: Scalar>(&self, matrix: &CooMatrix<S>) -> Selection {
-        if let Some(cnn) = &self.cnn {
-            match catch_unwind(AssertUnwindSafe(|| cnn.predict_proba(matrix))) {
-                Err(_) => {
-                    self.counters.cnn_panic.fetch_add(1, Ordering::Relaxed);
-                }
-                Ok(probs) if probs.iter().any(|p| !p.is_finite()) => {
-                    self.counters.cnn_nonfinite.fetch_add(1, Ordering::Relaxed);
-                }
-                Ok(probs) => {
-                    let (best, &p) = probs
-                        .iter()
-                        .enumerate()
-                        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-                        .expect("validated selector has a non-empty class set");
-                    if p < self.confidence_threshold {
-                        self.counters
-                            .cnn_low_confidence
-                            .fetch_add(1, Ordering::Relaxed);
-                    } else {
-                        self.counters.cnn_ok.fetch_add(1, Ordering::Relaxed);
-                        return Selection {
-                            format: cnn.formats[best],
-                            source: SelectionSource::Cnn,
-                            confidence: Some(p),
-                        };
+        self.select_guarded(matrix, &SelectGuard::default())
+            .selection
+            .expect("selection without a cancel hook always answers")
+    }
+
+    /// [`SelectorService::select`] under per-request controls: an
+    /// optional cancellation checkpoint (deadline enforcement), a
+    /// skip-CNN demotion flag (tripped circuit breaker), and an
+    /// injectable CNN fault (deterministic failure testing). Returns
+    /// the decision — `None` only when `cancel` fired — plus the CNN
+    /// rung outcome a breaker needs to classify the request.
+    pub fn select_guarded<S: Scalar>(
+        &self,
+        matrix: &CooMatrix<S>,
+        guard: &SelectGuard,
+    ) -> GuardedSelection {
+        let expired = || guard.cancel.is_some_and(|c| c());
+        let cnn_outcome = match &self.cnn {
+            None => CnnRungOutcome::Absent,
+            Some(_) if guard.skip_cnn => {
+                self.counters.cnn_skipped.fetch_add(1, Ordering::Relaxed);
+                CnnRungOutcome::Skipped
+            }
+            Some(cnn) => {
+                let run = catch_unwind(AssertUnwindSafe(|| match guard.inject {
+                    CnnFault::Panic => panic!("injected CNN fault"),
+                    CnnFault::NonFinite => Some(vec![f32::NAN; cnn.formats.len()]),
+                    CnnFault::None => match guard.cancel {
+                        Some(c) => cnn.predict_proba_with_cancel(matrix, c),
+                        None => Some(cnn.predict_proba(matrix)),
+                    },
+                }));
+                match run {
+                    Err(_) => {
+                        self.counters.cnn_panic.fetch_add(1, Ordering::Relaxed);
+                        CnnRungOutcome::Panicked
+                    }
+                    Ok(None) => {
+                        self.counters.cnn_cancelled.fetch_add(1, Ordering::Relaxed);
+                        CnnRungOutcome::Cancelled
+                    }
+                    Ok(Some(probs)) if probs.iter().any(|p| !p.is_finite()) => {
+                        self.counters.cnn_nonfinite.fetch_add(1, Ordering::Relaxed);
+                        CnnRungOutcome::NonFinite
+                    }
+                    Ok(Some(probs)) => {
+                        let (best, &p) = probs
+                            .iter()
+                            .enumerate()
+                            .max_by(|a, b| {
+                                a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal)
+                            })
+                            .expect("validated selector has a non-empty class set");
+                        if p < self.confidence_threshold {
+                            self.counters
+                                .cnn_low_confidence
+                                .fetch_add(1, Ordering::Relaxed);
+                            CnnRungOutcome::LowConfidence
+                        } else {
+                            self.counters.cnn_ok.fetch_add(1, Ordering::Relaxed);
+                            return GuardedSelection {
+                                selection: Some(Selection {
+                                    format: cnn.formats[best],
+                                    source: SelectionSource::Cnn,
+                                    confidence: Some(p),
+                                }),
+                                cnn: CnnRungOutcome::Answered,
+                            };
+                        }
                     }
                 }
             }
+        };
+        // A blown deadline answers nothing — the caller has already
+        // timed out, so running the fallbacks would only waste a worker.
+        if cnn_outcome == CnnRungOutcome::Cancelled || expired() {
+            return GuardedSelection {
+                selection: None,
+                cnn: cnn_outcome,
+            };
         }
         if let Some(tree) = &self.tree {
             match catch_unwind(AssertUnwindSafe(|| tree.predict(matrix))) {
                 Ok(format) => {
                     self.counters.tree_ok.fetch_add(1, Ordering::Relaxed);
-                    return Selection {
-                        format,
-                        source: SelectionSource::Tree,
-                        confidence: None,
+                    return GuardedSelection {
+                        selection: Some(Selection {
+                            format,
+                            source: SelectionSource::Tree,
+                            confidence: None,
+                        }),
+                        cnn: cnn_outcome,
                     };
                 }
                 Err(_) => {
@@ -178,10 +339,13 @@ impl SelectorService {
             }
         }
         self.counters.default_used.fetch_add(1, Ordering::Relaxed);
-        Selection {
-            format: self.default_format,
-            source: SelectionSource::Default,
-            confidence: None,
+        GuardedSelection {
+            selection: Some(Selection {
+                format: self.default_format,
+                source: SelectionSource::Default,
+                confidence: None,
+            }),
+            cnn: cnn_outcome,
         }
     }
 
@@ -192,6 +356,8 @@ impl SelectorService {
             cnn_panic: self.counters.cnn_panic.load(Ordering::Relaxed),
             cnn_nonfinite: self.counters.cnn_nonfinite.load(Ordering::Relaxed),
             cnn_low_confidence: self.counters.cnn_low_confidence.load(Ordering::Relaxed),
+            cnn_cancelled: self.counters.cnn_cancelled.load(Ordering::Relaxed),
+            cnn_skipped: self.counters.cnn_skipped.load(Ordering::Relaxed),
             tree_ok: self.counters.tree_ok.load(Ordering::Relaxed),
             tree_panic: self.counters.tree_panic.load(Ordering::Relaxed),
             default_used: self.counters.default_used.load(Ordering::Relaxed),
@@ -314,6 +480,89 @@ mod tests {
         let r = svc.report();
         assert_eq!(r.cnn_low_confidence, 1);
         assert_eq!(r.tree_ok, 1);
+    }
+
+    #[test]
+    fn guarded_select_classifies_injected_faults() {
+        let (cnn, dt, data) = trained_pair();
+        let svc = SelectorService::new(Some(cnn), Some(dt)).unwrap();
+        let m = &data.matrices[0];
+        // Injected panic: demoted to the tree, outcome recorded.
+        let g = svc.select_guarded(
+            m,
+            &SelectGuard {
+                inject: CnnFault::Panic,
+                ..Default::default()
+            },
+        );
+        assert_eq!(g.cnn, CnnRungOutcome::Panicked);
+        assert_eq!(g.selection.unwrap().source, SelectionSource::Tree);
+        // Injected non-finite probabilities.
+        let g = svc.select_guarded(
+            m,
+            &SelectGuard {
+                inject: CnnFault::NonFinite,
+                ..Default::default()
+            },
+        );
+        assert_eq!(g.cnn, CnnRungOutcome::NonFinite);
+        assert_eq!(g.selection.unwrap().source, SelectionSource::Tree);
+        // Breaker-style demotion: CNN skipped, tree answers.
+        let g = svc.select_guarded(
+            m,
+            &SelectGuard {
+                skip_cnn: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(g.cnn, CnnRungOutcome::Skipped);
+        assert_eq!(g.selection.unwrap().source, SelectionSource::Tree);
+        // Expired deadline: no answer at all.
+        let g = svc.select_guarded(
+            m,
+            &SelectGuard {
+                cancel: Some(&|| true),
+                ..Default::default()
+            },
+        );
+        assert_eq!(g.cnn, CnnRungOutcome::Cancelled);
+        assert!(g.selection.is_none());
+        let r = svc.report();
+        assert_eq!(
+            (r.cnn_panic, r.cnn_nonfinite, r.cnn_skipped, r.cnn_cancelled),
+            (1, 1, 1, 1)
+        );
+        assert_eq!(r.tree_ok, 3);
+        assert_eq!(r.answered(), 3);
+        // A live cancel hook that never fires matches plain select.
+        let g = svc.select_guarded(
+            m,
+            &SelectGuard {
+                cancel: Some(&|| false),
+                ..Default::default()
+            },
+        );
+        assert_eq!(g.cnn, CnnRungOutcome::Answered);
+        assert_eq!(g.selection.unwrap().source, SelectionSource::Cnn);
+    }
+
+    #[test]
+    fn reports_merge_field_wise() {
+        let a = ServiceReport {
+            cnn_ok: 3,
+            tree_ok: 1,
+            ..Default::default()
+        };
+        let b = ServiceReport {
+            cnn_ok: 2,
+            default_used: 4,
+            ..Default::default()
+        };
+        let m = a.merged(&b);
+        assert_eq!(m.cnn_ok, 5);
+        assert_eq!(m.tree_ok, 1);
+        assert_eq!(m.default_used, 4);
+        assert_eq!(m.answered(), 10);
     }
 
     #[test]

@@ -49,6 +49,21 @@ impl Sequential {
         cur
     }
 
+    /// Forward pass with a per-layer cooperative-cancellation
+    /// checkpoint: returns `None` as soon as `cancel` reports `true`,
+    /// so a caller enforcing a deadline can abandon the pass between
+    /// layers instead of wedging a worker on a huge convolution stack.
+    pub fn forward_with_cancel(&self, x: &Tensor, cancel: &dyn Fn() -> bool) -> Option<Tensor> {
+        let mut cur = x.clone();
+        for l in &self.layers {
+            if cancel() {
+                return None;
+            }
+            cur = l.forward(&cur);
+        }
+        Some(cur)
+    }
+
     /// Batched forward pass over same-shaped inputs: each GEMM-backed
     /// layer processes the whole batch in one product.
     pub fn forward_batch(&self, xs: Vec<Tensor>) -> Vec<Tensor> {
@@ -732,6 +747,23 @@ impl Cnn {
         self.head.forward(&merged)
     }
 
+    /// [`Cnn::forward`] with per-layer cancellation checkpoints through
+    /// every tower and the head; `None` once `cancel` reports `true`.
+    pub fn forward_with_cancel(
+        &self,
+        channels: &[Tensor],
+        cancel: &dyn Fn() -> bool,
+    ) -> Option<Tensor> {
+        let inputs = self.tower_inputs(channels);
+        let mut feats = Vec::with_capacity(self.towers.len());
+        for (t, x) in self.towers.iter().zip(&inputs) {
+            feats.push(t.forward_with_cancel(x, cancel)?);
+        }
+        let refs: Vec<&Tensor> = feats.iter().collect();
+        let merged = Tensor::concat_flat(&refs);
+        self.head.forward_with_cancel(&merged, cancel)
+    }
+
     /// Batched forward pass over many samples' channel sets, returning
     /// one logits tensor per sample. Samples are packed so every
     /// convolution and dense layer runs a single GEMM per tower (or
@@ -1129,6 +1161,26 @@ mod tests {
         let net = tiny_cnn(2, 2, 1);
         let logits = net.forward(&sample_channels(2, 9));
         assert_eq!(logits.shape(), &[3]);
+    }
+
+    #[test]
+    fn cancellable_forward_matches_plain_and_aborts() {
+        use std::cell::Cell;
+        let net = tiny_cnn(2, 2, 1);
+        let x = sample_channels(2, 9);
+        // Uncancelled: bit-identical to the plain pass.
+        let got = net.forward_with_cancel(&x, &|| false).unwrap();
+        assert_eq!(got.data(), net.forward(&x).data());
+        // Cancelled immediately: no output.
+        assert!(net.forward_with_cancel(&x, &|| true).is_none());
+        // Cancelled mid-pass: the checkpoint fires between layers.
+        let polls = Cell::new(0u32);
+        let cancel_late = || {
+            polls.set(polls.get() + 1);
+            polls.get() > 3
+        };
+        assert!(net.forward_with_cancel(&x, &cancel_late).is_none());
+        assert!(polls.get() >= 4);
     }
 
     #[test]

@@ -9,38 +9,54 @@
 //! (the paper uses 128 x 50).
 
 use crate::image::Image;
+use crate::{CancelCheck, CANCEL_STRIDE};
 use dnnspmv_sparse::{CooMatrix, Scalar};
+
+/// Shared Algorithm 1 loop over row bands (`by_cols == false`) or
+/// column bands (`by_cols == true`), with an optional cancellation
+/// checkpoint every [`CANCEL_STRIDE`] nonzeros.
+fn histogram_counts_impl<S: Scalar>(
+    matrix: &CooMatrix<S>,
+    bands: usize,
+    bins: usize,
+    by_cols: bool,
+    cancel: Option<CancelCheck>,
+) -> Option<Image> {
+    assert!(bands > 0 && bins > 0, "histogram shape must be positive");
+    let mut im = Image::zeros(bands, bins);
+    let max_dim = matrix.nrows().max(matrix.ncols());
+    let extent = if by_cols {
+        matrix.ncols()
+    } else {
+        matrix.nrows()
+    };
+    for (i, (r, c, _)) in matrix.iter().enumerate() {
+        if i % CANCEL_STRIDE == 0 {
+            if let Some(cb) = cancel {
+                if cb() {
+                    return None;
+                }
+            }
+        }
+        let pos = if by_cols { c } else { r };
+        let band = (pos * bands / extent).min(bands - 1);
+        let dist = r.abs_diff(c);
+        let bin = (dist * bins / max_dim).min(bins - 1);
+        *im.get_mut(band, bin) += 1.0;
+    }
+    Some(im)
+}
 
 /// Raw (unnormalised) row histogram: `R[row_band][dist_bin]` counts the
 /// nonzeros of that row band at that diagonal distance. This is
 /// Algorithm 1 verbatim.
 pub fn row_histogram_counts<S: Scalar>(matrix: &CooMatrix<S>, bands: usize, bins: usize) -> Image {
-    assert!(bands > 0 && bins > 0, "histogram shape must be positive");
-    let mut im = Image::zeros(bands, bins);
-    let max_dim = matrix.nrows().max(matrix.ncols());
-    let m = matrix.nrows();
-    for (r, c, _) in matrix.iter() {
-        let band = (r * bands / m).min(bands - 1);
-        let dist = r.abs_diff(c);
-        let bin = (dist * bins / max_dim).min(bins - 1);
-        *im.get_mut(band, bin) += 1.0;
-    }
-    im
+    histogram_counts_impl(matrix, bands, bins, false, None).expect("no cancellation requested")
 }
 
 /// Raw column histogram: the same construction over column bands.
 pub fn col_histogram_counts<S: Scalar>(matrix: &CooMatrix<S>, bands: usize, bins: usize) -> Image {
-    assert!(bands > 0 && bins > 0, "histogram shape must be positive");
-    let mut im = Image::zeros(bands, bins);
-    let max_dim = matrix.nrows().max(matrix.ncols());
-    let n = matrix.ncols();
-    for (r, c, _) in matrix.iter() {
-        let band = (c * bands / n).min(bands - 1);
-        let dist = r.abs_diff(c);
-        let bin = (dist * bins / max_dim).min(bins - 1);
-        *im.get_mut(band, bin) += 1.0;
-    }
-    im
+    histogram_counts_impl(matrix, bands, bins, true, None).expect("no cancellation requested")
 }
 
 /// Row histogram normalised to `[0, 1]` by its maximum (the form fed to
@@ -56,6 +72,32 @@ pub fn col_histogram<S: Scalar>(matrix: &CooMatrix<S>, bands: usize, bins: usize
     let mut im = col_histogram_counts(matrix, bands, bins);
     im.normalize_max();
     im
+}
+
+/// [`row_histogram`] with a cancellation checkpoint; `None` once
+/// `cancel` reports `true`.
+pub fn row_histogram_with_cancel<S: Scalar>(
+    matrix: &CooMatrix<S>,
+    bands: usize,
+    bins: usize,
+    cancel: CancelCheck,
+) -> Option<Image> {
+    let mut im = histogram_counts_impl(matrix, bands, bins, false, Some(cancel))?;
+    im.normalize_max();
+    Some(im)
+}
+
+/// [`col_histogram`] with a cancellation checkpoint; `None` once
+/// `cancel` reports `true`.
+pub fn col_histogram_with_cancel<S: Scalar>(
+    matrix: &CooMatrix<S>,
+    bands: usize,
+    bins: usize,
+    cancel: CancelCheck,
+) -> Option<Image> {
+    let mut im = histogram_counts_impl(matrix, bands, bins, true, Some(cancel))?;
+    im.normalize_max();
+    Some(im)
 }
 
 #[cfg(test)]

@@ -25,12 +25,27 @@ pub mod histogram;
 pub mod image;
 pub mod sample;
 
-pub use histogram::{col_histogram, row_histogram};
+pub use histogram::{
+    col_histogram, col_histogram_with_cancel, row_histogram, row_histogram_with_cancel,
+};
 pub use image::Image;
-pub use sample::{binary, density};
+pub use sample::{binary, binary_with_cancel, density, density_with_cancel};
 
 use dnnspmv_sparse::{CooMatrix, Scalar};
 use serde::{Deserialize, Serialize};
+
+/// Cooperative-cancellation callback threaded through the extraction
+/// loops. Returns `true` when the caller's deadline has passed; the
+/// extraction then stops and reports `None` instead of finishing.
+/// Checked once per [`CANCEL_STRIDE`] nonzeros, so the callback may be
+/// arbitrarily cheap or read a clock without dominating the loop.
+pub type CancelCheck<'a> = &'a dyn Fn() -> bool;
+
+/// Nonzeros processed between two cancellation checks. Large enough to
+/// make the check free relative to the loop body, small enough that a
+/// pathological matrix cannot wedge a worker for more than a few tens
+/// of microseconds past its deadline.
+pub const CANCEL_STRIDE: usize = 1 << 16;
 
 /// Which representation feeds the CNN (the rows of Table 2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -140,6 +155,30 @@ impl MatrixRepr {
         };
         Self { kind, channels }
     }
+
+    /// Like [`MatrixRepr::extract`], but checks `cancel` every
+    /// [`CANCEL_STRIDE`] nonzeros and returns `None` as soon as it
+    /// reports `true` — the hook a serving layer uses to enforce
+    /// per-request deadlines on pathological inputs.
+    pub fn extract_with_cancel<S: Scalar>(
+        matrix: &CooMatrix<S>,
+        kind: ReprKind,
+        cfg: &ReprConfig,
+        cancel: CancelCheck,
+    ) -> Option<Self> {
+        let channels = match kind {
+            ReprKind::Binary => vec![binary_with_cancel(matrix, cfg.image_size, cancel)?],
+            ReprKind::BinaryDensity => vec![
+                binary_with_cancel(matrix, cfg.image_size, cancel)?,
+                density_with_cancel(matrix, cfg.image_size, cancel)?,
+            ],
+            ReprKind::Histogram => vec![
+                row_histogram_with_cancel(matrix, cfg.hist_rows, cfg.hist_bins, cancel)?,
+                col_histogram_with_cancel(matrix, cfg.hist_rows, cfg.hist_bins, cancel)?,
+            ],
+        };
+        Some(Self { kind, channels })
+    }
 }
 
 #[cfg(test)]
@@ -187,6 +226,32 @@ mod tests {
     fn names_match_paper_headers() {
         assert_eq!(ReprKind::Histogram.name(), "CNN+Histogram");
         assert_eq!(ReprKind::BinaryDensity.name(), "CNN+Binary+Density");
+    }
+
+    #[test]
+    fn cancellation_stops_extraction_on_every_kind() {
+        use std::cell::Cell;
+        let m = diag(64);
+        let cfg = ReprConfig {
+            image_size: 8,
+            hist_rows: 8,
+            hist_bins: 4,
+        };
+        for kind in ReprKind::ALL {
+            // Never cancelled: identical to the plain extraction.
+            let r = MatrixRepr::extract_with_cancel(&m, kind, &cfg, &|| false).unwrap();
+            assert_eq!(r, MatrixRepr::extract(&m, kind, &cfg));
+            // Cancelled from the start: aborts at the first checkpoint.
+            assert!(MatrixRepr::extract_with_cancel(&m, kind, &cfg, &|| true).is_none());
+            // The checkpoint is actually polled, not just consulted once.
+            let polls = Cell::new(0u32);
+            let cancel_on_second = || {
+                polls.set(polls.get() + 1);
+                polls.get() > 1
+            };
+            let _ = MatrixRepr::extract_with_cancel(&m, kind, &cfg, &cancel_on_second);
+            assert!(polls.get() >= 1, "{kind:?}");
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! paper's down-sampling.
 
 use crate::image::Image;
+use crate::{CancelCheck, CANCEL_STRIDE};
 use dnnspmv_sparse::{CooMatrix, Scalar};
 
 #[inline]
@@ -15,26 +16,85 @@ fn cell(idx: usize, extent: usize, grid: usize) -> usize {
     (idx * grid / extent).min(grid - 1)
 }
 
+/// Shared scatter loop: applies `f(r, c)` to every nonzero, checking
+/// `cancel` every [`CANCEL_STRIDE`] entries. `false` means cancelled.
+fn scatter<S: Scalar>(
+    matrix: &CooMatrix<S>,
+    cancel: Option<CancelCheck>,
+    mut f: impl FnMut(usize, usize),
+) -> bool {
+    for (i, (r, c, _)) in matrix.iter().enumerate() {
+        if i % CANCEL_STRIDE == 0 {
+            if let Some(cb) = cancel {
+                if cb() {
+                    return false;
+                }
+            }
+        }
+        f(r, c);
+    }
+    true
+}
+
 /// Binary down-sampling (Figure 4b): cell is 1 iff its block contains
 /// at least one nonzero.
 pub fn binary<S: Scalar>(matrix: &CooMatrix<S>, size: usize) -> Image {
+    binary_impl(matrix, size, None).expect("no cancellation requested")
+}
+
+/// [`binary`] with a cancellation checkpoint; `None` once `cancel`
+/// reports `true`.
+pub fn binary_with_cancel<S: Scalar>(
+    matrix: &CooMatrix<S>,
+    size: usize,
+    cancel: CancelCheck,
+) -> Option<Image> {
+    binary_impl(matrix, size, Some(cancel))
+}
+
+fn binary_impl<S: Scalar>(
+    matrix: &CooMatrix<S>,
+    size: usize,
+    cancel: Option<CancelCheck>,
+) -> Option<Image> {
     assert!(size > 0, "representation size must be positive");
     let mut im = Image::zeros(size, size);
     let (m, n) = (matrix.nrows(), matrix.ncols());
-    for (r, c, _) in matrix.iter() {
+    let done = scatter(matrix, cancel, |r, c| {
         *im.get_mut(cell(r, m, size), cell(c, n, size)) = 1.0;
-    }
-    im
+    });
+    done.then_some(im)
 }
 
 /// Density map (Figure 5a): cell holds `nnz(block) / |block|`, a value
 /// in `[0, 1]` capturing within-block variation the binary map loses.
 pub fn density<S: Scalar>(matrix: &CooMatrix<S>, size: usize) -> Image {
+    density_impl(matrix, size, None).expect("no cancellation requested")
+}
+
+/// [`density`] with a cancellation checkpoint; `None` once `cancel`
+/// reports `true`.
+pub fn density_with_cancel<S: Scalar>(
+    matrix: &CooMatrix<S>,
+    size: usize,
+    cancel: CancelCheck,
+) -> Option<Image> {
+    density_impl(matrix, size, Some(cancel))
+}
+
+fn density_impl<S: Scalar>(
+    matrix: &CooMatrix<S>,
+    size: usize,
+    cancel: Option<CancelCheck>,
+) -> Option<Image> {
     assert!(size > 0, "representation size must be positive");
     let (m, n) = (matrix.nrows(), matrix.ncols());
     let mut counts = Image::zeros(size, size);
-    for (r, c, _) in matrix.iter() {
+    let done = scatter(matrix, cancel, |r, c| {
         *counts.get_mut(cell(r, m, size), cell(c, n, size)) += 1.0;
+    });
+    if !done {
+        return None;
     }
     // Exact block areas: the number of source rows/cols mapping to each
     // grid index (uneven when the extent does not divide the grid).
@@ -55,7 +115,7 @@ pub fn density<S: Scalar>(matrix: &CooMatrix<S>, size: usize) -> Image {
             }
         }
     }
-    counts
+    Some(counts)
 }
 
 #[cfg(test)]

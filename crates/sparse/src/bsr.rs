@@ -17,6 +17,20 @@ use serde::{Deserialize, Serialize};
 /// Block edge length used by the paper's GPU experiments.
 pub const DEFAULT_BLOCK_SIZE: usize = 4;
 
+/// Maximum materialised payload elements per stored nonzero accepted by
+/// [`BsrMatrix::from_coo`]. A matrix whose blocks are emptier than
+/// `1/DEFAULT_MAX_EXPANSION` can never win with BSR — padding dominates
+/// both memory and the dense inner kernel — so refusing it early guards
+/// the conversion path against hostile scatter patterns that would
+/// otherwise allocate `nnz * block^2` elements. Mirrors DIA's
+/// `DEFAULT_MAX_DIAGS` and ELL's `DEFAULT_MAX_WIDTH`.
+pub const DEFAULT_MAX_EXPANSION: usize = 8;
+
+/// Payload sizes at or below this many elements (8 MiB of `f64`) are
+/// always accepted: small matrices cannot blow memory up no matter how
+/// scattered they are, and the expansion cap only matters at scale.
+pub const PAYLOAD_GUARD_FLOOR: usize = 1 << 20;
+
 /// Sparse matrix in block sparse row form.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BsrMatrix<S: Scalar> {
@@ -37,15 +51,36 @@ pub struct BsrMatrix<S: Scalar> {
 
 impl<S: Scalar> BsrMatrix<S> {
     /// Converts from COO with the paper's default `4 x 4` blocks.
-    pub fn from_coo(coo: &CooMatrix<S>) -> Self {
+    ///
+    /// Refuses (with [`SparseError::TooManyBlocks`]) inputs whose block
+    /// payload would exceed [`DEFAULT_MAX_EXPANSION`] elements per
+    /// stored nonzero once past [`PAYLOAD_GUARD_FLOOR`] — the cap is
+    /// checked *before* the payload is allocated, so a hostile scatter
+    /// pattern cannot OOM the conversion path.
+    pub fn from_coo(coo: &CooMatrix<S>) -> Result<Self, SparseError> {
         Self::from_coo_with_block(coo, DEFAULT_BLOCK_SIZE)
     }
 
-    /// Converts from COO with an explicit block edge length.
+    /// Converts from COO with an explicit block edge length and the
+    /// default payload cap (see [`BsrMatrix::from_coo`]).
     ///
     /// # Panics
     /// Panics if `block == 0`.
-    pub fn from_coo_with_block(coo: &CooMatrix<S>, block: usize) -> Self {
+    pub fn from_coo_with_block(coo: &CooMatrix<S>, block: usize) -> Result<Self, SparseError> {
+        let cap = PAYLOAD_GUARD_FLOOR.max(coo.nnz().saturating_mul(DEFAULT_MAX_EXPANSION));
+        Self::from_coo_with_limit(coo, block, cap)
+    }
+
+    /// Converts from COO, refusing to materialise more than
+    /// `max_payload` block-payload elements (`nblocks * block^2`).
+    ///
+    /// # Panics
+    /// Panics if `block == 0`.
+    pub fn from_coo_with_limit(
+        coo: &CooMatrix<S>,
+        block: usize,
+        max_payload: usize,
+    ) -> Result<Self, SparseError> {
         assert!(block > 0, "block size must be positive");
         let nrows = coo.nrows();
         let ncols = coo.ncols();
@@ -64,6 +99,12 @@ impl<S: Scalar> BsrMatrix<S> {
             row_ptr[br + 1] = row_ptr[br] + per_browk[br].len();
         }
         let nblocks = row_ptr[mb];
+        if nblocks.saturating_mul(block * block) > max_payload {
+            return Err(SparseError::TooManyBlocks {
+                nblocks,
+                limit: max_payload / (block * block),
+            });
+        }
         let mut block_cols = Vec::with_capacity(nblocks);
         for cols in &per_browk {
             block_cols.extend_from_slice(cols);
@@ -77,7 +118,7 @@ impl<S: Scalar> BsrMatrix<S> {
             let bidx = row_ptr[br] + local;
             blocks[bidx * block * block + (r % block) * block + (c % block)] = v;
         }
-        Self {
+        Ok(Self {
             nrows,
             ncols,
             nnz: coo.nnz(),
@@ -86,7 +127,7 @@ impl<S: Scalar> BsrMatrix<S> {
             row_ptr,
             block_cols,
             blocks,
-        }
+        })
     }
 
     /// Converts back to canonical COO (padding dropped).
@@ -227,7 +268,7 @@ mod tests {
 
     #[test]
     fn block_structure_detected() {
-        let bsr = BsrMatrix::from_coo_with_block(&blocky(), 2);
+        let bsr = BsrMatrix::from_coo_with_block(&blocky(), 2).unwrap();
         // Block rows: {(0,0)}, {(1,1)}, {(2,0)} -> 3 blocks.
         assert_eq!(bsr.nblocks(), 3);
         assert_eq!(bsr.nnz(), 9);
@@ -238,7 +279,7 @@ mod tests {
     fn round_trip_through_coo() {
         let coo = blocky();
         for b in [1, 2, 3, 4, 7] {
-            let bsr = BsrMatrix::from_coo_with_block(&coo, b);
+            let bsr = BsrMatrix::from_coo_with_block(&coo, b).unwrap();
             assert_eq!(bsr.to_coo().unwrap(), coo, "block size {b}");
         }
     }
@@ -249,7 +290,7 @@ mod tests {
         let x = [1.0, 2.0, 3.0, 4.0, 5.0];
         let want = coo.spmv_alloc(&x);
         for b in [1, 2, 3, 4] {
-            let bsr = BsrMatrix::from_coo_with_block(&coo, b);
+            let bsr = BsrMatrix::from_coo_with_block(&coo, b).unwrap();
             let got = bsr.spmv_alloc(&x);
             for (a, w) in got.iter().zip(&want) {
                 assert!(a.approx_eq(*w, 1e-12), "block size {b}");
@@ -269,19 +310,20 @@ mod tests {
             }
         }
         let coo = CooMatrix::from_triplets(16, 16, &t).unwrap();
-        let bsr = BsrMatrix::from_coo(&coo);
+        let bsr = BsrMatrix::from_coo(&coo).unwrap();
         assert_eq!(bsr.fill_ratio(), 1.0);
-        // Scattered diagonal -> each entry alone in its block.
+        // Scattered diagonal -> each entry alone in its block. Small
+        // enough to pass the payload floor despite the 1/16 fill.
         let t: Vec<_> = (0..16).map(|i| (i, (i * 5) % 16, 1.0)).collect();
         let coo = CooMatrix::from_triplets(16, 16, &t).unwrap();
-        let bsr = BsrMatrix::from_coo(&coo);
+        let bsr = BsrMatrix::from_coo(&coo).unwrap();
         assert!(bsr.fill_ratio() <= 1.0 / 8.0);
     }
 
     #[test]
     fn block_size_one_equals_csr_semantics() {
         let coo = blocky();
-        let bsr = BsrMatrix::from_coo_with_block(&coo, 1);
+        let bsr = BsrMatrix::from_coo_with_block(&coo, 1).unwrap();
         assert_eq!(bsr.nblocks(), coo.nnz());
         assert_eq!(bsr.fill_ratio(), 1.0);
     }
@@ -304,7 +346,7 @@ mod tests {
             }
         }
         let coo = CooMatrix::from_triplets(n, n, &t).unwrap();
-        let bsr = BsrMatrix::from_coo(&coo);
+        let bsr = BsrMatrix::from_coo(&coo).unwrap();
         assert!(bsr.blocks.len() >= 1 << 14);
         let x: Vec<f64> = (0..n).map(|i| ((i % 29) as f64) * 0.3 - 4.0).collect();
         let mut y1 = vec![0.0; n];
@@ -321,5 +363,38 @@ mod tests {
     fn zero_block_size_panics() {
         let coo = CooMatrix::from_triplets(2, 2, &[(0, 0, 1.0)]).unwrap();
         let _ = BsrMatrix::from_coo_with_block(&coo, 0);
+    }
+
+    #[test]
+    fn explicit_payload_limit_refuses_scattered_pattern() {
+        // 64 nonzeros, each alone in its 4x4 block: payload = 64 * 16.
+        let t: Vec<_> = (0..64).map(|i| (i * 4, (i * 4 + 8) % 256, 1.0)).collect();
+        let coo = CooMatrix::from_triplets(256, 256, &t).unwrap();
+        let err = BsrMatrix::from_coo_with_limit(&coo, 4, 512).unwrap_err();
+        match err {
+            SparseError::TooManyBlocks { nblocks, limit } => {
+                assert_eq!(nblocks, 64);
+                assert_eq!(limit, 32);
+            }
+            other => panic!("expected TooManyBlocks, got {other:?}"),
+        }
+        // The same matrix converts fine with an adequate budget.
+        assert!(BsrMatrix::from_coo_with_limit(&coo, 4, 64 * 16).is_ok());
+    }
+
+    #[test]
+    fn default_cap_refuses_hostile_scatter_at_scale() {
+        // Past the floor, every nonzero alone in an 8x8 block means a
+        // 64x expansion — far beyond DEFAULT_MAX_EXPANSION.
+        let n = 40_000usize;
+        let t: Vec<_> = (0..n).map(|i| (i, (i * 13 + 7) % n, 1.0)).collect();
+        let coo = CooMatrix::from_triplets(n, n, &t).unwrap();
+        assert!(matches!(
+            BsrMatrix::from_coo_with_block(&coo, 8),
+            Err(SparseError::TooManyBlocks { .. })
+        ));
+        // The default 4x4 block expands 16x on the same pattern: payload
+        // 640k elements, under the 1 Mi floor, so it is still accepted.
+        assert!(BsrMatrix::from_coo(&coo).is_ok());
     }
 }

@@ -18,6 +18,9 @@ pub enum SparseError {
     TooManyDiagonals { ndiags: usize, limit: usize },
     /// Converting to ELL would materialise a row width above the limit.
     RowTooWide { width: usize, limit: usize },
+    /// Converting to BSR would materialise more dense blocks than the
+    /// fill-ratio cap allows (hostile scatter patterns would OOM).
+    TooManyBlocks { nblocks: usize, limit: usize },
     /// Structural invariant violated (sortedness, duplicate entry, ...).
     InvalidStructure(String),
     /// Input/x/y vector length did not match the matrix shape.
@@ -54,6 +57,10 @@ impl fmt::Display for SparseError {
             SparseError::RowTooWide { width, limit } => write!(
                 f,
                 "ELL conversion needs row width {width}, above the limit of {limit}"
+            ),
+            SparseError::TooManyBlocks { nblocks, limit } => write!(
+                f,
+                "BSR conversion would materialise {nblocks} blocks, above the limit of {limit}"
             ),
             SparseError::InvalidStructure(msg) => write!(f, "invalid structure: {msg}"),
             SparseError::DimensionMismatch {

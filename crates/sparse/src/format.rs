@@ -139,9 +139,9 @@ pub enum AnyMatrix<S: Scalar> {
 impl<S: Scalar> AnyMatrix<S> {
     /// Converts a canonical COO matrix into the requested format.
     ///
-    /// DIA and ELL conversions can fail when the matrix would blow their
-    /// padding limits — the same reason a real autotuner excludes those
-    /// formats for such matrices.
+    /// DIA, ELL, and BSR conversions can fail when the matrix would blow
+    /// their padding limits — the same reason a real autotuner excludes
+    /// those formats for such matrices.
     pub fn convert(coo: &CooMatrix<S>, format: SparseFormat) -> Result<Self, SparseError> {
         Ok(match format {
             SparseFormat::Coo => AnyMatrix::Coo(coo.clone()),
@@ -149,7 +149,7 @@ impl<S: Scalar> AnyMatrix<S> {
             SparseFormat::Dia => AnyMatrix::Dia(DiaMatrix::from_coo(coo)?),
             SparseFormat::Ell => AnyMatrix::Ell(EllMatrix::from_coo(coo)?),
             SparseFormat::Hyb => AnyMatrix::Hyb(HybMatrix::from_coo(coo)),
-            SparseFormat::Bsr => AnyMatrix::Bsr(BsrMatrix::from_coo(coo)),
+            SparseFormat::Bsr => AnyMatrix::Bsr(BsrMatrix::from_coo(coo)?),
             SparseFormat::Csr5 => AnyMatrix::Csr5(Csr5Matrix::from_coo(coo)),
         })
     }
@@ -168,16 +168,21 @@ impl<S: Scalar> AnyMatrix<S> {
     }
 
     /// Converts back to canonical COO.
-    pub fn to_coo(&self) -> CooMatrix<S> {
-        match self {
+    ///
+    /// Fallible because an `AnyMatrix` can arrive through
+    /// deserialization: a hostile payload may violate the structural
+    /// invariants `convert` would have established, and HYB/BSR report
+    /// that as a typed error instead of panicking.
+    pub fn to_coo(&self) -> Result<CooMatrix<S>, SparseError> {
+        Ok(match self {
             AnyMatrix::Coo(m) => m.clone(),
             AnyMatrix::Csr(m) => m.to_coo(),
             AnyMatrix::Dia(m) => m.to_coo(),
             AnyMatrix::Ell(m) => m.to_coo(),
-            AnyMatrix::Hyb(m) => m.to_coo().expect("stored matrix is valid"),
-            AnyMatrix::Bsr(m) => m.to_coo().expect("stored matrix is valid"),
+            AnyMatrix::Hyb(m) => m.to_coo()?,
+            AnyMatrix::Bsr(m) => m.to_coo()?,
             AnyMatrix::Csr5(m) => m.to_coo(),
-        }
+        })
     }
 
     fn as_spmv(&self) -> &dyn Spmv<S> {
@@ -263,7 +268,7 @@ mod tests {
         for f in SparseFormat::ALL {
             let any = AnyMatrix::convert(&coo, f).unwrap();
             assert_eq!(any.format(), f);
-            assert_eq!(any.to_coo(), coo, "format {f}");
+            assert_eq!(any.to_coo().unwrap(), coo, "format {f}");
         }
     }
 

@@ -7,6 +7,7 @@
 //! dnnspmv test    [--model FILE] [--matrices N] [--platform intel|amd|gpu]
 //! dnnspmv predict <matrix.mtx> [--model FILE]
 //! dnnspmv stats   <matrix.mtx>
+//! dnnspmv serve-bench [--json FILE] [--matrices N] [--epochs N]
 //! ```
 //!
 //! `train` fits a CNN selector on a synthetic dataset labelled by the
@@ -15,6 +16,11 @@
 //! held-out dataset. `predict` reads a MatrixMarket file and prints the
 //! chosen format (the artifact's example prints `CSR`). `stats` dumps a
 //! matrix's structural statistics and per-format cost estimates.
+//! `serve-bench` soaks the admission-controlled [`SelectorServer`]
+//! (burst shedding, breaker trip/recovery, hot reload under load) and
+//! writes latency/shed/breaker numbers to `BENCH_serve.json`.
+//!
+//! [`SelectorServer`]: dnnspmv::core::SelectorServer
 
 use dnnspmv::core::{make_samples, FormatSelector, SelectorConfig};
 use dnnspmv::gen::{Dataset, DatasetSpec};
@@ -226,12 +232,64 @@ fn cmd_stats(o: &Options) {
     }
 }
 
+fn cmd_serve_bench(args: &[String]) {
+    use dnnspmv_bench::serve::{run_serve_bench, ServeBenchConfig};
+    let mut cfg = ServeBenchConfig::default();
+    let mut json_path = String::from("BENCH_serve.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => {
+                i += 1;
+                json_path = need(args, i, "--json");
+            }
+            "--matrices" => {
+                i += 1;
+                cfg.matrices = need(args, i, "--matrices")
+                    .parse()
+                    .unwrap_or_else(|_| die("--matrices needs a number"));
+            }
+            "--epochs" => {
+                i += 1;
+                cfg.epochs = need(args, i, "--epochs")
+                    .parse()
+                    .unwrap_or_else(|_| die("--epochs needs a number"));
+            }
+            "--clients" => {
+                i += 1;
+                cfg.clients = need(args, i, "--clients")
+                    .parse()
+                    .unwrap_or_else(|_| die("--clients needs a number"));
+            }
+            "--requests" => {
+                i += 1;
+                cfg.requests_per_client = need(args, i, "--requests")
+                    .parse()
+                    .unwrap_or_else(|_| die("--requests needs a number"));
+            }
+            other => die(&format!("unknown serve-bench flag '{other}'")),
+        }
+        i += 1;
+    }
+    let report = run_serve_bench(&cfg);
+    eprint!("{}", report.render());
+    println!("{}", report.to_json());
+    report
+        .write_json(&json_path)
+        .unwrap_or_else(|e| die(&format!("writing {json_path}: {e}")));
+    eprintln!("wrote {json_path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!("usage: dnnspmv <train|test|predict|stats> [options]");
+        eprintln!("usage: dnnspmv <train|test|predict|stats|serve-bench> [options]");
         std::process::exit(2);
     };
+    if cmd == "serve-bench" {
+        cmd_serve_bench(&args[1..]);
+        return;
+    }
     let o = parse_options(&args[1..]);
     match cmd.as_str() {
         "train" => cmd_train(&o),

@@ -351,15 +351,44 @@ fn selector_service_degrades_cnn_to_tree_to_default() {
 }
 
 #[test]
+fn selector_server_serves_the_ladder_with_exact_accounting() {
+    use dnnspmv::core::{SelectorServer, ServeError, ServerConfig};
+    let data = small_dataset(37);
+    let intel = PlatformModel::intel_cpu();
+    let labels = label_dataset(&data.matrices, &intel);
+    let dt = DtSelector::train(&data.matrices, &labels, intel.formats().to_vec());
+    let svc = SelectorService::new(None, Some(dt)).unwrap();
+    let server: SelectorServer<f32> = SelectorServer::new(svc, ServerConfig::default());
+    for m in data.matrices.iter().take(8) {
+        let sel = server.select(m).unwrap();
+        assert_eq!(sel.source, SelectionSource::Tree);
+        assert!(intel.formats().contains(&sel.format));
+    }
+    server.shutdown();
+    assert!(matches!(
+        server.select(&data.matrices[0]),
+        Err(ServeError::ShuttingDown)
+    ));
+    let r = server.report();
+    assert_eq!(r.submitted, 9);
+    assert_eq!(r.served_tree, 8);
+    assert_eq!(r.rejected_shutdown, 1);
+    assert_eq!(r.accounted(), r.submitted);
+}
+
+#[test]
 fn any_matrix_conversion_round_trips_on_generated_data() {
     let data = small_dataset(19);
     for m in data.matrices.iter().take(12) {
         for f in SparseFormat::ALL {
             match AnyMatrix::convert(m, f) {
-                Ok(stored) => assert_eq!(stored.to_coo(), *m, "format {f}"),
+                Ok(stored) => assert_eq!(stored.to_coo().unwrap(), *m, "format {f}"),
                 Err(_) => {
                     // Only the padded formats may refuse.
-                    assert!(matches!(f, SparseFormat::Dia | SparseFormat::Ell));
+                    assert!(matches!(
+                        f,
+                        SparseFormat::Dia | SparseFormat::Ell | SparseFormat::Bsr
+                    ));
                 }
             }
         }

@@ -1,0 +1,520 @@
+//! Deterministic fault-injection tests for the admission-controlled
+//! selector server: burst load, deadlines, circuit breaker, hot
+//! reload, and exact counter accounting under parallel hammering.
+//!
+//! All timing-sensitive behaviour runs against an injected fake clock
+//! (an `AtomicU64` of nanoseconds advanced explicitly by the test or by
+//! fault hooks), so nothing here depends on scheduler luck.
+
+use dnnspmv::core::{
+    BreakerConfig, BreakerState, CnnFault, DtSelector, FormatSelector, SelectionSource,
+    SelectorConfig, SelectorServer, SelectorService, ServeError, ServeHooks, ServerConfig,
+};
+use dnnspmv::gen::{Dataset, DatasetSpec};
+use dnnspmv::nn::TrainConfig;
+use dnnspmv::platform::{label_dataset, PlatformModel};
+use dnnspmv::repr::ReprConfig;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Trained fixture, built once per test binary: a small CNN selector,
+/// the matching decision tree, and the dataset they were trained on.
+fn fixture() -> &'static (FormatSelector, DtSelector, Dataset) {
+    static FIXTURE: OnceLock<(FormatSelector, DtSelector, Dataset)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let data = Dataset::generate(&DatasetSpec {
+            n_base: 80,
+            n_augmented: 20,
+            dim_min: 48,
+            dim_max: 112,
+            seed: 41,
+            ..DatasetSpec::default()
+        });
+        let intel = PlatformModel::intel_cpu();
+        let labels = label_dataset(&data.matrices, &intel);
+        let cfg = SelectorConfig {
+            repr_config: ReprConfig {
+                image_size: 32,
+                hist_rows: 32,
+                hist_bins: 16,
+            },
+            cnn: dnnspmv::nn::CnnConfig {
+                conv_channels: [4, 8, 8],
+                hidden: 16,
+                seed: 5,
+            },
+            train: TrainConfig {
+                epochs: 2,
+                batch_size: 16,
+                lr: 2e-3,
+                ..TrainConfig::default()
+            },
+            ..SelectorConfig::default()
+        };
+        let (cnn, _) = FormatSelector::train_with_labels(
+            &data.matrices,
+            &labels,
+            intel.formats().to_vec(),
+            &cfg,
+        );
+        let dt = DtSelector::train(&data.matrices, &labels, intel.formats().to_vec());
+        (cnn, dt, data)
+    })
+}
+
+/// A full CNN+tree ladder with the confidence gate disabled, so every
+/// healthy CNN answer counts as a CNN answer.
+fn full_service() -> SelectorService {
+    let (cnn, dt, _) = fixture();
+    SelectorService::new(Some(cnn.clone()), Some(dt.clone()))
+        .unwrap()
+        .with_confidence_threshold(0.0)
+}
+
+fn fake_clock() -> (Arc<AtomicU64>, dnnspmv::core::ClockFn) {
+    let t = Arc::new(AtomicU64::new(0));
+    let tc = Arc::clone(&t);
+    (t, Arc::new(move || tc.load(Ordering::SeqCst)))
+}
+
+fn tight_breaker() -> BreakerConfig {
+    BreakerConfig {
+        failure_threshold: 3,
+        open_backoff: Duration::from_nanos(1_000),
+        max_backoff: Duration::from_nanos(8_000),
+    }
+}
+
+/// Acceptance (a): a burst beyond queue capacity is shed with a typed
+/// `Overloaded` error while every admitted request still completes, and
+/// the terminal counters account for every single submission.
+#[test]
+fn burst_load_sheds_overloaded_and_admitted_requests_complete() {
+    let (_, _, data) = fixture();
+    let (_, clock) = fake_clock();
+    // One worker, parked inside the CNN-fault hook until released, so
+    // the queue depth is fully under test control. The hook signals
+    // `entered` so the test knows when the worker has dequeued a job.
+    let (gate_tx, gate_rx) = mpsc::channel::<()>();
+    let (entered_tx, entered_rx) = mpsc::channel::<()>();
+    let gate_rx = Mutex::new(gate_rx);
+    let hooks = ServeHooks {
+        cnn_fault: Some(Arc::new(move |_seq| {
+            entered_tx.send(()).ok();
+            gate_rx.lock().unwrap().recv().ok();
+            CnnFault::None
+        })),
+    };
+    let cfg = ServerConfig {
+        workers: 1,
+        queue_capacity: 4,
+        ..ServerConfig::default()
+    };
+    let server = SelectorServer::with_parts(full_service(), cfg, hooks, clock);
+    let m = Arc::new(data.matrices[0].clone());
+
+    // First request occupies the worker (it blocks in the hook); once
+    // `entered` fires the queue is empty and the worker is busy, so
+    // the next four fill the queue exactly.
+    let mut pending = Vec::new();
+    pending.push(server.submit(Arc::clone(&m), None).unwrap());
+    entered_rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("worker never dequeued the first job");
+    for _ in 0..4 {
+        pending.push(server.submit(Arc::clone(&m), None).unwrap());
+    }
+    // The burst: every further submission must shed, immediately.
+    let mut shed = 0u64;
+    for _ in 0..7 {
+        match server.submit(Arc::clone(&m), None) {
+            Ok(_) => panic!("full queue must shed"),
+            Err(ServeError::Overloaded { capacity }) => {
+                assert_eq!(capacity, 4);
+                shed += 1;
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert_eq!(shed, 7);
+
+    // Release the worker: every admitted request completes.
+    for _ in 0..pending.len() {
+        gate_tx.send(()).ok();
+    }
+    let admitted = pending.len() as u64;
+    for p in pending {
+        let sel = p.wait().expect("admitted requests must be answered");
+        assert_eq!(sel.source, SelectionSource::Cnn);
+    }
+    let r = server.report();
+    assert_eq!(r.submitted, 12);
+    assert_eq!(r.shed, shed);
+    assert_eq!(r.served, admitted);
+    assert_eq!(r.accounted(), r.submitted, "no request lost: {r:?}");
+}
+
+/// Deadlines expire in two distinct places, and both are observable:
+/// while queued (checked at dequeue) and mid-flight (the cooperative
+/// cancellation checkpoint inside representation extraction fires).
+#[test]
+fn deadlines_expire_in_queue_and_in_flight() {
+    let (_, _, data) = fixture();
+    let (clock_raw, clock) = fake_clock();
+    let advance = Arc::clone(&clock_raw);
+    let hang = Arc::new(AtomicBool::new(false));
+    let hang_h = Arc::clone(&hang);
+    let hooks = ServeHooks {
+        cnn_fault: Some(Arc::new(move |_seq| {
+            if hang_h.load(Ordering::SeqCst) {
+                // A CNN latency spike: time jumps past any deadline
+                // before the forward pass starts.
+                advance.fetch_add(1_000_000, Ordering::SeqCst);
+            }
+            CnnFault::None
+        })),
+    };
+    let cfg = ServerConfig {
+        workers: 1,
+        queue_capacity: 16,
+        ..ServerConfig::default()
+    };
+    let server = SelectorServer::with_parts(full_service(), cfg, hooks, clock);
+    let m = Arc::new(data.matrices[1].clone());
+
+    // In-flight expiry: the hook simulates the hang.
+    hang.store(true, Ordering::SeqCst);
+    let err = server
+        .submit(Arc::clone(&m), Some(Duration::from_nanos(1_000)))
+        .unwrap()
+        .wait()
+        .expect_err("deadline must fire mid-flight");
+    assert_eq!(err, ServeError::DeadlineExceeded);
+    hang.store(false, Ordering::SeqCst);
+
+    // In-queue expiry: the deadline is already in the past relative to
+    // the (frozen) fake clock by the time the worker dequeues it.
+    clock_raw.fetch_add(10_000_000, Ordering::SeqCst);
+    let pend = server.submit(Arc::clone(&m), Some(Duration::ZERO)).unwrap();
+    assert_eq!(pend.wait(), Err(ServeError::DeadlineExceeded));
+
+    // A request with a generous deadline still completes.
+    let sel = server
+        .submit(Arc::clone(&m), Some(Duration::from_secs(3600)))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(sel.source, SelectionSource::Cnn);
+
+    let r = server.report();
+    assert_eq!(r.deadline_in_flight, 1);
+    assert_eq!(r.deadline_in_queue, 1);
+    assert_eq!(r.served_cnn, 1);
+    assert_eq!(r.accounted(), r.submitted);
+}
+
+/// Acceptance (b) + (c), hang flavour: a CNN that stalls past the
+/// deadline trips the breaker within `failure_threshold` requests, the
+/// tree keeps answering while the breaker is open, and the half-open
+/// probe restores the CNN once the fault clears.
+#[test]
+fn hung_cnn_trips_breaker_tree_answers_probe_restores() {
+    let (_, _, data) = fixture();
+    let (clock_raw, clock) = fake_clock();
+    let advance = Arc::clone(&clock_raw);
+    let hang = Arc::new(AtomicBool::new(true));
+    let hang_h = Arc::clone(&hang);
+    let hooks = ServeHooks {
+        cnn_fault: Some(Arc::new(move |_seq| {
+            if hang_h.load(Ordering::SeqCst) {
+                advance.fetch_add(1_000_000, Ordering::SeqCst);
+            }
+            CnnFault::None
+        })),
+    };
+    let cfg = ServerConfig {
+        workers: 1,
+        queue_capacity: 16,
+        breaker: tight_breaker(),
+        ..ServerConfig::default()
+    };
+    let server = SelectorServer::with_parts(full_service(), cfg, hooks, clock);
+    let m = Arc::new(data.matrices[2].clone());
+    let deadline = Some(Duration::from_nanos(1_000));
+
+    // Three hung requests (submitted one at a time so each is admitted
+    // before the previous hook advanced the clock) trip the breaker.
+    for i in 0..3 {
+        let err = server.submit(Arc::clone(&m), deadline).unwrap().wait();
+        assert_eq!(err, Err(ServeError::DeadlineExceeded), "request {i}");
+    }
+    let r = server.report();
+    assert_eq!(r.breaker.state, BreakerState::Open, "{r:?}");
+    assert_eq!(r.breaker.to_open, 1);
+
+    // While open: traffic is demoted, the tree answers, and the hook
+    // (i.e. the faulty CNN) is never consulted.
+    for _ in 0..4 {
+        let sel = server
+            .submit(Arc::clone(&m), deadline)
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(sel.source, SelectionSource::Tree);
+    }
+    let r = server.report();
+    assert_eq!(r.breaker_demoted, 4);
+    assert_eq!(r.served_tree, 4);
+
+    // Fault clears, backoff elapses: the next request is the half-open
+    // probe, the CNN answers, and the breaker closes.
+    hang.store(false, Ordering::SeqCst);
+    clock_raw.fetch_add(10_000, Ordering::SeqCst);
+    let sel = server
+        .submit(Arc::clone(&m), deadline)
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(sel.source, SelectionSource::Cnn);
+    let r = server.report();
+    assert_eq!(r.breaker.state, BreakerState::Closed);
+    assert_eq!(r.probes_ok, 1);
+    assert_eq!((r.breaker.to_half_open, r.breaker.to_closed), (1, 1));
+
+    // Closed again: ordinary traffic flows to the CNN.
+    let sel = server
+        .submit(Arc::clone(&m), deadline)
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(sel.source, SelectionSource::Cnn);
+    assert_eq!(server.report().accounted(), server.report().submitted);
+}
+
+/// Acceptance (b), panic flavour: a panicking CNN never loses the
+/// request — the tree rung answers it — and a failed probe reopens the
+/// breaker with a doubled backoff.
+#[test]
+fn panicking_cnn_is_contained_and_failed_probe_doubles_backoff() {
+    let (_, _, data) = fixture();
+    let (clock_raw, clock) = fake_clock();
+    let panicking = Arc::new(AtomicBool::new(true));
+    let p_h = Arc::clone(&panicking);
+    let hooks = ServeHooks {
+        cnn_fault: Some(Arc::new(move |_seq| {
+            if p_h.load(Ordering::SeqCst) {
+                CnnFault::Panic
+            } else {
+                CnnFault::None
+            }
+        })),
+    };
+    let cfg = ServerConfig {
+        workers: 1,
+        queue_capacity: 16,
+        breaker: tight_breaker(),
+        ..ServerConfig::default()
+    };
+    let server = SelectorServer::with_parts(full_service(), cfg, hooks, clock);
+    let m = Arc::new(data.matrices[3].clone());
+
+    // Every request during the panic storm is still answered (by the
+    // tree), and the third one trips the breaker.
+    for _ in 0..3 {
+        let sel = server.submit(Arc::clone(&m), None).unwrap().wait().unwrap();
+        assert_eq!(sel.source, SelectionSource::Tree);
+    }
+    let r = server.report();
+    assert_eq!(r.breaker.state, BreakerState::Open);
+    assert_eq!(r.ladder.cnn_panic, 3, "{r:?}");
+
+    // Backoff elapses but the fault persists: the probe fails, the
+    // breaker reopens, and the backoff doubles.
+    clock_raw.fetch_add(2_000, Ordering::SeqCst);
+    let sel = server.submit(Arc::clone(&m), None).unwrap().wait().unwrap();
+    assert_eq!(sel.source, SelectionSource::Tree);
+    let r = server.report();
+    assert_eq!(r.probes_failed, 1);
+    assert_eq!(r.breaker.state, BreakerState::Open);
+    assert_eq!(r.breaker.current_backoff_ns, 2_000);
+
+    // Fault clears; after the doubled backoff the probe succeeds.
+    panicking.store(false, Ordering::SeqCst);
+    clock_raw.fetch_add(10_000, Ordering::SeqCst);
+    let sel = server.submit(Arc::clone(&m), None).unwrap().wait().unwrap();
+    assert_eq!(sel.source, SelectionSource::Cnn);
+    assert_eq!(server.report().breaker.state, BreakerState::Closed);
+    assert_eq!(server.report().accounted(), server.report().submitted);
+}
+
+/// Acceptance (d): a corrupt artefact is rejected with a typed error
+/// while the old model keeps serving; a valid artefact swaps in
+/// atomically and bumps the generation, and ladder counters survive
+/// the swap (retired generations still count).
+#[test]
+fn hot_reload_rejects_corrupt_artefact_and_swaps_valid_one() {
+    let (cnn, _, data) = fixture();
+    let (_, clock) = fake_clock();
+    let server: SelectorServer<f32> = SelectorServer::with_parts(
+        full_service(),
+        ServerConfig {
+            workers: 1,
+            reload_attempts: 1,
+            ..ServerConfig::default()
+        },
+        ServeHooks::default(),
+        clock,
+    );
+    let m = Arc::new(data.matrices[4].clone());
+    let sel_before = server.submit(Arc::clone(&m), None).unwrap().wait().unwrap();
+    assert_eq!(sel_before.source, SelectionSource::Cnn);
+
+    let dir = std::env::temp_dir().join(format!("dnnspmv-serve-reload-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.json");
+    let path_s = path.to_string_lossy().into_owned();
+    cnn.save(&path_s).unwrap();
+
+    // Corrupt artefact (payload bit-flip trips the envelope checksum):
+    // typed rejection, generation unchanged, old model still serving.
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::write(&path, text.replacen("formats", "f0rmats", 1)).unwrap();
+    let err = server.reload_model(&path).expect_err("corrupt artefact");
+    assert!(matches!(err, ServeError::Reload(_)), "{err:?}");
+    assert_eq!(server.model_generation(), 0);
+    let sel_mid = server.submit(Arc::clone(&m), None).unwrap().wait().unwrap();
+    assert_eq!(sel_mid.format, sel_before.format);
+
+    // Valid artefact: swap succeeds, generation bumps, answers agree
+    // with the artefact we wrote, and pre-swap ladder counts survive.
+    std::fs::write(&path, &text).unwrap();
+    let generation = server.reload_model(&path).unwrap();
+    assert_eq!(generation, 1);
+    let sel_after = server.submit(Arc::clone(&m), None).unwrap().wait().unwrap();
+    assert_eq!(sel_after.format, cnn.predict(&data.matrices[4]));
+    let r = server.report();
+    assert_eq!((r.reloads_ok, r.reloads_rejected), (1, 1));
+    assert_eq!(r.model_generation, 1);
+    assert_eq!(r.served_cnn, 3);
+    assert_eq!(
+        r.ladder.answered(),
+        3,
+        "retired-generation counters must survive the swap: {r:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite 3: rayon callers hammer one server concurrently; the
+/// terminal counters must sum exactly to the submissions — no request
+/// lost, none double-counted — and the server-side rung counters must
+/// agree with the ladder's own counters.
+#[test]
+fn rayon_stress_counters_sum_exactly() {
+    let (_, _, data) = fixture();
+    let server: SelectorServer<f32> = SelectorServer::new(
+        full_service(),
+        ServerConfig {
+            workers: 3,
+            queue_capacity: 8,
+            ..ServerConfig::default()
+        },
+    );
+    let total = 256usize;
+    let outcomes: Vec<Result<SelectionSource, ServeError>> = (0..total)
+        .into_par_iter()
+        .map(|i| {
+            let m = Arc::new(data.matrices[i % data.matrices.len()].clone());
+            server
+                .submit(m, None)
+                .and_then(|p| p.wait())
+                .map(|s| s.source)
+        })
+        .collect();
+    let served = outcomes.iter().filter(|o| o.is_ok()).count() as u64;
+    let shed = outcomes
+        .iter()
+        .filter(|o| matches!(o, Err(ServeError::Overloaded { .. })))
+        .count() as u64;
+    assert_eq!(served + shed, total as u64, "unexpected outcome kinds");
+
+    let r = server.report();
+    assert_eq!(r.submitted, total as u64);
+    assert_eq!(r.shed, shed);
+    assert_eq!(r.served, served);
+    assert_eq!(r.accounted(), r.submitted, "{r:?}");
+    // The ladder saw exactly the admitted requests.
+    assert_eq!(r.ladder.answered(), served);
+    assert_eq!(r.served_cnn, r.ladder.cnn_ok);
+    assert_eq!(r.served_tree, r.ladder.tree_ok);
+}
+
+/// Time-boxed soak for CI (`--ignored`): sustained parallel load with
+/// periodic hot reloads for a fixed wall-clock budget, then the same
+/// exactness checks as the stress test.
+#[test]
+#[ignore = "soak: run explicitly (CI runs it release, time-boxed)"]
+fn soak_sustained_load_with_reloads_stays_consistent() {
+    let (cnn, _, data) = fixture();
+    let server: Arc<SelectorServer<f32>> = Arc::new(SelectorServer::new(
+        full_service(),
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 16,
+            default_deadline: Some(Duration::from_secs(5)),
+            ..ServerConfig::default()
+        },
+    ));
+    let dir = std::env::temp_dir().join(format!("dnnspmv-serve-soak-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.json");
+    cnn.save(path.to_string_lossy().as_ref()).unwrap();
+
+    let stop_at = std::time::Instant::now() + Duration::from_secs(10);
+    let reloader = {
+        let server = Arc::clone(&server);
+        let path = path.clone();
+        std::thread::spawn(move || {
+            let mut ok = 0u64;
+            while std::time::Instant::now() < stop_at {
+                ok += u64::from(server.reload_model(&path).is_ok());
+                std::thread::sleep(Duration::from_millis(250));
+            }
+            ok
+        })
+    };
+    let (served, shed, expired): (u64, u64, u64) = (0..8usize)
+        .into_par_iter()
+        .map(|t| {
+            let mut tally = (0u64, 0u64, 0u64);
+            let mut i = t;
+            while std::time::Instant::now() < stop_at {
+                let m = Arc::new(data.matrices[i % data.matrices.len()].clone());
+                match server
+                    .submit(m, Some(Duration::from_secs(5)))
+                    .and_then(|p| p.wait())
+                {
+                    Ok(_) => tally.0 += 1,
+                    Err(ServeError::Overloaded { .. }) => tally.1 += 1,
+                    Err(ServeError::DeadlineExceeded) => tally.2 += 1,
+                    Err(e) => panic!("unexpected soak error: {e}"),
+                }
+                i += 7;
+            }
+            tally
+        })
+        .reduce(|| (0, 0, 0), |a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2));
+    let reloads = reloader.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let r = server.report();
+    assert!(served > 0, "soak served nothing: {r:?}");
+    assert!(reloads > 0, "soak never reloaded");
+    assert_eq!(r.submitted, served + shed + expired);
+    assert_eq!(r.served, served);
+    assert_eq!(r.shed, shed);
+    assert_eq!(r.deadline_in_queue + r.deadline_in_flight, expired);
+    assert_eq!(r.accounted(), r.submitted, "{r:?}");
+    assert_eq!(r.reloads_ok, reloads);
+}
