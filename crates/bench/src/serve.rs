@@ -11,17 +11,29 @@
 //!    CNN, and a hot model reload swaps a new generation in mid-load.
 //!
 //! Per-phase p50/p99/max latency, the overall shed rate, and the
-//! breaker transition counts go to `BENCH_serve.json`.
+//! breaker transition counts go to `BENCH_serve.json`. Phase stats are
+//! read straight off the server's metrics registry: clients record
+//! their observed latencies into per-phase registry histograms and the
+//! digests are [`HistogramSnapshot`] quantiles — the same arithmetic
+//! every other exporter uses, not a private percentile routine.
+//!
+//! [`run_overhead_smoke`] measures what the instrumentation itself
+//! costs: two identical steady-phase soaks, one with the server's
+//! latency histograms enabled and one with them disabled
+//! ([`ServerConfig::latency_metrics`]), clients timing both sides the
+//! same way. CI fails if the instrumented p50 regresses more than 10 %.
 
 use dnnspmv_core::{
     BreakerConfig, BreakerState, CnnFault, DtSelector, FormatSelector, SelectorServer,
     SelectorService, ServeError, ServeHooks, ServerConfig, ServerReport,
 };
 use dnnspmv_gen::{Dataset, DatasetSpec};
+use dnnspmv_obs::{HistogramSnapshot, LatencyHistogram};
 use dnnspmv_platform::{label_dataset, PlatformModel};
+use dnnspmv_sparse::CooMatrix;
 use serde::Serialize;
 use std::sync::atomic::{AtomicU8, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Soak parameters.
@@ -98,62 +110,80 @@ pub struct ServeBenchReport {
     pub server: ServerReport,
 }
 
-fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
-    if sorted_ms.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted_ms.len() - 1) as f64 * q).round() as usize;
-    sorted_ms[idx]
-}
-
-fn phase_stats(name: &str, latencies_ms: &mut [f64], shed: u64) -> PhaseStats {
-    latencies_ms.sort_by(|a, b| a.total_cmp(b));
-    PhaseStats {
-        phase: name.to_string(),
-        served: latencies_ms.len() as u64,
-        shed,
-        p50_ms: percentile(latencies_ms, 0.50),
-        p99_ms: percentile(latencies_ms, 0.99),
-        max_ms: latencies_ms.last().copied().unwrap_or(0.0),
+impl PhaseStats {
+    /// Builds a phase digest from a latency-histogram snapshot — the
+    /// one percentile implementation (`HistogramSnapshot::quantile`)
+    /// this crate uses.
+    pub fn from_histogram(phase: &str, snap: &HistogramSnapshot, shed: u64) -> Self {
+        Self {
+            phase: phase.to_string(),
+            served: snap.count,
+            shed,
+            p50_ms: snap.p50() as f64 / 1e6,
+            p99_ms: snap.p99() as f64 / 1e6,
+            max_ms: snap.max as f64 / 1e6,
+        }
     }
 }
 
-/// One phase of parallel hammering; returns served latencies and the
-/// number of sheds observed by the clients.
-fn drive_phase(
+/// Parallel hammering: `clients` threads each send
+/// `requests_per_client` requests, recording every served request's
+/// submit→answer latency into `latency`. All clients have joined (so
+/// every accepted request has completed) by the time this returns.
+fn hammer(
     server: &SelectorServer<f32>,
-    matrices: &[dnnspmv_sparse::CooMatrix<f32>],
+    matrices: &[CooMatrix<f32>],
     clients: usize,
     requests_per_client: usize,
-) -> (Vec<f64>, u64) {
-    let latencies = Mutex::new(Vec::new());
-    let shed = Mutex::new(0u64);
+    latency: &LatencyHistogram,
+) {
     std::thread::scope(|scope| {
         for c in 0..clients {
-            let latencies = &latencies;
-            let shed = &shed;
             scope.spawn(move || {
-                let mut mine = Vec::with_capacity(requests_per_client);
-                let mut my_shed = 0u64;
                 for r in 0..requests_per_client {
                     let m = Arc::new(matrices[(c * 31 + r * 7) % matrices.len()].clone());
                     let t0 = Instant::now();
                     match server.submit(m, None).and_then(|p| p.wait()) {
-                        Ok(_) => mine.push(t0.elapsed().as_secs_f64() * 1e3),
-                        Err(ServeError::Overloaded { .. }) => my_shed += 1,
+                        Ok(_) => latency.record(t0.elapsed().as_nanos() as u64),
+                        Err(ServeError::Overloaded { .. }) => {}
                         Err(e) => panic!("soak: unexpected error {e}"),
                     }
                 }
-                latencies.lock().unwrap().extend(mine);
-                *shed.lock().unwrap() += my_shed;
             });
         }
     });
-    (latencies.into_inner().unwrap(), shed.into_inner().unwrap())
 }
 
-/// Runs the full three-phase soak and returns the report.
-pub fn run_serve_bench(cfg: &ServeBenchConfig) -> ServeBenchReport {
+fn shed_total(server: &SelectorServer<f32>) -> u64 {
+    server
+        .metrics_snapshot()
+        .counter("serve_outcome_total", &[("outcome", "shed")])
+        .unwrap_or(0)
+}
+
+/// One phase of parallel hammering. Client latencies land in the
+/// server registry (`bench_client_latency_ns{phase}`); the digest and
+/// the phase's shed count are read back off that same registry.
+fn drive_phase(
+    server: &SelectorServer<f32>,
+    matrices: &[CooMatrix<f32>],
+    clients: usize,
+    requests_per_client: usize,
+    phase: &str,
+) -> PhaseStats {
+    let latency = server
+        .registry()
+        .histogram("bench_client_latency_ns", &[("phase", phase)]);
+    let shed_before = shed_total(server);
+    hammer(server, matrices, clients, requests_per_client, &latency);
+    let shed = shed_total(server) - shed_before;
+    PhaseStats::from_histogram(phase, &latency.snapshot(), shed)
+}
+
+/// Trains the soak fixture: a small CNN+tree pair plus the matrices
+/// the clients will submit. Shared by [`run_serve_bench`] and
+/// [`run_overhead_smoke`] (the smoke trains once and serves twice).
+fn trained_parts(cfg: &ServeBenchConfig) -> (FormatSelector, DtSelector, Vec<CooMatrix<f32>>) {
     let data = Dataset::generate(&DatasetSpec {
         n_base: (cfg.matrices * 8) / 10,
         n_augmented: cfg.matrices - (cfg.matrices * 8) / 10,
@@ -179,6 +209,12 @@ pub fn run_serve_bench(cfg: &ServeBenchConfig) -> ServeBenchReport {
         &sel_cfg,
     );
     let dt = DtSelector::train(&data.matrices, &labels, intel.formats().to_vec());
+    (cnn, dt, data.matrices)
+}
+
+/// Runs the full three-phase soak and returns the report.
+pub fn run_serve_bench(cfg: &ServeBenchConfig) -> ServeBenchReport {
+    let (cnn, dt, matrices) = trained_parts(cfg);
     let service = SelectorService::new(Some(cnn.clone()), Some(dt))
         .expect("freshly trained predictors validate")
         .with_confidence_threshold(0.0);
@@ -214,23 +250,23 @@ pub fn run_serve_bench(cfg: &ServeBenchConfig) -> ServeBenchReport {
     let mut phases = Vec::new();
 
     // Phase 1: steady healthy load.
-    let (mut lat, shed) = drive_phase(
+    phases.push(drive_phase(
         &server,
-        &data.matrices,
+        &matrices,
         cfg.clients,
         cfg.requests_per_client,
-    );
-    phases.push(phase_stats("steady", &mut lat, shed));
+        "steady",
+    ));
 
     // Phase 2: panic storm — the tree must keep answering.
     fault_phase.store(1, Ordering::SeqCst);
-    let (mut lat, shed) = drive_phase(
+    phases.push(drive_phase(
         &server,
-        &data.matrices,
+        &matrices,
         cfg.clients,
         cfg.requests_per_client,
-    );
-    phases.push(phase_stats("fault", &mut lat, shed));
+        "fault",
+    ));
 
     // Phase 3: fault clears; a hot reload swaps a new generation in
     // mid-load, and the half-open probe restores the CNN.
@@ -241,18 +277,18 @@ pub fn run_serve_bench(cfg: &ServeBenchConfig) -> ServeBenchReport {
     cnn.save(model_path.to_string_lossy().as_ref())
         .expect("save soak model");
     server.reload_model(&model_path).expect("hot reload");
-    let (mut lat, shed) = drive_phase(
+    phases.push(drive_phase(
         &server,
-        &data.matrices,
+        &matrices,
         cfg.clients,
         cfg.requests_per_client,
-    );
-    phases.push(phase_stats("recovery", &mut lat, shed));
+        "recovery",
+    ));
     // Trickle requests until the half-open probe has closed the
     // breaker (bounded: the backoff cap is 50 ms).
     let give_up = Instant::now() + Duration::from_secs(10);
     while server.report().breaker.state != BreakerState::Closed && Instant::now() < give_up {
-        let m = Arc::new(data.matrices[0].clone());
+        let m = Arc::new(matrices[0].clone());
         let _ = server.submit(m, None).and_then(|p| p.wait());
         std::thread::sleep(Duration::from_millis(5));
     }
@@ -268,6 +304,132 @@ pub fn run_serve_bench(cfg: &ServeBenchConfig) -> ServeBenchReport {
         reloads_ok: report.reloads_ok,
         accounting_exact: report.accounted() == report.submitted,
         server: report,
+    }
+}
+
+/// Result of the instrumentation-overhead smoke (`serve-bench --quick`).
+#[derive(Debug, Clone, Serialize)]
+pub struct OverheadReport {
+    /// Best baseline (latency metrics off) median, milliseconds.
+    pub baseline_p50_ms: f64,
+    /// Best instrumented (latency metrics on) median, milliseconds.
+    pub instrumented_p50_ms: f64,
+    /// instrumented_p50 / baseline_p50.
+    pub p50_ratio: f64,
+    /// Best baseline p99, milliseconds (context, not gated).
+    pub baseline_p99_ms: f64,
+    /// Best instrumented p99, milliseconds (context, not gated).
+    pub instrumented_p99_ms: f64,
+    /// Requests served per side across all rounds.
+    pub served_per_side: u64,
+    /// The CI gate: ratio above this fails the smoke.
+    pub max_ratio: f64,
+}
+
+impl OverheadReport {
+    /// Whether the instrumented server stayed within the overhead gate.
+    pub fn within_budget(&self) -> bool {
+        self.p50_ratio <= self.max_ratio
+    }
+
+    /// The report as a JSON line.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("serialisable report")
+    }
+
+    /// Human-readable one-liner.
+    pub fn render(&self) -> String {
+        format!(
+            "overhead smoke: baseline p50 {:.3} ms, instrumented p50 {:.3} ms, ratio {:.3} (gate {:.2}) — {}\n",
+            self.baseline_p50_ms,
+            self.instrumented_p50_ms,
+            self.p50_ratio,
+            self.max_ratio,
+            if self.within_budget() { "PASS" } else { "FAIL" }
+        )
+    }
+}
+
+/// Measures what the serve-path latency instrumentation costs.
+///
+/// Trains once, then runs alternating healthy steady-state soaks
+/// against two servers built from the same model: one with
+/// [`ServerConfig::latency_metrics`] off (baseline) and one with it on
+/// (instrumented). Clients time both sides identically into *detached*
+/// histograms (not the servers' registries), so the measurement
+/// overhead is the same on both sides and the only difference is the
+/// instrumentation under test. Interleaving rounds (b,i,b,i) and taking
+/// the best p50 per side de-noises machine jitter the same way
+/// min-of-N benchmarking does.
+pub fn run_overhead_smoke(cfg: &ServeBenchConfig, max_ratio: f64) -> OverheadReport {
+    let (cnn, dt, matrices) = trained_parts(cfg);
+    let build_server = |latency_metrics: bool| -> SelectorServer<f32> {
+        let service = SelectorService::new(Some(cnn.clone()), Some(dt.clone()))
+            .expect("freshly trained predictors validate")
+            .with_confidence_threshold(0.0);
+        SelectorServer::new(
+            service,
+            ServerConfig {
+                workers: cfg.workers,
+                // Deep queue: shedding would add scheduling noise to
+                // exactly the latencies being compared.
+                queue_capacity: cfg.clients * cfg.requests_per_client,
+                latency_metrics,
+                ..ServerConfig::default()
+            },
+        )
+    };
+    let baseline = build_server(false);
+    let instrumented = build_server(true);
+
+    // min-of-3 per side: p50s quantize to the histogram's 6.25 %
+    // buckets, so one noisy round can move a side by a full bucket;
+    // three interleaved rounds make a two-bucket excursion (which would
+    // breach the 10 % gate) vanishingly unlikely.
+    const ROUNDS: usize = 3;
+    let mut base_snaps: Vec<HistogramSnapshot> = Vec::new();
+    let mut inst_snaps: Vec<HistogramSnapshot> = Vec::new();
+    for _ in 0..ROUNDS {
+        for (server, snaps) in [
+            (&baseline, &mut base_snaps),
+            (&instrumented, &mut inst_snaps),
+        ] {
+            let hist = LatencyHistogram::new();
+            hammer(
+                server,
+                &matrices,
+                cfg.clients,
+                cfg.requests_per_client,
+                &hist,
+            );
+            snaps.push(hist.snapshot());
+        }
+    }
+
+    let best_p50 = |snaps: &[HistogramSnapshot]| {
+        snaps
+            .iter()
+            .map(|s| s.p50())
+            .min()
+            .expect("at least one round")
+    };
+    let best_p99 = |snaps: &[HistogramSnapshot]| {
+        snaps
+            .iter()
+            .map(|s| s.p99())
+            .min()
+            .expect("at least one round")
+    };
+    let base_p50 = best_p50(&base_snaps) as f64;
+    let inst_p50 = best_p50(&inst_snaps) as f64;
+    OverheadReport {
+        baseline_p50_ms: base_p50 / 1e6,
+        instrumented_p50_ms: inst_p50 / 1e6,
+        p50_ratio: inst_p50 / base_p50.max(1.0),
+        baseline_p99_ms: best_p99(&base_snaps) as f64 / 1e6,
+        instrumented_p99_ms: best_p99(&inst_snaps) as f64 / 1e6,
+        served_per_side: base_snaps.iter().map(|s| s.count).sum(),
+        max_ratio,
     }
 }
 
@@ -309,12 +471,29 @@ mod tests {
     use super::*;
 
     #[test]
-    fn percentile_handles_small_and_empty_inputs() {
-        assert_eq!(percentile(&[], 0.5), 0.0);
-        assert_eq!(percentile(&[3.0], 0.99), 3.0);
-        let v = [1.0, 2.0, 3.0, 4.0];
-        assert_eq!(percentile(&v, 0.0), 1.0);
-        assert_eq!(percentile(&v, 1.0), 4.0);
+    fn phase_stats_come_from_histogram_snapshot_quantiles() {
+        let h = LatencyHistogram::new();
+        for ms in [1u64, 2, 3, 4] {
+            h.record(ms * 1_000_000);
+        }
+        let snap = h.snapshot();
+        let s = PhaseStats::from_histogram("steady", &snap, 7);
+        assert_eq!(s.phase, "steady");
+        assert_eq!(s.served, 4);
+        assert_eq!(s.shed, 7);
+        assert_eq!(s.max_ms, 4.0);
+        // Quantiles use the shared snapshot arithmetic: the bucket
+        // holding the ⌈q·n⌉-th sample, within one bucket's width.
+        assert!((s.p50_ms - 2.0).abs() / 2.0 < 0.07, "{}", s.p50_ms);
+        assert!((s.p99_ms - 4.0).abs() / 4.0 < 0.07, "{}", s.p99_ms);
+    }
+
+    #[test]
+    fn empty_histogram_yields_zero_stats() {
+        let h = LatencyHistogram::new();
+        let s = PhaseStats::from_histogram("fault", &h.snapshot(), 0);
+        assert_eq!((s.served, s.shed), (0, 0));
+        assert_eq!((s.p50_ms, s.p99_ms, s.max_ms), (0.0, 0.0, 0.0));
     }
 
     #[test]

@@ -29,6 +29,13 @@
 //! Time is injected ([`ClockFn`]), and [`ServeHooks`] can inject CNN
 //! faults per request, so every failure mode above is testable
 //! deterministically.
+//!
+//! Every counter the server keeps lives in a [`Registry`]
+//! (`dnnspmv-obs`): [`SelectorServer::report`] is a typed view over a
+//! registry snapshot, [`SelectorServer::metrics_snapshot`] exposes the
+//! raw snapshot for exporters, and the same registry is shared with
+//! every hot-reloaded model generation, so ladder counters survive
+//! swaps without any merge step.
 
 use crate::error::SelectorError;
 use crate::selector::FormatSelector;
@@ -37,6 +44,7 @@ use crate::service::{
     ServiceReport,
 };
 use dnnspmv_nn::NnError;
+use dnnspmv_obs::{Counter, Gauge, GaugeGuard, LatencyHistogram, MetricsSnapshot, Registry};
 use dnnspmv_sparse::{CooMatrix, Scalar};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -47,16 +55,7 @@ use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
 use std::thread;
 use std::time::Duration;
 
-/// Injectable monotonic clock returning nanoseconds since an arbitrary
-/// epoch. Production uses [`system_clock`]; tests drive a fake.
-pub type ClockFn = Arc<dyn Fn() -> u64 + Send + Sync>;
-
-/// Monotonic wall clock (nanoseconds since first use).
-pub fn system_clock() -> ClockFn {
-    static EPOCH: std::sync::OnceLock<std::time::Instant> = std::sync::OnceLock::new();
-    let epoch = *EPOCH.get_or_init(std::time::Instant::now);
-    Arc::new(move || epoch.elapsed().as_nanos() as u64)
-}
+pub use dnnspmv_obs::{system_clock, ClockFn};
 
 /// Circuit-breaker tuning.
 #[derive(Debug, Clone, Copy)]
@@ -326,6 +325,12 @@ pub struct ServerConfig {
     pub reload_attempts: u32,
     /// Backoff before the first reload retry (doubles per retry).
     pub reload_backoff: Duration,
+    /// Record per-request latency histograms (queue wait, handle time).
+    /// Outcome counters are always kept — they are the accounting the
+    /// reports are built from — but the extra clock reads and histogram
+    /// stores can be switched off, which is how the overhead smoke
+    /// measures an uninstrumented baseline.
+    pub latency_metrics: bool,
 }
 
 impl Default for ServerConfig {
@@ -337,25 +342,71 @@ impl Default for ServerConfig {
             breaker: BreakerConfig::default(),
             reload_attempts: 3,
             reload_backoff: Duration::from_millis(20),
+            latency_metrics: true,
         }
     }
 }
 
-#[derive(Debug, Default)]
-struct ServerCounters {
-    submitted: AtomicU64,
-    shed: AtomicU64,
-    rejected_shutdown: AtomicU64,
-    served_cnn: AtomicU64,
-    served_tree: AtomicU64,
-    served_default: AtomicU64,
-    deadline_in_queue: AtomicU64,
-    deadline_in_flight: AtomicU64,
-    breaker_demoted: AtomicU64,
-    probes_ok: AtomicU64,
-    probes_failed: AtomicU64,
-    reloads_ok: AtomicU64,
-    reloads_rejected: AtomicU64,
+/// Registry-backed server metrics. Handles are bound once at
+/// construction, so the hot path records through pre-resolved atomic
+/// cells — never through the registry's maps.
+#[derive(Debug)]
+struct ServerMetrics {
+    registry: Registry,
+    submitted: Counter,
+    shed: Counter,
+    rejected_shutdown: Counter,
+    served_cnn: Counter,
+    served_tree: Counter,
+    served_default: Counter,
+    deadline_in_queue: Counter,
+    deadline_in_flight: Counter,
+    breaker_demoted: Counter,
+    probes_ok: Counter,
+    probes_failed: Counter,
+    reloads_ok: Counter,
+    reloads_rejected: Counter,
+    queue_depth: Gauge,
+    in_flight: Gauge,
+    model_generation: Gauge,
+    queue_wait_ns: Arc<LatencyHistogram>,
+    handle_ns: Arc<LatencyHistogram>,
+    /// Histogram recording (and its extra clock reads) enabled.
+    timed: bool,
+}
+
+impl ServerMetrics {
+    fn bind(registry: Registry, timed: bool) -> Self {
+        let outcome = |o: &str| registry.counter("serve_outcome_total", &[("outcome", o)]);
+        let served = |rung: &str| {
+            registry.counter(
+                "serve_outcome_total",
+                &[("outcome", "served"), ("rung", rung)],
+            )
+        };
+        Self {
+            submitted: registry.counter("serve_submitted_total", &[]),
+            shed: outcome("shed"),
+            rejected_shutdown: outcome("rejected_shutdown"),
+            served_cnn: served("cnn"),
+            served_tree: served("tree"),
+            served_default: served("default"),
+            deadline_in_queue: outcome("deadline_in_queue"),
+            deadline_in_flight: outcome("deadline_in_flight"),
+            breaker_demoted: registry.counter("serve_breaker_demoted_total", &[]),
+            probes_ok: registry.counter("serve_probe_total", &[("result", "ok")]),
+            probes_failed: registry.counter("serve_probe_total", &[("result", "failed")]),
+            reloads_ok: registry.counter("serve_reload_total", &[("result", "ok")]),
+            reloads_rejected: registry.counter("serve_reload_total", &[("result", "rejected")]),
+            queue_depth: registry.gauge("serve_queue_depth", &[]),
+            in_flight: registry.gauge("serve_in_flight", &[]),
+            model_generation: registry.gauge("serve_model_generation", &[]),
+            queue_wait_ns: registry.histogram("serve_queue_wait_ns", &[]),
+            handle_ns: registry.histogram("serve_handle_ns", &[]),
+            timed,
+            registry,
+        }
+    }
 }
 
 /// Monotonic server counters plus breaker and ladder snapshots.
@@ -430,6 +481,9 @@ struct Job<S: Scalar> {
     matrix: Arc<CooMatrix<S>>,
     deadline: Option<u64>,
     seq: u64,
+    /// Clock reading at admission — the queue-wait histogram is
+    /// dequeue-time minus this.
+    enqueued_at: u64,
     reply: mpsc::Sender<Result<Selection, ServeError>>,
 }
 
@@ -441,25 +495,34 @@ struct Inner<S: Scalar> {
     queue: Mutex<VecDeque<Job<S>>>,
     cv: Condvar,
     shutdown: AtomicBool,
-    counters: ServerCounters,
+    metrics: ServerMetrics,
     /// The live generation; readers clone the `Arc` and drop the lock
     /// before doing any work, so a reload never blocks on inference.
+    /// Every generation shares `metrics.registry`, so in-flight
+    /// requests finishing against a retired model still land in the
+    /// same ladder counters.
     slot: RwLock<Arc<Generation>>,
-    /// Retired generations, kept alive so in-flight requests finishing
-    /// against an old model still count in [`ServerReport::ladder`].
-    retired: Mutex<Vec<Arc<Generation>>>,
     seq: AtomicU64,
 }
 
+type Reply = mpsc::Sender<Result<Selection, ServeError>>;
+
 impl<S: Scalar> Inner<S> {
-    fn handle(&self, job: Job<S>) {
+    /// Processes one job and returns its reply channel plus the answer
+    /// — the caller sends it *after* this returns, so the in-flight
+    /// gauge (released on return, panic-unwind included) never reads 1
+    /// to a client that already has its reply.
+    fn handle(&self, job: Job<S>) -> (Reply, Result<Selection, ServeError>) {
         let now = (self.clock)();
+        let _in_flight = GaugeGuard::enter(&self.metrics.in_flight);
+        if self.metrics.timed {
+            self.metrics
+                .queue_wait_ns
+                .record(now.saturating_sub(job.enqueued_at));
+        }
         if job.deadline.is_some_and(|d| now >= d) {
-            self.counters
-                .deadline_in_queue
-                .fetch_add(1, Ordering::Relaxed);
-            let _ = job.reply.send(Err(ServeError::DeadlineExceeded));
-            return;
+            self.metrics.deadline_in_queue.inc();
+            return (job.reply, Err(ServeError::DeadlineExceeded));
         }
         let generation = self.slot.read().expect("slot lock").clone();
         let gate = if generation.service.has_cnn() {
@@ -471,9 +534,7 @@ impl<S: Scalar> Inner<S> {
             Gate::Allow => (false, false),
             Gate::Probe => (false, true),
             Gate::Deny => {
-                self.counters
-                    .breaker_demoted
-                    .fetch_add(1, Ordering::Relaxed);
+                self.metrics.breaker_demoted.inc();
                 (true, false)
             }
         };
@@ -502,13 +563,13 @@ impl<S: Scalar> Inner<S> {
         match out.cnn {
             CnnRungOutcome::Answered | CnnRungOutcome::LowConfidence => {
                 if probe {
-                    self.counters.probes_ok.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.probes_ok.inc();
                 }
                 self.breaker.on_success(probe);
             }
             CnnRungOutcome::Panicked | CnnRungOutcome::NonFinite | CnnRungOutcome::Cancelled => {
                 if probe {
-                    self.counters.probes_failed.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.probes_failed.inc();
                 }
                 self.breaker.on_failure(probe, (self.clock)());
             }
@@ -518,21 +579,24 @@ impl<S: Scalar> Inner<S> {
                 }
             }
         }
+        if self.metrics.timed {
+            self.metrics
+                .handle_ns
+                .record((self.clock)().saturating_sub(now));
+        }
         match out.selection {
             Some(sel) => {
                 let c = match sel.source {
-                    SelectionSource::Cnn => &self.counters.served_cnn,
-                    SelectionSource::Tree => &self.counters.served_tree,
-                    SelectionSource::Default => &self.counters.served_default,
+                    SelectionSource::Cnn => &self.metrics.served_cnn,
+                    SelectionSource::Tree => &self.metrics.served_tree,
+                    SelectionSource::Default => &self.metrics.served_default,
                 };
-                c.fetch_add(1, Ordering::Relaxed);
-                let _ = job.reply.send(Ok(sel));
+                c.inc();
+                (job.reply, Ok(sel))
             }
             None => {
-                self.counters
-                    .deadline_in_flight
-                    .fetch_add(1, Ordering::Relaxed);
-                let _ = job.reply.send(Err(ServeError::DeadlineExceeded));
+                self.metrics.deadline_in_flight.inc();
+                (job.reply, Err(ServeError::DeadlineExceeded))
             }
         }
     }
@@ -543,6 +607,7 @@ impl<S: Scalar> Inner<S> {
                 let mut q = self.queue.lock().expect("queue lock");
                 loop {
                     if let Some(j) = q.pop_front() {
+                        self.metrics.queue_depth.dec();
                         break Some(j);
                     }
                     // Drain-then-exit: queued work admitted before
@@ -554,7 +619,10 @@ impl<S: Scalar> Inner<S> {
                 }
             };
             match job {
-                Some(j) => self.handle(j),
+                Some(j) => {
+                    let (reply, result) = self.handle(j);
+                    let _ = reply.send(result);
+                }
                 None => return,
             }
         }
@@ -595,6 +663,11 @@ impl<S: Scalar> SelectorServer<S> {
         clock: ClockFn,
     ) -> Self {
         let workers = cfg.workers.max(1);
+        let metrics = ServerMetrics::bind(Registry::new(), cfg.latency_metrics);
+        // The service joins the server's registry so its rung counters
+        // live beside the server's own — and survive hot reloads, since
+        // every future generation binds the same registry.
+        let service = service.with_registry(metrics.registry.clone());
         let inner = Arc::new(Inner {
             breaker: Breaker::new(cfg.breaker),
             cfg,
@@ -603,9 +676,8 @@ impl<S: Scalar> SelectorServer<S> {
             queue: Mutex::new(VecDeque::new()),
             cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
-            counters: ServerCounters::default(),
+            metrics,
             slot: RwLock::new(Arc::new(Generation { service, number: 0 })),
-            retired: Mutex::new(Vec::new()),
             seq: AtomicU64::new(0),
         });
         let handles = (0..workers)
@@ -631,30 +703,32 @@ impl<S: Scalar> SelectorServer<S> {
         matrix: Arc<CooMatrix<S>>,
         deadline: Option<Duration>,
     ) -> Result<PendingSelection, ServeError> {
-        let c = &self.inner.counters;
-        c.submitted.fetch_add(1, Ordering::Relaxed);
+        let m = &self.inner.metrics;
+        m.submitted.inc();
         if self.inner.shutdown.load(Ordering::SeqCst) {
-            c.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+            m.rejected_shutdown.inc();
             return Err(ServeError::ShuttingDown);
         }
-        let deadline_ns =
-            deadline.map(|d| (self.inner.clock)().saturating_add(d.as_nanos() as u64));
+        let now = (self.inner.clock)();
+        let deadline_ns = deadline.map(|d| now.saturating_add(d.as_nanos() as u64));
         let (tx, rx) = mpsc::channel();
         let job = Job {
             matrix,
             deadline: deadline_ns,
             seq: self.inner.seq.fetch_add(1, Ordering::Relaxed),
+            enqueued_at: now,
             reply: tx,
         };
         {
             let mut q = self.inner.queue.lock().expect("queue lock");
             if q.len() >= self.inner.cfg.queue_capacity {
-                c.shed.fetch_add(1, Ordering::Relaxed);
+                m.shed.inc();
                 return Err(ServeError::Overloaded {
                     capacity: self.inner.cfg.queue_capacity,
                 });
             }
             q.push_back(job);
+            m.queue_depth.inc();
         }
         self.inner.cv.notify_one();
         Ok(PendingSelection { rx })
@@ -686,10 +760,7 @@ impl<S: Scalar> SelectorServer<S> {
     ) -> Result<u64, ServeError> {
         let cfg = &self.inner.cfg;
         let reject = |e: SelectorError| {
-            self.inner
-                .counters
-                .reloads_rejected
-                .fetch_add(1, Ordering::Relaxed);
+            self.inner.metrics.reloads_rejected.inc();
             ServeError::Reload(e)
         };
         let sel = load_selector_with_retry(
@@ -700,20 +771,20 @@ impl<S: Scalar> SelectorServer<S> {
         )
         .map_err(reject)?;
         // Swap under the write lock; in-flight requests hold an Arc to
-        // the old generation and finish against it undisturbed.
+        // the old generation and finish against it undisturbed. The new
+        // generation binds the shared registry, so ladder counters
+        // carry straight across the swap.
         {
             let mut slot = self.inner.slot.write().expect("slot lock");
             let service = SelectorService::new(Some(sel), slot.service.tree().cloned())
                 .map_err(reject)?
                 .with_confidence_threshold(slot.service.confidence_threshold())
-                .with_default_format(slot.service.default_format());
+                .with_default_format(slot.service.default_format())
+                .with_registry(self.inner.metrics.registry.clone());
             let number = slot.number + 1;
-            let old = std::mem::replace(&mut *slot, Arc::new(Generation { service, number }));
-            self.inner.retired.lock().expect("retired lock").push(old);
-            self.inner
-                .counters
-                .reloads_ok
-                .fetch_add(1, Ordering::Relaxed);
+            *slot = Arc::new(Generation { service, number });
+            self.inner.metrics.model_generation.set(number as i64);
+            self.inner.metrics.reloads_ok.inc();
             Ok(number)
         }
     }
@@ -729,40 +800,50 @@ impl<S: Scalar> SelectorServer<S> {
         self.inner.cv.notify_all();
     }
 
-    /// Snapshot of all server counters, the breaker, and the summed
-    /// degradation-ladder counters across every model generation.
+    /// Snapshot of all server counters, the breaker, and the
+    /// degradation-ladder counters. A typed view over the same registry
+    /// [`SelectorServer::metrics_snapshot`] exports: both read the same
+    /// cells, so the two can never disagree.
     pub fn report(&self) -> ServerReport {
-        let c = &self.inner.counters;
-        let served_cnn = c.served_cnn.load(Ordering::Relaxed);
-        let served_tree = c.served_tree.load(Ordering::Relaxed);
-        let served_default = c.served_default.load(Ordering::Relaxed);
-        let ladder = {
-            let cur = self.inner.slot.read().expect("slot lock").clone();
-            let mut total = cur.service.report();
-            for g in self.inner.retired.lock().expect("retired lock").iter() {
-                total = total.merged(&g.service.report());
-            }
-            total
-        };
+        let m = &self.inner.metrics;
+        let served_cnn = m.served_cnn.get();
+        let served_tree = m.served_tree.get();
+        let served_default = m.served_default.get();
+        // Every generation shares the registry, so the live service's
+        // handles already hold the totals across all generations.
+        let ladder = self.inner.slot.read().expect("slot lock").service.report();
         ServerReport {
-            submitted: c.submitted.load(Ordering::Relaxed),
-            shed: c.shed.load(Ordering::Relaxed),
-            rejected_shutdown: c.rejected_shutdown.load(Ordering::Relaxed),
+            submitted: m.submitted.get(),
+            shed: m.shed.get(),
+            rejected_shutdown: m.rejected_shutdown.get(),
             served: served_cnn + served_tree + served_default,
             served_cnn,
             served_tree,
             served_default,
-            deadline_in_queue: c.deadline_in_queue.load(Ordering::Relaxed),
-            deadline_in_flight: c.deadline_in_flight.load(Ordering::Relaxed),
-            breaker_demoted: c.breaker_demoted.load(Ordering::Relaxed),
-            probes_ok: c.probes_ok.load(Ordering::Relaxed),
-            probes_failed: c.probes_failed.load(Ordering::Relaxed),
-            reloads_ok: c.reloads_ok.load(Ordering::Relaxed),
-            reloads_rejected: c.reloads_rejected.load(Ordering::Relaxed),
+            deadline_in_queue: m.deadline_in_queue.get(),
+            deadline_in_flight: m.deadline_in_flight.get(),
+            breaker_demoted: m.breaker_demoted.get(),
+            probes_ok: m.probes_ok.get(),
+            probes_failed: m.probes_failed.get(),
+            reloads_ok: m.reloads_ok.get(),
+            reloads_rejected: m.reloads_rejected.get(),
             model_generation: self.model_generation(),
             breaker: self.inner.breaker.snapshot(),
             ladder,
         }
+    }
+
+    /// The server's metrics registry (shared with every model
+    /// generation). Exporters and benchmarks snapshot it directly.
+    pub fn registry(&self) -> &Registry {
+        &self.inner.metrics.registry
+    }
+
+    /// A consistent snapshot of every server metric — counters, queue
+    /// and in-flight gauges, and (when [`ServerConfig::latency_metrics`]
+    /// is on) the queue-wait and handle-time histograms.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.inner.metrics.registry.snapshot()
     }
 }
 

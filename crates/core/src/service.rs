@@ -22,10 +22,10 @@
 use crate::baseline::DtSelector;
 use crate::error::SelectorError;
 use crate::selector::FormatSelector;
+use dnnspmv_obs::{Counter, Registry};
 use dnnspmv_sparse::{CooMatrix, Scalar, SparseFormat};
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Which rung of the ladder produced a [`Selection`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -156,17 +156,44 @@ impl ServiceReport {
     }
 }
 
-#[derive(Debug, Default)]
+/// The ladder's counters are registry metrics
+/// (`selector_rung_total{rung,outcome}`): a [`ServiceReport`] is a
+/// typed *view* over them, and a serving layer that shares its registry
+/// across hot-reloaded generations gets cross-generation totals for
+/// free — the handles of every generation point at the same cells.
+#[derive(Debug, Clone)]
 struct Counters {
-    cnn_ok: AtomicU64,
-    cnn_panic: AtomicU64,
-    cnn_nonfinite: AtomicU64,
-    cnn_low_confidence: AtomicU64,
-    cnn_cancelled: AtomicU64,
-    cnn_skipped: AtomicU64,
-    tree_ok: AtomicU64,
-    tree_panic: AtomicU64,
-    default_used: AtomicU64,
+    cnn_ok: Counter,
+    cnn_panic: Counter,
+    cnn_nonfinite: Counter,
+    cnn_low_confidence: Counter,
+    cnn_cancelled: Counter,
+    cnn_skipped: Counter,
+    tree_ok: Counter,
+    tree_panic: Counter,
+    default_used: Counter,
+}
+
+impl Counters {
+    fn bind(reg: &Registry) -> Self {
+        let rung = |rung: &str, outcome: &str| {
+            reg.counter(
+                "selector_rung_total",
+                &[("rung", rung), ("outcome", outcome)],
+            )
+        };
+        Self {
+            cnn_ok: rung("cnn", "ok"),
+            cnn_panic: rung("cnn", "panic"),
+            cnn_nonfinite: rung("cnn", "nonfinite"),
+            cnn_low_confidence: rung("cnn", "low_confidence"),
+            cnn_cancelled: rung("cnn", "cancelled"),
+            cnn_skipped: rung("cnn", "skipped"),
+            tree_ok: rung("tree", "ok"),
+            tree_panic: rung("tree", "panic"),
+            default_used: rung("default", "ok"),
+        }
+    }
 }
 
 /// Fault-tolerant format-selection front end (see module docs).
@@ -176,6 +203,7 @@ pub struct SelectorService {
     tree: Option<DtSelector>,
     default_format: SparseFormat,
     confidence_threshold: f32,
+    registry: Registry,
     counters: Counters,
 }
 
@@ -193,13 +221,32 @@ impl SelectorService {
         if let Some(t) = &tree {
             t.validate()?;
         }
+        let registry = Registry::new();
+        let counters = Counters::bind(&registry);
         Ok(Self {
             cnn,
             tree,
             default_format: SparseFormat::Csr,
             confidence_threshold: 0.0,
-            counters: Counters::default(),
+            registry,
+            counters,
         })
+    }
+
+    /// Rebinds the ladder counters to `registry` (builder; call before
+    /// serving). A serving layer passes one shared registry to every
+    /// model generation it constructs, so rung counts survive hot
+    /// reloads without any merge step. Counts already recorded into the
+    /// service's previous registry are left behind.
+    pub fn with_registry(mut self, registry: Registry) -> Self {
+        self.counters = Counters::bind(&registry);
+        self.registry = registry;
+        self
+    }
+
+    /// The registry the ladder counters live in.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// Requires the CNN's top-class probability to reach `t` before its
@@ -259,7 +306,7 @@ impl SelectorService {
         let cnn_outcome = match &self.cnn {
             None => CnnRungOutcome::Absent,
             Some(_) if guard.skip_cnn => {
-                self.counters.cnn_skipped.fetch_add(1, Ordering::Relaxed);
+                self.counters.cnn_skipped.inc();
                 CnnRungOutcome::Skipped
             }
             Some(cnn) => {
@@ -273,15 +320,15 @@ impl SelectorService {
                 }));
                 match run {
                     Err(_) => {
-                        self.counters.cnn_panic.fetch_add(1, Ordering::Relaxed);
+                        self.counters.cnn_panic.inc();
                         CnnRungOutcome::Panicked
                     }
                     Ok(None) => {
-                        self.counters.cnn_cancelled.fetch_add(1, Ordering::Relaxed);
+                        self.counters.cnn_cancelled.inc();
                         CnnRungOutcome::Cancelled
                     }
                     Ok(Some(probs)) if probs.iter().any(|p| !p.is_finite()) => {
-                        self.counters.cnn_nonfinite.fetch_add(1, Ordering::Relaxed);
+                        self.counters.cnn_nonfinite.inc();
                         CnnRungOutcome::NonFinite
                     }
                     Ok(Some(probs)) => {
@@ -293,12 +340,10 @@ impl SelectorService {
                             })
                             .expect("validated selector has a non-empty class set");
                         if p < self.confidence_threshold {
-                            self.counters
-                                .cnn_low_confidence
-                                .fetch_add(1, Ordering::Relaxed);
+                            self.counters.cnn_low_confidence.inc();
                             CnnRungOutcome::LowConfidence
                         } else {
-                            self.counters.cnn_ok.fetch_add(1, Ordering::Relaxed);
+                            self.counters.cnn_ok.inc();
                             return GuardedSelection {
                                 selection: Some(Selection {
                                     format: cnn.formats[best],
@@ -323,7 +368,7 @@ impl SelectorService {
         if let Some(tree) = &self.tree {
             match catch_unwind(AssertUnwindSafe(|| tree.predict(matrix))) {
                 Ok(format) => {
-                    self.counters.tree_ok.fetch_add(1, Ordering::Relaxed);
+                    self.counters.tree_ok.inc();
                     return GuardedSelection {
                         selection: Some(Selection {
                             format,
@@ -334,11 +379,11 @@ impl SelectorService {
                     };
                 }
                 Err(_) => {
-                    self.counters.tree_panic.fetch_add(1, Ordering::Relaxed);
+                    self.counters.tree_panic.inc();
                 }
             }
         }
-        self.counters.default_used.fetch_add(1, Ordering::Relaxed);
+        self.counters.default_used.inc();
         GuardedSelection {
             selection: Some(Selection {
                 format: self.default_format,
@@ -352,15 +397,15 @@ impl SelectorService {
     /// Snapshot of the fallback counters.
     pub fn report(&self) -> ServiceReport {
         ServiceReport {
-            cnn_ok: self.counters.cnn_ok.load(Ordering::Relaxed),
-            cnn_panic: self.counters.cnn_panic.load(Ordering::Relaxed),
-            cnn_nonfinite: self.counters.cnn_nonfinite.load(Ordering::Relaxed),
-            cnn_low_confidence: self.counters.cnn_low_confidence.load(Ordering::Relaxed),
-            cnn_cancelled: self.counters.cnn_cancelled.load(Ordering::Relaxed),
-            cnn_skipped: self.counters.cnn_skipped.load(Ordering::Relaxed),
-            tree_ok: self.counters.tree_ok.load(Ordering::Relaxed),
-            tree_panic: self.counters.tree_panic.load(Ordering::Relaxed),
-            default_used: self.counters.default_used.load(Ordering::Relaxed),
+            cnn_ok: self.counters.cnn_ok.get(),
+            cnn_panic: self.counters.cnn_panic.get(),
+            cnn_nonfinite: self.counters.cnn_nonfinite.get(),
+            cnn_low_confidence: self.counters.cnn_low_confidence.get(),
+            cnn_cancelled: self.counters.cnn_cancelled.get(),
+            cnn_skipped: self.counters.cnn_skipped.get(),
+            tree_ok: self.counters.tree_ok.get(),
+            tree_panic: self.counters.tree_panic.get(),
+            default_used: self.counters.default_used.get(),
         }
     }
 }

@@ -465,6 +465,18 @@ fn train_impl(
         }
     }
 
+    // Process-wide training metrics (`dnnspmv metrics` dumps them).
+    // Handles are bound once per run; recording is a few relaxed
+    // atomic adds next to step timing that is already measured, so the
+    // training loop's throughput is unaffected.
+    let obs = dnnspmv_obs::global();
+    let obs_step_ns = obs.histogram("train_step_ns", &[]);
+    let obs_epoch_sps = obs.histogram("train_epoch_samples_per_sec", &[]);
+    let obs_rollbacks = obs.counter("train_rollbacks_total", &[]);
+    let obs_lr_backoffs = obs.counter("train_lr_backoffs_total", &[]);
+    let obs_checkpoints = obs.counter("train_checkpoints_total", &[]);
+    let obs_epochs = obs.counter("train_epochs_total", &[]);
+
     let mut cur_lr = opt.lr();
     let mut consecutive_rollbacks = 0usize;
     let mut epoch = start_epoch;
@@ -477,6 +489,7 @@ fn train_impl(
             let t0 = Instant::now();
             let (loss, admitted) = step(net, samples, batch_idx, &mut opt, &mut guard);
             let dt = t0.elapsed().as_secs_f64();
+            obs_step_ns.record((dt * 1e9) as u64);
             epoch_s += dt;
             total_s += dt;
             min_s = min_s.min(dt);
@@ -491,6 +504,7 @@ fn train_impl(
         if diverged {
             snapshot.restore(net, &mut opt, &mut rng, &mut order, &mut report);
             report.recovery.rollbacks += 1;
+            obs_rollbacks.inc();
             consecutive_rollbacks += 1;
             if report.recovery.rollbacks > cfg.divergence.max_rollbacks {
                 return Err(NnError::Diverged(format!(
@@ -501,16 +515,20 @@ fn train_impl(
             if consecutive_rollbacks >= 2 {
                 cur_lr *= cfg.divergence.lr_backoff;
                 report.recovery.lr_backoffs += 1;
+                obs_lr_backoffs.inc();
             }
             opt.set_lr(cur_lr);
             continue;
         }
         consecutive_rollbacks = 0;
-        report.epoch_samples_per_sec.push(if epoch_s > 0.0 {
+        obs_epochs.inc();
+        let sps = if epoch_s > 0.0 {
             samples.len() as f64 / epoch_s
         } else {
             0.0
-        });
+        };
+        obs_epoch_sps.record(sps as u64);
+        report.epoch_samples_per_sec.push(sps);
         report.epoch_train_acc.push(evaluate(net, samples));
         epoch += 1;
         report.recovery.divergent_steps = guard.divergent_steps;
@@ -532,6 +550,7 @@ fn train_impl(
                     max_s,
                 };
                 save_checkpoint(&ck, fingerprint, checkpoint_path(dir))?;
+                obs_checkpoints.inc();
             }
         }
         if abort_after_epoch == Some(epoch) {

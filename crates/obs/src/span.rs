@@ -1,0 +1,355 @@
+//! RAII span tracing over an injectable clock.
+//!
+//! A [`Tracer`] stamps a start time when [`Tracer::span`] is called and
+//! reports a finished [`SpanRecord`] to its [`SpanSink`] when the
+//! returned [`SpanGuard`] drops — including a drop during panic
+//! unwinding, so a crashed kernel still leaves its span in the trace.
+//! The clock is a [`ClockFn`], so tests that drive a
+//! [`ManualClock`](crate::ManualClock) observe exact durations.
+//!
+//! Sinks are pluggable: [`RingSink`] keeps the last N spans in memory
+//! for tests and post-mortem dumps, [`JsonLinesSink`] streams one JSON
+//! object per line to any writer for production, and [`NullSink`]
+//! swallows everything (tracing disabled).
+
+use crate::clock::{system_clock, ClockFn};
+use crate::histogram::LatencyHistogram;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A finished span: name plus start/end clock readings in nanoseconds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name (e.g. `"serve.handle"`, `"spmv.csr"`).
+    pub name: String,
+    /// Clock reading when the span was opened.
+    pub start_ns: u64,
+    /// Clock reading when the guard dropped.
+    pub end_ns: u64,
+}
+
+impl SpanRecord {
+    /// Wall time covered by the span.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// Where finished spans go. Implementations must tolerate reports from
+/// many threads, and from inside panic unwinding (no panicking in
+/// `report` — a double panic aborts the process).
+pub trait SpanSink: Send + Sync {
+    /// Accepts one finished span.
+    fn report(&self, span: SpanRecord);
+}
+
+/// Discards every span — the disabled tracer's sink.
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl SpanSink for NullSink {
+    fn report(&self, _span: SpanRecord) {}
+}
+
+/// A bounded in-memory sink: keeps the most recent `cap` spans,
+/// counting (not panicking on) overflow. The test and post-mortem
+/// sink.
+#[derive(Debug)]
+pub struct RingSink {
+    cap: usize,
+    buf: Mutex<VecDeque<SpanRecord>>,
+    dropped: AtomicU64,
+}
+
+impl RingSink {
+    /// A ring holding at most `cap` spans (`cap` ≥ 1).
+    pub fn new(cap: usize) -> Arc<Self> {
+        Arc::new(Self {
+            cap: cap.max(1),
+            buf: Mutex::new(VecDeque::with_capacity(cap.clamp(1, 1024))),
+            dropped: AtomicU64::new(0),
+        })
+    }
+
+    /// Drains and returns the buffered spans, oldest first.
+    pub fn take(&self) -> Vec<SpanRecord> {
+        self.buf.lock().expect("ring buffer").drain(..).collect()
+    }
+
+    /// Number of spans currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.lock().expect("ring buffer").len()
+    }
+
+    /// True when no spans are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Spans evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl SpanSink for RingSink {
+    fn report(&self, span: SpanRecord) {
+        let Ok(mut buf) = self.buf.lock() else {
+            // A panic while holding the ring lock poisoned it; spans
+            // are diagnostics, losing one beats aborting the process.
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        if buf.len() == self.cap {
+            buf.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        buf.push_back(span);
+    }
+}
+
+/// Streams spans as JSON lines (`{"span":...,"start_ns":...,
+/// "end_ns":...,"duration_ns":...}`) to any writer — the production
+/// sink. Write errors are counted, never raised: tracing must not take
+/// down the traced system.
+pub struct JsonLinesSink {
+    out: Mutex<Box<dyn Write + Send>>,
+    errors: AtomicU64,
+}
+
+impl std::fmt::Debug for JsonLinesSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonLinesSink")
+            .field("errors", &self.errors.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl JsonLinesSink {
+    /// A sink writing one line per span to `out`.
+    pub fn new(out: Box<dyn Write + Send>) -> Arc<Self> {
+        Arc::new(Self {
+            out: Mutex::new(out),
+            errors: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of spans lost to write errors or a poisoned writer.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+}
+
+impl SpanSink for JsonLinesSink {
+    fn report(&self, span: SpanRecord) {
+        let mut name = String::with_capacity(span.name.len());
+        for ch in span.name.chars() {
+            match ch {
+                '"' => name.push_str("\\\""),
+                '\\' => name.push_str("\\\\"),
+                c if (c as u32) < 0x20 => name.push_str(&format!("\\u{:04x}", c as u32)),
+                c => name.push(c),
+            }
+        }
+        let line = format!(
+            "{{\"span\":\"{name}\",\"start_ns\":{},\"end_ns\":{},\"duration_ns\":{}}}\n",
+            span.start_ns,
+            span.end_ns,
+            span.duration_ns()
+        );
+        let Ok(mut out) = self.out.lock() else {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        if out.write_all(line.as_bytes()).is_err() {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Hands out [`SpanGuard`]s stamped by one clock, reporting to one
+/// sink. Cheap to clone (two `Arc`s).
+#[derive(Clone)]
+pub struct Tracer {
+    clock: ClockFn,
+    sink: Arc<dyn SpanSink>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer").finish_non_exhaustive()
+    }
+}
+
+impl Tracer {
+    /// A tracer reading `clock` and reporting to `sink`.
+    pub fn new(clock: ClockFn, sink: Arc<dyn SpanSink>) -> Self {
+        Self { clock, sink }
+    }
+
+    /// A tracer that times with the system clock and discards spans —
+    /// the default when no one is listening.
+    pub fn disabled() -> Self {
+        Self::new(system_clock(), Arc::new(NullSink))
+    }
+
+    /// Opens a span; it closes (and reports) when the guard drops.
+    pub fn span(&self, name: impl Into<String>) -> SpanGuard {
+        SpanGuard {
+            name: name.into(),
+            start_ns: (self.clock)(),
+            clock: Arc::clone(&self.clock),
+            sink: Arc::clone(&self.sink),
+            histogram: None,
+        }
+    }
+
+    /// Like [`span`](Self::span), but the duration is also recorded
+    /// into `histogram` on close — one guard feeds both the trace and
+    /// the metric, from the same two clock readings.
+    pub fn span_recording(
+        &self,
+        name: impl Into<String>,
+        histogram: Arc<LatencyHistogram>,
+    ) -> SpanGuard {
+        let mut g = self.span(name);
+        g.histogram = Some(histogram);
+        g
+    }
+
+    /// The tracer's clock (for callers that need a raw reading on the
+    /// same timeline as the spans).
+    pub fn clock(&self) -> ClockFn {
+        Arc::clone(&self.clock)
+    }
+}
+
+/// An open span. Dropping it stamps the end time and reports the
+/// finished [`SpanRecord`] — drops during panic unwinding report too.
+#[must_use = "a span measures nothing unless it lives across the timed region"]
+pub struct SpanGuard {
+    name: String,
+    start_ns: u64,
+    clock: ClockFn,
+    sink: Arc<dyn SpanSink>,
+    histogram: Option<Arc<LatencyHistogram>>,
+}
+
+impl std::fmt::Debug for SpanGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanGuard")
+            .field("name", &self.name)
+            .field("start_ns", &self.start_ns)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SpanGuard {
+    /// The span's start reading (same timeline as the tracer's clock).
+    pub fn start_ns(&self) -> u64 {
+        self.start_ns
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let end_ns = (self.clock)();
+        if let Some(h) = &self.histogram {
+            h.record(end_ns.saturating_sub(self.start_ns));
+        }
+        self.sink.report(SpanRecord {
+            name: std::mem::take(&mut self.name),
+            start_ns: self.start_ns,
+            end_ns,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    #[test]
+    fn span_durations_are_exact_under_a_manual_clock() {
+        let clock = ManualClock::starting_at(100);
+        let sink = RingSink::new(16);
+        let tracer = Tracer::new(clock.as_clock_fn(), Arc::clone(&sink) as Arc<dyn SpanSink>);
+        {
+            let _outer = tracer.span("outer");
+            clock.advance(10);
+            {
+                let _inner = tracer.span("inner");
+                clock.advance(7);
+            }
+            clock.advance(3);
+        }
+        let spans = sink.take();
+        assert_eq!(spans.len(), 2);
+        // Inner closes first: sink order is close order.
+        assert_eq!(spans[0].name, "inner");
+        assert_eq!(spans[0].duration_ns(), 7);
+        assert_eq!(spans[1].name, "outer");
+        assert_eq!(spans[1].duration_ns(), 20);
+        assert_eq!(spans[1].start_ns, 100);
+    }
+
+    #[test]
+    fn ring_sink_bounds_memory_and_counts_evictions() {
+        let sink = RingSink::new(2);
+        let tracer = Tracer::new(
+            ManualClock::new().as_clock_fn(),
+            Arc::clone(&sink) as Arc<dyn SpanSink>,
+        );
+        for i in 0..5 {
+            drop(tracer.span(format!("s{i}")));
+        }
+        assert_eq!(sink.dropped(), 3);
+        let names: Vec<String> = sink.take().into_iter().map(|s| s.name).collect();
+        assert_eq!(names, ["s3", "s4"], "most recent spans survive");
+    }
+
+    #[test]
+    fn jsonlines_sink_writes_one_object_per_span() {
+        let buf: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let sink = JsonLinesSink::new(Box::new(Shared(Arc::clone(&buf))));
+        let clock = ManualClock::starting_at(5);
+        let tracer = Tracer::new(clock.as_clock_fn(), Arc::clone(&sink) as Arc<dyn SpanSink>);
+        {
+            let _s = tracer.span("extract/\"quoted\"");
+            clock.advance(37);
+        }
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        assert_eq!(
+            text,
+            "{\"span\":\"extract/\\\"quoted\\\"\",\"start_ns\":5,\"end_ns\":42,\"duration_ns\":37}\n"
+        );
+        assert_eq!(sink.errors(), 0);
+    }
+
+    #[test]
+    fn span_recording_feeds_the_histogram() {
+        let clock = ManualClock::new();
+        let tracer = Tracer::new(clock.as_clock_fn(), Arc::new(NullSink));
+        let hist = Arc::new(LatencyHistogram::new());
+        {
+            let _s = tracer.span_recording("k", Arc::clone(&hist));
+            clock.advance(64);
+        }
+        let snap = hist.snapshot();
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.max, 64);
+    }
+}

@@ -1,0 +1,110 @@
+//! Deterministic span-tracing behaviour under a fake clock: exact
+//! nested durations, close-order sink determinism, and the unwind
+//! guarantee — a span open when its scope panics still reports.
+
+use dnnspmv_obs::{LatencyHistogram, ManualClock, RingSink, SpanSink, Tracer};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+fn test_tracer(start: u64, cap: usize) -> (Arc<ManualClock>, Arc<RingSink>, Tracer) {
+    let clock = ManualClock::starting_at(start);
+    let sink = RingSink::new(cap);
+    let tracer = Tracer::new(clock.as_clock_fn(), Arc::clone(&sink) as Arc<dyn SpanSink>);
+    (clock, sink, tracer)
+}
+
+#[test]
+fn three_deep_nesting_reports_exact_durations_in_close_order() {
+    let (clock, sink, tracer) = test_tracer(1_000, 16);
+    {
+        let _a = tracer.span("a");
+        clock.advance(5);
+        {
+            let _b = tracer.span("b");
+            clock.advance(11);
+            {
+                let _c = tracer.span("c");
+                clock.advance(2);
+            }
+            clock.advance(3);
+        }
+        clock.advance(7);
+    }
+    let spans = sink.take();
+    let got: Vec<(&str, u64, u64)> = spans
+        .iter()
+        .map(|s| (s.name.as_str(), s.start_ns, s.duration_ns()))
+        .collect();
+    // Innermost closes first; every boundary is an exact clock reading.
+    assert_eq!(got, [("c", 1_016, 2), ("b", 1_005, 16), ("a", 1_000, 28),]);
+}
+
+#[test]
+fn sibling_spans_interleave_deterministically() {
+    let (clock, sink, tracer) = test_tracer(0, 16);
+    // Overlapping (not nested) lifetimes: first opened, last closed.
+    let first = tracer.span("first");
+    clock.advance(1);
+    let second = tracer.span("second");
+    clock.advance(1);
+    drop(first);
+    clock.advance(1);
+    drop(second);
+    let names: Vec<String> = sink.take().into_iter().map(|s| s.name).collect();
+    assert_eq!(names, ["first", "second"], "sink order is close order");
+}
+
+#[test]
+fn span_open_during_panic_unwind_still_reports() {
+    let (clock, sink, tracer) = test_tracer(50, 16);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let _doomed = tracer.span("doomed");
+        clock.advance(13);
+        panic!("kernel blew up");
+    }));
+    assert!(result.is_err(), "the panic must actually happen");
+    let spans = sink.take();
+    assert_eq!(spans.len(), 1, "the unwinding drop reported the span");
+    assert_eq!(spans[0].name, "doomed");
+    assert_eq!(spans[0].start_ns, 50);
+    assert_eq!(
+        spans[0].duration_ns(),
+        13,
+        "duration covers up to the panic"
+    );
+}
+
+#[test]
+fn span_recording_feeds_histogram_even_through_unwind() {
+    let (clock, sink, tracer) = test_tracer(0, 16);
+    let hist = Arc::new(LatencyHistogram::new());
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let _s = tracer.span_recording("timed", Arc::clone(&hist));
+        clock.advance(9);
+        panic!("mid-span failure");
+    }));
+    assert!(result.is_err());
+    let snap = hist.snapshot();
+    assert_eq!(snap.count, 1, "the histogram saw the unwound span");
+    assert_eq!((snap.min, snap.max), (9, 9));
+    assert_eq!(sink.take().len(), 1, "and so did the sink");
+}
+
+#[test]
+fn spans_after_a_panic_keep_working() {
+    // A panic that poisoned nothing: the tracer and sink stay usable.
+    let (clock, sink, tracer) = test_tracer(0, 16);
+    let _ = catch_unwind(AssertUnwindSafe(|| {
+        let _s = tracer.span("crash");
+        panic!("boom");
+    }));
+    {
+        let _s = tracer.span("after");
+        clock.advance(4);
+    }
+    let spans = sink.take();
+    assert_eq!(spans.len(), 2);
+    assert_eq!(spans[1].name, "after");
+    assert_eq!(spans[1].duration_ns(), 4);
+    assert_eq!(sink.dropped(), 0);
+}

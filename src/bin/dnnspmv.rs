@@ -7,7 +7,8 @@
 //! dnnspmv test    [--model FILE] [--matrices N] [--platform intel|amd|gpu]
 //! dnnspmv predict <matrix.mtx> [--model FILE]
 //! dnnspmv stats   <matrix.mtx>
-//! dnnspmv serve-bench [--json FILE] [--matrices N] [--epochs N]
+//! dnnspmv serve-bench [--json FILE] [--matrices N] [--epochs N] [--quick]
+//! dnnspmv metrics [--json] [--matrices N]
 //! ```
 //!
 //! `train` fits a CNN selector on a synthetic dataset labelled by the
@@ -18,7 +19,14 @@
 //! matrix's structural statistics and per-format cost estimates.
 //! `serve-bench` soaks the admission-controlled [`SelectorServer`]
 //! (burst shedding, breaker trip/recovery, hot reload under load) and
-//! writes latency/shed/breaker numbers to `BENCH_serve.json`.
+//! writes latency/shed/breaker numbers to `BENCH_serve.json`; with
+//! `--quick` it instead runs the instrumentation-overhead smoke and
+//! exits nonzero if the instrumented serve p50 regresses more than the
+//! gate allows. `metrics` runs a short instrumented workload (repr
+//! extraction, per-format SpMV, selector ladder decisions) and dumps
+//! the process-wide observability registry as Prometheus text (or
+//! `--json`); build with `--features kernel-timers` to include the
+//! per-kernel timers in the dump.
 //!
 //! [`SelectorServer`]: dnnspmv::core::SelectorServer
 
@@ -233,12 +241,21 @@ fn cmd_stats(o: &Options) {
 }
 
 fn cmd_serve_bench(args: &[String]) {
-    use dnnspmv_bench::serve::{run_serve_bench, ServeBenchConfig};
+    use dnnspmv_bench::serve::{run_overhead_smoke, run_serve_bench, ServeBenchConfig};
     let mut cfg = ServeBenchConfig::default();
     let mut json_path = String::from("BENCH_serve.json");
+    let mut quick = false;
+    let mut max_ratio = 1.10;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--quick" => quick = true,
+            "--max-ratio" => {
+                i += 1;
+                max_ratio = need(args, i, "--max-ratio")
+                    .parse()
+                    .unwrap_or_else(|_| die("--max-ratio needs a number"));
+            }
             "--json" => {
                 i += 1;
                 json_path = need(args, i, "--json");
@@ -271,6 +288,20 @@ fn cmd_serve_bench(args: &[String]) {
         }
         i += 1;
     }
+    if quick {
+        // CI overhead gate: a small fast fixture is enough — the gate
+        // compares two servers in the same process, so absolute speed
+        // cancels out.
+        cfg.matrices = cfg.matrices.min(40);
+        cfg.epochs = cfg.epochs.min(1);
+        let report = run_overhead_smoke(&cfg, max_ratio);
+        eprint!("{}", report.render());
+        println!("{}", report.to_json());
+        if !report.within_budget() {
+            std::process::exit(1);
+        }
+        return;
+    }
     let report = run_serve_bench(&cfg);
     eprint!("{}", report.render());
     println!("{}", report.to_json());
@@ -280,14 +311,87 @@ fn cmd_serve_bench(args: &[String]) {
     eprintln!("wrote {json_path}");
 }
 
+fn cmd_metrics(args: &[String]) {
+    use dnnspmv::core::{DtSelector, SelectorService};
+    use dnnspmv::platform::label_dataset;
+    use dnnspmv::repr::{MatrixRepr, ReprKind};
+    use dnnspmv::sparse::{AnyMatrix, SparseFormat, Spmv};
+
+    let mut json = false;
+    let mut n = 24usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => json = true,
+            "--matrices" => {
+                i += 1;
+                n = need(args, i, "--matrices")
+                    .parse()
+                    .unwrap_or_else(|_| die("--matrices needs a number"));
+            }
+            other => die(&format!("unknown metrics flag '{other}'")),
+        }
+        i += 1;
+    }
+
+    // The registry only holds what has been recorded, so drive a short
+    // workload through every instrumented layer first: representation
+    // extraction (repr_extract_ns), each format's serial and parallel
+    // SpMV kernel (spmv_ns — present when built with
+    // `--features kernel-timers`), and selector ladder decisions
+    // (selector_rung_total, via a tree-only service bound to the
+    // process-wide registry).
+    let data = dataset(n, 9);
+    let repr_cfg = ReprConfig {
+        image_size: 32,
+        hist_rows: 32,
+        hist_bins: 32,
+    };
+    for m in &data.matrices {
+        for kind in ReprKind::ALL {
+            let _ = MatrixRepr::extract(m, kind, &repr_cfg);
+        }
+        let x = vec![1.0f32; m.ncols()];
+        let mut y = vec![0.0f32; m.nrows()];
+        for f in SparseFormat::ALL {
+            // DIA/ELL conversion legitimately fails on matrices past
+            // their padding limits; skip those formats for this matrix.
+            if let Ok(any) = AnyMatrix::convert(m, f) {
+                any.spmv(&x, &mut y);
+                any.spmv_par(&x, &mut y);
+            }
+        }
+    }
+    let platform = PlatformModel::intel_cpu();
+    let labels = label_dataset(&data.matrices, &platform);
+    let dt = DtSelector::train(&data.matrices, &labels, platform.formats().to_vec());
+    let service = SelectorService::new(None, Some(dt))
+        .unwrap_or_else(|e| die(&format!("building service: {e}")))
+        .with_registry(dnnspmv::obs::global().clone());
+    for m in &data.matrices {
+        let _ = service.select(m);
+    }
+
+    let snap = dnnspmv::obs::global().snapshot();
+    if json {
+        println!("{}", snap.to_json());
+    } else {
+        print!("{}", snap.to_prometheus());
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!("usage: dnnspmv <train|test|predict|stats|serve-bench> [options]");
+        eprintln!("usage: dnnspmv <train|test|predict|stats|serve-bench|metrics> [options]");
         std::process::exit(2);
     };
     if cmd == "serve-bench" {
         cmd_serve_bench(&args[1..]);
+        return;
+    }
+    if cmd == "metrics" {
+        cmd_metrics(&args[1..]);
         return;
     }
     let o = parse_options(&args[1..]);

@@ -16,6 +16,8 @@
 //! * [`platform`] — analytic platform cost models and measured
 //!   labelling.
 //! * [`core`] — the end-to-end [`core::FormatSelector`] pipeline.
+//! * [`obs`] — the zero-dependency metrics registry, latency
+//!   histograms, and span tracing the other layers record into.
 //!
 //! # Quickstart
 //!
@@ -35,6 +37,7 @@
 pub use dnnspmv_core as core;
 pub use dnnspmv_gen as gen;
 pub use dnnspmv_nn as nn;
+pub use dnnspmv_obs as obs;
 pub use dnnspmv_platform as platform;
 pub use dnnspmv_repr as repr;
 pub use dnnspmv_sparse as sparse;

@@ -448,6 +448,172 @@ fn rayon_stress_counters_sum_exactly() {
     assert_eq!(r.ladder.answered(), served);
     assert_eq!(r.served_cnn, r.ladder.cnn_ok);
     assert_eq!(r.served_tree, r.ladder.tree_ok);
+
+    // The registry view agrees exactly with the report view even after
+    // concurrent hammering: both are reads of the same atomic cells.
+    let snap = server.metrics_snapshot();
+    let c = |name: &str, labels: &[(&str, &str)]| snap.counter(name, labels).unwrap_or(0);
+    assert_eq!(c("serve_submitted_total", &[]), r.submitted);
+    assert_eq!(c("serve_outcome_total", &[("outcome", "shed")]), r.shed);
+    let snap_served = c(
+        "serve_outcome_total",
+        &[("outcome", "served"), ("rung", "cnn")],
+    ) + c(
+        "serve_outcome_total",
+        &[("outcome", "served"), ("rung", "tree")],
+    ) + c(
+        "serve_outcome_total",
+        &[("outcome", "served"), ("rung", "default")],
+    );
+    assert_eq!(snap_served, r.served);
+    // Load has fully drained: the live gauges are back to zero.
+    assert_eq!(snap.gauge("serve_queue_depth", &[]), Some(0));
+    assert_eq!(snap.gauge("serve_in_flight", &[]), Some(0));
+}
+
+/// Satellite 3: the registry snapshot and the typed `ServerReport` are
+/// two views over the same cells — every counter matches field-for-
+/// field, and the exact-accounting invariant holds in both views, after
+/// a run that exercises every rung outcome the ladder has: healthy CNN
+/// answers, a panic storm, breaker demotion, a successful probe, an
+/// in-queue deadline expiry, and a hot reload.
+#[test]
+fn metrics_snapshot_reproduces_server_report_exactly() {
+    let (cnn, _, data) = fixture();
+    let (clock_raw, clock) = fake_clock();
+    let panicking = Arc::new(AtomicBool::new(false));
+    let p_h = Arc::clone(&panicking);
+    let hooks = ServeHooks {
+        cnn_fault: Some(Arc::new(move |_seq| {
+            if p_h.load(Ordering::SeqCst) {
+                CnnFault::Panic
+            } else {
+                CnnFault::None
+            }
+        })),
+    };
+    let server: SelectorServer<f32> = SelectorServer::with_parts(
+        full_service(),
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 16,
+            breaker: tight_breaker(),
+            ..ServerConfig::default()
+        },
+        hooks,
+        clock,
+    );
+    let m = Arc::new(data.matrices[5].clone());
+    let serve_one = || server.submit(Arc::clone(&m), None).unwrap().wait().unwrap();
+
+    // Healthy CNN answers.
+    for _ in 0..3 {
+        assert_eq!(serve_one().source, SelectionSource::Cnn);
+    }
+    // Panic storm: the tree answers, the third failure trips the
+    // breaker.
+    panicking.store(true, Ordering::SeqCst);
+    for _ in 0..3 {
+        assert_eq!(serve_one().source, SelectionSource::Tree);
+    }
+    // Breaker open: demoted traffic (CNN rung skipped on request).
+    for _ in 0..2 {
+        assert_eq!(serve_one().source, SelectionSource::Tree);
+    }
+    // Fault clears, backoff elapses: the probe restores the CNN.
+    panicking.store(false, Ordering::SeqCst);
+    clock_raw.fetch_add(100_000, Ordering::SeqCst);
+    assert_eq!(serve_one().source, SelectionSource::Cnn);
+    // In-queue deadline expiry.
+    clock_raw.fetch_add(10_000_000, Ordering::SeqCst);
+    assert_eq!(
+        server
+            .submit(Arc::clone(&m), Some(Duration::ZERO))
+            .unwrap()
+            .wait(),
+        Err(ServeError::DeadlineExceeded)
+    );
+    // Hot reload, then one more healthy answer from the new generation.
+    let dir = std::env::temp_dir().join(format!("dnnspmv-serve-equiv-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.json");
+    cnn.save(path.to_string_lossy().as_ref()).unwrap();
+    assert_eq!(server.reload_model(&path).unwrap(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(serve_one().source, SelectionSource::Cnn);
+
+    let r = server.report();
+    let snap = server.metrics_snapshot();
+    let c = |name: &str, labels: &[(&str, &str)]| snap.counter(name, labels).unwrap_or(0);
+    let outcome = |o: &str| c("serve_outcome_total", &[("outcome", o)]);
+    let served = |rung: &str| {
+        c(
+            "serve_outcome_total",
+            &[("outcome", "served"), ("rung", rung)],
+        )
+    };
+    let rung = |r: &str, o: &str| c("selector_rung_total", &[("rung", r), ("outcome", o)]);
+
+    // Field-for-field: the snapshot reproduces the report.
+    assert_eq!(c("serve_submitted_total", &[]), r.submitted);
+    assert_eq!(outcome("shed"), r.shed);
+    assert_eq!(outcome("rejected_shutdown"), r.rejected_shutdown);
+    assert_eq!(outcome("deadline_in_queue"), r.deadline_in_queue);
+    assert_eq!(outcome("deadline_in_flight"), r.deadline_in_flight);
+    assert_eq!(served("cnn"), r.served_cnn);
+    assert_eq!(served("tree"), r.served_tree);
+    assert_eq!(served("default"), r.served_default);
+    assert_eq!(served("cnn") + served("tree") + served("default"), r.served);
+    assert_eq!(c("serve_breaker_demoted_total", &[]), r.breaker_demoted);
+    assert_eq!(c("serve_probe_total", &[("result", "ok")]), r.probes_ok);
+    assert_eq!(
+        c("serve_probe_total", &[("result", "failed")]),
+        r.probes_failed
+    );
+    assert_eq!(c("serve_reload_total", &[("result", "ok")]), r.reloads_ok);
+    assert_eq!(
+        c("serve_reload_total", &[("result", "rejected")]),
+        r.reloads_rejected
+    );
+    assert_eq!(
+        snap.gauge("serve_model_generation", &[]),
+        Some(r.model_generation as i64)
+    );
+    // The ladder view matches counter-for-counter too, across the
+    // reload (both generations bound the same registry cells).
+    assert_eq!(rung("cnn", "ok"), r.ladder.cnn_ok);
+    assert_eq!(rung("cnn", "panic"), r.ladder.cnn_panic);
+    assert_eq!(rung("cnn", "skipped"), r.ladder.cnn_skipped);
+    assert_eq!(rung("cnn", "cancelled"), r.ladder.cnn_cancelled);
+    assert_eq!(rung("tree", "ok"), r.ladder.tree_ok);
+    assert_eq!(rung("tree", "panic"), r.ladder.tree_panic);
+    assert_eq!(rung("default", "ok"), r.ladder.default_used);
+
+    // The exact-accounting invariant holds in BOTH views.
+    assert_eq!(r.accounted(), r.submitted, "{r:?}");
+    let snap_accounted = outcome("shed")
+        + outcome("rejected_shutdown")
+        + served("cnn")
+        + served("tree")
+        + served("default")
+        + outcome("deadline_in_queue")
+        + outcome("deadline_in_flight");
+    assert_eq!(snap_accounted, c("serve_submitted_total", &[]));
+
+    // Spot-check the run actually exercised every path it claims to.
+    assert_eq!(r.submitted, 11);
+    assert_eq!(r.served_cnn, 5);
+    assert_eq!(r.served_tree, 5);
+    assert_eq!(r.ladder.cnn_panic, 3);
+    assert_eq!(r.ladder.cnn_skipped, 2);
+    assert_eq!(r.deadline_in_queue, 1);
+    assert_eq!((r.probes_ok, r.reloads_ok), (1, 1));
+    // The queue-wait histogram saw every dequeued request (the timed
+    // path defaults on), and the live gauges have drained to zero.
+    let qw = snap.histogram("serve_queue_wait_ns", &[]).expect("timed");
+    assert_eq!(qw.count, r.submitted - r.shed - r.rejected_shutdown);
+    assert_eq!(snap.gauge("serve_queue_depth", &[]), Some(0));
+    assert_eq!(snap.gauge("serve_in_flight", &[]), Some(0));
 }
 
 /// Time-boxed soak for CI (`--ignored`): sustained parallel load with
