@@ -4,10 +4,14 @@
 //! ```text
 //! bench_serve [--json FILE] [--clients N] [--requests N] [--workers N]
 //!             [--queue N] [--matrices N] [--epochs N]
+//!             [--min-batched-ratio X]
 //! ```
 //!
 //! See [`dnnspmv_bench::serve`] for the phase structure. The default
-//! output file is `BENCH_serve.json`.
+//! output file is `BENCH_serve.json`. With `--min-batched-ratio X` the
+//! run exits nonzero unless the hot-path (cache + micro-batching)
+//! server's overload throughput is at least `X`× the plain server's —
+//! the CI throughput gate.
 
 use dnnspmv_bench::serve::{run_serve_bench, ServeBenchConfig};
 use std::io::Write;
@@ -16,6 +20,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json_path = String::from("BENCH_serve.json");
     let mut cfg = ServeBenchConfig::default();
+    let mut min_batched_ratio: Option<f64> = None;
     let mut i = 0;
     while i < args.len() {
         let numeric = |args: &[String], i: usize, flag: &str| -> usize {
@@ -53,10 +58,20 @@ fn main() {
                 i += 1;
                 cfg.epochs = numeric(&args, i, "--epochs");
             }
+            "--min-batched-ratio" => {
+                i += 1;
+                min_batched_ratio = Some(
+                    args.get(i)
+                        .expect("--min-batched-ratio needs a number")
+                        .parse()
+                        .expect("--min-batched-ratio needs a number"),
+                );
+            }
             other => {
                 eprintln!(
                     "usage: bench_serve [--json FILE] [--clients N] [--requests N] \
-                     [--workers N] [--queue N] [--matrices N] [--epochs N]"
+                     [--workers N] [--queue N] [--matrices N] [--epochs N] \
+                     [--min-batched-ratio X]"
                 );
                 panic!("unknown flag '{other}'");
             }
@@ -72,4 +87,17 @@ fn main() {
     f.write_all(json.as_bytes()).expect("write json");
     f.write_all(b"\n").expect("write json");
     eprintln!("wrote {json_path}");
+    if let Some(min) = min_batched_ratio {
+        if report.hot_path.throughput_ratio < min {
+            eprintln!(
+                "throughput gate FAILED: batched/unbatched ratio {:.2} < {min:.2}",
+                report.hot_path.throughput_ratio
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "throughput gate passed: ratio {:.2} >= {min:.2}",
+            report.hot_path.throughput_ratio
+        );
+    }
 }

@@ -10,8 +10,16 @@
 //! 3. **recovery** — the fault clears, a half-open probe restores the
 //!    CNN, and a hot model reload swaps a new generation in mid-load.
 //!
-//! Per-phase p50/p99/max latency, the overall shed rate, and the
-//! breaker transition counts go to `BENCH_serve.json`. Phase stats are
+//! A fourth stage compares the two-stage hot path (fingerprint-keyed
+//! decision cache + worker micro-batching) against a plain per-request
+//! server built from the same model, under the same ≥ 3× closed-loop
+//! overload and then at low load — the throughput ratio, cache hit
+//! rate, and hit-vs-miss medians land in the report
+//! ([`HotPathComparison`]).
+//!
+//! Per-phase p50/p99/max latency and throughput, the overall shed
+//! rate, and the breaker transition counts go to `BENCH_serve.json`.
+//! Phase stats are
 //! read straight off the server's metrics registry: clients record
 //! their observed latencies into per-phase registry histograms and the
 //! digests are [`HistogramSnapshot`] quantiles — the same arithmetic
@@ -24,7 +32,7 @@
 //! same way. CI fails if the instrumented p50 regresses more than 10 %.
 
 use dnnspmv_core::{
-    BreakerConfig, BreakerState, CnnFault, DtSelector, FormatSelector, SelectorServer,
+    BreakerConfig, BreakerState, CacheConfig, CnnFault, DtSelector, FormatSelector, SelectorServer,
     SelectorService, ServeError, ServeHooks, ServerConfig, ServerReport,
 };
 use dnnspmv_gen::{Dataset, DatasetSpec};
@@ -87,6 +95,43 @@ pub struct PhaseStats {
     pub p99_ms: f64,
     /// Worst latency, milliseconds.
     pub max_ms: f64,
+    /// Answers per wall-clock second over the phase.
+    pub served_per_sec: f64,
+}
+
+/// Batched-vs-unbatched hot-path comparison: the same closed-loop
+/// overload driven against two servers built from the same model — one
+/// with the two-stage hot path off (no cache, `max_batch` 1) and one
+/// with it on — plus a low-load pass on each, so the comparison shows
+/// both the overload win and that unloaded latency did not regress.
+#[derive(Debug, Clone, Serialize)]
+pub struct HotPathComparison {
+    /// Overload answers/sec with the hot path off.
+    pub unbatched_served_per_sec: f64,
+    /// Overload answers/sec with cache + micro-batching on.
+    pub batched_served_per_sec: f64,
+    /// batched / unbatched overload throughput.
+    pub throughput_ratio: f64,
+    /// Overload shed fraction, hot path off.
+    pub unbatched_shed_rate: f64,
+    /// Overload shed fraction, hot path on.
+    pub batched_shed_rate: f64,
+    /// Low-load (single sequential client) p50, hot path off, ms.
+    pub low_load_unbatched_p50_ms: f64,
+    /// Low-load p50, hot path on, ms.
+    pub low_load_batched_p50_ms: f64,
+    /// Low-load p50 ratio (hot / off); ≤ 1.10 is the acceptance bar.
+    pub low_load_p50_ratio: f64,
+    /// Cache hit fraction over all lookups on the hot server.
+    pub cache_hit_rate: f64,
+    /// Median cache-hit service time (fingerprint + lookup), µs.
+    pub cache_hit_p50_us: f64,
+    /// Low-load miss-path p50 on the unbatched server, µs — the
+    /// reference the hit path is compared against.
+    pub miss_p50_us: f64,
+    /// Both comparison servers passed the terminal-bucket *and*
+    /// path-route accounting invariants.
+    pub accounting_exact: bool,
 }
 
 /// Machine-readable soak result (`BENCH_serve.json`).
@@ -94,6 +139,8 @@ pub struct PhaseStats {
 pub struct ServeBenchReport {
     /// Per-phase latency digests.
     pub phases: Vec<PhaseStats>,
+    /// Batched-vs-unbatched throughput comparison (tentpole numbers).
+    pub hot_path: HotPathComparison,
     /// shed / submitted over the whole run.
     pub shed_rate: f64,
     /// Closed/half-open → open transitions (≥ 1: the fault tripped it).
@@ -114,7 +161,12 @@ impl PhaseStats {
     /// Builds a phase digest from a latency-histogram snapshot — the
     /// one percentile implementation (`HistogramSnapshot::quantile`)
     /// this crate uses.
-    pub fn from_histogram(phase: &str, snap: &HistogramSnapshot, shed: u64) -> Self {
+    pub fn from_histogram(
+        phase: &str,
+        snap: &HistogramSnapshot,
+        shed: u64,
+        elapsed: Duration,
+    ) -> Self {
         Self {
             phase: phase.to_string(),
             served: snap.count,
@@ -122,6 +174,7 @@ impl PhaseStats {
             p50_ms: snap.p50() as f64 / 1e6,
             p99_ms: snap.p99() as f64 / 1e6,
             max_ms: snap.max as f64 / 1e6,
+            served_per_sec: snap.count as f64 / elapsed.as_secs_f64().max(1e-9),
         }
     }
 }
@@ -175,9 +228,11 @@ fn drive_phase(
         .registry()
         .histogram("bench_client_latency_ns", &[("phase", phase)]);
     let shed_before = shed_total(server);
+    let t0 = Instant::now();
     hammer(server, matrices, clients, requests_per_client, &latency);
+    let elapsed = t0.elapsed();
     let shed = shed_total(server) - shed_before;
-    PhaseStats::from_histogram(phase, &latency.snapshot(), shed)
+    PhaseStats::from_histogram(phase, &latency.snapshot(), shed, elapsed)
 }
 
 /// Trains the soak fixture: a small CNN+tree pair plus the matrices
@@ -212,10 +267,92 @@ fn trained_parts(cfg: &ServeBenchConfig) -> (FormatSelector, DtSelector, Vec<Coo
     (cnn, dt, data.matrices)
 }
 
+/// Drives the batched-vs-unbatched comparison: the same overload and
+/// low-load traffic against a server with the hot path off and one with
+/// it on. Closed-loop clients mean both sides see the same offered
+/// pattern; the shed rates are reported so the throughput ratio can be
+/// read at comparable shed budgets.
+fn run_hot_path_comparison(
+    cnn: &FormatSelector,
+    dt: &DtSelector,
+    matrices: &[CooMatrix<f32>],
+    cfg: &ServeBenchConfig,
+) -> HotPathComparison {
+    let queue_capacity = cfg.queue_capacity.max(16);
+    let build = |hot: bool| -> SelectorServer<f32> {
+        let service = SelectorService::new(Some(cnn.clone()), Some(dt.clone()))
+            .expect("freshly trained predictors validate")
+            .with_confidence_threshold(0.0);
+        SelectorServer::new(
+            service,
+            ServerConfig {
+                workers: cfg.workers,
+                queue_capacity,
+                cache: if hot {
+                    CacheConfig::enabled(1024)
+                } else {
+                    CacheConfig::default()
+                },
+                max_batch: if hot { 8 } else { 1 },
+                ..ServerConfig::default()
+            },
+        )
+    };
+    // ≥ 3× overload: at least three closed-loop clients per worker.
+    let overload_clients = cfg.clients.max(3 * cfg.workers);
+    let side = |hot: bool| {
+        let server = build(hot);
+        let overload = LatencyHistogram::new();
+        let t0 = Instant::now();
+        hammer(
+            &server,
+            matrices,
+            overload_clients,
+            cfg.requests_per_client,
+            &overload,
+        );
+        let elapsed = t0.elapsed();
+        // Low load: one sequential client — batches stay singletons, so
+        // this measures what batching costs when there is nothing to
+        // coalesce (and, on the hot side, what hits buy).
+        let low = LatencyHistogram::new();
+        hammer(&server, matrices, 1, cfg.requests_per_client, &low);
+        let r = server.report();
+        let hit_p50_us = server
+            .metrics_snapshot()
+            .histogram("serve_cache_hit_ns", &[])
+            .map_or(0.0, |h| h.p50() as f64 / 1e3);
+        (
+            overload.snapshot().count as f64 / elapsed.as_secs_f64().max(1e-9),
+            r.shed as f64 / r.submitted.max(1) as f64,
+            low.snapshot().p50() as f64 / 1e6,
+            r.cache.hit_rate(),
+            hit_p50_us,
+            r.accounted() == r.submitted && r.path_accounted(),
+        )
+    };
+    let (un_tput, un_shed, un_p50_ms, _, _, un_exact) = side(false);
+    let (hot_tput, hot_shed, hot_p50_ms, hit_rate, hit_p50_us, hot_exact) = side(true);
+    HotPathComparison {
+        unbatched_served_per_sec: un_tput,
+        batched_served_per_sec: hot_tput,
+        throughput_ratio: hot_tput / un_tput.max(1e-9),
+        unbatched_shed_rate: un_shed,
+        batched_shed_rate: hot_shed,
+        low_load_unbatched_p50_ms: un_p50_ms,
+        low_load_batched_p50_ms: hot_p50_ms,
+        low_load_p50_ratio: hot_p50_ms / un_p50_ms.max(1e-9),
+        cache_hit_rate: hit_rate,
+        cache_hit_p50_us: hit_p50_us,
+        miss_p50_us: un_p50_ms * 1e3,
+        accounting_exact: un_exact && hot_exact,
+    }
+}
+
 /// Runs the full three-phase soak and returns the report.
 pub fn run_serve_bench(cfg: &ServeBenchConfig) -> ServeBenchReport {
     let (cnn, dt, matrices) = trained_parts(cfg);
-    let service = SelectorService::new(Some(cnn.clone()), Some(dt))
+    let service = SelectorService::new(Some(cnn.clone()), Some(dt.clone()))
         .expect("freshly trained predictors validate")
         .with_confidence_threshold(0.0);
 
@@ -294,6 +431,9 @@ pub fn run_serve_bench(cfg: &ServeBenchConfig) -> ServeBenchReport {
     }
     let _ = std::fs::remove_dir_all(&dir);
 
+    // The tentpole comparison: same model, hot path off vs on.
+    let hot_path = run_hot_path_comparison(&cnn, &dt, &matrices, cfg);
+
     let report = server.report();
     ServeBenchReport {
         phases,
@@ -302,7 +442,10 @@ pub fn run_serve_bench(cfg: &ServeBenchConfig) -> ServeBenchReport {
         breaker_to_half_open: report.breaker.to_half_open,
         breaker_to_closed: report.breaker.to_closed,
         reloads_ok: report.reloads_ok,
-        accounting_exact: report.accounted() == report.submitted,
+        accounting_exact: report.accounted() == report.submitted
+            && report.path_accounted()
+            && hot_path.accounting_exact,
+        hot_path,
         server: report,
     }
 }
@@ -449,10 +592,28 @@ impl ServeBenchReport {
         let mut out = String::new();
         for p in &self.phases {
             out.push_str(&format!(
-                "{:>9}: served {:>5}, shed {:>4}, p50 {:>7.2} ms, p99 {:>7.2} ms, max {:>7.2} ms\n",
-                p.phase, p.served, p.shed, p.p50_ms, p.p99_ms, p.max_ms
+                "{:>9}: served {:>5}, shed {:>4}, p50 {:>7.2} ms, p99 {:>7.2} ms, max {:>7.2} ms, {:>8.0}/s\n",
+                p.phase, p.served, p.shed, p.p50_ms, p.p99_ms, p.max_ms, p.served_per_sec
             ));
         }
+        let h = &self.hot_path;
+        out.push_str(&format!(
+            "hot path: {:.0}/s unbatched vs {:.0}/s batched ({:.2}x; shed {:.3} vs {:.3})\n",
+            h.unbatched_served_per_sec,
+            h.batched_served_per_sec,
+            h.throughput_ratio,
+            h.unbatched_shed_rate,
+            h.batched_shed_rate,
+        ));
+        out.push_str(&format!(
+            "low load: p50 {:.3} ms unbatched vs {:.3} ms batched ({:.2}x); cache hit rate {:.3}, hit p50 {:.1} us vs miss {:.1} us\n",
+            h.low_load_unbatched_p50_ms,
+            h.low_load_batched_p50_ms,
+            h.low_load_p50_ratio,
+            h.cache_hit_rate,
+            h.cache_hit_p50_us,
+            h.miss_p50_us,
+        ));
         out.push_str(&format!(
             "shed rate {:.3}; breaker open/half-open/closed = {}/{}/{}; reloads {}; accounting {}\n",
             self.shed_rate,
@@ -477,11 +638,12 @@ mod tests {
             h.record(ms * 1_000_000);
         }
         let snap = h.snapshot();
-        let s = PhaseStats::from_histogram("steady", &snap, 7);
+        let s = PhaseStats::from_histogram("steady", &snap, 7, Duration::from_secs(2));
         assert_eq!(s.phase, "steady");
         assert_eq!(s.served, 4);
         assert_eq!(s.shed, 7);
         assert_eq!(s.max_ms, 4.0);
+        assert_eq!(s.served_per_sec, 2.0);
         // Quantiles use the shared snapshot arithmetic: the bucket
         // holding the ⌈q·n⌉-th sample, within one bucket's width.
         assert!((s.p50_ms - 2.0).abs() / 2.0 < 0.07, "{}", s.p50_ms);
@@ -491,9 +653,10 @@ mod tests {
     #[test]
     fn empty_histogram_yields_zero_stats() {
         let h = LatencyHistogram::new();
-        let s = PhaseStats::from_histogram("fault", &h.snapshot(), 0);
+        let s = PhaseStats::from_histogram("fault", &h.snapshot(), 0, Duration::from_secs(1));
         assert_eq!((s.served, s.shed), (0, 0));
         assert_eq!((s.p50_ms, s.p99_ms, s.max_ms), (0.0, 0.0, 0.0));
+        assert_eq!(s.served_per_sec, 0.0);
     }
 
     #[test]
@@ -512,5 +675,16 @@ mod tests {
         assert!(r.breaker_to_closed >= 1, "recovery must close: {r:?}");
         assert_eq!(r.reloads_ok, 1);
         assert!(r.accounting_exact, "{r:?}");
+        // The hot-path comparison ran and kept its books; the cache saw
+        // hits on the soak's repetitive traffic. (The throughput ratio
+        // itself is asserted by the CI gate on release soaks, not here
+        // — a debug-build tiny fixture is too noisy to gate on.)
+        let h = &r.hot_path;
+        assert!(h.accounting_exact, "{h:?}");
+        assert!(h.batched_served_per_sec > 0.0 && h.unbatched_served_per_sec > 0.0);
+        assert!(h.cache_hit_rate > 0.0, "repeated traffic must hit: {h:?}");
+        for p in &r.phases {
+            assert!(p.served == 0 || p.served_per_sec > 0.0, "{p:?}");
+        }
     }
 }

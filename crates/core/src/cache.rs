@@ -1,0 +1,586 @@
+//! Fingerprint-keyed decision cache — stage A of the serving hot path.
+//!
+//! Production selector traffic is highly repetitive: the same matrices
+//! recur, yet each request pays full representation extraction plus a
+//! CNN forward pass (~0.4 ms) for a decision that depends only on the
+//! matrix's *structure*. The cache keys CNN-answered [`Selection`]s by
+//! a cheap structural fingerprint ([`matrix_fingerprint`]) so repeat
+//! traffic resolves in microseconds on the submitting thread, without
+//! ever entering the admission queue.
+//!
+//! Design points:
+//!
+//! * **Sharded LRU** — a power-of-two number of shards, each a
+//!   lock-protected constant-time LRU (hash map into an intrusive
+//!   slab list), so concurrent submitters rarely contend on one lock.
+//! * **Generation-keyed** — every entry records the model generation
+//!   that produced it; a lookup under a newer generation reports
+//!   [`CacheLookup::Stale`] and drops the entry, so a hot model reload
+//!   can never serve a decision from a retired model.
+//! * **Injected time** — TTL expiry compares the caller's clock
+//!   reading ([`dnnspmv_obs::ClockFn`] nanoseconds), so tests drive
+//!   expiry with a fake clock and no sleeps.
+//! * **Only CNN answers are cached** — the serving layer inserts only
+//!   rung-`Answered` selections; degraded tree/default answers (breaker
+//!   open, CNN fault) stay uncached so recovery is visible immediately.
+//!   That policy lives in the server; the cache stores what it is
+//!   given.
+//!
+//! The fingerprint hashes exact shape and nonzero counts, a
+//! log-bucketed row-length histogram, and a strided sample of
+//! coordinates (exhaustive for `nnz ≤ 2048`). Two structurally
+//! different matrices can in principle collide, in which case the cache
+//! returns a format decision computed for a look-alike — a performance
+//! approximation, never a correctness hazard, exactly like the CNN's
+//! own down-sampled input representations.
+
+use crate::service::Selection;
+use dnnspmv_fingerprint::Fnv1a64;
+use dnnspmv_sparse::{CooMatrix, Scalar};
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Decision-cache tuning (see module docs).
+#[derive(Debug, Clone, Copy)]
+pub struct CacheConfig {
+    /// Total entries across all shards; 0 disables the cache.
+    pub capacity: usize,
+    /// Shard count (rounded up to a power of two, min 1).
+    pub shards: usize,
+    /// Entry time-to-live; `None` caches until evicted or invalidated.
+    pub ttl: Option<Duration>,
+}
+
+impl Default for CacheConfig {
+    /// Disabled. The serving hot path is opt-in: a deployment that
+    /// wants cached decisions sets a capacity explicitly (see
+    /// [`CacheConfig::enabled`]).
+    fn default() -> Self {
+        Self {
+            capacity: 0,
+            shards: 8,
+            ttl: None,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// An enabled cache of `capacity` entries with default sharding and
+    /// no TTL.
+    pub fn enabled(capacity: usize) -> Self {
+        Self {
+            capacity,
+            ..Self::default()
+        }
+    }
+
+    /// Whether this configuration caches anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+}
+
+/// Outcome of one cache probe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CacheLookup {
+    /// A live entry from the current model generation.
+    Hit(Selection),
+    /// No entry under this fingerprint.
+    Miss,
+    /// An entry existed but was produced by a retired model generation;
+    /// it has been dropped.
+    Stale,
+    /// An entry existed but outlived its TTL; it has been dropped.
+    Expired,
+}
+
+/// Outcome of one cache insert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheInsert {
+    /// A new entry was added.
+    Inserted,
+    /// A new entry was added and the shard's LRU entry was evicted to
+    /// make room.
+    InsertedEvicting,
+    /// An entry under this fingerprint already existed and was
+    /// refreshed in place.
+    Updated,
+}
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    fp: u64,
+    generation: u64,
+    inserted_at: u64,
+    sel: Selection,
+    prev: usize,
+    next: usize,
+}
+
+/// One shard: hash map from fingerprint to slab slot plus an intrusive
+/// doubly-linked recency list over the slab (head = most recent). All
+/// operations are O(1).
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<u64, usize>,
+    slab: Vec<Node>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Self {
+            head: NIL,
+            tail: NIL,
+            ..Self::default()
+        }
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slab[i].prev, self.slab[i].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.slab[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slab[n].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slab[i].prev = NIL;
+        self.slab[i].next = self.head;
+        match self.head {
+            NIL => self.tail = i,
+            h => self.slab[h].prev = i,
+        }
+        self.head = i;
+    }
+
+    fn remove(&mut self, i: usize) {
+        self.unlink(i);
+        self.map.remove(&self.slab[i].fp);
+        self.free.push(i);
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Sharded, generation-keyed LRU over format decisions (module docs).
+#[derive(Debug)]
+pub struct DecisionCache {
+    shards: Vec<Mutex<Shard>>,
+    shard_mask: u64,
+    per_shard_capacity: usize,
+    ttl_ns: Option<u64>,
+}
+
+impl DecisionCache {
+    /// Builds a cache, or `None` when `cfg` disables caching.
+    pub fn new(cfg: &CacheConfig) -> Option<Self> {
+        if !cfg.is_enabled() {
+            return None;
+        }
+        let shards = cfg.shards.clamp(1, cfg.capacity).next_power_of_two();
+        Some(Self {
+            shards: (0..shards).map(|_| Mutex::new(Shard::new())).collect(),
+            shard_mask: shards as u64 - 1,
+            per_shard_capacity: cfg.capacity.div_ceil(shards),
+            ttl_ns: cfg.ttl.map(|d| d.as_nanos() as u64),
+        })
+    }
+
+    fn shard(&self, fp: u64) -> &Mutex<Shard> {
+        // Fold the high half in so shard choice does not ride on the
+        // low bits alone.
+        &self.shards[((fp ^ (fp >> 32)) & self.shard_mask) as usize]
+    }
+
+    /// Probes for `fp` under the live model `generation` at time `now`
+    /// (clock nanoseconds). Stale-generation and TTL-expired entries
+    /// are dropped on sight and reported distinctly so the serving
+    /// layer can count them.
+    pub fn lookup(&self, fp: u64, generation: u64, now: u64) -> CacheLookup {
+        let mut s = self.shard(fp).lock().expect("cache shard lock");
+        let Some(&i) = s.map.get(&fp) else {
+            return CacheLookup::Miss;
+        };
+        if s.slab[i].generation != generation {
+            s.remove(i);
+            return CacheLookup::Stale;
+        }
+        if self
+            .ttl_ns
+            .is_some_and(|ttl| now.saturating_sub(s.slab[i].inserted_at) >= ttl)
+        {
+            s.remove(i);
+            return CacheLookup::Expired;
+        }
+        s.unlink(i);
+        s.push_front(i);
+        CacheLookup::Hit(s.slab[i].sel)
+    }
+
+    /// Inserts (or refreshes) the decision for `fp` produced by model
+    /// `generation` at time `now`, evicting the shard's LRU entry when
+    /// the shard is full.
+    pub fn insert(&self, fp: u64, generation: u64, now: u64, sel: Selection) -> CacheInsert {
+        let mut s = self.shard(fp).lock().expect("cache shard lock");
+        if let Some(&i) = s.map.get(&fp) {
+            s.slab[i] = Node {
+                generation,
+                inserted_at: now,
+                sel,
+                ..s.slab[i]
+            };
+            s.unlink(i);
+            s.push_front(i);
+            return CacheInsert::Updated;
+        }
+        let evicting = s.len() >= self.per_shard_capacity;
+        if evicting {
+            let lru = s.tail;
+            s.remove(lru);
+        }
+        let node = Node {
+            fp,
+            generation,
+            inserted_at: now,
+            sel,
+            prev: NIL,
+            next: NIL,
+        };
+        let i = match s.free.pop() {
+            Some(i) => {
+                s.slab[i] = node;
+                i
+            }
+            None => {
+                s.slab.push(node);
+                s.slab.len() - 1
+            }
+        };
+        s.map.insert(fp, i);
+        s.push_front(i);
+        if evicting {
+            CacheInsert::InsertedEvicting
+        } else {
+            CacheInsert::Inserted
+        }
+    }
+
+    /// Live entries across all shards (locks each shard in turn; not a
+    /// hot-path call).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard lock").len())
+            .sum()
+    }
+
+    /// Whether the cache currently holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Per-shard entry counts (capacity tests).
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard lock").len())
+            .collect()
+    }
+
+    /// The capacity each shard enforces.
+    pub fn per_shard_capacity(&self) -> usize {
+        self.per_shard_capacity
+    }
+}
+
+/// How many coordinates [`matrix_fingerprint`] samples: the stride is
+/// chosen so at most this many `(row, col)` pairs are hashed, and every
+/// pair is hashed when `nnz` is at or below it.
+pub const FINGERPRINT_COORD_SAMPLE: usize = 2048;
+
+/// Structural fingerprint of a sparse matrix: FNV-1a64 over exact
+/// `(nrows, ncols, nnz)`, a log2-bucketed histogram of nonzero-row
+/// lengths (one O(nnz) run-length pass over the canonically row-major
+/// sorted entries), and a strided sample of `(row, col)` coordinates.
+/// Values are deliberately excluded — every representation the CNN
+/// consumes depends only on the sparsity pattern, so two matrices with
+/// equal structure genuinely warrant the same decision.
+pub fn matrix_fingerprint<S: Scalar>(m: &CooMatrix<S>) -> u64 {
+    let mut h = Fnv1a64::new();
+    h.write_u64(m.nrows() as u64);
+    h.write_u64(m.ncols() as u64);
+    h.write_u64(m.nnz() as u64);
+    let rows = m.row_indices();
+    let cols = m.col_indices();
+    // Row-length histogram in 33 log2 buckets (lengths 1..=u32::MAX).
+    // Entries are strictly row-major sorted (the CooMatrix canonical
+    // invariant), so run lengths of equal row indices are row lengths;
+    // empty rows contribute nothing but are captured by nrows + nnz.
+    let mut hist = [0u64; 33];
+    let bucket = |run: u64| (63 - run.leading_zeros()) as usize;
+    if let Some(&first) = rows.first() {
+        let mut prev = first;
+        let mut run = 0u64;
+        for &r in rows {
+            if r == prev {
+                run += 1;
+            } else {
+                hist[bucket(run)] += 1;
+                prev = r;
+                run = 1;
+            }
+        }
+        hist[bucket(run)] += 1;
+    }
+    for b in hist {
+        h.write_u64(b);
+    }
+    let stride = rows.len().div_ceil(FINGERPRINT_COORD_SAMPLE).max(1);
+    let mut i = 0;
+    while i < rows.len() {
+        h.write_u32(rows[i]);
+        h.write_u32(cols[i]);
+        i += stride;
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::SelectionSource;
+    use dnnspmv_sparse::SparseFormat;
+    use proptest::prelude::*;
+
+    fn sel(format: SparseFormat, confidence: f32) -> Selection {
+        Selection {
+            format,
+            source: SelectionSource::Cnn,
+            confidence: Some(confidence),
+        }
+    }
+
+    fn small_cache(capacity: usize, shards: usize, ttl: Option<Duration>) -> DecisionCache {
+        DecisionCache::new(&CacheConfig {
+            capacity,
+            shards,
+            ttl,
+        })
+        .expect("enabled config")
+    }
+
+    #[test]
+    fn disabled_config_builds_no_cache() {
+        assert!(DecisionCache::new(&CacheConfig::default()).is_none());
+        assert!(!CacheConfig::default().is_enabled());
+        assert!(CacheConfig::enabled(16).is_enabled());
+    }
+
+    #[test]
+    fn hit_returns_what_was_inserted() {
+        let c = small_cache(8, 1, None);
+        let s = sel(SparseFormat::Dia, 0.9);
+        assert_eq!(c.insert(7, 0, 0, s), CacheInsert::Inserted);
+        assert_eq!(c.lookup(7, 0, 0), CacheLookup::Hit(s));
+        assert_eq!(c.lookup(8, 0, 0), CacheLookup::Miss);
+    }
+
+    #[test]
+    fn generation_bump_invalidates_all_prior_entries() {
+        let c = small_cache(16, 2, None);
+        for fp in 0..10u64 {
+            c.insert(fp, 0, 0, sel(SparseFormat::Csr, 0.8));
+        }
+        assert_eq!(c.len(), 10);
+        // Every generation-0 entry is reported stale (and dropped)
+        // under generation 1 — a hot reload never serves a retired
+        // model's decision.
+        for fp in 0..10u64 {
+            assert_eq!(c.lookup(fp, 1, 0), CacheLookup::Stale);
+            assert_eq!(c.lookup(fp, 1, 0), CacheLookup::Miss);
+        }
+        assert!(c.is_empty());
+        // Re-inserted under the new generation, hits resume.
+        c.insert(3, 1, 0, sel(SparseFormat::Ell, 0.7));
+        assert!(matches!(c.lookup(3, 1, 0), CacheLookup::Hit(_)));
+    }
+
+    #[test]
+    fn ttl_expiry_uses_the_injected_clock() {
+        let c = small_cache(8, 1, Some(Duration::from_nanos(100)));
+        c.insert(1, 0, 1000, sel(SparseFormat::Csr, 0.9));
+        assert!(matches!(c.lookup(1, 0, 1099), CacheLookup::Hit(_)));
+        assert_eq!(c.lookup(1, 0, 1100), CacheLookup::Expired);
+        assert_eq!(c.lookup(1, 0, 1100), CacheLookup::Miss);
+    }
+
+    #[test]
+    fn eviction_honors_capacity_per_shard_in_lru_order() {
+        let c = small_cache(4, 1, None);
+        assert_eq!(c.per_shard_capacity(), 4);
+        for fp in 0..4u64 {
+            assert_eq!(
+                c.insert(fp, 0, 0, sel(SparseFormat::Csr, 0.5)),
+                CacheInsert::Inserted
+            );
+        }
+        // Touch 0 so 1 becomes the LRU entry.
+        assert!(matches!(c.lookup(0, 0, 0), CacheLookup::Hit(_)));
+        assert_eq!(
+            c.insert(9, 0, 0, sel(SparseFormat::Coo, 0.6)),
+            CacheInsert::InsertedEvicting
+        );
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.lookup(1, 0, 0), CacheLookup::Miss, "LRU entry evicted");
+        for fp in [0u64, 2, 3, 9] {
+            assert!(matches!(c.lookup(fp, 0, 0), CacheLookup::Hit(_)), "{fp}");
+        }
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two_and_respects_capacity() {
+        let c = small_cache(100, 6, None);
+        assert_eq!(c.shard_lens().len(), 8);
+        assert_eq!(c.per_shard_capacity(), 13);
+        // A tiny capacity never spreads across more shards than
+        // entries.
+        let c = small_cache(2, 64, None);
+        assert_eq!(c.shard_lens().len(), 2);
+    }
+
+    fn diag(n: usize) -> CooMatrix<f32> {
+        let t: Vec<_> = (0..n).map(|i| (i, i, 1.0f32)).collect();
+        CooMatrix::from_triplets(n, n, &t).unwrap()
+    }
+
+    #[test]
+    fn fingerprint_separates_structure_and_ignores_values() {
+        let a = diag(64);
+        let b = diag(64);
+        assert_eq!(matrix_fingerprint(&a), matrix_fingerprint(&b));
+        // Same pattern, different values: same structural fingerprint.
+        let t: Vec<_> = (0..64).map(|i| (i, i, 2.5f32)).collect();
+        let c = CooMatrix::from_triplets(64, 64, &t).unwrap();
+        assert_eq!(matrix_fingerprint(&a), matrix_fingerprint(&c));
+        // Different shape, nnz, or coordinates: different fingerprints.
+        assert_ne!(matrix_fingerprint(&a), matrix_fingerprint(&diag(65)));
+        let mut t: Vec<_> = (0..64).map(|i| (i, i, 1.0f32)).collect();
+        t.push((0, 63, 1.0));
+        let d = CooMatrix::from_triplets(64, 64, &t).unwrap();
+        assert_ne!(matrix_fingerprint(&a), matrix_fingerprint(&d));
+        let t: Vec<_> = (0..64).map(|i| (i, 63 - i, 1.0f32)).collect();
+        let e = CooMatrix::from_triplets(64, 64, &t).unwrap();
+        assert_ne!(matrix_fingerprint(&a), matrix_fingerprint(&e));
+    }
+
+    /// Digest-stability pin: the fingerprint keys persisted across
+    /// serving sessions (and asserted against in benchmarks), so a
+    /// refactor that changes it must be deliberate.
+    #[test]
+    fn fingerprint_digest_is_stable() {
+        assert_eq!(matrix_fingerprint(&diag(8)), 0xecac_26c7_09bd_cde5);
+    }
+
+    /// Reference model for one shard's LRU: a Vec in recency order.
+    #[derive(Default)]
+    struct ModelLru {
+        entries: Vec<(u64, u64, u64, Selection)>, // (fp, gen, at, sel) most-recent-first
+        cap: usize,
+    }
+
+    impl ModelLru {
+        fn lookup(&mut self, fp: u64, generation: u64, now: u64, ttl: Option<u64>) -> CacheLookup {
+            let Some(i) = self.entries.iter().position(|e| e.0 == fp) else {
+                return CacheLookup::Miss;
+            };
+            let e = self.entries[i];
+            if e.1 != generation {
+                self.entries.remove(i);
+                return CacheLookup::Stale;
+            }
+            if ttl.is_some_and(|t| now.saturating_sub(e.2) >= t) {
+                self.entries.remove(i);
+                return CacheLookup::Expired;
+            }
+            self.entries.remove(i);
+            self.entries.insert(0, e);
+            CacheLookup::Hit(e.3)
+        }
+
+        fn insert(&mut self, fp: u64, generation: u64, now: u64, sel: Selection) -> CacheInsert {
+            if let Some(i) = self.entries.iter().position(|e| e.0 == fp) {
+                self.entries.remove(i);
+                self.entries.insert(0, (fp, generation, now, sel));
+                return CacheInsert::Updated;
+            }
+            let evicting = self.entries.len() >= self.cap;
+            if evicting {
+                self.entries.pop();
+            }
+            self.entries.insert(0, (fp, generation, now, sel));
+            if evicting {
+                CacheInsert::InsertedEvicting
+            } else {
+                CacheInsert::Inserted
+            }
+        }
+    }
+
+    proptest! {
+        /// A single-shard cache behaves exactly like the obvious
+        /// Vec-based LRU model under arbitrary interleavings of
+        /// lookups, inserts, generation bumps and clock advances.
+        #[test]
+        fn single_shard_matches_reference_lru(
+            ops in proptest::collection::vec((0u8..4, 0u64..12), 1..200),
+            cap in 1usize..6,
+            ttl_raw in 0u64..50,
+        ) {
+            // 0 means "no TTL"; the vendored proptest has no option strategy.
+            let ttl = (ttl_raw > 0).then_some(ttl_raw);
+            let cache = small_cache(cap, 1, ttl.map(Duration::from_nanos));
+            let mut model = ModelLru { cap, ..Default::default() };
+            let (mut generation, mut now) = (0u64, 0u64);
+            let mut fmt = 0u32;
+            for (op, fp) in ops {
+                match op {
+                    0 => {
+                        prop_assert_eq!(
+                            cache.lookup(fp, generation, now),
+                            model.lookup(fp, generation, now, ttl)
+                        );
+                    }
+                    1 => {
+                        // Distinct payloads so a hit proves which
+                        // insert it came from.
+                        fmt += 1;
+                        let s = sel(
+                            [SparseFormat::Csr, SparseFormat::Coo, SparseFormat::Dia][fmt as usize % 3],
+                            fmt as f32,
+                        );
+                        prop_assert_eq!(
+                            cache.insert(fp, generation, now, s),
+                            model.insert(fp, generation, now, s)
+                        );
+                    }
+                    2 => generation += 1,
+                    _ => now += fp + 1,
+                }
+                prop_assert_eq!(cache.len(), model.entries.len());
+                prop_assert!(cache.len() <= cap);
+            }
+        }
+    }
+}

@@ -24,9 +24,14 @@
 //! [`SelectorServer`] adds the serving layer on top: bounded-queue
 //! admission control, per-request deadlines with cooperative
 //! cancellation, a circuit breaker demoting a misbehaving CNN to the
-//! tree rung, and validated hot model reload.
+//! tree rung, and validated hot model reload. Its throughput hot path
+//! is two-staged: a fingerprint-keyed decision cache
+//! ([`DecisionCache`]) answers structurally repeated matrices at
+//! admission, and workers coalesce cache misses into micro-batches
+//! sharing one packed CNN forward pass.
 
 pub mod baseline;
+pub mod cache;
 pub mod error;
 pub mod samples;
 pub mod selector;
@@ -34,14 +39,19 @@ pub mod server;
 pub mod service;
 
 pub use baseline::DtSelector;
+pub use cache::{
+    matrix_fingerprint, CacheConfig, CacheInsert, CacheLookup, DecisionCache,
+    FINGERPRINT_COORD_SAMPLE,
+};
 pub use error::SelectorError;
 pub use samples::make_samples;
 pub use selector::{FormatSelector, SelectorConfig};
 pub use server::{
     load_selector_with_retry, system_clock, BreakerConfig, BreakerSnapshot, BreakerState, ClockFn,
-    PendingSelection, SelectorServer, ServeError, ServeHooks, ServerConfig, ServerReport,
+    PendingSelection, SelectorServer, ServeCacheReport, ServeError, ServeHooks, ServerConfig,
+    ServerReport,
 };
 pub use service::{
-    CnnFault, CnnRungOutcome, GuardedSelection, SelectGuard, Selection, SelectionSource,
-    SelectorService, ServiceReport,
+    BatchGuard, CnnFault, CnnRungOutcome, GuardedSelection, SelectGuard, Selection,
+    SelectionSource, SelectorService, ServiceReport,
 };

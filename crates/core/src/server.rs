@@ -37,10 +37,11 @@
 //! every hot-reloaded model generation, so ladder counters survive
 //! swaps without any merge step.
 
+use crate::cache::{matrix_fingerprint, CacheConfig, CacheInsert, CacheLookup, DecisionCache};
 use crate::error::SelectorError;
 use crate::selector::FormatSelector;
 use crate::service::{
-    CnnFault, CnnRungOutcome, SelectGuard, Selection, SelectionSource, SelectorService,
+    BatchGuard, CnnFault, CnnRungOutcome, SelectGuard, Selection, SelectionSource, SelectorService,
     ServiceReport,
 };
 use dnnspmv_nn::NnError;
@@ -234,6 +235,15 @@ impl Breaker {
         self.inner.lock().expect("breaker lock").probing = false;
     }
 
+    /// Whether the breaker is currently closed, without consuming a
+    /// probe slot or transitioning state — the micro-batcher peeks this
+    /// to decide between the shared CNN pass (closed) and per-member
+    /// single-path handling (open or half-open, where probe accounting
+    /// must stay one-request-at-a-time).
+    fn closed(&self) -> bool {
+        self.inner.lock().expect("breaker lock").state == BreakerState::Closed
+    }
+
     fn snapshot(&self) -> BreakerSnapshot {
         let b = self.inner.lock().expect("breaker lock");
         BreakerSnapshot {
@@ -331,6 +341,22 @@ pub struct ServerConfig {
     /// stores can be switched off, which is how the overhead smoke
     /// measures an uninstrumented baseline.
     pub latency_metrics: bool,
+    /// Fingerprint-keyed decision cache (disabled by default: capacity
+    /// 0). Hits are answered synchronously in [`SelectorServer::submit`]
+    /// without touching the queue; only CNN-answered selections are
+    /// cached, and every entry is keyed by the model generation that
+    /// produced it, so a hot reload invalidates the whole cache at once.
+    pub cache: CacheConfig,
+    /// Largest micro-batch a worker may coalesce from consecutive
+    /// cache-miss requests (1 disables batching). Batched members share
+    /// one packed CNN forward pass; deadlines, breaker accounting and
+    /// fault injection stay per-member.
+    pub max_batch: usize,
+    /// How long a worker holding a partial batch waits for more work
+    /// before running it. Zero (the default) batches opportunistically:
+    /// whatever is already queued is taken, but the worker never idles
+    /// waiting for a fuller batch, so low-load latency is unaffected.
+    pub max_batch_wait: Duration,
 }
 
 impl Default for ServerConfig {
@@ -343,6 +369,9 @@ impl Default for ServerConfig {
             reload_attempts: 3,
             reload_backoff: Duration::from_millis(20),
             latency_metrics: true,
+            cache: CacheConfig::default(),
+            max_batch: 8,
+            max_batch_wait: Duration::ZERO,
         }
     }
 }
@@ -366,11 +395,24 @@ struct ServerMetrics {
     probes_failed: Counter,
     reloads_ok: Counter,
     reloads_rejected: Counter,
+    served_cache: Counter,
+    path_cache: Counter,
+    path_batched: Counter,
+    path_single: Counter,
+    cache_miss: Counter,
+    cache_stale: Counter,
+    cache_expired: Counter,
+    cache_inserted: Counter,
+    cache_updated: Counter,
+    cache_evicted: Counter,
     queue_depth: Gauge,
     in_flight: Gauge,
     model_generation: Gauge,
+    cache_entries: Gauge,
     queue_wait_ns: Arc<LatencyHistogram>,
     handle_ns: Arc<LatencyHistogram>,
+    cache_hit_ns: Arc<LatencyHistogram>,
+    batch_size: Arc<LatencyHistogram>,
     /// Histogram recording (and its extra clock reads) enabled.
     timed: bool,
 }
@@ -384,6 +426,9 @@ impl ServerMetrics {
                 &[("outcome", "served"), ("rung", rung)],
             )
         };
+        let path = |p: &str| registry.counter("serve_path_total", &[("path", p)]);
+        let lookup = |r: &str| registry.counter("serve_cache_lookup_total", &[("result", r)]);
+        let store = |r: &str| registry.counter("serve_cache_store_total", &[("result", r)]);
         Self {
             submitted: registry.counter("serve_submitted_total", &[]),
             shed: outcome("shed"),
@@ -391,6 +436,19 @@ impl ServerMetrics {
             served_cnn: served("cnn"),
             served_tree: served("tree"),
             served_default: served("default"),
+            served_cache: served("cache"),
+            path_cache: path("cache"),
+            path_batched: path("batched"),
+            path_single: path("single"),
+            cache_miss: lookup("miss"),
+            cache_stale: lookup("stale"),
+            cache_expired: lookup("expired"),
+            cache_inserted: store("inserted"),
+            cache_updated: store("updated"),
+            cache_evicted: store("evicted"),
+            cache_entries: registry.gauge("serve_cache_entries", &[]),
+            cache_hit_ns: registry.histogram("serve_cache_hit_ns", &[]),
+            batch_size: registry.histogram("serve_batch_size", &[]),
             deadline_in_queue: outcome("deadline_in_queue"),
             deadline_in_flight: outcome("deadline_in_flight"),
             breaker_demoted: registry.counter("serve_breaker_demoted_total", &[]),
@@ -409,12 +467,49 @@ impl ServerMetrics {
     }
 }
 
+/// Decision-cache counters, as exported by [`ServerReport`].
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct ServeCacheReport {
+    /// Lookups answered from the cache (same as
+    /// [`ServerReport::served_cache`]).
+    pub hits: u64,
+    /// Lookups that found no entry.
+    pub misses: u64,
+    /// Lookups that found an entry from a retired model generation
+    /// (dropped on sight).
+    pub stale: u64,
+    /// Lookups that found an entry past its TTL (dropped on sight).
+    pub expired: u64,
+    /// Entries inserted (fresh key).
+    pub inserted: u64,
+    /// Entries refreshed in place (key already present).
+    pub updated: u64,
+    /// Entries evicted to make room (LRU within a shard).
+    pub evicted: u64,
+    /// Live entries right now.
+    pub entries: i64,
+}
+
+impl ServeCacheReport {
+    /// Hit fraction over all lookups (0 when the cache saw no traffic).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses + self.stale + self.expired;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+}
+
 /// Monotonic server counters plus breaker and ladder snapshots.
 ///
 /// Accounting invariant (once all accepted work has completed):
 /// `submitted == shed + rejected_shutdown + served + deadline_in_queue +
 /// deadline_in_flight` — every request lands in exactly one terminal
-/// bucket, none lost, none double-counted.
+/// bucket, none lost, none double-counted. A second, path-level
+/// invariant refines `served`: `served == cache.hits + batched_served +
+/// single_served` — every answer travelled exactly one hot-path route.
 #[derive(Debug, Clone, Serialize)]
 pub struct ServerReport {
     /// Requests that entered `submit` at all.
@@ -424,7 +519,7 @@ pub struct ServerReport {
     /// Rejected because the server was shutting down.
     pub rejected_shutdown: u64,
     /// Answered, by any rung (`served_cnn + served_tree +
-    /// served_default`).
+    /// served_default + served_cache`).
     pub served: u64,
     /// Answered by the CNN rung.
     pub served_cnn: u64,
@@ -432,6 +527,14 @@ pub struct ServerReport {
     pub served_tree: u64,
     /// Answered by the static default.
     pub served_default: u64,
+    /// Answered from the decision cache (no rung ran at all).
+    pub served_cache: u64,
+    /// Answers produced by a micro-batched worker pass.
+    pub batched_served: u64,
+    /// Answers produced by the per-request worker path.
+    pub single_served: u64,
+    /// Decision-cache counters.
+    pub cache: ServeCacheReport,
     /// Deadline expired while still queued.
     pub deadline_in_queue: u64,
     /// Deadline expired during processing.
@@ -467,6 +570,13 @@ impl ServerReport {
             + self.deadline_in_queue
             + self.deadline_in_flight
     }
+
+    /// Path-level refinement of the accounting invariant: every served
+    /// answer arrived via exactly one route — a synchronous cache hit,
+    /// a micro-batched worker pass, or the per-request worker path.
+    pub fn path_accounted(&self) -> bool {
+        self.served == self.served_cache + self.batched_served + self.single_served
+    }
 }
 
 /// One model generation: an immutable validated service plus its
@@ -484,6 +594,9 @@ struct Job<S: Scalar> {
     /// Clock reading at admission — the queue-wait histogram is
     /// dequeue-time minus this.
     enqueued_at: u64,
+    /// Structural fingerprint computed at admission (only when the
+    /// cache is enabled); the worker stores CNN answers under it.
+    fp: Option<u64>,
     reply: mpsc::Sender<Result<Selection, ServeError>>,
 }
 
@@ -502,7 +615,26 @@ struct Inner<S: Scalar> {
     /// requests finishing against a retired model still land in the
     /// same ladder counters.
     slot: RwLock<Arc<Generation>>,
+    /// Mirror of the live generation number, readable without the slot
+    /// lock — the submit hot path keys cache lookups off this.
+    generation_no: AtomicU64,
+    /// Fingerprint-keyed decision cache (`None` when disabled).
+    cache: Option<DecisionCache>,
     seq: AtomicU64,
+}
+
+/// Restores a gauge by `n` on drop — the batch-sized analogue of
+/// [`GaugeGuard`], so the in-flight gauge is released even if a batch
+/// member's CNN pass panics through the worker.
+struct GaugeDebt<'a> {
+    gauge: &'a Gauge,
+    n: i64,
+}
+
+impl Drop for GaugeDebt<'_> {
+    fn drop(&mut self) {
+        self.gauge.add(-self.n);
+    }
 }
 
 type Reply = mpsc::Sender<Result<Selection, ServeError>>;
@@ -592,12 +724,198 @@ impl<S: Scalar> Inner<S> {
                     SelectionSource::Default => &self.metrics.served_default,
                 };
                 c.inc();
+                self.metrics.path_single.inc();
+                self.cache_store(job.fp, generation.number, out.cnn, &sel);
                 (job.reply, Ok(sel))
             }
             None => {
                 self.metrics.deadline_in_flight.inc();
                 (job.reply, Err(ServeError::DeadlineExceeded))
             }
+        }
+    }
+
+    /// Stores a CNN-answered selection in the decision cache. Tree and
+    /// default answers are never cached: they are the *degraded* rungs,
+    /// and caching them would keep serving degraded answers after the
+    /// CNN recovered.
+    fn cache_store(&self, fp: Option<u64>, generation: u64, cnn: CnnRungOutcome, sel: &Selection) {
+        let (Some(cache), Some(fp)) = (&self.cache, fp) else {
+            return;
+        };
+        if cnn != CnnRungOutcome::Answered {
+            return;
+        }
+        match cache.insert(fp, generation, (self.clock)(), *sel) {
+            CacheInsert::Inserted => {
+                self.metrics.cache_inserted.inc();
+                self.metrics.cache_entries.inc();
+            }
+            CacheInsert::InsertedEvicting => {
+                self.metrics.cache_inserted.inc();
+                self.metrics.cache_evicted.inc();
+            }
+            CacheInsert::Updated => self.metrics.cache_updated.inc(),
+        }
+    }
+
+    /// Processes a coalesced batch of jobs through one shared CNN
+    /// forward pass, preserving the per-request semantics of
+    /// [`Inner::handle`]: queue-wait accounting, in-queue deadline
+    /// expiry, per-member fault injection, per-member cancellation, and
+    /// per-member breaker feedback. Batches are only formed while the
+    /// breaker is closed, so there is no probe bookkeeping here.
+    fn handle_batch_many(&self, jobs: Vec<Job<S>>) -> Vec<(Reply, Result<Selection, ServeError>)> {
+        let now = (self.clock)();
+        let n = jobs.len() as i64;
+        self.metrics.in_flight.add(n);
+        let _in_flight = GaugeDebt {
+            gauge: &self.metrics.in_flight,
+            n,
+        };
+        let generation = self.slot.read().expect("slot lock").clone();
+        let mut results: Vec<Option<Result<Selection, ServeError>>> = vec![None; jobs.len()];
+        let mut live: Vec<usize> = Vec::with_capacity(jobs.len());
+        for (i, job) in jobs.iter().enumerate() {
+            if self.metrics.timed {
+                self.metrics
+                    .queue_wait_ns
+                    .record(now.saturating_sub(job.enqueued_at));
+            }
+            if job.deadline.is_some_and(|d| now >= d) {
+                self.metrics.deadline_in_queue.inc();
+                results[i] = Some(Err(ServeError::DeadlineExceeded));
+            } else {
+                live.push(i);
+            }
+        }
+        if !live.is_empty() {
+            // Hooks are consulted exactly once per member reaching the
+            // CNN rung, just as on the single path.
+            let injects: Vec<CnnFault> = live
+                .iter()
+                .map(|&i| {
+                    self.hooks
+                        .cnn_fault
+                        .as_ref()
+                        .map_or(CnnFault::None, |h| h(jobs[i].seq))
+                })
+                .collect();
+            let cancels: Vec<_> = live
+                .iter()
+                .map(|&i| {
+                    let clock = self.clock.clone();
+                    let deadline = jobs[i].deadline;
+                    move || deadline.is_some_and(|d| clock() >= d)
+                })
+                .collect();
+            let guards: Vec<BatchGuard> = injects
+                .iter()
+                .zip(&cancels)
+                .map(|(&inject, c)| BatchGuard {
+                    cancel: Some(c as &dyn Fn() -> bool),
+                    inject,
+                })
+                .collect();
+            let refs: Vec<&CooMatrix<S>> = live.iter().map(|&i| jobs[i].matrix.as_ref()).collect();
+            let outs = generation.service.select_batch_guarded(&refs, &guards);
+            for (&i, out) in live.iter().zip(outs) {
+                match out.cnn {
+                    CnnRungOutcome::Answered | CnnRungOutcome::LowConfidence => {
+                        self.breaker.on_success(false);
+                    }
+                    CnnRungOutcome::Panicked
+                    | CnnRungOutcome::NonFinite
+                    | CnnRungOutcome::Cancelled => {
+                        self.breaker.on_failure(false, (self.clock)());
+                    }
+                    CnnRungOutcome::Skipped | CnnRungOutcome::Absent => {}
+                }
+                if self.metrics.timed {
+                    self.metrics
+                        .handle_ns
+                        .record((self.clock)().saturating_sub(now));
+                }
+                results[i] = Some(match out.selection {
+                    Some(sel) => {
+                        let c = match sel.source {
+                            SelectionSource::Cnn => &self.metrics.served_cnn,
+                            SelectionSource::Tree => &self.metrics.served_tree,
+                            SelectionSource::Default => &self.metrics.served_default,
+                        };
+                        c.inc();
+                        self.metrics.path_batched.inc();
+                        self.cache_store(jobs[i].fp, generation.number, out.cnn, &sel);
+                        Ok(sel)
+                    }
+                    None => {
+                        self.metrics.deadline_in_flight.inc();
+                        Err(ServeError::DeadlineExceeded)
+                    }
+                });
+            }
+        }
+        jobs.into_iter()
+            .zip(results)
+            .map(|(j, r)| (j.reply, r.expect("every batch member resolved")))
+            .collect()
+    }
+
+    /// Routes a gathered batch: singleton batches and any situation
+    /// where the shared CNN pass would change semantics (no CNN rung,
+    /// breaker not closed — probes must stay one-request-at-a-time) go
+    /// through the per-request path member by member.
+    fn handle_batch(&self, jobs: Vec<Job<S>>) -> Vec<(Reply, Result<Selection, ServeError>)> {
+        self.metrics.batch_size.record(jobs.len() as u64);
+        let batchable = jobs.len() > 1
+            && self.slot.read().expect("slot lock").service.has_cnn()
+            && self.breaker.closed();
+        if batchable {
+            self.handle_batch_many(jobs)
+        } else {
+            jobs.into_iter().map(|j| self.handle(j)).collect()
+        }
+    }
+
+    /// Pops one job, then greedily coalesces up to `max_batch - 1` more.
+    /// With a non-zero `max_batch_wait` the worker holds the partial
+    /// batch open until the (injected) clock passes the gather deadline,
+    /// sleeping in short real-time slices so a frozen fake clock holds
+    /// the gather window open deterministically.
+    fn gather_batch(&self, first: Job<S>) -> Vec<Job<S>> {
+        let max_batch = self.cfg.max_batch.max(1);
+        let mut batch = vec![first];
+        if max_batch == 1 {
+            return batch;
+        }
+        let wait_ns = self.cfg.max_batch_wait.as_nanos() as u64;
+        let gather_deadline = (self.clock)().saturating_add(wait_ns);
+        let mut q = self.queue.lock().expect("queue lock");
+        loop {
+            while batch.len() < max_batch {
+                match q.pop_front() {
+                    Some(j) => {
+                        self.metrics.queue_depth.dec();
+                        batch.push(j);
+                    }
+                    None => break,
+                }
+            }
+            if batch.len() >= max_batch
+                || wait_ns == 0
+                || (self.clock)() >= gather_deadline
+                || self.shutdown.load(Ordering::SeqCst)
+            {
+                return batch;
+            }
+            // Short real slice, injected-clock deadline: under a fake
+            // clock the slice expires but the deadline does not, so the
+            // window stays open until the test advances time.
+            let (guard, _) = self
+                .cv
+                .wait_timeout(q, Duration::from_micros(200))
+                .expect("queue lock");
+            q = guard;
         }
     }
 
@@ -620,8 +938,9 @@ impl<S: Scalar> Inner<S> {
             };
             match job {
                 Some(j) => {
-                    let (reply, result) = self.handle(j);
-                    let _ = reply.send(result);
+                    for (reply, result) in self.handle_batch(self.gather_batch(j)) {
+                        let _ = reply.send(result);
+                    }
                 }
                 None => return,
             }
@@ -629,15 +948,26 @@ impl<S: Scalar> Inner<S> {
     }
 }
 
-/// A handle to one submitted request; resolves when a worker answers.
+/// A handle to one submitted request; resolves when a worker answers —
+/// or immediately, when the decision cache answered at admission.
 pub struct PendingSelection {
-    rx: mpsc::Receiver<Result<Selection, ServeError>>,
+    state: PendingState,
+}
+
+enum PendingState {
+    /// Answered synchronously (cache hit); no worker involved.
+    Ready(Box<Result<Selection, ServeError>>),
+    /// Queued; a worker will reply.
+    Waiting(mpsc::Receiver<Result<Selection, ServeError>>),
 }
 
 impl PendingSelection {
     /// Blocks until the request resolves.
     pub fn wait(self) -> Result<Selection, ServeError> {
-        self.rx.recv().unwrap_or(Err(ServeError::WorkerLost))
+        match self.state {
+            PendingState::Ready(r) => *r,
+            PendingState::Waiting(rx) => rx.recv().unwrap_or(Err(ServeError::WorkerLost)),
+        }
     }
 }
 
@@ -670,6 +1000,7 @@ impl<S: Scalar> SelectorServer<S> {
         let service = service.with_registry(metrics.registry.clone());
         let inner = Arc::new(Inner {
             breaker: Breaker::new(cfg.breaker),
+            cache: DecisionCache::new(&cfg.cache),
             cfg,
             clock,
             hooks,
@@ -678,6 +1009,7 @@ impl<S: Scalar> SelectorServer<S> {
             shutdown: AtomicBool::new(false),
             metrics,
             slot: RwLock::new(Arc::new(Generation { service, number: 0 })),
+            generation_no: AtomicU64::new(0),
             seq: AtomicU64::new(0),
         });
         let handles = (0..workers)
@@ -697,7 +1029,10 @@ impl<S: Scalar> SelectorServer<S> {
 
     /// Submits a request with an explicit deadline (`None`: no
     /// deadline). Sheds immediately with [`ServeError::Overloaded`]
-    /// when the queue is full.
+    /// when the queue is full. When the decision cache holds a
+    /// same-generation answer for the matrix's structural fingerprint,
+    /// the request is answered synchronously without queueing at all —
+    /// the hit path is a fingerprint, a sharded lookup, and a clone.
     pub fn submit(
         &self,
         matrix: Arc<CooMatrix<S>>,
@@ -710,6 +1045,34 @@ impl<S: Scalar> SelectorServer<S> {
             return Err(ServeError::ShuttingDown);
         }
         let now = (self.inner.clock)();
+        let mut fp = None;
+        if let Some(cache) = &self.inner.cache {
+            let key = matrix_fingerprint(matrix.as_ref());
+            let generation = self.inner.generation_no.load(Ordering::Acquire);
+            match cache.lookup(key, generation, now) {
+                CacheLookup::Hit(sel) => {
+                    m.served_cache.inc();
+                    m.path_cache.inc();
+                    if m.timed {
+                        m.cache_hit_ns
+                            .record((self.inner.clock)().saturating_sub(now));
+                    }
+                    return Ok(PendingSelection {
+                        state: PendingState::Ready(Box::new(Ok(sel))),
+                    });
+                }
+                CacheLookup::Miss => m.cache_miss.inc(),
+                CacheLookup::Stale => {
+                    m.cache_stale.inc();
+                    m.cache_entries.dec();
+                }
+                CacheLookup::Expired => {
+                    m.cache_expired.inc();
+                    m.cache_entries.dec();
+                }
+            }
+            fp = Some(key);
+        }
         let deadline_ns = deadline.map(|d| now.saturating_add(d.as_nanos() as u64));
         let (tx, rx) = mpsc::channel();
         let job = Job {
@@ -717,6 +1080,7 @@ impl<S: Scalar> SelectorServer<S> {
             deadline: deadline_ns,
             seq: self.inner.seq.fetch_add(1, Ordering::Relaxed),
             enqueued_at: now,
+            fp,
             reply: tx,
         };
         {
@@ -731,7 +1095,9 @@ impl<S: Scalar> SelectorServer<S> {
             m.queue_depth.inc();
         }
         self.inner.cv.notify_one();
-        Ok(PendingSelection { rx })
+        Ok(PendingSelection {
+            state: PendingState::Waiting(rx),
+        })
     }
 
     /// Synchronous convenience: submit with the configured default
@@ -783,6 +1149,10 @@ impl<S: Scalar> SelectorServer<S> {
                 .with_registry(self.inner.metrics.registry.clone());
             let number = slot.number + 1;
             *slot = Arc::new(Generation { service, number });
+            // Publish the new generation number for lock-free cache
+            // lookups; entries keyed by older generations are now stale
+            // and get dropped lazily on their next lookup.
+            self.inner.generation_no.store(number, Ordering::Release);
             self.inner.metrics.model_generation.set(number as i64);
             self.inner.metrics.reloads_ok.inc();
             Ok(number)
@@ -809,6 +1179,7 @@ impl<S: Scalar> SelectorServer<S> {
         let served_cnn = m.served_cnn.get();
         let served_tree = m.served_tree.get();
         let served_default = m.served_default.get();
+        let served_cache = m.served_cache.get();
         // Every generation shares the registry, so the live service's
         // handles already hold the totals across all generations.
         let ladder = self.inner.slot.read().expect("slot lock").service.report();
@@ -816,10 +1187,23 @@ impl<S: Scalar> SelectorServer<S> {
             submitted: m.submitted.get(),
             shed: m.shed.get(),
             rejected_shutdown: m.rejected_shutdown.get(),
-            served: served_cnn + served_tree + served_default,
+            served: served_cnn + served_tree + served_default + served_cache,
             served_cnn,
             served_tree,
             served_default,
+            served_cache,
+            batched_served: m.path_batched.get(),
+            single_served: m.path_single.get(),
+            cache: ServeCacheReport {
+                hits: served_cache,
+                misses: m.cache_miss.get(),
+                stale: m.cache_stale.get(),
+                expired: m.cache_expired.get(),
+                inserted: m.cache_inserted.get(),
+                updated: m.cache_updated.get(),
+                evicted: m.cache_evicted.get(),
+                entries: m.cache_entries.get(),
+            },
             deadline_in_queue: m.deadline_in_queue.get(),
             deadline_in_flight: m.deadline_in_flight.get(),
             breaker_demoted: m.breaker_demoted.get(),

@@ -98,6 +98,19 @@ pub struct SelectGuard<'a> {
     pub inject: CnnFault,
 }
 
+/// Per-member options for [`SelectorService::select_batch_guarded`]:
+/// the single-path [`SelectGuard`] minus `skip_cnn` — a batch is only
+/// formed for requests headed to the CNN rung; demoted traffic runs
+/// the single path.
+#[derive(Clone, Copy, Default)]
+pub struct BatchGuard<'a> {
+    /// This member's cooperative-cancellation checkpoint.
+    pub cancel: Option<&'a dyn Fn() -> bool>,
+    /// Injected CNN fault for deterministic failure testing; a faulted
+    /// member is pulled out of the shared forward pass.
+    pub inject: CnnFault,
+}
+
 /// Result of a guarded selection: the decision (absent only when the
 /// request was cancelled) plus what the CNN rung did.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -302,7 +315,6 @@ impl SelectorService {
         matrix: &CooMatrix<S>,
         guard: &SelectGuard,
     ) -> GuardedSelection {
-        let expired = || guard.cancel.is_some_and(|c| c());
         let cnn_outcome = match &self.cnn {
             None => CnnRungOutcome::Absent,
             Some(_) if guard.skip_cnn => {
@@ -327,39 +339,225 @@ impl SelectorService {
                         self.counters.cnn_cancelled.inc();
                         CnnRungOutcome::Cancelled
                     }
-                    Ok(Some(probs)) if probs.iter().any(|p| !p.is_finite()) => {
-                        self.counters.cnn_nonfinite.inc();
-                        CnnRungOutcome::NonFinite
-                    }
                     Ok(Some(probs)) => {
-                        let (best, &p) = probs
-                            .iter()
-                            .enumerate()
-                            .max_by(|a, b| {
-                                a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal)
-                            })
-                            .expect("validated selector has a non-empty class set");
-                        if p < self.confidence_threshold {
-                            self.counters.cnn_low_confidence.inc();
-                            CnnRungOutcome::LowConfidence
-                        } else {
-                            self.counters.cnn_ok.inc();
+                        let (outcome, selection) = self.classify_probs(cnn, &probs);
+                        if let Some(sel) = selection {
                             return GuardedSelection {
-                                selection: Some(Selection {
-                                    format: cnn.formats[best],
-                                    source: SelectionSource::Cnn,
-                                    confidence: Some(p),
-                                }),
-                                cnn: CnnRungOutcome::Answered,
+                                selection: Some(sel),
+                                cnn: outcome,
                             };
                         }
+                        outcome
                     }
                 }
             }
         };
-        // A blown deadline answers nothing — the caller has already
-        // timed out, so running the fallbacks would only waste a worker.
-        if cnn_outcome == CnnRungOutcome::Cancelled || expired() {
+        if cnn_outcome == CnnRungOutcome::Cancelled {
+            return GuardedSelection {
+                selection: None,
+                cnn: cnn_outcome,
+            };
+        }
+        self.fallback_rungs(matrix, cnn_outcome, guard.cancel)
+    }
+
+    /// Batched [`SelectorService::select_guarded`]: one CNN forward
+    /// pass (a single GEMM per layer) answers every member of
+    /// `matrices`, while each member keeps its own cancellation
+    /// checkpoint, injected fault, rung outcome and ladder counters —
+    /// the serving layer's micro-batcher drives cache-miss requests
+    /// through here. Per-member semantics:
+    ///
+    /// * **Injected faults** stay scoped: a member carrying a fault
+    ///   runs the single-request rung alone, so one poisoned request
+    ///   cannot sink its batch mates.
+    /// * **Extraction** runs per member under that member's `cancel`;
+    ///   a deadline expiring there cancels only that member.
+    /// * **The shared forward pass** is abandoned only when *every*
+    ///   remaining member's deadline has expired (checked between
+    ///   layers) — as long as one member still wants the answer, the
+    ///   batch keeps going.
+    /// * **After the forward pass**, each member re-checks its own
+    ///   deadline, then classifies its own probability row through the
+    ///   same confidence ladder as the single path.
+    ///
+    /// Without a CNN every member simply runs the single-request
+    /// ladder. `guards` must be parallel to `matrices`.
+    pub fn select_batch_guarded<S: Scalar>(
+        &self,
+        matrices: &[&CooMatrix<S>],
+        guards: &[BatchGuard],
+    ) -> Vec<GuardedSelection> {
+        assert_eq!(
+            matrices.len(),
+            guards.len(),
+            "one guard per batch member required"
+        );
+        let single = |i: usize| {
+            self.select_guarded(
+                matrices[i],
+                &SelectGuard {
+                    skip_cnn: false,
+                    cancel: guards[i].cancel,
+                    inject: guards[i].inject,
+                },
+            )
+        };
+        let Some(cnn) = &self.cnn else {
+            return (0..matrices.len()).map(single).collect();
+        };
+        let mut out: Vec<Option<GuardedSelection>> = vec![None; matrices.len()];
+        // Members carrying an injected fault take the single path so
+        // the fault stays theirs alone.
+        let live: Vec<usize> = (0..matrices.len())
+            .filter(|&i| {
+                if guards[i].inject != CnnFault::None {
+                    out[i] = Some(single(i));
+                    false
+                } else {
+                    true
+                }
+            })
+            .collect();
+        // Per-member extraction under the member's own cancel.
+        let mut batch: Vec<(usize, Vec<dnnspmv_nn::Tensor>)> = Vec::with_capacity(live.len());
+        for &i in &live {
+            let channels = match guards[i].cancel {
+                Some(c) => crate::samples::make_channels_with_cancel(
+                    matrices[i],
+                    cnn.config.repr,
+                    &cnn.config.repr_config,
+                    c,
+                ),
+                None => Some(crate::samples::make_channels(
+                    matrices[i],
+                    cnn.config.repr,
+                    &cnn.config.repr_config,
+                )),
+            };
+            match channels {
+                Some(ch) => batch.push((i, ch)),
+                None => {
+                    self.counters.cnn_cancelled.inc();
+                    out[i] = Some(GuardedSelection {
+                        selection: None,
+                        cnn: CnnRungOutcome::Cancelled,
+                    });
+                }
+            }
+        }
+        if !batch.is_empty() {
+            let refs: Vec<&[dnnspmv_nn::Tensor]> =
+                batch.iter().map(|(_, ch)| ch.as_slice()).collect();
+            // Members without a deadline keep this `false`, so such a
+            // batch is never abandoned mid-pass.
+            let all_expired = || {
+                batch
+                    .iter()
+                    .all(|(i, _)| guards[*i].cancel.is_some_and(|c| c()))
+            };
+            let run = catch_unwind(AssertUnwindSafe(|| {
+                cnn.net.forward_batch_with_cancel(&refs, &all_expired)
+            }));
+            match run {
+                Err(_) => {
+                    // One shared forward pass means one panic demotes
+                    // every member — each degrades through its own
+                    // fallback rungs, exactly like a single-path panic.
+                    for (i, _) in &batch {
+                        self.counters.cnn_panic.inc();
+                        out[*i] = Some(self.fallback_rungs(
+                            matrices[*i],
+                            CnnRungOutcome::Panicked,
+                            guards[*i].cancel,
+                        ));
+                    }
+                }
+                Ok(None) => {
+                    for (i, _) in &batch {
+                        self.counters.cnn_cancelled.inc();
+                        out[*i] = Some(GuardedSelection {
+                            selection: None,
+                            cnn: CnnRungOutcome::Cancelled,
+                        });
+                    }
+                }
+                Ok(Some(logits)) => {
+                    for ((i, _), l) in batch.iter().zip(&logits) {
+                        // A member whose deadline expired while the
+                        // batch was in flight is cancelled alone; its
+                        // mates still get their answers.
+                        if guards[*i].cancel.is_some_and(|c| c()) {
+                            self.counters.cnn_cancelled.inc();
+                            out[*i] = Some(GuardedSelection {
+                                selection: None,
+                                cnn: CnnRungOutcome::Cancelled,
+                            });
+                            continue;
+                        }
+                        let probs = dnnspmv_nn::loss::softmax(l.data());
+                        let (outcome, selection) = self.classify_probs(cnn, &probs);
+                        out[*i] = Some(match selection {
+                            Some(sel) => GuardedSelection {
+                                selection: Some(sel),
+                                cnn: outcome,
+                            },
+                            None => self.fallback_rungs(matrices[*i], outcome, guards[*i].cancel),
+                        });
+                    }
+                }
+            }
+        }
+        out.into_iter()
+            .map(|g| g.expect("every batch member classified"))
+            .collect()
+    }
+
+    /// Classifies one request's CNN probabilities, counting the rung
+    /// outcome: `Answered` (with the winning selection), `NonFinite`,
+    /// or `LowConfidence`. Shared by the single and batched paths so
+    /// the confidence ladder cannot drift between them.
+    fn classify_probs(
+        &self,
+        cnn: &FormatSelector,
+        probs: &[f32],
+    ) -> (CnnRungOutcome, Option<Selection>) {
+        if probs.iter().any(|p| !p.is_finite()) {
+            self.counters.cnn_nonfinite.inc();
+            return (CnnRungOutcome::NonFinite, None);
+        }
+        let (best, &p) = probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("validated selector has a non-empty class set");
+        if p < self.confidence_threshold {
+            self.counters.cnn_low_confidence.inc();
+            return (CnnRungOutcome::LowConfidence, None);
+        }
+        self.counters.cnn_ok.inc();
+        (
+            CnnRungOutcome::Answered,
+            Some(Selection {
+                format: cnn.formats[best],
+                source: SelectionSource::Cnn,
+                confidence: Some(p),
+            }),
+        )
+    }
+
+    /// The ladder below the CNN rung: tree, then static default. Shared
+    /// by the single and batched guarded paths so a demoted request
+    /// degrades identically either way. A blown deadline answers
+    /// nothing — the caller has already timed out, so running the
+    /// fallbacks would only waste a worker.
+    fn fallback_rungs<S: Scalar>(
+        &self,
+        matrix: &CooMatrix<S>,
+        cnn_outcome: CnnRungOutcome,
+        cancel: Option<&dyn Fn() -> bool>,
+    ) -> GuardedSelection {
+        if cancel.is_some_and(|c| c()) {
             return GuardedSelection {
                 selection: None,
                 cnn: cnn_outcome,
@@ -589,6 +787,71 @@ mod tests {
         );
         assert_eq!(g.cnn, CnnRungOutcome::Answered);
         assert_eq!(g.selection.unwrap().source, SelectionSource::Cnn);
+    }
+
+    #[test]
+    fn batched_guarded_select_matches_single_path() {
+        let (cnn, dt, data) = trained_pair();
+        let svc = SelectorService::new(Some(cnn), Some(dt)).unwrap();
+        let ms: Vec<&CooMatrix<f32>> = data.matrices.iter().take(6).collect();
+        let guards = vec![BatchGuard::default(); ms.len()];
+        let got = svc.select_batch_guarded(&ms, &guards);
+        assert_eq!(got.len(), ms.len());
+        for (m, g) in ms.iter().zip(&got) {
+            assert_eq!(g.cnn, CnnRungOutcome::Answered);
+            let batched = g.selection.expect("healthy batch answers");
+            let single = svc.select(m);
+            // The packed batch GEMM may differ from the single pass in
+            // the last float ulp, so compare decisions, not bits.
+            assert_eq!(batched.format, single.format);
+            assert_eq!(batched.source, SelectionSource::Cnn);
+            let (b, s) = (batched.confidence.unwrap(), single.confidence.unwrap());
+            assert!((b - s).abs() <= 1e-4, "{b} vs {s}");
+        }
+        assert_eq!(svc.report().cnn_ok, 12);
+        assert!(svc.select_batch_guarded::<f32>(&[], &[]).is_empty());
+    }
+
+    #[test]
+    fn batched_guarded_select_scopes_faults_and_cancellations_per_member() {
+        let (cnn, dt, data) = trained_pair();
+        let svc = SelectorService::new(Some(cnn), Some(dt)).unwrap();
+        let ms: Vec<&CooMatrix<f32>> = data.matrices.iter().take(4).collect();
+        let expired = || true;
+        let guards = [
+            BatchGuard::default(),
+            BatchGuard {
+                inject: CnnFault::Panic,
+                ..Default::default()
+            },
+            BatchGuard {
+                cancel: Some(&expired),
+                ..Default::default()
+            },
+            BatchGuard {
+                inject: CnnFault::NonFinite,
+                ..Default::default()
+            },
+        ];
+        let got = svc.select_batch_guarded(&ms, &guards);
+        // Healthy member: answered by the CNN despite its batch mates.
+        assert_eq!(got[0].cnn, CnnRungOutcome::Answered);
+        assert_eq!(got[0].selection.unwrap().source, SelectionSource::Cnn);
+        // Faulted members degrade to the tree alone.
+        assert_eq!(got[1].cnn, CnnRungOutcome::Panicked);
+        assert_eq!(got[1].selection.unwrap().source, SelectionSource::Tree);
+        assert_eq!(got[3].cnn, CnnRungOutcome::NonFinite);
+        assert_eq!(got[3].selection.unwrap().source, SelectionSource::Tree);
+        // The expired member is cancelled without an answer.
+        assert_eq!(got[2].cnn, CnnRungOutcome::Cancelled);
+        assert!(got[2].selection.is_none());
+        let r = svc.report();
+        assert_eq!(
+            (r.cnn_ok, r.cnn_panic, r.cnn_nonfinite, r.cnn_cancelled),
+            (1, 1, 1, 1)
+        );
+        assert_eq!(r.tree_ok, 2);
+        assert_eq!(r.answered(), 3);
     }
 
     #[test]

@@ -67,25 +67,68 @@ impl Sequential {
     /// Batched forward pass over same-shaped inputs: each GEMM-backed
     /// layer processes the whole batch in one product.
     pub fn forward_batch(&self, xs: Vec<Tensor>) -> Vec<Tensor> {
+        let (mut cur, li) = self
+            .forward_batch_prefix(xs, None)
+            .expect("uncancellable prefix always completes");
+        for l in &self.layers[li..] {
+            cur = l.forward_batch(&cur);
+        }
+        cur
+    }
+
+    /// [`Sequential::forward_batch`] with per-layer cancellation
+    /// checkpoints, mirroring [`Sequential::forward_with_cancel`] for a
+    /// whole batch: returns `None` as soon as `cancel` reports `true`.
+    /// The serving layer's micro-batcher passes an "every member's
+    /// deadline has expired" predicate here, so a batch is only
+    /// abandoned when no member still wants the answer.
+    pub fn forward_batch_with_cancel(
+        &self,
+        xs: Vec<Tensor>,
+        cancel: &dyn Fn() -> bool,
+    ) -> Option<Vec<Tensor>> {
+        if cancel() {
+            return None;
+        }
+        let (mut cur, li) = self.forward_batch_prefix(xs, Some(cancel))?;
+        for l in &self.layers[li..] {
+            if cancel() {
+                return None;
+            }
+            cur = l.forward_batch(&cur);
+        }
+        Some(cur)
+    }
+
+    /// Runs the packed convolutional prefix of a batched forward pass
+    /// and returns the activations plus the index of the first layer
+    /// still to run. `cancel` (checked between packed layers) aborts
+    /// with `None`; passing `None` never aborts.
+    ///
+    /// Image-shaped batches run the convolutional prefix packed as one
+    /// `[c, n, h, w]` block (see `layers::pack_batch`): each
+    /// conv/pool/relu layer hands the whole batch along without
+    /// per-sample unpack copies. A leading convolution lowers the
+    /// per-sample inputs directly into the packed layout; otherwise the
+    /// batch is packed up front. The walk ping-pongs between two
+    /// recycled scratch buffers (batch-sized activations live above the
+    /// allocator's mmap threshold, so fresh allocations would
+    /// page-fault on every layer) and ReLU runs in place. Sample-wise
+    /// processing resumes at the first layer that needs individual
+    /// tensors (`Flatten`).
+    fn forward_batch_prefix(
+        &self,
+        xs: Vec<Tensor>,
+        cancel: Option<&dyn Fn() -> bool>,
+    ) -> Option<(Vec<Tensor>, usize)> {
         let mut cur = xs;
         let mut li = 0;
-        // Image-shaped batches run the convolutional prefix packed as
-        // one `[c, n, h, w]` block (see `layers::pack_batch`): each
-        // conv/pool/relu layer hands the whole batch along without
-        // per-sample unpack copies. A leading convolution lowers the
-        // per-sample inputs directly into the packed layout; otherwise
-        // the batch is packed up front. The walk ping-pongs between two
-        // recycled scratch buffers (batch-sized activations live above
-        // the allocator's mmap threshold, so fresh allocations would
-        // page-fault on every layer) and ReLU runs in place.
-        // Sample-wise processing resumes at the first layer that needs
-        // individual tensors (`Flatten`).
         let packable = matches!(
             self.layers.first(),
             Some(Layer::Conv2d(_) | Layer::MaxPool2d(_) | Layer::Relu)
         );
         if cur.len() > 1 && cur[0].shape().len() == 3 && packable {
-            cur = gemm::with_scratch(|s| {
+            let out = gemm::with_scratch(|s| {
                 let mut ping = std::mem::take(&mut s.ping);
                 let mut pong = std::mem::take(&mut s.pong);
                 let mut shape = match &self.layers[0] {
@@ -95,7 +138,12 @@ impl Sequential {
                     }
                     _ => layers::pack_batch_into(&cur, &mut ping),
                 };
+                let mut cancelled = false;
                 while li < self.layers.len() {
+                    if cancel.is_some_and(|c| c()) {
+                        cancelled = true;
+                        break;
+                    }
                     let [c, n, h, w] = shape;
                     match &self.layers[li] {
                         Layer::Conv2d(l) => {
@@ -134,16 +182,20 @@ impl Sequential {
                     li += 1;
                 }
                 let [c, n, h, w] = shape;
-                let out = layers::unpack_planes(&ping[..c * n * h * w], c, n, h, w);
+                // Scratch goes back even on cancellation, so an
+                // abandoned batch never costs the next one its buffers.
+                let out = if cancelled {
+                    None
+                } else {
+                    Some(layers::unpack_planes(&ping[..c * n * h * w], c, n, h, w))
+                };
                 s.ping = ping;
                 s.pong = pong;
                 out
             });
+            cur = out?;
         }
-        for l in &self.layers[li..] {
-            cur = l.forward_batch(&cur);
-        }
-        cur
+        Some((cur, li))
     }
 
     /// Forward pass that keeps each layer's input for backprop.
@@ -801,6 +853,46 @@ impl Cnn {
         self.head.forward_batch(merged)
     }
 
+    /// [`Cnn::forward_batch`] with cancellation checkpoints between
+    /// tower layers and head layers: `None` once `cancel` reports
+    /// `true`. A serving layer batches several requests' deadlines into
+    /// one predicate (typically "all members expired"), so the whole
+    /// batch is abandoned only when nobody is left waiting.
+    pub fn forward_batch_with_cancel(
+        &self,
+        batch: &[&[Tensor]],
+        cancel: &dyn Fn() -> bool,
+    ) -> Option<Vec<Tensor>> {
+        if batch.is_empty() {
+            return Some(Vec::new());
+        }
+        let mut by_tower: Vec<Vec<Tensor>> = (0..self.towers.len())
+            .map(|_| Vec::with_capacity(batch.len()))
+            .collect();
+        for ch in batch {
+            for (ti, x) in self.tower_inputs(ch).into_iter().enumerate() {
+                by_tower[ti].push(x);
+            }
+        }
+        let mut feats: Vec<Vec<Tensor>> = vec![Vec::with_capacity(self.towers.len()); batch.len()];
+        for (tower, xs) in self.towers.iter().zip(by_tower) {
+            for (f, o) in feats
+                .iter_mut()
+                .zip(tower.forward_batch_with_cancel(xs, cancel)?)
+            {
+                f.push(o);
+            }
+        }
+        let merged: Vec<Tensor> = feats
+            .iter()
+            .map(|fs| {
+                let refs: Vec<&Tensor> = fs.iter().collect();
+                Tensor::concat_flat(&refs)
+            })
+            .collect();
+        self.head.forward_batch_with_cancel(merged, cancel)
+    }
+
     /// Batched argmax predictions, parallel to `batch`.
     pub fn predict_batch(&self, batch: &[&[Tensor]]) -> Vec<usize> {
         self.forward_batch(batch)
@@ -1218,6 +1310,39 @@ mod tests {
             let preds = net.predict_batch(&refs);
             assert_eq!(preds.len(), samples.len());
             assert!(net.forward_batch(&[]).is_empty());
+        }
+    }
+
+    #[test]
+    fn cancellable_batched_forward_matches_plain_and_aborts() {
+        use std::cell::Cell;
+        for (towers, channels, seed) in [(2usize, 2usize, 41u64), (1, 2, 42)] {
+            let net = tiny_cnn(towers, channels, seed);
+            let samples: Vec<Vec<Tensor>> =
+                (0..4).map(|i| sample_channels(channels, 200 + i)).collect();
+            let refs: Vec<&[Tensor]> = samples.iter().map(|s| s.as_slice()).collect();
+            // Uncancelled: bit-identical to the plain batched pass.
+            let got = net.forward_batch_with_cancel(&refs, &|| false).unwrap();
+            let want = net.forward_batch(&refs);
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.data(), w.data());
+            }
+            // Cancelled immediately: no output.
+            assert!(net.forward_batch_with_cancel(&refs, &|| true).is_none());
+            // Cancelled mid-pass: the checkpoint is polled repeatedly.
+            let polls = Cell::new(0u32);
+            let cancel_late = || {
+                polls.set(polls.get() + 1);
+                polls.get() > 2
+            };
+            assert!(net.forward_batch_with_cancel(&refs, &cancel_late).is_none());
+            assert!(polls.get() >= 3);
+            // Empty batch short-circuits without consulting the hook.
+            assert!(net
+                .forward_batch_with_cancel(&[], &|| true)
+                .unwrap()
+                .is_empty());
         }
     }
 

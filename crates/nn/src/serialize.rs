@@ -37,15 +37,10 @@ pub const KIND_MODEL: &str = "cnn-model";
 
 /// FNV-1a 64-bit hash — the envelope checksum. Not cryptographic;
 /// catches truncation and bit rot, which is all an integrity check on
-/// a local artefact needs.
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+/// a local artefact needs. Re-exported from the shared
+/// `dnnspmv-fingerprint` crate so envelopes and the serving layer's
+/// decision cache agree on one pinned digest.
+pub use dnnspmv_fingerprint::fnv1a64;
 
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct Envelope {

@@ -8,6 +8,7 @@
 //! dnnspmv predict <matrix.mtx> [--model FILE]
 //! dnnspmv stats   <matrix.mtx>
 //! dnnspmv serve-bench [--json FILE] [--matrices N] [--epochs N] [--quick]
+//!                     [--min-batched-ratio X]
 //! dnnspmv metrics [--json] [--matrices N]
 //! ```
 //!
@@ -19,10 +20,12 @@
 //! matrix's structural statistics and per-format cost estimates.
 //! `serve-bench` soaks the admission-controlled [`SelectorServer`]
 //! (burst shedding, breaker trip/recovery, hot reload under load) and
-//! writes latency/shed/breaker numbers to `BENCH_serve.json`; with
-//! `--quick` it instead runs the instrumentation-overhead smoke and
-//! exits nonzero if the instrumented serve p50 regresses more than the
-//! gate allows. `metrics` runs a short instrumented workload (repr
+//! writes latency/shed/breaker numbers plus the batched-vs-unbatched
+//! hot-path comparison to `BENCH_serve.json`; `--min-batched-ratio X`
+//! exits nonzero unless the cache+micro-batch hot path beats the plain
+//! server's overload throughput by `X`×, and with `--quick` it instead
+//! runs the instrumentation-overhead smoke and exits nonzero if the
+//! instrumented serve p50 regresses more than the gate allows. `metrics` runs a short instrumented workload (repr
 //! extraction, per-format SpMV, selector ladder decisions) and dumps
 //! the process-wide observability registry as Prometheus text (or
 //! `--json`); build with `--features kernel-timers` to include the
@@ -246,6 +249,7 @@ fn cmd_serve_bench(args: &[String]) {
     let mut json_path = String::from("BENCH_serve.json");
     let mut quick = false;
     let mut max_ratio = 1.10;
+    let mut min_batched_ratio: Option<f64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -255,6 +259,14 @@ fn cmd_serve_bench(args: &[String]) {
                 max_ratio = need(args, i, "--max-ratio")
                     .parse()
                     .unwrap_or_else(|_| die("--max-ratio needs a number"));
+            }
+            "--min-batched-ratio" => {
+                i += 1;
+                min_batched_ratio = Some(
+                    need(args, i, "--min-batched-ratio")
+                        .parse()
+                        .unwrap_or_else(|_| die("--min-batched-ratio needs a number")),
+                );
             }
             "--json" => {
                 i += 1;
@@ -309,6 +321,21 @@ fn cmd_serve_bench(args: &[String]) {
         .write_json(&json_path)
         .unwrap_or_else(|e| die(&format!("writing {json_path}: {e}")));
     eprintln!("wrote {json_path}");
+    // Throughput gate: the hot path (decision cache + micro-batching)
+    // must beat the plain per-request server by the given factor.
+    if let Some(min) = min_batched_ratio {
+        if report.hot_path.throughput_ratio < min {
+            eprintln!(
+                "throughput gate FAILED: batched/unbatched ratio {:.2} < {min:.2}",
+                report.hot_path.throughput_ratio
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "throughput gate passed: ratio {:.2} >= {min:.2}",
+            report.hot_path.throughput_ratio
+        );
+    }
 }
 
 fn cmd_metrics(args: &[String]) {

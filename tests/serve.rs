@@ -7,8 +7,9 @@
 //! fault hooks), so nothing here depends on scheduler luck.
 
 use dnnspmv::core::{
-    BreakerConfig, BreakerState, CnnFault, DtSelector, FormatSelector, SelectionSource,
-    SelectorConfig, SelectorServer, SelectorService, ServeError, ServeHooks, ServerConfig,
+    BreakerConfig, BreakerState, CacheConfig, CnnFault, DtSelector, FormatSelector,
+    SelectionSource, SelectorConfig, SelectorServer, SelectorService, ServeError, ServeHooks,
+    ServerConfig,
 };
 use dnnspmv::gen::{Dataset, DatasetSpec};
 use dnnspmv::nn::TrainConfig;
@@ -614,6 +615,300 @@ fn metrics_snapshot_reproduces_server_report_exactly() {
     assert_eq!(qw.count, r.submitted - r.shed - r.rejected_shutdown);
     assert_eq!(snap.gauge("serve_queue_depth", &[]), Some(0));
     assert_eq!(snap.gauge("serve_in_flight", &[]), Some(0));
+}
+
+/// Tentpole stage A: a structurally repeated matrix is answered from
+/// the decision cache at admission — same selection as the worker-path
+/// answer, no queueing — and a hot reload invalidates every cached
+/// entry at once (generation keying), after which the first request
+/// repopulates the cache under the new generation.
+#[test]
+fn cache_hits_repeat_worker_answers_and_reload_invalidates() {
+    let (cnn, _, data) = fixture();
+    let (_, clock) = fake_clock();
+    let cfg = ServerConfig {
+        workers: 1,
+        queue_capacity: 16,
+        cache: CacheConfig::enabled(64),
+        ..ServerConfig::default()
+    };
+    let server = SelectorServer::with_parts(full_service(), cfg, ServeHooks::default(), clock);
+    let m = Arc::new(data.matrices[6].clone());
+
+    // Miss → worker answers via the CNN and populates the cache.
+    let first = server.submit(Arc::clone(&m), None).unwrap().wait().unwrap();
+    assert_eq!(first.source, SelectionSource::Cnn);
+    // Hit → answered at admission: identical selection, no new ladder
+    // activity.
+    let ladder_before = server.report().ladder.answered();
+    let second = server.submit(Arc::clone(&m), None).unwrap().wait().unwrap();
+    assert_eq!(second, first, "hit must reproduce the cached selection");
+    let r = server.report();
+    assert_eq!(r.ladder.answered(), ladder_before, "hit ran no rung");
+    assert_eq!(r.served_cache, 1);
+    assert_eq!(r.cache.misses, 1);
+    assert_eq!(r.cache.inserted, 1);
+    assert_eq!(r.cache.entries, 1);
+
+    // Hot reload: the generation bump strands the cached entry; the
+    // next request is stale (dropped on sight), answered by the new
+    // generation's worker path, and re-cached.
+    let dir = std::env::temp_dir().join(format!("dnnspmv-serve-cache-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.json");
+    cnn.save(path.to_string_lossy().as_ref()).unwrap();
+    assert_eq!(server.reload_model(&path).unwrap(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+    let third = server.submit(Arc::clone(&m), None).unwrap().wait().unwrap();
+    assert_eq!(third.source, SelectionSource::Cnn);
+    let fourth = server.submit(Arc::clone(&m), None).unwrap().wait().unwrap();
+    assert_eq!(fourth, third);
+    let r = server.report();
+    assert_eq!(r.cache.stale, 1, "reload must strand the old entry: {r:?}");
+    assert_eq!(r.served_cache, 2);
+    assert_eq!(r.cache.entries, 1, "stale entry dropped, fresh one in");
+    // Both invariants hold: terminal buckets and hot-path routes.
+    assert_eq!(r.accounted(), r.submitted);
+    assert!(r.path_accounted(), "{r:?}");
+    assert_eq!(
+        r.served,
+        r.served_cache + r.single_served + r.batched_served
+    );
+}
+
+/// Tentpole stage B: a partial micro-batch is held open for exactly
+/// `max_batch_wait` of *injected* time (the worker polls the fake
+/// clock, so a frozen clock holds the gather window open indefinitely),
+/// and a batch that reaches `max_batch` departs with no wait at all.
+#[test]
+fn micro_batch_departs_at_max_batch_wait_or_when_full() {
+    let (_, _, data) = fixture();
+    let (clock_raw, clock) = fake_clock();
+    let cfg = ServerConfig {
+        workers: 1,
+        queue_capacity: 16,
+        max_batch: 4,
+        max_batch_wait: Duration::from_micros(100),
+        ..ServerConfig::default()
+    };
+    let server = SelectorServer::with_parts(full_service(), cfg, ServeHooks::default(), clock);
+
+    // Three submissions: fewer than max_batch, so the worker gathers
+    // them and holds the batch. With the clock frozen the gather window
+    // cannot close, no matter how much real time passes.
+    let pending: Vec<_> = (0..3)
+        .map(|i| {
+            server
+                .submit(Arc::new(data.matrices[i].clone()), None)
+                .unwrap()
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(5));
+    assert_eq!(
+        server.report().served,
+        0,
+        "a partial batch must wait out max_batch_wait on the injected clock"
+    );
+    // Advance past the gather deadline: the batch of three departs.
+    clock_raw.fetch_add(200_000, Ordering::SeqCst);
+    for p in pending {
+        assert_eq!(p.wait().unwrap().source, SelectionSource::Cnn);
+    }
+    let r = server.report();
+    assert_eq!(r.batched_served, 3);
+    assert_eq!(r.single_served, 0);
+
+    // Four submissions: the batch fills to max_batch and departs
+    // without any clock advance.
+    let pending: Vec<_> = (0..4)
+        .map(|i| {
+            server
+                .submit(Arc::new(data.matrices[10 + i].clone()), None)
+                .unwrap()
+        })
+        .collect();
+    for p in pending {
+        assert_eq!(p.wait().unwrap().source, SelectionSource::Cnn);
+    }
+    let r = server.report();
+    assert_eq!(r.batched_served, 7);
+    assert!(r.path_accounted(), "{r:?}");
+    let snap = server.metrics_snapshot();
+    let bs = snap.histogram("serve_batch_size", &[]).expect("recorded");
+    assert_eq!(bs.count, 2, "two batches departed");
+    assert_eq!(bs.max, 4, "the second batch was full");
+}
+
+/// Tentpole stage B, failure scoping: one member's deadline expiring
+/// while the batch is forming cancels that member alone — its batch
+/// mates still get CNN answers from the shared forward pass.
+#[test]
+fn member_deadline_expiring_mid_batch_cancels_only_that_member() {
+    let (_, _, data) = fixture();
+    let (clock_raw, clock) = fake_clock();
+    let advance = Arc::clone(&clock_raw);
+    // Seq 0 parks the worker (priming request); seq 2 simulates a stall
+    // by jumping the clock past its own deadline.
+    let (gate_tx, gate_rx) = mpsc::channel::<()>();
+    let (entered_tx, entered_rx) = mpsc::channel::<()>();
+    let gate_rx = Mutex::new(gate_rx);
+    let hooks = ServeHooks {
+        cnn_fault: Some(Arc::new(move |seq| {
+            if seq == 0 {
+                entered_tx.send(()).ok();
+                gate_rx.lock().unwrap().recv().ok();
+            }
+            if seq == 2 {
+                advance.fetch_add(1_000_000, Ordering::SeqCst);
+            }
+            CnnFault::None
+        })),
+    };
+    let cfg = ServerConfig {
+        workers: 1,
+        queue_capacity: 16,
+        max_batch: 4,
+        ..ServerConfig::default()
+    };
+    let server = SelectorServer::with_parts(full_service(), cfg, hooks, clock);
+
+    // Prime: park the worker so the next three submissions queue up and
+    // form one batch on release.
+    let priming = server
+        .submit(Arc::new(data.matrices[0].clone()), None)
+        .unwrap();
+    entered_rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("worker never dequeued the priming job");
+    let b = server
+        .submit(Arc::new(data.matrices[1].clone()), None)
+        .unwrap();
+    let c = server
+        .submit(
+            Arc::new(data.matrices[2].clone()),
+            Some(Duration::from_nanos(1_000)),
+        )
+        .unwrap();
+    let d = server
+        .submit(Arc::new(data.matrices[3].clone()), None)
+        .unwrap();
+    gate_tx.send(()).ok();
+
+    assert_eq!(priming.wait().unwrap().source, SelectionSource::Cnn);
+    assert_eq!(b.wait().unwrap().source, SelectionSource::Cnn);
+    assert_eq!(
+        c.wait(),
+        Err(ServeError::DeadlineExceeded),
+        "the stalled member is cancelled alone"
+    );
+    assert_eq!(d.wait().unwrap().source, SelectionSource::Cnn);
+
+    let r = server.report();
+    assert_eq!(r.deadline_in_flight, 1);
+    assert_eq!(r.batched_served, 2, "batch mates were still answered");
+    assert_eq!(r.single_served, 1, "the priming request rode alone");
+    assert_eq!(r.ladder.cnn_cancelled, 1);
+    assert_eq!(r.accounted(), r.submitted);
+    assert!(r.path_accounted(), "{r:?}");
+}
+
+/// Tentpole stage B, low load: sequential traffic forms batches of one,
+/// which take the per-request path — batching must cost nothing when
+/// there is nothing to coalesce.
+#[test]
+fn sequential_traffic_forms_batches_of_one_on_the_single_path() {
+    let (_, _, data) = fixture();
+    let (_, clock) = fake_clock();
+    let server = SelectorServer::with_parts(
+        full_service(),
+        ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        },
+        ServeHooks::default(),
+        clock,
+    );
+    for i in 0..5 {
+        let sel = server
+            .submit(Arc::new(data.matrices[i].clone()), None)
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(sel.source, SelectionSource::Cnn);
+    }
+    let r = server.report();
+    assert_eq!(r.single_served, 5);
+    assert_eq!(r.batched_served, 0);
+    assert!(r.path_accounted(), "{r:?}");
+    let snap = server.metrics_snapshot();
+    let bs = snap.histogram("serve_batch_size", &[]).expect("recorded");
+    assert_eq!((bs.count, bs.max), (5, 1), "every batch was a singleton");
+}
+
+/// Satellite 4: parallel hammering with the cache on and batching
+/// active — the exact-accounting invariant, its path-level refinement,
+/// and agreement between server rung counters and ladder counters must
+/// all survive concurrency.
+#[test]
+fn rayon_stress_with_cache_and_batching_accounts_exactly() {
+    let (_, _, data) = fixture();
+    let server: SelectorServer<f32> = SelectorServer::new(
+        full_service(),
+        ServerConfig {
+            workers: 3,
+            queue_capacity: 8,
+            cache: CacheConfig::enabled(256),
+            ..ServerConfig::default()
+        },
+    );
+    let total = 256usize;
+    let outcomes: Vec<Result<SelectionSource, ServeError>> = (0..total)
+        .into_par_iter()
+        .map(|i| {
+            let m = Arc::new(data.matrices[i % data.matrices.len()].clone());
+            server
+                .submit(m, None)
+                .and_then(|p| p.wait())
+                .map(|s| s.source)
+        })
+        .collect();
+    let served = outcomes.iter().filter(|o| o.is_ok()).count() as u64;
+    let shed = outcomes
+        .iter()
+        .filter(|o| matches!(o, Err(ServeError::Overloaded { .. })))
+        .count() as u64;
+    assert_eq!(served + shed, total as u64, "unexpected outcome kinds");
+
+    // A deterministic hit on top: serve one matrix twice sequentially.
+    let m = Arc::new(data.matrices[0].clone());
+    server.submit(Arc::clone(&m), None).unwrap().wait().unwrap();
+    server.submit(Arc::clone(&m), None).unwrap().wait().unwrap();
+
+    let r = server.report();
+    assert_eq!(r.submitted, total as u64 + 2);
+    assert_eq!(r.shed, shed);
+    assert_eq!(r.served, served + 2);
+    assert_eq!(r.accounted(), r.submitted, "{r:?}");
+    assert!(r.path_accounted(), "{r:?}");
+    assert!(r.served_cache > 0, "repeated traffic must hit: {r:?}");
+    // Cache hits never touch the ladder; everything else ran exactly
+    // one rung.
+    assert_eq!(r.ladder.answered(), r.served - r.served_cache);
+    assert_eq!(r.served_cnn, r.ladder.cnn_ok);
+    assert_eq!(r.served_tree, r.ladder.tree_ok);
+    // Lookup accounting: every submission consulted the cache exactly
+    // once (shed requests look up before hitting the full queue).
+    assert_eq!(
+        r.cache.hits + r.cache.misses + r.cache.stale + r.cache.expired,
+        r.submitted
+    );
+    let snap = server.metrics_snapshot();
+    assert_eq!(snap.gauge("serve_queue_depth", &[]), Some(0));
+    assert_eq!(snap.gauge("serve_in_flight", &[]), Some(0));
+    assert_eq!(
+        snap.gauge("serve_cache_entries", &[]),
+        Some(r.cache.entries)
+    );
 }
 
 /// Time-boxed soak for CI (`--ignored`): sustained parallel load with
