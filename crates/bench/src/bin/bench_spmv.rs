@@ -1,0 +1,100 @@
+//! `bench_spmv` — kernel-throughput sweep across the widened format
+//! set; writes `BENCH_spmv.json`.
+//!
+//! ```text
+//! bench_spmv [--json FILE] [--quick] [--dim N] [--trials N]
+//!            [--min-merge-ratio X] [--min-sell-ratio X]
+//! ```
+//!
+//! See [`dnnspmv_bench::spmv_sweep`] for the wall-clock-vs-makespan
+//! methodology. `--quick` is the CI smoke: small matrices, few trials,
+//! and the run exits nonzero unless merge-path CSR's simulated
+//! makespan at 4 workers is at least `--min-merge-ratio` (default 1.0)
+//! times row-chunked CSR's on the power-law case. `--min-sell-ratio`
+//! adds the same kind of gate on the ELL/SELL single-thread wall-clock
+//! ratio for the varied-band case.
+
+use dnnspmv_bench::spmv_sweep::{run_spmv_bench, SpmvBenchConfig};
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path = String::from("BENCH_spmv.json");
+    let mut cfg = SpmvBenchConfig::full();
+    let mut min_merge_ratio: Option<f64> = None;
+    let mut min_sell_ratio: Option<f64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let float = |args: &[String], i: usize, flag: &str| -> f64 {
+            args.get(i)
+                .unwrap_or_else(|| panic!("{flag} needs a number"))
+                .parse()
+                .unwrap_or_else(|_| panic!("{flag} needs a number"))
+        };
+        match args[i].as_str() {
+            "--json" => {
+                i += 1;
+                json_path = args.get(i).expect("--json needs a path").clone();
+            }
+            "--quick" => {
+                cfg = SpmvBenchConfig::quick();
+                min_merge_ratio.get_or_insert(1.0);
+            }
+            "--dim" => {
+                i += 1;
+                cfg.dim = float(&args, i, "--dim") as usize;
+            }
+            "--trials" => {
+                i += 1;
+                cfg.trials = (float(&args, i, "--trials") as usize).max(1);
+            }
+            "--min-merge-ratio" => {
+                i += 1;
+                min_merge_ratio = Some(float(&args, i, "--min-merge-ratio"));
+            }
+            "--min-sell-ratio" => {
+                i += 1;
+                min_sell_ratio = Some(float(&args, i, "--min-sell-ratio"));
+            }
+            other => {
+                eprintln!(
+                    "usage: bench_spmv [--json FILE] [--quick] [--dim N] [--trials N] \
+                     [--min-merge-ratio X] [--min-sell-ratio X]"
+                );
+                panic!("unknown flag '{other}'");
+            }
+        }
+        i += 1;
+    }
+
+    let report = run_spmv_bench(&cfg);
+    eprint!("{}", report.render());
+    let json = report.to_json();
+    let mut f = std::fs::File::create(&json_path).expect("writable json path");
+    f.write_all(json.as_bytes()).expect("write json");
+    f.write_all(b"\n").expect("write json");
+    eprintln!("wrote {json_path}");
+
+    let mut failed = false;
+    if let Some(min) = min_merge_ratio {
+        let got = report.gates.mcsr_over_csr_makespan_at4;
+        if got < min {
+            eprintln!("merge gate FAILED: makespan ratio {got:.2} < {min:.2} at 4 workers");
+            failed = true;
+        } else {
+            eprintln!("merge gate passed: makespan ratio {got:.2} >= {min:.2}");
+        }
+    }
+    if let Some(min) = min_sell_ratio {
+        let got = report.gates.sell_over_ell_wall;
+        if got < min {
+            eprintln!("sell gate FAILED: wall ratio {got:.2} < {min:.2}");
+            failed = true;
+        } else {
+            eprintln!("sell gate passed: wall ratio {got:.2} >= {min:.2}");
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -24,6 +24,7 @@
 
 pub mod experiments;
 pub mod serve;
+pub mod spmv_sweep;
 
 use dnnspmv_core::SelectorConfig;
 use dnnspmv_gen::DatasetSpec;

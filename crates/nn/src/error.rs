@@ -15,11 +15,13 @@ pub enum NnError {
     Io(String),
     /// JSON (de)serialisation failure.
     Serde(String),
-    /// The artefact's envelope declares an unsupported format version.
+    /// The artefact's envelope declares a format version this build
+    /// does not speak — newer than it, or older (trained against a
+    /// previous, differently-sized format universe).
     FormatVersion {
         /// Version found in the file.
         found: u32,
-        /// Highest version this build understands.
+        /// The one version this build reads and writes.
         supported: u32,
     },
     /// The envelope holds a different kind of artefact than requested
@@ -56,7 +58,9 @@ impl fmt::Display for NnError {
             NnError::Serde(m) => write!(f, "deserialise: {m}"),
             NnError::FormatVersion { found, supported } => write!(
                 f,
-                "unsupported format version {found} (this build supports <= {supported})"
+                "unsupported format version {found} (this build requires {supported}; \
+                 pre-{supported} artefacts predate the current format universe and \
+                 must be retrained)"
             ),
             NnError::WrongKind { found, expected } => {
                 write!(f, "artefact kind '{found}' where '{expected}' was expected")

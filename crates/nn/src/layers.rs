@@ -3,8 +3,11 @@
 //! Layers are an enum (not trait objects) so whole networks serialise
 //! with serde and clone cheaply. Forward passes are *stateless*: the
 //! training loop keeps each layer's input and hands it back to
-//! [`Layer::backward`], which lets one shared network reference serve
-//! many rayon workers computing per-sample gradients concurrently.
+//! [`Layer::backward`], so one network value can serve interleaved
+//! forward/backward calls without hidden per-layer caches. Training
+//! runs fully batched — one activation-gradient GEMM and one
+//! weight-gradient GEMM per layer per mini-batch, with the batch
+//! reduction fused into the weight-gradient product.
 //!
 //! Convolution and dense layers evaluate through the [`crate::gemm`]
 //! compute core (im2col + blocked `sgemm`); the original naive loops

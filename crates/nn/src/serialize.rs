@@ -7,7 +7,7 @@
 //!
 //! ```text
 //! { "magic": "dnnspmv",
-//!   "format_version": 1,        // bumped on layout changes
+//!   "format_version": 2,        // bumped on layout changes
 //!   "kind": "cnn-model",        // what the payload is
 //!   "fingerprint": <u64>,       // structural/config hash
 //!   "checksum": <u64>,          // FNV-1a over the payload bytes
@@ -30,7 +30,12 @@ use std::io::{Read, Write};
 use std::path::Path;
 
 /// Current envelope layout version.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// History: v1 shipped with the 7-format universe; v2 widened the
+/// sparse-format enum with SELL-C-σ and merge-path CSR, which changes
+/// selector class heads and per-format tables, so v1 artefacts must be
+/// retrained rather than silently reinterpreted.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Envelope kind tag for whole networks.
 pub const KIND_MODEL: &str = "cnn-model";
@@ -82,7 +87,10 @@ pub fn read_envelope<T: Deserialize, R: Read>(kind: &str, r: R) -> Result<(T, u6
             env.magic
         )));
     }
-    if env.format_version > FORMAT_VERSION {
+    // Reject both directions: newer artefacts use layouts this build
+    // cannot parse, and older ones were trained against a different
+    // format universe (class labels would silently shift meaning).
+    if env.format_version != FORMAT_VERSION {
         return Err(NnError::FormatVersion {
             found: env.format_version,
             supported: FORMAT_VERSION,
@@ -294,6 +302,35 @@ mod tests {
         let buf = serde_json::to_string(&env).unwrap();
         let e = load_model(buf.as_bytes()).unwrap_err();
         assert!(matches!(e, NnError::FormatVersion { .. }), "{e}");
+    }
+
+    #[test]
+    fn older_format_version_is_rejected() {
+        // A v1-era artefact was trained against the 7-format universe;
+        // its class labels would silently change meaning if loaded, so
+        // it must fail typed, not parse.
+        let net = tiny();
+        let payload = serde_json::to_string(&net).unwrap();
+        let env = Envelope {
+            magic: "dnnspmv".into(),
+            format_version: FORMAT_VERSION - 1,
+            kind: KIND_MODEL.into(),
+            fingerprint: model_fingerprint(&net),
+            checksum: fnv1a64(payload.as_bytes()),
+            payload,
+        };
+        let buf = serde_json::to_string(&env).unwrap();
+        let e = load_model(buf.as_bytes()).unwrap_err();
+        assert!(
+            matches!(
+                e,
+                NnError::FormatVersion {
+                    found: 1,
+                    supported: FORMAT_VERSION
+                }
+            ),
+            "{e}"
+        );
     }
 
     #[test]

@@ -143,4 +143,36 @@ mod tests {
         let lab = MeasuredLabeller::for_platform(&gpu);
         assert_eq!(lab.formats, gpu.formats());
     }
+
+    #[test]
+    fn manycore_labeller_times_the_new_kernels() {
+        // The widened set flows straight through: SELL-C-σ and
+        // merge-path CSR get real (finite, positive) timings like
+        // everything else, sequential and parallel.
+        let n = 512;
+        let mut t = Vec::new();
+        for i in 0..n {
+            for k in 0..1 + i % 6 {
+                t.push((i, (i + k * 17) % n, 1.0f32 + k as f32));
+            }
+        }
+        let m = CooMatrix::from_triplets(n, n, &t).unwrap();
+        for parallel in [false, true] {
+            let lab = MeasuredLabeller {
+                trials: 3,
+                warmup: 1,
+                parallel,
+                ..MeasuredLabeller::for_platform(&PlatformModel::manycore_cpu())
+            };
+            let times = lab.time_formats(&m);
+            assert_eq!(times.len(), SparseFormat::MANYCORE_SET.len());
+            for f in [SparseFormat::Sell, SparseFormat::MergeCsr] {
+                let (_, t) = times
+                    .iter()
+                    .find(|(g, _)| *g == f)
+                    .expect("widened set carries the new formats");
+                assert!(*t > 0.0 && t.is_finite(), "{f}: {t}");
+            }
+        }
+    }
 }

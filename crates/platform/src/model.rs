@@ -27,6 +27,8 @@
 use crate::profile::WorkloadProfile;
 use dnnspmv_sparse::dia::DEFAULT_MAX_DIAGS;
 use dnnspmv_sparse::ell::DEFAULT_MAX_WIDTH;
+use dnnspmv_sparse::merge_csr::PARTITIONS_PER_THREAD;
+use dnnspmv_sparse::sell::DEFAULT_CHUNK;
 use dnnspmv_sparse::SparseFormat;
 use serde::{Deserialize, Serialize};
 
@@ -68,15 +70,16 @@ pub struct PlatformModel {
     /// gathers farther than `ncols * locality_frac` from the diagonal
     /// are charged a cache-line miss.
     pub locality_frac: f64,
-    /// Warp-divergence coefficient: row-parallel GPU kernels pay a
-    /// `1 + divergence * row_cv` multiplier.
+    /// Load-imbalance coefficient: row-parallel kernels pay a
+    /// `1 + divergence * row_cv` multiplier (warp divergence on GPUs,
+    /// per-row-chunk scheduling skew on wide CPUs).
     pub divergence: f64,
     /// Fixed kernel-launch cost in ns.
     pub launch_ns: f64,
     /// Per-format multiplicative calibration, indexed by
     /// [`SparseFormat::ALL`] order (library-implementation quality
     /// differs per platform).
-    pub bias: [f64; 7],
+    pub bias: [f64; 9],
     /// Candidate formats this platform's library supports.
     formats: Vec<SparseFormat>,
 }
@@ -97,7 +100,7 @@ impl PlatformModel {
             locality_frac: 0.12,
             divergence: 0.0,
             launch_ns: 0.0,
-            bias: [1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0],
+            bias: [1.0; 9],
             formats: SparseFormat::CPU_SET.to_vec(),
         }
     }
@@ -121,7 +124,7 @@ impl PlatformModel {
             launch_ns: 0.0,
             // The A8's SpMV kernels: DIA/ELL relatively better (SIMD
             // carries a 4-core machine), COO relatively worse.
-            bias: [1.15, 1.0, 0.82, 0.88, 1.0, 1.0, 1.0],
+            bias: [1.15, 1.0, 0.82, 0.88, 1.0, 1.0, 1.0, 1.0, 1.0],
             formats: SparseFormat::CPU_SET.to_vec(),
         }
     }
@@ -141,8 +144,33 @@ impl PlatformModel {
             locality_frac: 0.03,
             divergence: 1.1,
             launch_ns: 20.0,
-            bias: [1.0, 0.80, 1.0, 0.90, 1.0, 0.72, 1.10],
+            bias: [1.0, 0.80, 1.0, 0.90, 1.0, 0.72, 1.10, 1.0, 1.0],
             formats: SparseFormat::GPU_SET.to_vec(),
+        }
+    }
+
+    /// A wide many-core CPU in the mould of the machines evaluated by
+    /// the follow-on SpMV study (arXiv:1805.11938: Intel KNL, Phytium
+    /// FT-2000+): 64 narrow cores behind a big shared bandwidth pool.
+    /// Its library carries the classic SMATLib set plus the two formats
+    /// built for exactly this shape of machine — SELL-C-σ and
+    /// merge-path CSR. A non-zero `divergence` models how badly
+    /// row-parallel CSR schedules across 64 workers on skewed rows.
+    pub fn manycore_cpu() -> Self {
+        Self {
+            name: "Phytium FT-2000+ (64 cores)".into(),
+            is_gpu: false,
+            bw_gbps: 140.0,
+            cache_bytes: 512.0,
+            cores: 64.0,
+            flops_per_ns: 64.0 * 2.3,
+            row_overhead_ns: 4.0,
+            atomic_ns: 0.7,
+            locality_frac: 0.10,
+            divergence: 1.3,
+            launch_ns: 0.0,
+            bias: [1.0; 9],
+            formats: SparseFormat::MANYCORE_SET.to_vec(),
         }
     }
 
@@ -169,17 +197,23 @@ impl PlatformModel {
     fn lanes(&self, f: SparseFormat) -> f64 {
         if self.is_gpu {
             match f {
-                SparseFormat::Ell | SparseFormat::Bsr => 8.0,
+                SparseFormat::Ell | SparseFormat::Bsr | SparseFormat::Sell => 8.0,
                 SparseFormat::Hyb => 6.0,
                 SparseFormat::Csr5 => 6.0,
                 SparseFormat::Dia => 8.0,
                 SparseFormat::Csr => 2.0,
+                SparseFormat::MergeCsr => 4.0,
                 SparseFormat::Coo => 1.0,
             }
         } else {
             match f {
-                SparseFormat::Dia | SparseFormat::Ell | SparseFormat::Bsr => 4.0,
-                SparseFormat::Csr | SparseFormat::Csr5 | SparseFormat::Hyb => 2.0,
+                SparseFormat::Dia | SparseFormat::Ell | SparseFormat::Bsr | SparseFormat::Sell => {
+                    4.0
+                }
+                SparseFormat::Csr
+                | SparseFormat::Csr5
+                | SparseFormat::Hyb
+                | SparseFormat::MergeCsr => 2.0,
                 SparseFormat::Coo => 1.0,
             }
         }
@@ -273,17 +307,56 @@ impl PlatformModel {
                 // load balanced (no divergence below).
                 (b, nnz, ntiles * 4.0 * self.row_overhead_ns / self.cores)
             }
+            SparseFormat::Sell => {
+                if s.row_max == 0 {
+                    return f64::INFINITY;
+                }
+                // Sorted σ-windows pack like-sized rows into each C-row
+                // chunk, so total padding collapses from ELL's
+                // `m * (row_max - row_mean)` to about
+                // `C * (row_max - row_min)` (one telescoping spread
+                // across the sorted chunk sequence).
+                let slots = nnz + DEFAULT_CHUNK as f64 * (s.row_max - s.row_min) as f64;
+                let b = slots * (VAL_BYTES + IDX_BYTES)
+                    // Permutation load plus the packed-result scatter
+                    // back to original row order.
+                    + m * IDX_BYTES
+                    + 2.0 * y_bytes
+                    + self.gather_bytes(p, slots);
+                (b, slots, 0.5 * per_core_rows)
+            }
+            SparseFormat::MergeCsr => {
+                let parts = PARTITIONS_PER_THREAD as f64 * self.cores;
+                let b = nnz * (VAL_BYTES + IDX_BYTES)
+                    + (m + 1.0) * PTR_BYTES
+                    + parts * 16.0
+                    + y_bytes
+                    + self.gather_bytes(p, nnz);
+                // Same row walk as CSR plus the partition searches and
+                // carry fixup; immune to skew (no divergence below).
+                (
+                    b,
+                    nnz,
+                    per_core_rows + parts * self.row_overhead_ns / self.cores,
+                )
+            }
         };
 
         let stream = bytes / self.bw_gbps;
         let compute = elements / (self.flops_per_ns * self.lanes(format));
         let mut time = stream.max(compute) + extra;
 
-        // Row-parallel GPU kernels stall whole warps on long rows.
-        // Moderate variance is absorbed by warp-level row batching;
-        // the penalty kicks in past cv ~ 0.6 (heavy-tailed rows).
-        if self.is_gpu && format == SparseFormat::Csr {
-            time *= 1.0 + self.divergence * (s.row_cv - 0.6).max(0.0);
+        // Row-parallel kernels stall workers on long rows (warps on
+        // GPUs, row-chunk schedules on wide CPUs). Moderate variance is
+        // absorbed by row batching; the penalty kicks in past cv ~ 0.6
+        // (heavy-tailed rows). SELL-C-σ's sorted chunks absorb about
+        // half the imbalance; the merge-path kernel is immune by
+        // construction.
+        let imbalance = self.divergence * (s.row_cv - 0.6).max(0.0);
+        match format {
+            SparseFormat::Csr => time *= 1.0 + imbalance,
+            SparseFormat::Sell => time *= 1.0 + 0.5 * imbalance,
+            _ => {}
         }
         // Launch cost is outside the per-format calibration: it is the
         // same driver path for every kernel.
@@ -333,6 +406,16 @@ impl PlatformModel {
                     + (nnz / TILE_NNZ).ceil() * 8.0,
                 1.0,
             ),
+            // σ-window sort plus the padded column-major fill.
+            SparseFormat::Sell => {
+                if s.row_max == 0 {
+                    return f64::INFINITY;
+                }
+                let slots = nnz + DEFAULT_CHUNK as f64 * (s.row_max - s.row_min) as f64;
+                (slots * (VAL_BYTES + IDX_BYTES) + m * IDX_BYTES, 1.0)
+            }
+            // Plain CSR arrays; partitioning happens at SpMV time.
+            SparseFormat::MergeCsr => (nnz * (VAL_BYTES + IDX_BYTES) + (m + 1.0) * PTR_BYTES, 0.5),
         };
         (read + written) / self.bw_gbps + nnz * per_entry_ns / self.cores.min(8.0)
     }
@@ -529,6 +612,84 @@ mod tests {
         let csr = gpu.estimate(&p, SparseFormat::Csr);
         let csr5 = gpu.estimate(&p, SparseFormat::Csr5);
         assert!(csr > 1.5 * csr5);
+    }
+
+    #[test]
+    fn manycore_power_law_prefers_merge_csr() {
+        // Heavy-tailed rows: row-chunked CSR pays the imbalance
+        // multiplier on 64 workers, the merge-path kernel does not.
+        let n = 2048;
+        let mut t = Vec::new();
+        for i in 0..n {
+            let len = (n / (i + 1)).clamp(1, n / 2);
+            for k in 0..len {
+                t.push((i, (i * 13 + k * 29) % n, 1.0f32));
+            }
+        }
+        let m = CooMatrix::from_triplets(n, n, &t).unwrap();
+        let p = profile(&m);
+        assert!(p.stats.row_cv > 0.6, "cv {}", p.stats.row_cv);
+        let many = PlatformModel::manycore_cpu();
+        assert_eq!(many.best_format(&p), SparseFormat::MergeCsr);
+        let csr = many.estimate(&p, SparseFormat::Csr);
+        let mcsr = many.estimate(&p, SparseFormat::MergeCsr);
+        assert!(csr > 1.3 * mcsr, "CSR {csr} vs merge {mcsr}");
+    }
+
+    #[test]
+    fn manycore_jittered_rows_prefer_sell() {
+        // Row lengths jitter between 1 and 8 (cv < 0.6): ELL pads every
+        // row to 8, SELL's sorted chunks stay near-full, and CSR keeps
+        // its full per-row loop overhead.
+        let n = 4096;
+        let mut t = Vec::new();
+        for i in 0..n {
+            for k in 0..1 + i % 8 {
+                t.push((i, (i * 7 + k * 61) % n, 1.0f32));
+            }
+        }
+        let m = CooMatrix::from_triplets(n, n, &t).unwrap();
+        let p = profile(&m);
+        assert!(p.stats.row_cv < 0.6, "cv {}", p.stats.row_cv);
+        let many = PlatformModel::manycore_cpu();
+        assert_eq!(many.best_format(&p), SparseFormat::Sell);
+        let ell = many.estimate(&p, SparseFormat::Ell);
+        let sell = many.estimate(&p, SparseFormat::Sell);
+        assert!(ell > 1.2 * sell, "ELL {ell} vs SELL {sell}");
+    }
+
+    #[test]
+    fn manycore_ranking_covers_widened_set() {
+        let m = banded(256, &[0, 1, -3]);
+        let p = profile(&m);
+        let many = PlatformModel::manycore_cpu();
+        assert!(!many.is_gpu);
+        assert_eq!(many.formats(), &SparseFormat::MANYCORE_SET);
+        let r = many.ranking(&p);
+        assert_eq!(r.len(), SparseFormat::MANYCORE_SET.len());
+        // Near-uniform rows keep ELL ahead of SELL (almost no padding
+        // to save, and SELL pays for its permutation) — the new format
+        // must not cannibalise classic labels where those are best.
+        let ell = many.estimate(&p, SparseFormat::Ell);
+        let sell = many.estimate(&p, SparseFormat::Sell);
+        assert!(ell <= sell, "ELL {ell} vs SELL {sell}");
+    }
+
+    #[test]
+    fn new_format_conversions_are_costed() {
+        let m = banded(512, &[0, 2, -5, 9]);
+        let p = profile(&m);
+        let many = PlatformModel::manycore_cpu();
+        for f in [SparseFormat::Sell, SparseFormat::MergeCsr] {
+            let c = many.conversion_estimate(&p, f);
+            assert!(c > 0.0 && c.is_finite(), "{f}: {c}");
+        }
+        // Merge-CSR is plain CSR storage: converting must not cost more
+        // than SELL's sort-and-pad pipeline.
+        assert!(
+            many.conversion_estimate(&p, SparseFormat::MergeCsr)
+                <= many.conversion_estimate(&p, SparseFormat::Sell)
+        );
     }
 
     #[test]

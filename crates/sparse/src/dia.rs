@@ -167,7 +167,7 @@ impl<S: Scalar> Spmv<S> for DiaMatrix<S> {
         }
         // Row-block partitioning: each thread owns a contiguous y range
         // and walks all diagonals restricted to it.
-        let chunk = (self.nrows / (rayon::current_num_threads().max(1) * 4)).max(128);
+        let chunk = crate::spmv::par_chunk_rows(self.nrows, 4);
         y.par_chunks_mut(chunk).enumerate().for_each(|(ci, ys)| {
             let base = ci * chunk;
             for (i, out) in ys.iter_mut().enumerate() {

@@ -14,7 +14,9 @@ use crate::dia::DiaMatrix;
 use crate::ell::EllMatrix;
 use crate::error::SparseError;
 use crate::hyb::HybMatrix;
+use crate::merge_csr::MergeCsrMatrix;
 use crate::scalar::Scalar;
+use crate::sell::SellMatrix;
 use crate::spmv::Spmv;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -37,6 +39,10 @@ pub enum SparseFormat {
     Bsr,
     /// CSR5-style tiled segmented-sum.
     Csr5,
+    /// SELL-C-σ sliced ELLPACK with σ-window row sorting.
+    Sell,
+    /// CSR storage with the merge-path load-balanced parallel kernel.
+    MergeCsr,
 }
 
 impl SparseFormat {
@@ -60,8 +66,22 @@ impl SparseFormat {
         SparseFormat::Coo,
     ];
 
-    /// All formats implemented by this crate.
-    pub const ALL: [SparseFormat; 7] = [
+    /// The many-core CPU candidate set: the SMATLib CPU formats plus
+    /// the two wide-machine kernels from the follow-on SpMV literature
+    /// (arXiv:1805.11938) — SELL-C-σ and merge-path CSR.
+    pub const MANYCORE_SET: [SparseFormat; 6] = [
+        SparseFormat::Coo,
+        SparseFormat::Csr,
+        SparseFormat::Dia,
+        SparseFormat::Ell,
+        SparseFormat::Sell,
+        SparseFormat::MergeCsr,
+    ];
+
+    /// All formats implemented by this crate. New formats are appended
+    /// so existing positional tables (per-format bias, timer slots)
+    /// keep their indices across versions.
+    pub const ALL: [SparseFormat; 9] = [
         SparseFormat::Coo,
         SparseFormat::Csr,
         SparseFormat::Dia,
@@ -69,6 +89,8 @@ impl SparseFormat {
         SparseFormat::Hyb,
         SparseFormat::Bsr,
         SparseFormat::Csr5,
+        SparseFormat::Sell,
+        SparseFormat::MergeCsr,
     ];
 
     /// Stable short name (also the `FromStr` spelling).
@@ -81,6 +103,8 @@ impl SparseFormat {
             SparseFormat::Hyb => "HYB",
             SparseFormat::Bsr => "BSR",
             SparseFormat::Csr5 => "CSR5",
+            SparseFormat::Sell => "SELL",
+            SparseFormat::MergeCsr => "MCSR",
         }
     }
 
@@ -109,6 +133,8 @@ impl FromStr for SparseFormat {
             "HYB" => Ok(SparseFormat::Hyb),
             "BSR" => Ok(SparseFormat::Bsr),
             "CSR5" => Ok(SparseFormat::Csr5),
+            "SELL" => Ok(SparseFormat::Sell),
+            "MCSR" => Ok(SparseFormat::MergeCsr),
             other => Err(SparseError::InvalidStructure(format!(
                 "unknown format name '{other}'"
             ))),
@@ -134,6 +160,10 @@ pub enum AnyMatrix<S: Scalar> {
     Bsr(BsrMatrix<S>),
     /// CSR5-style tiled.
     Csr5(Csr5Matrix<S>),
+    /// SELL-C-σ sliced ELLPACK.
+    Sell(SellMatrix<S>),
+    /// Merge-path CSR.
+    MergeCsr(MergeCsrMatrix<S>),
 }
 
 impl<S: Scalar> AnyMatrix<S> {
@@ -151,6 +181,8 @@ impl<S: Scalar> AnyMatrix<S> {
             SparseFormat::Hyb => AnyMatrix::Hyb(HybMatrix::from_coo(coo)),
             SparseFormat::Bsr => AnyMatrix::Bsr(BsrMatrix::from_coo(coo)?),
             SparseFormat::Csr5 => AnyMatrix::Csr5(Csr5Matrix::from_coo(coo)),
+            SparseFormat::Sell => AnyMatrix::Sell(SellMatrix::from_coo(coo)),
+            SparseFormat::MergeCsr => AnyMatrix::MergeCsr(MergeCsrMatrix::from_coo(coo)),
         })
     }
 
@@ -164,6 +196,8 @@ impl<S: Scalar> AnyMatrix<S> {
             AnyMatrix::Hyb(_) => SparseFormat::Hyb,
             AnyMatrix::Bsr(_) => SparseFormat::Bsr,
             AnyMatrix::Csr5(_) => SparseFormat::Csr5,
+            AnyMatrix::Sell(_) => SparseFormat::Sell,
+            AnyMatrix::MergeCsr(_) => SparseFormat::MergeCsr,
         }
     }
 
@@ -182,6 +216,8 @@ impl<S: Scalar> AnyMatrix<S> {
             AnyMatrix::Hyb(m) => m.to_coo()?,
             AnyMatrix::Bsr(m) => m.to_coo()?,
             AnyMatrix::Csr5(m) => m.to_coo(),
+            AnyMatrix::Sell(m) => m.to_coo(),
+            AnyMatrix::MergeCsr(m) => m.to_coo(),
         })
     }
 
@@ -194,6 +230,8 @@ impl<S: Scalar> AnyMatrix<S> {
             AnyMatrix::Hyb(m) => m,
             AnyMatrix::Bsr(m) => m,
             AnyMatrix::Csr5(m) => m,
+            AnyMatrix::Sell(m) => m,
+            AnyMatrix::MergeCsr(m) => m,
         }
     }
 }
@@ -232,8 +270,8 @@ mod kernel_timers {
     use std::sync::{Arc, OnceLock};
     use std::time::Instant;
 
-    fn table() -> &'static [[Arc<LatencyHistogram>; 2]; 7] {
-        static TABLE: OnceLock<[[Arc<LatencyHistogram>; 2]; 7]> = OnceLock::new();
+    fn table() -> &'static [[Arc<LatencyHistogram>; 2]; 9] {
+        static TABLE: OnceLock<[[Arc<LatencyHistogram>; 2]; 9]> = OnceLock::new();
         TABLE.get_or_init(|| {
             std::array::from_fn(|i| {
                 let fmt = SparseFormat::ALL[i];
@@ -312,6 +350,21 @@ mod tests {
         assert_eq!(SparseFormat::Dia.label_in(&SparseFormat::CPU_SET), Some(2));
         assert_eq!(SparseFormat::Hyb.label_in(&SparseFormat::CPU_SET), None);
         assert_eq!(SparseFormat::Csr5.label_in(&SparseFormat::GPU_SET), Some(4));
+    }
+
+    #[test]
+    fn manycore_set_extends_cpu_set() {
+        assert_eq!(SparseFormat::MANYCORE_SET.len(), 6);
+        for f in SparseFormat::CPU_SET {
+            assert!(SparseFormat::MANYCORE_SET.contains(&f));
+        }
+        assert!(SparseFormat::MANYCORE_SET.contains(&SparseFormat::Sell));
+        assert!(SparseFormat::MANYCORE_SET.contains(&SparseFormat::MergeCsr));
+        // New formats are appended, so pre-existing positional indices
+        // into ALL stay stable across the widening.
+        assert_eq!(SparseFormat::Csr5.label_in(&SparseFormat::ALL), Some(6));
+        assert_eq!(SparseFormat::Sell.label_in(&SparseFormat::ALL), Some(7));
+        assert_eq!(SparseFormat::MergeCsr.label_in(&SparseFormat::ALL), Some(8));
     }
 
     #[test]

@@ -4,9 +4,11 @@
 //! implements, from scratch, every storage format the paper's evaluation
 //! touches — COO, CSR, DIA and ELL on the CPU side (the SMATLib set) and
 //! HYB, BSR and a CSR5-style tiled format on the GPU side (the cuSPARSE
-//! set) — together with sequential and [rayon]-parallel sparse
-//! matrix–vector multiplication (SpMV) kernels, format conversions,
-//! single-pass structural statistics, and MatrixMarket I/O.
+//! set) — plus the two many-core formats from the follow-on literature,
+//! SELL-C-σ and merge-path CSR (arXiv:1805.11938) — together with
+//! sequential and [rayon]-parallel sparse matrix–vector multiplication
+//! (SpMV) kernels, format conversions, single-pass structural
+//! statistics, and MatrixMarket I/O.
 //!
 //! # Canonical representation
 //!
@@ -47,7 +49,9 @@ pub mod error;
 pub mod format;
 pub mod hyb;
 pub mod io;
+pub mod merge_csr;
 pub mod scalar;
+pub mod sell;
 pub mod spmv;
 pub mod stats;
 
@@ -61,6 +65,8 @@ pub use ell::EllMatrix;
 pub use error::SparseError;
 pub use format::{AnyMatrix, SparseFormat};
 pub use hyb::HybMatrix;
+pub use merge_csr::MergeCsrMatrix;
 pub use scalar::Scalar;
+pub use sell::SellMatrix;
 pub use spmv::Spmv;
 pub use stats::MatrixStats;

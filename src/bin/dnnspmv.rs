@@ -2,9 +2,10 @@
 //! the paper's artifact (`spmv_model.py train | test | predict <mtx>`).
 //!
 //! ```text
-//! dnnspmv train   [--model FILE] [--matrices N] [--epochs N] [--platform intel|amd|gpu]
+//! dnnspmv train   [--model FILE] [--matrices N] [--epochs N]
+//!                 [--platform intel|amd|gpu|manycore]
 //!                 [--checkpoint-dir DIR] [--resume FILE]
-//! dnnspmv test    [--model FILE] [--matrices N] [--platform intel|amd|gpu]
+//! dnnspmv test    [--model FILE] [--matrices N] [--platform intel|amd|gpu|manycore]
 //! dnnspmv predict <matrix.mtx> [--model FILE]
 //! dnnspmv stats   <matrix.mtx>
 //! dnnspmv serve-bench [--json FILE] [--matrices N] [--epochs N] [--quick]
@@ -96,7 +97,10 @@ fn parse_options(args: &[String]) -> Options {
                     "intel" => PlatformModel::intel_cpu(),
                     "amd" => PlatformModel::amd_cpu(),
                     "gpu" => PlatformModel::nvidia_gpu(),
-                    other => die(&format!("unknown platform '{other}' (intel|amd|gpu)")),
+                    "manycore" => PlatformModel::manycore_cpu(),
+                    other => die(&format!(
+                        "unknown platform '{other}' (intel|amd|gpu|manycore)"
+                    )),
                 };
             }
             path if !path.starts_with('-') && o.file.is_none() => {
@@ -235,6 +239,7 @@ fn cmd_stats(o: &Options) {
         PlatformModel::intel_cpu(),
         PlatformModel::amd_cpu(),
         PlatformModel::nvidia_gpu(),
+        PlatformModel::manycore_cpu(),
     ] {
         println!("\ncost-model ranking on {}:", platform.name);
         for (f, e) in platform.ranking(&profile) {

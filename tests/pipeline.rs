@@ -242,6 +242,76 @@ fn saved_selector_round_trips_and_corruption_is_a_typed_error() {
 }
 
 #[test]
+fn manycore_pipeline_selects_the_new_kernels_end_to_end() {
+    // The widened universe flows through every stage: the manycore
+    // model labels with SELL-C-σ and merge-path CSR, the CNN trains a
+    // 6-class head on those labels, and predictions stay inside the
+    // manycore candidate set and convert to runnable kernels.
+    let data = small_dataset(29);
+    let manycore = PlatformModel::manycore_cpu();
+    let labels = label_dataset(&data.matrices, &manycore);
+    let label_formats: Vec<SparseFormat> = labels.iter().map(|&i| manycore.formats()[i]).collect();
+    for f in [SparseFormat::Sell, SparseFormat::MergeCsr] {
+        assert!(
+            label_formats.contains(&f),
+            "manycore labelling never chose {f} on a mixed dataset"
+        );
+    }
+    let (sel, _) = FormatSelector::train_with_labels(
+        &data.matrices,
+        &labels,
+        manycore.formats().to_vec(),
+        &small_config(),
+    );
+    assert_eq!(sel.formats.len(), SparseFormat::MANYCORE_SET.len());
+    for m in data.matrices.iter().take(12) {
+        let f = sel.predict(m);
+        assert!(SparseFormat::MANYCORE_SET.contains(&f));
+        let any = AnyMatrix::convert(m, f).expect("manycore formats always convert");
+        let x: Vec<f32> = (0..m.ncols()).map(|i| (i % 5) as f32 - 2.0).collect();
+        let got = any.spmv_alloc(&x);
+        let want = m.spmv_alloc(&x);
+        for (a, b) in got.iter().zip(&want) {
+            assert!(a.approx_eq(*b, 1e-3), "format {f}: {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn pre_widening_artefacts_are_rejected_with_a_typed_version_error() {
+    // A selector saved before the format universe widened to 9 classes
+    // has a 7-way head whose class indices would silently mislabel
+    // under the new enum. The envelope's format_version must reject it
+    // *as a version error* — not a checksum failure (the checksum only
+    // covers the payload, which is untouched here) and not a panic.
+    let data = small_dataset(31);
+    let intel = PlatformModel::intel_cpu();
+    let (sel, _) = FormatSelector::train_on_platform(&data.matrices, &intel, &small_config());
+    let path = std::env::temp_dir().join(format!("pipeline_sel_v1_{}.json", std::process::id()));
+    let path_s = path.to_string_lossy().into_owned();
+    sel.save(&path_s).unwrap();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(
+        text.contains("\"format_version\":2"),
+        "current envelopes are v2"
+    );
+    std::fs::write(
+        &path,
+        text.replacen("\"format_version\":2", "\"format_version\":1", 1),
+    )
+    .unwrap();
+    match FormatSelector::load(&path_s) {
+        Err(SelectorError::Nn(NnError::FormatVersion { found, supported })) => {
+            assert_eq!(found, 1);
+            assert_eq!(supported, 2);
+        }
+        other => panic!("v1 artefact: expected FormatVersion error, got {other:?}"),
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn training_resumes_after_a_simulated_crash() {
     let data = small_dataset(29);
     let intel = PlatformModel::intel_cpu();
