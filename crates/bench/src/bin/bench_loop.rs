@@ -1,0 +1,80 @@
+//! Closed-loop soak runner (see [`dnnspmv_bench::closed_loop`]).
+//!
+//! ```text
+//! bench_loop [--quick] [--json FILE] [--matrices N] [--rounds N]
+//!            [--evolve-epochs N] [--max-ratio X] [--skip-overhead]
+//! ```
+//!
+//! Exits nonzero unless every closed-loop gate holds: the drift
+//! detector trips on the simulated environment change, the shadow gate
+//! promotes the honest candidate and rejects the poisoned one,
+//! post-promotion accuracy recovers, the forced bad promotion rolls
+//! back, and the sampling tap stays within the p50 overhead budget.
+
+use dnnspmv_bench::closed_loop::{run_closed_loop, ClosedLoopConfig};
+
+fn need(args: &[String], i: usize, flag: &str) -> String {
+    args.get(i)
+        .unwrap_or_else(|| die(&format!("{flag} needs an argument")))
+        .clone()
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ClosedLoopConfig::default();
+    let mut json_path = String::from("BENCH_loop.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => cfg = ClosedLoopConfig::quick(),
+            "--skip-overhead" => cfg.skip_overhead = true,
+            "--json" => {
+                i += 1;
+                json_path = need(&args, i, "--json");
+            }
+            "--matrices" => {
+                i += 1;
+                cfg.matrices = need(&args, i, "--matrices")
+                    .parse()
+                    .unwrap_or_else(|_| die("--matrices needs a number"));
+            }
+            "--rounds" => {
+                i += 1;
+                cfg.rounds_per_phase = need(&args, i, "--rounds")
+                    .parse()
+                    .unwrap_or_else(|_| die("--rounds needs a number"));
+            }
+            "--evolve-epochs" => {
+                i += 1;
+                cfg.evolve_epochs = need(&args, i, "--evolve-epochs")
+                    .parse()
+                    .unwrap_or_else(|_| die("--evolve-epochs needs a number"));
+            }
+            "--max-ratio" => {
+                i += 1;
+                cfg.max_overhead_ratio = need(&args, i, "--max-ratio")
+                    .parse()
+                    .unwrap_or_else(|_| die("--max-ratio needs a number"));
+            }
+            other => die(&format!("unknown bench_loop flag '{other}'")),
+        }
+        i += 1;
+    }
+    let report = run_closed_loop(&cfg);
+    eprint!("{}", report.render());
+    println!("{}", report.to_json());
+    report
+        .write_json(&json_path)
+        .unwrap_or_else(|e| die(&format!("writing {json_path}: {e}")));
+    eprintln!("wrote {json_path}");
+    if !report.gates_passed() {
+        eprintln!("closed-loop gates FAILED");
+        std::process::exit(1);
+    }
+    eprintln!("closed-loop gates passed");
+}

@@ -1,0 +1,521 @@
+//! `bench_loop` — closed-loop soak for the online-learning pipeline.
+//!
+//! One run exercises the whole feedback story end to end, against a
+//! deterministic environment change (the sampler's [`ModelTimer`] cost
+//! vector is rotated mid-run, so the measured-best labels shift under a
+//! trained selector exactly once, on cue):
+//!
+//! 1. **steady** — a trained selector serves; the sampler journals
+//!    ground truth and the drift window stays healthy;
+//! 2. **drift** — the timer rotates (simulated platform change); the
+//!    rolling accuracy collapses and the drift detector trips;
+//! 3. **evolve** — the journal's post-change records fine-tune a
+//!    candidate; shadow evaluation on the held-out tail must pass it,
+//!    and must *reject* a poisoned candidate trained on shifted labels;
+//! 4. **promote** — the candidate hot-reloads behind a
+//!    [`PromotionGuard`]; accuracy recovers above the trip threshold;
+//! 5. **rollback** — the poisoned candidate is force-promoted; the
+//!    guard watches fresh drift evidence and rolls back to the good
+//!    generation, after which accuracy recovers again;
+//! 6. **overhead** — a tapped server is compared against an identical
+//!    untapped one under a sequential client; the sampling tap must
+//!    stay within the serve overhead budget (p50 ratio ≤ 1.10, same
+//!    bar the instrumentation smoke uses).
+//!
+//! Every stage lands in [`ClosedLoopReport`]; [`ClosedLoopReport::gates_passed`]
+//! is the CI verdict.
+
+use dnnspmv_core::{
+    CacheConfig, FormatSelector, SelectorConfig, SelectorServer, SelectorService, ServerConfig,
+};
+use dnnspmv_feedback::{
+    evolve, replay, usable_samples, DriftConfig, DriftDetector, EvolveConfig, FeedbackSampler,
+    GuardVerdict, JournalConfig, JournalWriter, ModelTimer, PromotionConfig, PromotionGuard,
+    SamplerConfig, ShadowReport,
+};
+use dnnspmv_gen::{Dataset, DatasetSpec};
+use dnnspmv_nn::{Migration, TrainConfig};
+use dnnspmv_obs::LatencyHistogram;
+use dnnspmv_platform::{label_dataset, PlatformModel};
+use dnnspmv_sparse::CooMatrix;
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Closed-loop soak parameters.
+#[derive(Debug, Clone)]
+pub struct ClosedLoopConfig {
+    /// Matrices in the synthetic pool (also the training set).
+    pub matrices: usize,
+    /// Epochs for the incumbent's initial training.
+    pub train_epochs: usize,
+    /// Epochs for the journal fine-tune.
+    pub evolve_epochs: usize,
+    /// Sequential passes over the pool per serve phase.
+    pub rounds_per_phase: usize,
+    /// Sample every Nth served answer.
+    pub sample_every: u64,
+    /// Drift-detector tuning.
+    pub drift: DriftConfig,
+    /// Shadow gate margin (candidate must beat incumbent by this).
+    pub shadow_margin: f64,
+    /// Holdout fraction for shadow scoring.
+    pub holdout_frac: f64,
+    /// Promotion-guard tuning.
+    pub guard: PromotionConfig,
+    /// Overhead budget: tapped/untapped low-load p50 ratio.
+    pub max_overhead_ratio: f64,
+    /// Skip the wall-clock overhead probe (debug-mode tests: the
+    /// functional gates are deterministic, timing under a debug build
+    /// is not).
+    pub skip_overhead: bool,
+    /// Dataset / training seed.
+    pub seed: u64,
+}
+
+impl Default for ClosedLoopConfig {
+    fn default() -> Self {
+        Self {
+            matrices: 120,
+            train_epochs: 4,
+            evolve_epochs: 24,
+            rounds_per_phase: 2,
+            sample_every: 2,
+            drift: DriftConfig {
+                window: 96,
+                min_samples: 24,
+                threshold: 0.7,
+            },
+            shadow_margin: 0.05,
+            holdout_frac: 0.25,
+            guard: PromotionConfig {
+                margin: 0.1,
+                min_samples: 16,
+            },
+            max_overhead_ratio: 1.10,
+            skip_overhead: false,
+            seed: 41,
+        }
+    }
+}
+
+impl ClosedLoopConfig {
+    /// CI-scale run: same gates, smaller fixture.
+    pub fn quick() -> Self {
+        Self {
+            matrices: 80,
+            train_epochs: 3,
+            evolve_epochs: 18,
+            ..Self::default()
+        }
+    }
+}
+
+/// Machine-readable soak result (`BENCH_loop.json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct ClosedLoopReport {
+    /// Rolling accuracy at the end of the steady phase.
+    pub steady_accuracy: f64,
+    /// Rolling accuracy after the environment change.
+    pub drifted_accuracy: f64,
+    /// The drift detector latched a trip during the drift phase.
+    pub drift_tripped: bool,
+    /// Records recovered from the journal before evolving.
+    pub journal_records: usize,
+    /// Corrupt records the replay had to skip (expected 0 here).
+    pub journal_corrupt: usize,
+    /// Post-change records the candidate was fine-tuned from.
+    pub evolve_records: usize,
+    /// Shadow evaluation of the honest candidate.
+    pub shadow: ShadowReport,
+    /// The honest candidate passed the shadow gate.
+    pub promoted: bool,
+    /// Poisoned candidate's holdout accuracy.
+    pub poisoned_accuracy: f64,
+    /// The shadow gate rejected the poisoned candidate.
+    pub poisoned_rejected: bool,
+    /// Rolling accuracy after promoting the honest candidate.
+    pub recovered_accuracy: f64,
+    /// The trip threshold recovery is judged against.
+    pub drift_threshold: f64,
+    /// Recovery cleared the drift threshold.
+    pub recovered: bool,
+    /// The guard rolled the forced bad promotion back.
+    pub rollback: bool,
+    /// Baseline the guard judged the bad promotion against.
+    pub rollback_baseline: f64,
+    /// Accuracy that forced the rollback.
+    pub rollback_current: f64,
+    /// Rolling accuracy after the rollback settled.
+    pub post_rollback_accuracy: f64,
+    /// `feedback_rollback_total` at the end of the run.
+    pub rollback_total: u64,
+    /// Sampled / shed counts over the whole run.
+    pub sampled_total: u64,
+    /// Samples shed by the bounded queue (expected 0 at this load).
+    pub shed_total: u64,
+    /// Untapped sequential p50, microseconds (0 when skipped).
+    pub overhead_plain_p50_us: f64,
+    /// Tapped sequential p50, microseconds (0 when skipped).
+    pub overhead_tapped_p50_us: f64,
+    /// tapped / untapped p50 (1.0 when skipped).
+    pub overhead_ratio: f64,
+    /// The ratio stayed within budget (vacuously true when skipped).
+    pub overhead_ok: bool,
+    /// Whole-run wall clock, seconds.
+    pub elapsed_s: f64,
+}
+
+impl ClosedLoopReport {
+    /// All CI gates in one verdict.
+    pub fn gates_passed(&self) -> bool {
+        self.drift_tripped
+            && self.promoted
+            && self.poisoned_rejected
+            && self.recovered
+            && self.rollback
+            && self.overhead_ok
+            && self.journal_corrupt == 0
+    }
+
+    /// Human-readable run summary.
+    pub fn render(&self) -> String {
+        let gate = |ok: bool| if ok { "ok" } else { "FAILED" };
+        format!(
+            "closed loop ({:.1}s):\n\
+             \x20 steady accuracy        {:.3}\n\
+             \x20 drifted accuracy       {:.3}  trip {}\n\
+             \x20 journal                {} records ({} corrupt), {} used for evolve\n\
+             \x20 shadow gate            incumbent {:.3} vs candidate {:.3} (margin {:.2}) {}\n\
+             \x20 poisoned candidate     {:.3} rejected {}\n\
+             \x20 recovered accuracy     {:.3} (threshold {:.2}) {}\n\
+             \x20 rollback               baseline {:.3} -> {:.3} rolled back {}\n\
+             \x20 post-rollback accuracy {:.3}\n\
+             \x20 sampler                {} sampled, {} shed\n\
+             \x20 tap overhead           p50 {:.1}us vs {:.1}us ratio {:.3} {}\n",
+            self.elapsed_s,
+            self.steady_accuracy,
+            self.drifted_accuracy,
+            gate(self.drift_tripped),
+            self.journal_records,
+            self.journal_corrupt,
+            self.evolve_records,
+            self.shadow.incumbent_accuracy,
+            self.shadow.candidate_accuracy,
+            self.shadow.margin,
+            gate(self.promoted),
+            self.poisoned_accuracy,
+            gate(self.poisoned_rejected),
+            self.recovered_accuracy,
+            self.drift_threshold,
+            gate(self.recovered),
+            self.rollback_baseline,
+            self.rollback_current,
+            gate(self.rollback),
+            self.post_rollback_accuracy,
+            self.sampled_total,
+            self.shed_total,
+            self.overhead_tapped_p50_us,
+            self.overhead_plain_p50_us,
+            self.overhead_ratio,
+            gate(self.overhead_ok),
+        )
+    }
+
+    /// Serializes the report.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("report serializes")
+    }
+
+    /// Writes the report to `path`.
+    pub fn write_json(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// One sequential pass-pool serve phase (deterministic sample order).
+fn serve_phase(server: &SelectorServer<f32>, matrices: &[CooMatrix<f32>], rounds: usize) {
+    for _ in 0..rounds {
+        for m in matrices {
+            server.select(m).expect("closed-loop serve");
+        }
+    }
+}
+
+fn counter(server: &SelectorServer<f32>, name: &str) -> u64 {
+    server.metrics_snapshot().counter(name, &[]).unwrap_or(0)
+}
+
+/// Builds a cache-enabled server over `model` alone (no tree rung, no
+/// confidence gate): every answer is the CNN's, so drift accuracy
+/// measures exactly the model under test.
+fn build_server(model: &FormatSelector) -> SelectorServer<f32> {
+    let service = SelectorService::new(Some(model.clone()), None)
+        .expect("trained selector validates")
+        .with_confidence_threshold(0.0);
+    SelectorServer::new(
+        service,
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 512,
+            cache: CacheConfig::enabled(2048),
+            ..ServerConfig::default()
+        },
+    )
+}
+
+fn attach_sampler(
+    server: &SelectorServer<f32>,
+    sel_cfg: &SelectorConfig,
+    journal_dir: &Path,
+    drift: &Arc<DriftDetector>,
+    timer: Arc<dyn dnnspmv_feedback::SpmvTimer<f32>>,
+    sample_every: u64,
+) -> FeedbackSampler<f32> {
+    let sampler = FeedbackSampler::new(
+        SamplerConfig {
+            sample_every,
+            queue_capacity: 4096,
+            repr: sel_cfg.repr,
+            repr_config: sel_cfg.repr_config,
+        },
+        JournalWriter::open(journal_dir, JournalConfig::default()).expect("open journal"),
+        Arc::clone(drift),
+        timer,
+        server.registry(),
+    );
+    assert!(server.set_serve_tap(sampler.tap()), "tap attaches once");
+    sampler
+}
+
+/// Sequential p50 comparison: an identical model served with and
+/// without the sampling tap. Best-of-3 per side so one scheduler
+/// hiccup cannot fail the gate; the first (untimed) pass warms the
+/// decision caches so both sides measure the steady hot path.
+fn overhead_probe(
+    model: &FormatSelector,
+    matrices: &[CooMatrix<f32>],
+    intel: &PlatformModel,
+    dir: &Path,
+) -> (f64, f64) {
+    let plain = build_server(model);
+    let tapped = build_server(model);
+    let drift = Arc::new(DriftDetector::new(
+        DriftConfig::default(),
+        tapped.registry(),
+    ));
+    let _sampler = attach_sampler(
+        &tapped,
+        &model.config,
+        &dir.join("overhead-journal"),
+        &drift,
+        Arc::new(ModelTimer::new(intel.clone())),
+        8,
+    );
+    let side = |server: &SelectorServer<f32>| -> f64 {
+        serve_phase(server, matrices, 1); // warm the cache
+        let h = LatencyHistogram::new();
+        for m in matrices {
+            let t0 = Instant::now();
+            server.select(m).expect("probe serve");
+            h.record(t0.elapsed().as_nanos() as u64);
+        }
+        h.snapshot().p50() as f64 / 1e3
+    };
+    let mut plain_p50 = f64::MAX;
+    let mut tapped_p50 = f64::MAX;
+    for _ in 0..3 {
+        plain_p50 = plain_p50.min(side(&plain));
+        tapped_p50 = tapped_p50.min(side(&tapped));
+    }
+    (plain_p50, tapped_p50)
+}
+
+/// Runs the full closed loop and returns the report.
+pub fn run_closed_loop(cfg: &ClosedLoopConfig) -> ClosedLoopReport {
+    let t_start = Instant::now();
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("dnnspmv-loop-{}-{}", std::process::id(), cfg.seed));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("loop temp dir");
+
+    // Fixture: a selector trained on cost-model labels — exactly what
+    // the unrotated ModelTimer will measure, so the steady phase is
+    // honest agreement, not luck.
+    let data = Dataset::generate(&DatasetSpec {
+        n_base: (cfg.matrices * 8) / 10,
+        n_augmented: cfg.matrices - (cfg.matrices * 8) / 10,
+        dim_min: 48,
+        dim_max: 128,
+        seed: cfg.seed,
+        ..DatasetSpec::default()
+    });
+    let intel = PlatformModel::intel_cpu();
+    let labels = label_dataset(&data.matrices, &intel);
+    let sel_cfg = crate::ExpConfig::quick().selector_config(dnnspmv_repr::ReprKind::Histogram);
+    let sel_cfg = SelectorConfig {
+        train: TrainConfig {
+            epochs: cfg.train_epochs,
+            ..sel_cfg.train
+        },
+        ..sel_cfg
+    };
+    let (incumbent, _) = FormatSelector::train_with_labels(
+        &data.matrices,
+        &labels,
+        intel.formats().to_vec(),
+        &sel_cfg,
+    );
+    let incumbent_path = dir.join("incumbent.json");
+    incumbent
+        .save(incumbent_path.to_string_lossy().as_ref())
+        .expect("save incumbent");
+
+    let server = build_server(&incumbent);
+    let drift = Arc::new(DriftDetector::new(cfg.drift, server.registry()));
+    let timer = ModelTimer::new(intel.clone());
+    let journal_dir = dir.join("journal");
+    let sampler = attach_sampler(
+        &server,
+        &incumbent.config,
+        &journal_dir,
+        &drift,
+        Arc::new(timer.clone()),
+        cfg.sample_every,
+    );
+
+    // Phase 1: steady agreement.
+    serve_phase(&server, &data.matrices, cfg.rounds_per_phase);
+    sampler.flush();
+    let steady_accuracy = drift.accuracy();
+    let steady_appended = counter(&server, "feedback_appended_total");
+
+    // Phase 2: the environment changes under the selector.
+    sampler.set_timer(Arc::new(timer.rotated(1)));
+    serve_phase(&server, &data.matrices, cfg.rounds_per_phase);
+    sampler.flush();
+    let drifted_accuracy = drift.accuracy();
+    let drift_tripped = drift.tripped();
+
+    // Phase 3: evolve from the journal's post-change records.
+    sampler.sync().expect("journal sync");
+    let (records, replay_report) = replay(&journal_dir).expect("journal replay");
+    let recent: Vec<_> = records
+        .iter()
+        .filter(|r| r.seq >= steady_appended)
+        .cloned()
+        .collect();
+    let evolve_cfg = EvolveConfig {
+        strategy: Migration::ContinuousEvolvement,
+        train: TrainConfig {
+            epochs: cfg.evolve_epochs,
+            ..sel_cfg.train.clone()
+        },
+        holdout_frac: cfg.holdout_frac,
+        min_records: 16,
+        margin: cfg.shadow_margin,
+    };
+    let (candidate, shadow, _train_report) =
+        evolve(&incumbent, &recent, &evolve_cfg).expect("evolve");
+    let promoted = shadow.promote;
+    let candidate_path = dir.join("candidate.json");
+    candidate
+        .save(candidate_path.to_string_lossy().as_ref())
+        .expect("save candidate");
+
+    // A poisoned candidate: fine-tuned on labels shifted off the
+    // measured truth, scored on the same held-out tail the honest
+    // candidate faced. The gate must hold.
+    let mut poison_samples = usable_samples(&incumbent, &recent);
+    let holdout_n = ((poison_samples.len() as f64 * cfg.holdout_frac) as usize)
+        .clamp(1, poison_samples.len() - 1);
+    let holdout = poison_samples.split_off(poison_samples.len() - holdout_n);
+    let k = incumbent.formats.len();
+    for s in &mut poison_samples {
+        s.label = (s.label + 1) % k;
+    }
+    let (poisoned, _) = incumbent.migrate(evolve_cfg.strategy, &poison_samples, &evolve_cfg.train);
+    let poisoned_accuracy = poisoned.accuracy(&holdout);
+    let poisoned_rejected = poisoned_accuracy < incumbent.accuracy(&holdout) + cfg.shadow_margin;
+    let poisoned_path = dir.join("poisoned.json");
+    poisoned
+        .save(poisoned_path.to_string_lossy().as_ref())
+        .expect("save poisoned");
+
+    // Phase 4: guarded promotion of the honest candidate; accuracy
+    // must recover above the trip threshold on fresh evidence.
+    let (mut guard, _) =
+        PromotionGuard::promote(&server, &drift, &candidate_path, &incumbent_path, cfg.guard)
+            .expect("promote candidate");
+    serve_phase(&server, &data.matrices, cfg.rounds_per_phase);
+    sampler.flush();
+    let recovered_accuracy = drift.accuracy();
+    let recovered = recovered_accuracy >= cfg.drift.threshold;
+    let healthy = guard.check(&server, &drift).expect("guard check");
+    assert!(
+        matches!(healthy, GuardVerdict::Healthy | GuardVerdict::Watching),
+        "a recovered promotion must not roll back"
+    );
+
+    // Phase 5: force-promote the poisoned candidate; the guard must
+    // roll back to the good generation on fresh drift evidence.
+    let (mut bad_guard, _) =
+        PromotionGuard::promote(&server, &drift, &poisoned_path, &candidate_path, cfg.guard)
+            .expect("promote poisoned");
+    serve_phase(&server, &data.matrices, cfg.rounds_per_phase);
+    sampler.flush();
+    let verdict = bad_guard.check(&server, &drift).expect("bad guard check");
+    let (rollback, rollback_baseline, rollback_current) = match verdict {
+        GuardVerdict::RolledBack { baseline, current } => (true, baseline, current),
+        _ => (false, bad_guard.baseline(), drift.accuracy()),
+    };
+    // After rollback the good candidate serves again.
+    serve_phase(&server, &data.matrices, cfg.rounds_per_phase);
+    sampler.flush();
+    let post_rollback_accuracy = drift.accuracy();
+
+    let sampled_total = counter(&server, "feedback_sampled_total");
+    let shed_total = counter(&server, "feedback_shed_total");
+    let rollback_total = counter(&server, "feedback_rollback_total");
+    drop(sampler);
+    drop(server);
+
+    // Phase 6: what the tap costs an untapped-identical server.
+    let (overhead_plain_p50_us, overhead_tapped_p50_us, overhead_ratio) = if cfg.skip_overhead {
+        (0.0, 0.0, 1.0)
+    } else {
+        let (plain, tapped) = overhead_probe(&incumbent, &data.matrices, &intel, &dir);
+        (plain, tapped, tapped / plain.max(1e-9))
+    };
+    let overhead_ok = overhead_ratio <= cfg.max_overhead_ratio;
+
+    let _ = std::fs::remove_dir_all(&dir);
+    ClosedLoopReport {
+        steady_accuracy,
+        drifted_accuracy,
+        drift_tripped,
+        journal_records: replay_report.records,
+        journal_corrupt: replay_report.corrupt_records,
+        evolve_records: recent.len(),
+        shadow,
+        promoted,
+        poisoned_accuracy,
+        poisoned_rejected,
+        recovered_accuracy,
+        drift_threshold: cfg.drift.threshold,
+        recovered,
+        rollback,
+        rollback_baseline,
+        rollback_current,
+        post_rollback_accuracy,
+        rollback_total,
+        sampled_total,
+        shed_total,
+        overhead_plain_p50_us,
+        overhead_tapped_p50_us,
+        overhead_ratio,
+        overhead_ok,
+        elapsed_s: t_start.elapsed().as_secs_f64(),
+    }
+}

@@ -48,8 +48,8 @@ pub use samples::make_samples;
 pub use selector::{FormatSelector, SelectorConfig};
 pub use server::{
     load_selector_with_retry, system_clock, BreakerConfig, BreakerSnapshot, BreakerState, ClockFn,
-    PendingSelection, SelectorServer, ServeCacheReport, ServeError, ServeHooks, ServerConfig,
-    ServerReport,
+    PendingSelection, SelectorServer, ServeCacheReport, ServeError, ServeHooks, ServeTap,
+    ServerConfig, ServerReport,
 };
 pub use service::{
     BatchGuard, CnnFault, CnnRungOutcome, GuardedSelection, SelectGuard, Selection,

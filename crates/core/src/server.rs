@@ -52,7 +52,7 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock, RwLock};
 use std::thread;
 use std::time::Duration;
 
@@ -297,6 +297,21 @@ impl std::error::Error for ServeError {
             _ => None,
         }
     }
+}
+
+/// Observer of served selections — the seam the feedback layer hangs
+/// off. Called synchronously on every *served* answer (cache hit,
+/// single path, batched path) with the request's matrix, the selection
+/// returned to the client, and the model generation that produced it.
+///
+/// Implementations MUST be cheap and non-blocking: the contract is a
+/// counter tick plus at most a bounded-queue `try_push` — anything
+/// slow (timing kernels, I/O) belongs on the observer's own thread.
+/// Errors and deadline misses are not observed; those requests carry
+/// no selection to learn from.
+pub trait ServeTap<S: Scalar>: Send + Sync {
+    /// One served answer.
+    fn observe(&self, matrix: &Arc<CooMatrix<S>>, selection: &Selection, generation: u64);
 }
 
 /// Deterministic fault-injection hooks (all `None`/no-op in
@@ -620,6 +635,9 @@ struct Inner<S: Scalar> {
     generation_no: AtomicU64,
     /// Fingerprint-keyed decision cache (`None` when disabled).
     cache: Option<DecisionCache>,
+    /// Serve observer (write-once; empty in production unless the
+    /// feedback layer attaches one).
+    tap: OnceLock<Arc<dyn ServeTap<S>>>,
     seq: AtomicU64,
 }
 
@@ -640,6 +658,16 @@ impl Drop for GaugeDebt<'_> {
 type Reply = mpsc::Sender<Result<Selection, ServeError>>;
 
 impl<S: Scalar> Inner<S> {
+    /// Notifies the attached serve tap, if any. Kept out of line so
+    /// every served path (cache hit, single, batched) shares the same
+    /// one-liner and the no-tap case is a single pointer load.
+    #[inline]
+    fn tap_observe(&self, matrix: &Arc<CooMatrix<S>>, sel: &Selection, generation: u64) {
+        if let Some(tap) = self.tap.get() {
+            tap.observe(matrix, sel, generation);
+        }
+    }
+
     /// Processes one job and returns its reply channel plus the answer
     /// — the caller sends it *after* this returns, so the in-flight
     /// gauge (released on return, panic-unwind included) never reads 1
@@ -726,6 +754,7 @@ impl<S: Scalar> Inner<S> {
                 c.inc();
                 self.metrics.path_single.inc();
                 self.cache_store(job.fp, generation.number, out.cnn, &sel);
+                self.tap_observe(&job.matrix, &sel, generation.number);
                 (job.reply, Ok(sel))
             }
             None => {
@@ -846,6 +875,7 @@ impl<S: Scalar> Inner<S> {
                         c.inc();
                         self.metrics.path_batched.inc();
                         self.cache_store(jobs[i].fp, generation.number, out.cnn, &sel);
+                        self.tap_observe(&jobs[i].matrix, &sel, generation.number);
                         Ok(sel)
                     }
                     None => {
@@ -1010,6 +1040,7 @@ impl<S: Scalar> SelectorServer<S> {
             metrics,
             slot: RwLock::new(Arc::new(Generation { service, number: 0 })),
             generation_no: AtomicU64::new(0),
+            tap: OnceLock::new(),
             seq: AtomicU64::new(0),
         });
         let handles = (0..workers)
@@ -1057,6 +1088,7 @@ impl<S: Scalar> SelectorServer<S> {
                         m.cache_hit_ns
                             .record((self.inner.clock)().saturating_sub(now));
                     }
+                    self.inner.tap_observe(&matrix, &sel, generation);
                     return Ok(PendingSelection {
                         state: PendingState::Ready(Box::new(Ok(sel))),
                     });
@@ -1157,6 +1189,14 @@ impl<S: Scalar> SelectorServer<S> {
             self.inner.metrics.reloads_ok.inc();
             Ok(number)
         }
+    }
+
+    /// Attaches a serve observer. Write-once: returns `false` (and
+    /// leaves the existing tap in place) if one is already attached.
+    /// The tap sees every served answer from this point on; see
+    /// [`ServeTap`] for the cheapness contract.
+    pub fn set_serve_tap(&self, tap: Arc<dyn ServeTap<S>>) -> bool {
+        self.inner.tap.set(tap).is_ok()
     }
 
     /// Generation number of the live model.

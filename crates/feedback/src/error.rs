@@ -1,0 +1,85 @@
+//! Typed errors for the feedback loop.
+
+use dnnspmv_core::{SelectorError, ServeError};
+use std::fmt;
+
+/// Everything the feedback pipeline can fail with.
+#[derive(Debug)]
+pub enum FeedbackError {
+    /// Filesystem failure touching the journal directory or segments.
+    Io(std::io::Error),
+    /// A structural journal problem that is not plain I/O (bad segment
+    /// name, oversized record, missing directory).
+    Journal(String),
+    /// A record failed to serialize (never expected; defence in depth
+    /// around `serde_json`).
+    Serde(String),
+    /// Too few usable journal records to fine-tune from.
+    InsufficientRecords {
+        /// Usable records found.
+        have: usize,
+        /// Configured minimum.
+        need: usize,
+    },
+    /// The shadow gate held: the candidate did not beat the incumbent
+    /// by the configured margin, so nothing was promoted.
+    GateRejected {
+        /// Incumbent accuracy on the held-out records.
+        incumbent: f64,
+        /// Candidate accuracy on the held-out records.
+        candidate: f64,
+        /// Required margin.
+        margin: f64,
+    },
+    /// Selector training, validation or persistence failed.
+    Selector(SelectorError),
+    /// A hot reload (promotion or rollback) was rejected by the server.
+    Reload(ServeError),
+}
+
+impl fmt::Display for FeedbackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FeedbackError::Io(e) => write!(f, "journal I/O: {e}"),
+            FeedbackError::Journal(m) => write!(f, "journal: {m}"),
+            FeedbackError::Serde(m) => write!(f, "record serialization: {m}"),
+            FeedbackError::InsufficientRecords { have, need } => {
+                write!(f, "only {have} usable journal records (need {need})")
+            }
+            FeedbackError::GateRejected {
+                incumbent,
+                candidate,
+                margin,
+            } => write!(
+                f,
+                "shadow gate rejected candidate: {candidate:.3} vs incumbent {incumbent:.3} \
+                 (margin {margin:.3})"
+            ),
+            FeedbackError::Selector(e) => write!(f, "selector: {e}"),
+            FeedbackError::Reload(e) => write!(f, "reload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FeedbackError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FeedbackError::Io(e) => Some(e),
+            FeedbackError::Selector(e) => Some(e),
+            FeedbackError::Reload(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for FeedbackError {
+    fn from(e: std::io::Error) -> Self {
+        FeedbackError::Io(e)
+    }
+}
+
+impl From<SelectorError> for FeedbackError {
+    fn from(e: SelectorError) -> Self {
+        FeedbackError::Selector(e)
+    }
+}

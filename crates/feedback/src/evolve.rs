@@ -1,0 +1,241 @@
+//! Fine-tuning from the journal, gated by shadow evaluation.
+//!
+//! The trainer never trusts itself: a candidate fine-tuned from journal
+//! records is *scored* against the incumbent on a held-out slice of the
+//! most recent records (the traffic the promoted model would actually
+//! face), and only a candidate beating the incumbent by a configurable
+//! margin passes the gate. Training itself reuses the transfer
+//! machinery (continuous/top evolvement, PR 3 checkpoints via
+//! `TrainConfig`), so a crash mid-fine-tune resumes from the last
+//! epoch checkpoint like any other training run.
+
+use crate::error::FeedbackError;
+use crate::record::FeedbackRecord;
+use dnnspmv_core::FormatSelector;
+use dnnspmv_nn::{Migration, Sample, TrainConfig, TrainReport};
+use serde::Serialize;
+
+/// Evolve-pass tuning.
+#[derive(Debug, Clone)]
+pub struct EvolveConfig {
+    /// Transfer strategy for the fine-tune.
+    pub strategy: Migration,
+    /// Training hyper-parameters (checkpoint fields included).
+    pub train: TrainConfig,
+    /// Fraction of usable records held out for shadow scoring, taken
+    /// from the *most recent* end of the journal.
+    pub holdout_frac: f64,
+    /// Minimum usable records before an evolve pass is attempted.
+    pub min_records: usize,
+    /// Candidate must beat the incumbent's holdout accuracy by this
+    /// much to pass the gate.
+    pub margin: f64,
+}
+
+impl Default for EvolveConfig {
+    fn default() -> Self {
+        Self {
+            strategy: Migration::ContinuousEvolvement,
+            train: TrainConfig::default(),
+            holdout_frac: 0.25,
+            min_records: 32,
+            margin: 0.05,
+        }
+    }
+}
+
+/// Outcome of one shadow evaluation.
+#[derive(Debug, Clone, Serialize)]
+pub struct ShadowReport {
+    /// Records that passed the usability filter.
+    pub usable_records: usize,
+    /// Records the candidate trained on.
+    pub train_records: usize,
+    /// Held-out records both models were scored on.
+    pub holdout_records: usize,
+    /// Incumbent accuracy on the holdout.
+    pub incumbent_accuracy: f64,
+    /// Candidate accuracy on the holdout.
+    pub candidate_accuracy: f64,
+    /// Required margin.
+    pub margin: f64,
+    /// Whether the candidate passed the gate.
+    pub promote: bool,
+}
+
+/// Converts journal records to training samples for `selector`,
+/// dropping records whose channels or measured label do not fit the
+/// selector's contract (wrong channel count/shape after a config
+/// change, a measured format outside the candidate set).
+pub fn usable_samples(selector: &FormatSelector, records: &[FeedbackRecord]) -> Vec<Sample> {
+    let shape = selector
+        .config
+        .repr_config
+        .channel_shape(selector.config.repr);
+    records
+        .iter()
+        .filter_map(|r| {
+            if r.channels.len() != selector.net.num_channels {
+                return None;
+            }
+            if r.channels
+                .iter()
+                .any(|c| c.shape() != [shape.0, shape.1] || c.data().iter().any(|v| !v.is_finite()))
+            {
+                return None;
+            }
+            let label = r.measured_best.label_in(&selector.formats)?;
+            Some(Sample {
+                channels: r.channels.clone(),
+                label,
+            })
+        })
+        .collect()
+}
+
+/// Fine-tunes `incumbent` on the journal records and shadow-scores the
+/// result. Returns the candidate (whether or not it passed the gate)
+/// together with the shadow and training reports; the *caller* decides
+/// what a failed gate means (the CLI exits non-zero, the closed-loop
+/// driver asserts).
+pub fn evolve(
+    incumbent: &FormatSelector,
+    records: &[FeedbackRecord],
+    cfg: &EvolveConfig,
+) -> Result<(FormatSelector, ShadowReport, TrainReport), FeedbackError> {
+    let usable = usable_samples(incumbent, records);
+    if usable.len() < cfg.min_records.max(2) {
+        return Err(FeedbackError::InsufficientRecords {
+            have: usable.len(),
+            need: cfg.min_records.max(2),
+        });
+    }
+    // Hold out the most recent slice: promotion will face *tomorrow's*
+    // traffic, and the journal's tail is the closest thing to it.
+    let holdout_n = ((usable.len() as f64 * cfg.holdout_frac.clamp(0.0, 0.9)) as usize)
+        .clamp(1, usable.len() - 1);
+    let split = usable.len() - holdout_n;
+    let (train, holdout) = usable.split_at(split);
+    let (candidate, train_report) = incumbent.migrate(cfg.strategy, train, &cfg.train);
+    let incumbent_accuracy = incumbent.accuracy(holdout);
+    let candidate_accuracy = candidate.accuracy(holdout);
+    let shadow = ShadowReport {
+        usable_records: usable.len(),
+        train_records: train.len(),
+        holdout_records: holdout.len(),
+        incumbent_accuracy,
+        candidate_accuracy,
+        margin: cfg.margin,
+        promote: candidate_accuracy >= incumbent_accuracy + cfg.margin,
+    };
+    Ok((candidate, shadow, train_report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnnspmv_core::SelectionSource;
+    use dnnspmv_nn::Tensor;
+    use dnnspmv_sparse::SparseFormat;
+
+    fn record_with(channels: Vec<Tensor>, best: SparseFormat) -> FeedbackRecord {
+        FeedbackRecord {
+            seq: 0,
+            fingerprint: 1,
+            generation: 0,
+            chosen: SparseFormat::Csr,
+            source: SelectionSource::Cnn,
+            measured_best: best,
+            timings: vec![],
+            channels,
+            nrows: 8,
+            ncols: 8,
+            nnz: 8,
+        }
+    }
+
+    #[test]
+    fn usability_filter_drops_contract_violations() {
+        use dnnspmv_core::SelectorConfig;
+        use dnnspmv_nn::structures::build_cnn;
+        let config = SelectorConfig::default();
+        let shape = config.repr_config.channel_shape(config.repr);
+        let net = build_cnn(
+            config.merging,
+            config.repr.channels(),
+            shape,
+            4,
+            &config.cnn,
+        );
+        let selector = FormatSelector {
+            net,
+            formats: vec![
+                SparseFormat::Coo,
+                SparseFormat::Csr,
+                SparseFormat::Dia,
+                SparseFormat::Ell,
+            ],
+            config,
+        };
+        let good_channels = || {
+            (0..selector.net.num_channels)
+                .map(|_| Tensor::zeros(&[shape.0, shape.1]))
+                .collect::<Vec<_>>()
+        };
+        let records = vec![
+            record_with(good_channels(), SparseFormat::Csr),
+            // Wrong channel count.
+            record_with(vec![Tensor::zeros(&[shape.0, shape.1])], SparseFormat::Csr),
+            // Wrong shape.
+            record_with(
+                (0..selector.net.num_channels)
+                    .map(|_| Tensor::zeros(&[1, 1]))
+                    .collect(),
+                SparseFormat::Csr,
+            ),
+            // Label outside the candidate set.
+            record_with(good_channels(), SparseFormat::Bsr),
+            // Non-finite channel data.
+            record_with(
+                (0..selector.net.num_channels)
+                    .map(|_| {
+                        Tensor::from_vec(&[shape.0, shape.1], {
+                            let mut v = vec![0.0f32; shape.0 * shape.1];
+                            v[0] = f32::NAN;
+                            v
+                        })
+                    })
+                    .collect(),
+                SparseFormat::Csr,
+            ),
+        ];
+        let usable = usable_samples(&selector, &records);
+        assert_eq!(usable.len(), 1);
+        assert_eq!(usable[0].label, 1, "Csr is class 1 in the set");
+    }
+
+    #[test]
+    fn too_few_records_is_a_typed_error() {
+        use dnnspmv_core::SelectorConfig;
+        use dnnspmv_nn::structures::build_cnn;
+        let config = SelectorConfig::default();
+        let shape = config.repr_config.channel_shape(config.repr);
+        let net = build_cnn(
+            config.merging,
+            config.repr.channels(),
+            shape,
+            2,
+            &config.cnn,
+        );
+        let selector = FormatSelector {
+            net,
+            formats: vec![SparseFormat::Coo, SparseFormat::Csr],
+            config,
+        };
+        let err = evolve(&selector, &[], &EvolveConfig::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            FeedbackError::InsufficientRecords { have: 0, .. }
+        ));
+    }
+}

@@ -1,0 +1,470 @@
+//! Serve-path sampling into the journal, off the hot path.
+//!
+//! The sampler implements [`ServeTap`]: every served answer costs one
+//! atomic tick, and every `sample_every`-th answer is pushed onto a
+//! small bounded queue. A single background worker pops items, times
+//! the real SpMV across the candidate set, extracts the representation
+//! channels and appends a [`FeedbackRecord`] — so the expensive part
+//! runs entirely on the sampler's thread. When the queue is full the
+//! item is *shed* and counted; sampling can slow serving by at most a
+//! queue-lock push.
+//!
+//! What "timing the real SpMV" means is injected via [`SpmvTimer`]:
+//! production uses [`MeasuredLabeller`] (wall-clock medians), while
+//! tests and CI use [`ModelTimer`], a deterministic stand-in that
+//! scores formats with the platform cost model — its `rotate` knob
+//! permutes the cost vector over the format list to simulate an
+//! environment change (the labels the selector was trained on stop
+//! being the measured best), which is how the closed-loop soak drifts
+//! on demand without depending on machine noise.
+
+use crate::drift::DriftDetector;
+use crate::journal::JournalWriter;
+use crate::record::FeedbackRecord;
+use dnnspmv_core::{matrix_fingerprint, samples::make_channels, Selection, ServeTap};
+use dnnspmv_obs::{Counter, Gauge, Registry};
+use dnnspmv_platform::{MeasuredLabeller, MeasuredTimings, PlatformModel, WorkloadProfile};
+use dnnspmv_repr::{ReprConfig, ReprKind};
+use dnnspmv_sparse::{CooMatrix, Scalar, SparseFormat};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread;
+use std::time::Duration;
+
+/// How a sampled matrix is ground-truthed.
+pub trait SpmvTimer<S: Scalar>: Send + Sync {
+    /// Per-format scores (lower is better) plus the winner.
+    fn time_formats(&self, matrix: &CooMatrix<S>) -> MeasuredTimings;
+}
+
+impl<S: Scalar> SpmvTimer<S> for MeasuredLabeller {
+    fn time_formats(&self, matrix: &CooMatrix<S>) -> MeasuredTimings {
+        self.measure(matrix)
+    }
+}
+
+/// Deterministic timer backed by the platform cost model. `rotate`
+/// cyclically shifts the cost vector over the format list: with
+/// `rotate = 0` the model's own winner is the label; any other value
+/// relabels deterministically, simulating a platform change underneath
+/// a trained selector (the lever the drift tests pull).
+#[derive(Debug, Clone)]
+pub struct ModelTimer {
+    /// Cost model supplying per-format estimates.
+    pub platform: PlatformModel,
+    /// Candidate formats, in label order.
+    pub formats: Vec<SparseFormat>,
+    /// Cyclic shift applied to the cost vector (0: faithful model).
+    pub rotate: usize,
+}
+
+impl ModelTimer {
+    /// A faithful (unrotated) timer over the platform's format set.
+    pub fn new(platform: PlatformModel) -> Self {
+        let formats = platform.formats().to_vec();
+        Self {
+            platform,
+            formats,
+            rotate: 0,
+        }
+    }
+
+    /// The same timer with a different rotation.
+    pub fn rotated(&self, rotate: usize) -> Self {
+        Self {
+            rotate,
+            ..self.clone()
+        }
+    }
+}
+
+impl<S: Scalar> SpmvTimer<S> for ModelTimer {
+    fn time_formats(&self, matrix: &CooMatrix<S>) -> MeasuredTimings {
+        let profile = WorkloadProfile::compute(matrix);
+        let k = self.formats.len().max(1);
+        let est: Vec<f64> = self
+            .formats
+            .iter()
+            .map(|&f| self.platform.estimate(&profile, f))
+            .collect();
+        let timings: Vec<(SparseFormat, f64)> = self
+            .formats
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| (f, est[(i + self.rotate) % k]))
+            .collect();
+        let best = timings
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("estimates are not NaN"))
+            .expect("format set is non-empty")
+            .0;
+        MeasuredTimings { timings, best }
+    }
+}
+
+/// Sampler tuning.
+#[derive(Debug, Clone)]
+pub struct SamplerConfig {
+    /// Sample every Nth served answer (1: every answer; 0 behaves
+    /// as 1).
+    pub sample_every: u64,
+    /// Bounded queue between the tap and the worker; overflow sheds.
+    pub queue_capacity: usize,
+    /// Representation to extract for journaled channels (must match
+    /// the selector being fine-tuned).
+    pub repr: ReprKind,
+    /// Representation sizes.
+    pub repr_config: ReprConfig,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        Self {
+            sample_every: 16,
+            queue_capacity: 64,
+            repr: ReprKind::Histogram,
+            repr_config: ReprConfig::default(),
+        }
+    }
+}
+
+struct Item<S: Scalar> {
+    matrix: Arc<CooMatrix<S>>,
+    selection: Selection,
+    generation: u64,
+}
+
+struct SamplerMetrics {
+    sampled: Counter,
+    shed: Counter,
+    appended: Counter,
+    errors: Counter,
+    queue_depth: Gauge,
+}
+
+impl SamplerMetrics {
+    fn bind(registry: &Registry) -> Self {
+        Self {
+            sampled: registry.counter("feedback_sampled_total", &[]),
+            shed: registry.counter("feedback_shed_total", &[]),
+            appended: registry.counter("feedback_appended_total", &[]),
+            errors: registry.counter("feedback_sample_errors_total", &[]),
+            queue_depth: registry.gauge("feedback_queue_depth", &[]),
+        }
+    }
+}
+
+struct SamplerInner<S: Scalar> {
+    cfg: SamplerConfig,
+    timer: RwLock<Arc<dyn SpmvTimer<S>>>,
+    journal: Mutex<JournalWriter>,
+    drift: Arc<DriftDetector>,
+    queue: Mutex<VecDeque<Item<S>>>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+    /// Items popped but not yet journaled (so `flush` can tell an
+    /// empty queue from a quiet one).
+    inflight: AtomicU64,
+    tick: AtomicU64,
+    seq: AtomicU64,
+    metrics: SamplerMetrics,
+}
+
+impl<S: Scalar> SamplerInner<S> {
+    fn worker_loop(&self) {
+        loop {
+            let item = {
+                let mut q = self.queue.lock().expect("sampler queue lock");
+                loop {
+                    if let Some(item) = q.pop_front() {
+                        self.metrics.queue_depth.dec();
+                        // Raised before the queue lock drops, so no
+                        // instant exists where the item is in neither
+                        // the queue nor the in-flight count.
+                        self.inflight.fetch_add(1, Ordering::SeqCst);
+                        break Some(item);
+                    }
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        break None;
+                    }
+                    q = self.cv.wait(q).expect("sampler queue lock");
+                }
+            };
+            match item {
+                Some(item) => {
+                    self.process(item);
+                    self.inflight.fetch_sub(1, Ordering::SeqCst);
+                }
+                None => return,
+            }
+        }
+    }
+
+    fn process(&self, item: Item<S>) {
+        let timer = self.timer.read().expect("timer lock").clone();
+        let measured = timer.time_formats(&item.matrix);
+        let channels = make_channels(&item.matrix, self.cfg.repr, &self.cfg.repr_config);
+        self.drift.record(item.selection.format == measured.best);
+        let record = FeedbackRecord {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            fingerprint: matrix_fingerprint(item.matrix.as_ref()),
+            generation: item.generation,
+            chosen: item.selection.format,
+            source: item.selection.source,
+            measured_best: measured.best,
+            timings: measured
+                .timings
+                .into_iter()
+                .filter(|(_, t)| t.is_finite())
+                .collect(),
+            channels,
+            nrows: item.matrix.nrows(),
+            ncols: item.matrix.ncols(),
+            nnz: item.matrix.nnz(),
+        };
+        match self.journal.lock().expect("journal lock").append(&record) {
+            Ok(()) => self.metrics.appended.inc(),
+            Err(_) => self.metrics.errors.inc(),
+        }
+    }
+}
+
+impl<S: Scalar> ServeTap<S> for SamplerInner<S> {
+    fn observe(&self, matrix: &Arc<CooMatrix<S>>, selection: &Selection, generation: u64) {
+        if self.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let every = self.cfg.sample_every.max(1);
+        if !self
+            .tick
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(every)
+        {
+            return;
+        }
+        self.metrics.sampled.inc();
+        let mut q = self.queue.lock().expect("sampler queue lock");
+        if q.len() >= self.cfg.queue_capacity.max(1) {
+            self.metrics.shed.inc();
+            return;
+        }
+        q.push_back(Item {
+            matrix: Arc::clone(matrix),
+            selection: *selection,
+            generation,
+        });
+        self.metrics.queue_depth.inc();
+        drop(q);
+        self.cv.notify_one();
+    }
+}
+
+/// Owner of the sampling lane: holds the tap, the bounded queue and
+/// the background worker. Dropping it stops the worker (pending queue
+/// items are drained first; post-shutdown observes are no-ops).
+pub struct FeedbackSampler<S: Scalar> {
+    inner: Arc<SamplerInner<S>>,
+    worker: Option<thread::JoinHandle<()>>,
+}
+
+impl<S: Scalar> FeedbackSampler<S> {
+    /// Starts the sampling lane. Counters and gauges bind into
+    /// `registry` (pass the server's so everything exports together);
+    /// `drift` is shared so the evolve driver can read it too.
+    pub fn new(
+        cfg: SamplerConfig,
+        journal: JournalWriter,
+        drift: Arc<DriftDetector>,
+        timer: Arc<dyn SpmvTimer<S>>,
+        registry: &Registry,
+    ) -> Self {
+        let inner = Arc::new(SamplerInner {
+            metrics: SamplerMetrics::bind(registry),
+            cfg,
+            timer: RwLock::new(timer),
+            journal: Mutex::new(journal),
+            drift,
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            inflight: AtomicU64::new(0),
+            tick: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+        });
+        let worker = {
+            let inner = Arc::clone(&inner);
+            thread::Builder::new()
+                .name("dnnspmv-feedback".into())
+                .spawn(move || inner.worker_loop())
+                .expect("spawn feedback worker")
+        };
+        Self {
+            inner,
+            worker: Some(worker),
+        }
+    }
+
+    /// The tap to attach via `SelectorServer::set_serve_tap`.
+    pub fn tap(&self) -> Arc<dyn dnnspmv_core::ServeTap<S>> {
+        Arc::clone(&self.inner) as Arc<dyn ServeTap<S>>
+    }
+
+    /// Swaps the ground-truth timer (tests rotate the cost model here
+    /// to simulate an environment change mid-run).
+    pub fn set_timer(&self, timer: Arc<dyn SpmvTimer<S>>) {
+        *self.inner.timer.write().expect("timer lock") = timer;
+    }
+
+    /// The shared drift detector.
+    pub fn drift(&self) -> &Arc<DriftDetector> {
+        &self.inner.drift
+    }
+
+    /// Blocks until every queued item has been journaled. Intended for
+    /// tests and the evolve driver (quiesce before replaying the
+    /// journal); serving threads never call this.
+    pub fn flush(&self) {
+        loop {
+            let empty = self
+                .inner
+                .queue
+                .lock()
+                .expect("sampler queue lock")
+                .is_empty();
+            if empty && self.inner.inflight.load(Ordering::SeqCst) == 0 {
+                return;
+            }
+            thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    /// Forces journaled records to stable storage.
+    pub fn sync(&self) -> Result<(), crate::error::FeedbackError> {
+        self.inner.journal.lock().expect("journal lock").sync()
+    }
+}
+
+impl<S: Scalar> Drop for FeedbackSampler<S> {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.cv.notify_all();
+        if let Some(h) = self.worker.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::{replay, JournalConfig};
+    use dnnspmv_core::SelectionSource;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("dnnspmv-sampler-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn tridiagonal(n: usize) -> CooMatrix<f32> {
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 2.0f32));
+            if i + 1 < n {
+                t.push((i, i + 1, -1.0));
+            }
+        }
+        CooMatrix::from_triplets(n, n, &t).unwrap()
+    }
+
+    fn selection(format: SparseFormat) -> Selection {
+        Selection {
+            format,
+            source: SelectionSource::Cnn,
+            confidence: Some(0.9),
+        }
+    }
+
+    #[test]
+    fn samples_every_nth_and_journals_ground_truth() {
+        let dir = tmp_dir("nth");
+        let reg = Registry::new();
+        let drift = Arc::new(DriftDetector::new(Default::default(), &reg));
+        let timer = ModelTimer::new(PlatformModel::intel_cpu());
+        let sampler: FeedbackSampler<f32> = FeedbackSampler::new(
+            SamplerConfig {
+                sample_every: 4,
+                queue_capacity: 64,
+                ..Default::default()
+            },
+            JournalWriter::open(&dir, JournalConfig::default()).unwrap(),
+            drift,
+            Arc::new(timer.clone()),
+            &reg,
+        );
+        let tap = sampler.tap();
+        let m = Arc::new(tridiagonal(64));
+        let truth = SpmvTimer::<f32>::time_formats(&timer, &m).best;
+        for _ in 0..16 {
+            tap.observe(&m, &selection(truth), 0);
+        }
+        sampler.flush();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("feedback_sampled_total", &[]), Some(4));
+        assert_eq!(snap.counter("feedback_appended_total", &[]), Some(4));
+        assert_eq!(snap.counter("feedback_shed_total", &[]), Some(0));
+        let (records, report) = replay(&dir).unwrap();
+        assert_eq!(records.len(), 4);
+        assert_eq!(report.corrupt_records, 0);
+        for r in &records {
+            assert_eq!(r.chosen, truth);
+            assert_eq!(r.measured_best, truth);
+            assert!(r.hit());
+            assert!(!r.channels.is_empty());
+        }
+        assert_eq!(sampler.drift().accuracy(), 1.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn overflow_sheds_instead_of_blocking() {
+        let dir = tmp_dir("shed");
+        let reg = Registry::new();
+        let drift = Arc::new(DriftDetector::new(Default::default(), &reg));
+        let sampler: FeedbackSampler<f32> = FeedbackSampler::new(
+            SamplerConfig {
+                sample_every: 1,
+                queue_capacity: 1,
+                ..Default::default()
+            },
+            JournalWriter::open(&dir, JournalConfig::default()).unwrap(),
+            drift,
+            Arc::new(ModelTimer::new(PlatformModel::intel_cpu())),
+            &reg,
+        );
+        let tap = sampler.tap();
+        let m = Arc::new(tridiagonal(32));
+        // Burst faster than the worker can drain a capacity-1 queue.
+        for _ in 0..64 {
+            tap.observe(&m, &selection(SparseFormat::Csr), 0);
+        }
+        sampler.flush();
+        let snap = reg.snapshot();
+        let sampled = snap.counter("feedback_sampled_total", &[]).unwrap();
+        let shed = snap.counter("feedback_shed_total", &[]).unwrap();
+        let appended = snap.counter("feedback_appended_total", &[]).unwrap();
+        assert_eq!(sampled, 64);
+        assert_eq!(appended + shed, 64, "every sample either lands or sheds");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_changes_the_measured_label() {
+        let timer = ModelTimer::new(PlatformModel::intel_cpu());
+        let m = tridiagonal(128);
+        let base = SpmvTimer::<f32>::time_formats(&timer, &m).best;
+        let rotated = SpmvTimer::<f32>::time_formats(&timer.rotated(1), &m).best;
+        assert_ne!(base, rotated, "a rotated cost vector must relabel");
+    }
+}

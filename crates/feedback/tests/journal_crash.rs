@@ -1,0 +1,193 @@
+//! Crash-safety proof for the feedback journal: every corruption a
+//! crash or bit rot can produce must replay to the intact prefix with
+//! an honest counter — never a panic, never silently absorbed.
+
+use dnnspmv_core::SelectionSource;
+use dnnspmv_feedback::journal::SEGMENT_MAGIC;
+use dnnspmv_feedback::{replay, FeedbackRecord, JournalConfig, JournalWriter};
+use dnnspmv_nn::Tensor;
+use dnnspmv_sparse::SparseFormat;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("dnnspmv-crash-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&d);
+    d
+}
+
+fn record(seq: u64) -> FeedbackRecord {
+    FeedbackRecord {
+        seq,
+        fingerprint: 7 * seq + 1,
+        generation: 2,
+        chosen: SparseFormat::Csr,
+        source: SelectionSource::Cnn,
+        measured_best: SparseFormat::Ell,
+        timings: vec![(SparseFormat::Csr, 3.0e-6), (SparseFormat::Ell, 2.0e-6)],
+        channels: vec![Tensor::from_vec(&[2, 3], vec![0.5; 6])],
+        nrows: 32,
+        ncols: 32,
+        nnz: 96,
+    }
+}
+
+fn write_records(dir: &Path, n: u64) {
+    let mut w = JournalWriter::open(dir, JournalConfig::default()).unwrap();
+    for i in 0..n {
+        w.append(&record(i)).unwrap();
+    }
+    w.sync().unwrap();
+}
+
+fn only_segment(dir: &PathBuf) -> PathBuf {
+    let mut segs: Vec<_> = fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "dnj"))
+        .collect();
+    segs.sort();
+    assert_eq!(segs.len(), 1);
+    segs.remove(0)
+}
+
+#[test]
+fn torn_tail_from_a_crash_mid_append_recovers_the_prefix() {
+    let dir = tmp_dir("torn");
+    write_records(&dir, 5);
+    let seg = only_segment(&dir);
+    // Simulate the process dying partway through the 6th append: a
+    // complete header promising more payload than ever hit the disk.
+    let mut bytes = fs::read(&seg).unwrap();
+    bytes.extend_from_slice(&500u32.to_le_bytes());
+    bytes.extend_from_slice(&0xfeed_face_dead_beefu64.to_le_bytes());
+    bytes.extend_from_slice(b"{\"seq\":99,\"trunc");
+    fs::write(&seg, &bytes).unwrap();
+
+    let (records, report) = replay(&dir).unwrap();
+    assert_eq!(records.len(), 5, "every intact prefix record recovered");
+    assert_eq!(report.corrupt_records, 0);
+    assert_eq!(report.torn_tail_bytes, 12 + 16, "header + partial payload");
+    for (i, r) in records.iter().enumerate() {
+        assert_eq!(r.seq, i as u64);
+    }
+
+    // Reopening the writer repairs the tail, and appends land cleanly
+    // after the surviving records — not behind garbage.
+    let mut w = JournalWriter::open(&dir, JournalConfig::default()).unwrap();
+    assert_eq!(w.repaired_bytes(), 28);
+    w.append(&record(5)).unwrap();
+    drop(w);
+    let (records, report) = replay(&dir).unwrap();
+    assert_eq!(records.len(), 6);
+    assert_eq!(report.torn_tail_bytes, 0, "the tail was repaired on open");
+    assert_eq!(records[5].seq, 5);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bit_flipped_record_is_skipped_and_counted_not_fatal() {
+    let dir = tmp_dir("flip");
+    write_records(&dir, 4);
+    let seg = only_segment(&dir);
+    let mut bytes = fs::read(&seg).unwrap();
+    // Flip one payload bit in the SECOND record: walk one frame past
+    // the magic, then corrupt a byte inside the next frame's payload.
+    let first_len = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+    let second_frame = SEGMENT_MAGIC.len() + 12 + first_len;
+    let target = second_frame + 12 + 5;
+    bytes[target] ^= 0x10;
+    fs::write(&seg, &bytes).unwrap();
+
+    let (records, report) = replay(&dir).unwrap();
+    assert_eq!(report.corrupt_records, 1, "the flip is surfaced");
+    assert_eq!(records.len(), 3, "records after the corrupt one survive");
+    let seqs: Vec<u64> = records.iter().map(|r| r.seq).collect();
+    assert_eq!(seqs, vec![0, 2, 3], "exactly the flipped record is lost");
+    assert_eq!(report.torn_tail_bytes, 0);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_segment_recovers_whole_records_before_the_cut() {
+    let dir = tmp_dir("trunc");
+    write_records(&dir, 5);
+    let seg = only_segment(&dir);
+    let bytes = fs::read(&seg).unwrap();
+    // Cut the file mid-way through the 4th record's payload.
+    let mut off = SEGMENT_MAGIC.len();
+    for _ in 0..3 {
+        let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+        off += 12 + len;
+    }
+    let cut = off + 12 + 7;
+    fs::write(&seg, &bytes[..cut]).unwrap();
+
+    let (records, report) = replay(&dir).unwrap();
+    assert_eq!(records.len(), 3);
+    assert_eq!(report.torn_tail_bytes, (cut - off) as u64);
+    assert_eq!(report.corrupt_records, 0);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncation_inside_the_magic_marks_the_segment_torn() {
+    let dir = tmp_dir("magic");
+    write_records(&dir, 2);
+    let seg = only_segment(&dir);
+    let bytes = fs::read(&seg).unwrap();
+    fs::write(&seg, &bytes[..4]).unwrap();
+    let (records, report) = replay(&dir).unwrap();
+    assert!(records.is_empty());
+    assert_eq!(report.torn_segments, 1);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn insane_declared_length_is_a_torn_tail_not_an_allocation() {
+    let dir = tmp_dir("length");
+    write_records(&dir, 2);
+    let seg = only_segment(&dir);
+    let mut bytes = fs::read(&seg).unwrap();
+    // A "record" claiming 3 GiB: the length field itself is garbage,
+    // so everything from here on is untrusted tail.
+    bytes.extend_from_slice(&(3u32 << 30).to_le_bytes());
+    bytes.extend_from_slice(&0u64.to_le_bytes());
+    fs::write(&seg, &bytes).unwrap();
+    let (records, report) = replay(&dir).unwrap();
+    assert_eq!(records.len(), 2);
+    assert_eq!(report.torn_tail_bytes, 12);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corruption_spanning_segments_only_loses_the_damaged_one() {
+    let dir = tmp_dir("multi");
+    {
+        let mut w = JournalWriter::open(
+            &dir,
+            JournalConfig {
+                max_segment_bytes: 1, // one record per segment
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for i in 0..4 {
+            w.append(&record(i)).unwrap();
+        }
+    }
+    // Destroy the second segment's magic entirely.
+    let mut segs: Vec<_> = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    segs.sort();
+    fs::write(&segs[1], b"garbage").unwrap();
+
+    let (records, report) = replay(&dir).unwrap();
+    assert_eq!(report.torn_segments, 1);
+    assert_eq!(records.len(), 3, "other segments are unaffected");
+    let seqs: Vec<u64> = records.iter().map(|r| r.seq).collect();
+    assert_eq!(seqs, vec![0, 2, 3]);
+    let _ = fs::remove_dir_all(&dir);
+}

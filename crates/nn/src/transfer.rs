@@ -56,6 +56,22 @@ impl Migration {
     }
 }
 
+impl std::str::FromStr for Migration {
+    type Err = String;
+
+    /// Parses the CLI spellings (`scratch`, `continuous`, `top`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "scratch" | "from-scratch" => Ok(Migration::FromScratch),
+            "continuous" | "continuous-evolvement" => Ok(Migration::ContinuousEvolvement),
+            "top" | "top-evolvement" => Ok(Migration::TopEvolvement),
+            other => Err(format!(
+                "unknown migration strategy '{other}' (expected scratch | continuous | top)"
+            )),
+        }
+    }
+}
+
 /// Migrates `source` to a new platform's `target_samples` with the
 /// chosen strategy; returns the migrated network and its training
 /// report. `structure` must describe how `source` was built (used only

@@ -80,6 +80,21 @@ impl Gauge {
         self.cell.store(v, Ordering::Relaxed);
     }
 
+    /// Stores a `[0, 1]` ratio as an integer permille (‰). Gauges are
+    /// integers, so fractional quantities (accuracy, fill ratios) are
+    /// exported at 1/1000 resolution; non-finite input clamps to 0.
+    #[inline]
+    pub fn set_permille(&self, ratio: f64) {
+        let v = if ratio.is_finite() {
+            (ratio * 1000.0)
+                .round()
+                .clamp(i64::MIN as f64, i64::MAX as f64) as i64
+        } else {
+            0
+        };
+        self.set(v);
+    }
+
     /// Current value.
     pub fn get(&self) -> i64 {
         self.cell.load(Ordering::Relaxed)
@@ -138,6 +153,19 @@ mod tests {
         assert_eq!(g.get(), -2);
         g.set(7);
         assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn permille_rounds_and_survives_non_finite() {
+        let g = Gauge::new();
+        g.set_permille(0.7349);
+        assert_eq!(g.get(), 735);
+        g.set_permille(1.0);
+        assert_eq!(g.get(), 1000);
+        g.set_permille(f64::NAN);
+        assert_eq!(g.get(), 0);
+        g.set_permille(f64::INFINITY);
+        assert_eq!(g.get(), 0);
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub mod measured;
 pub mod model;
 pub mod profile;
 
-pub use measured::MeasuredLabeller;
+pub use measured::{MeasuredLabeller, MeasuredTimings};
 pub use model::PlatformModel;
 pub use profile::WorkloadProfile;
 

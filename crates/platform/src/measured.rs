@@ -11,6 +11,18 @@ use crate::PlatformModel;
 use dnnspmv_sparse::{AnyMatrix, CooMatrix, Scalar, SparseFormat, Spmv};
 use std::time::Instant;
 
+/// One matrix's measurement: per-format median times plus the winner.
+/// Produced by [`MeasuredLabeller::measure`] so the feedback lane can
+/// journal the full timing vector, not just the label.
+#[derive(Debug, Clone)]
+pub struct MeasuredTimings {
+    /// Median SpMV seconds per candidate format (`f64::INFINITY` for
+    /// formats the matrix cannot convert to).
+    pub timings: Vec<(SparseFormat, f64)>,
+    /// The measured-fastest format.
+    pub best: SparseFormat,
+}
+
 /// Times real kernels to label matrices.
 #[derive(Debug, Clone)]
 pub struct MeasuredLabeller {
@@ -74,13 +86,20 @@ impl MeasuredLabeller {
         }
     }
 
-    /// The measured-fastest format.
-    pub fn best_format<S: Scalar>(&self, matrix: &CooMatrix<S>) -> SparseFormat {
-        self.time_formats(matrix)
-            .into_iter()
+    /// Times every candidate and returns the full vector plus winner.
+    pub fn measure<S: Scalar>(&self, matrix: &CooMatrix<S>) -> MeasuredTimings {
+        let timings = self.time_formats(matrix);
+        let best = timings
+            .iter()
             .min_by(|a, b| a.1.partial_cmp(&b.1).expect("times are not NaN"))
             .expect("format set is non-empty")
-            .0
+            .0;
+        MeasuredTimings { timings, best }
+    }
+
+    /// The measured-fastest format.
+    pub fn best_format<S: Scalar>(&self, matrix: &CooMatrix<S>) -> SparseFormat {
+        self.measure(matrix).best
     }
 
     /// A labeller matching a platform model's candidate set.

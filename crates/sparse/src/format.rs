@@ -216,8 +216,8 @@ impl<S: Scalar> AnyMatrix<S> {
             AnyMatrix::Hyb(m) => m.to_coo()?,
             AnyMatrix::Bsr(m) => m.to_coo()?,
             AnyMatrix::Csr5(m) => m.to_coo(),
-            AnyMatrix::Sell(m) => m.to_coo(),
-            AnyMatrix::MergeCsr(m) => m.to_coo(),
+            AnyMatrix::Sell(m) => m.to_coo()?,
+            AnyMatrix::MergeCsr(m) => m.to_coo()?,
         })
     }
 

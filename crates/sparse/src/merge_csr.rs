@@ -17,6 +17,7 @@
 
 use crate::coo::CooMatrix;
 use crate::csr::CsrMatrix;
+use crate::error::SparseError;
 use crate::scalar::Scalar;
 use crate::spmv::Spmv;
 use rayon::prelude::*;
@@ -51,17 +52,67 @@ impl<S: Scalar> MergeCsrMatrix<S> {
     }
 
     /// Converts back to canonical COO.
-    pub fn to_coo(&self) -> CooMatrix<S> {
-        let mut b = crate::coo::CooBuilder::new(self.nrows, self.ncols)
-            .expect("shape validated at construction");
+    ///
+    /// Fallible because a `MergeCsrMatrix` can arrive through
+    /// deserialization: a hostile payload may carry a malformed
+    /// `row_ptr` or out-of-range column indices, which must surface as
+    /// a typed error instead of an indexing panic.
+    pub fn to_coo(&self) -> Result<CooMatrix<S>, SparseError> {
+        self.validate()?;
+        let mut b = crate::coo::CooBuilder::new(self.nrows, self.ncols)?;
         b.reserve(self.vals.len());
         for r in 0..self.nrows {
             for j in self.row_ptr[r]..self.row_ptr[r + 1] {
-                b.push(r, self.cols[j] as usize, self.vals[j])
-                    .expect("index in range");
+                b.push(r, self.cols[j] as usize, self.vals[j])?;
             }
         }
-        b.build()
+        Ok(b.build())
+    }
+
+    /// Checks every structural invariant a hostile `Deserialize`
+    /// payload could violate. A matrix that passes cannot make
+    /// [`Self::to_coo`] or the SpMV kernels index out of bounds.
+    pub fn validate(&self) -> Result<(), SparseError> {
+        let bad = |m: String| SparseError::InvalidStructure(m);
+        if self.row_ptr.len() != self.nrows + 1 || self.row_ptr[0] != 0 {
+            return Err(bad(format!(
+                "row_ptr must hold {} offsets starting at 0, got {}",
+                self.nrows + 1,
+                self.row_ptr.len()
+            )));
+        }
+        for r in 0..self.nrows {
+            if self.row_ptr[r + 1] < self.row_ptr[r] {
+                return Err(bad(format!(
+                    "row_ptr[{r}..={}] = [{}, {}] is not monotone",
+                    r + 1,
+                    self.row_ptr[r],
+                    self.row_ptr[r + 1]
+                )));
+            }
+        }
+        let declared = *self.row_ptr.last().expect("length checked above");
+        if self.cols.len() != declared || self.vals.len() != declared {
+            return Err(bad(format!(
+                "row_ptr declares {declared} nonzeros but cols/vals hold {}/{}",
+                self.cols.len(),
+                self.vals.len()
+            )));
+        }
+        for r in 0..self.nrows {
+            for j in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let col = self.cols[j] as usize;
+                if col >= self.ncols {
+                    return Err(SparseError::IndexOutOfBounds {
+                        row: r,
+                        col,
+                        nrows: self.nrows,
+                        ncols: self.ncols,
+                    });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Number of stored nonzeros.
@@ -259,7 +310,40 @@ mod tests {
     #[test]
     fn round_trip_through_coo() {
         let coo = figure1();
-        assert_eq!(MergeCsrMatrix::from_coo(&coo).to_coo(), coo);
+        assert_eq!(MergeCsrMatrix::from_coo(&coo).to_coo().unwrap(), coo);
+    }
+
+    /// Hostile deserialized shapes surface typed errors, never panics
+    /// — the same audit PR 4 ran over the repr hot paths.
+    #[test]
+    fn hostile_shapes_are_rejected_with_typed_errors() {
+        let good = MergeCsrMatrix::from_coo(&figure1());
+        assert!(good.validate().is_ok());
+
+        let mut torn_ptr = good.clone();
+        torn_ptr.row_ptr = vec![];
+        assert!(matches!(
+            torn_ptr.to_coo(),
+            Err(SparseError::InvalidStructure(_))
+        ));
+
+        let mut backwards = good.clone();
+        backwards.row_ptr = vec![0, 5, 2, 7, 9];
+        assert!(matches!(
+            backwards.to_coo(),
+            Err(SparseError::InvalidStructure(_))
+        ));
+
+        let mut overlong = good.clone();
+        *overlong.row_ptr.last_mut().unwrap() = 100;
+        assert!(overlong.to_coo().is_err());
+
+        let mut oob_col = good.clone();
+        oob_col.cols[0] = 1000;
+        assert!(matches!(
+            oob_col.to_coo(),
+            Err(SparseError::IndexOutOfBounds { .. })
+        ));
     }
 
     #[test]
@@ -368,6 +452,6 @@ mod tests {
         let coo = figure1();
         let csr = CsrMatrix::from_coo(&coo);
         let m = MergeCsrMatrix::from(&csr);
-        assert_eq!(m.to_coo(), coo);
+        assert_eq!(m.to_coo().unwrap(), coo);
     }
 }

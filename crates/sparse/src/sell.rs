@@ -16,6 +16,7 @@
 //! through the row permutation.
 
 use crate::coo::CooMatrix;
+use crate::error::SparseError;
 use crate::scalar::Scalar;
 use crate::spmv::Spmv;
 use rayon::prelude::*;
@@ -129,9 +130,16 @@ impl<S: Scalar> SellMatrix<S> {
 
     /// Converts back to canonical COO (padding dropped exactly, via the
     /// stored per-row lengths).
-    pub fn to_coo(&self) -> CooMatrix<S> {
-        let mut b = crate::coo::CooBuilder::new(self.nrows, self.ncols)
-            .expect("shape validated at construction");
+    ///
+    /// Fallible because a `SellMatrix` can arrive through
+    /// deserialization: a hostile payload may violate the invariants
+    /// [`Self::from_coo_with_params`] establishes (zero chunk height,
+    /// non-monotone `chunk_ptr`, a permutation indexing past the rows,
+    /// column indices past `ncols`, …), and those must surface as a
+    /// typed error instead of an indexing panic.
+    pub fn to_coo(&self) -> Result<CooMatrix<S>, SparseError> {
+        self.validate()?;
+        let mut b = crate::coo::CooBuilder::new(self.nrows, self.ncols)?;
         b.reserve(self.nnz);
         for packed in 0..self.nrows {
             let r = self.original_row(packed);
@@ -139,11 +147,117 @@ impl<S: Scalar> SellMatrix<S> {
             let base = self.chunk_ptr[c] + lane;
             for k in 0..self.row_len[packed] as usize {
                 let j = base + k * self.chunk;
-                b.push(r, self.cols[j] as usize, self.vals[j])
-                    .expect("index in range");
+                b.push(r, self.cols[j] as usize, self.vals[j])?;
             }
         }
-        b.build()
+        Ok(b.build())
+    }
+
+    /// Checks every structural invariant a hostile `Deserialize`
+    /// payload could violate. A matrix that passes cannot make
+    /// [`Self::to_coo`] or the SpMV kernels index out of bounds.
+    pub fn validate(&self) -> Result<(), SparseError> {
+        let bad = |m: String| SparseError::InvalidStructure(m);
+        if self.chunk < 1 {
+            return Err(bad("chunk height C must be at least 1".into()));
+        }
+        if self.sigma < 1 {
+            return Err(bad("sorting window sigma must be at least 1".into()));
+        }
+        let nchunks = self.nrows.div_ceil(self.chunk);
+        if self.chunk_ptr.len() != nchunks + 1 || self.chunk_ptr[0] != 0 {
+            return Err(bad(format!(
+                "chunk_ptr must hold {} offsets starting at 0, got {}",
+                nchunks + 1,
+                self.chunk_ptr.len()
+            )));
+        }
+        for c in 0..nchunks {
+            let (lo, hi) = (self.chunk_ptr[c], self.chunk_ptr[c + 1]);
+            if hi < lo || (hi - lo) % self.chunk != 0 {
+                return Err(bad(format!(
+                    "chunk_ptr[{c}..={}] = [{lo}, {hi}] is not a monotone multiple of C",
+                    c + 1
+                )));
+            }
+        }
+        let slots = *self.chunk_ptr.last().expect("length checked above");
+        if self.cols.len() != slots || self.vals.len() != slots {
+            return Err(bad(format!(
+                "chunk_ptr declares {slots} slots but cols/vals hold {}/{}",
+                self.cols.len(),
+                self.vals.len()
+            )));
+        }
+        if self.row_len.len() != self.nrows {
+            return Err(bad(format!(
+                "row_len holds {} entries for {} rows",
+                self.row_len.len(),
+                self.nrows
+            )));
+        }
+        let mut live = 0usize;
+        for packed in 0..self.nrows {
+            let c = packed / self.chunk;
+            let len = self.row_len[packed] as usize;
+            if len > self.chunk_width(c) {
+                return Err(bad(format!(
+                    "row_len[{packed}] = {len} exceeds its chunk width {}",
+                    self.chunk_width(c)
+                )));
+            }
+            live += len;
+        }
+        if live != self.nnz {
+            return Err(bad(format!(
+                "row lengths sum to {live} but nnz declares {}",
+                self.nnz
+            )));
+        }
+        if let Some(p) = &self.perm {
+            if p.len() != self.nrows {
+                return Err(bad(format!(
+                    "perm holds {} entries for {} rows",
+                    p.len(),
+                    self.nrows
+                )));
+            }
+            let mut seen = vec![false; self.nrows];
+            for &r in p {
+                let r = r as usize;
+                if r >= self.nrows || seen[r] {
+                    return Err(bad("perm is not a permutation of the rows".into()));
+                }
+                seen[r] = true;
+            }
+        }
+        // Live column indices must stay inside the shape; padded slots
+        // are never dereferenced by the kernels and stay unchecked.
+        for packed in 0..self.nrows {
+            let (c, lane) = (packed / self.chunk, packed % self.chunk);
+            let base = self.chunk_ptr[c] + lane;
+            for k in 0..self.row_len[packed] as usize {
+                let col = self.cols[base + k * self.chunk] as usize;
+                if col >= self.ncols {
+                    return Err(SparseError::IndexOutOfBounds {
+                        row: self.original_row_checked(packed),
+                        col,
+                        nrows: self.nrows,
+                        ncols: self.ncols,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// [`Self::original_row`] without trusting `perm` bounds (used in
+    /// error paths that run before the permutation is validated).
+    fn original_row_checked(&self, packed: usize) -> usize {
+        match &self.perm {
+            Some(p) => p.get(packed).map_or(packed, |&r| r as usize),
+            None => packed,
+        }
     }
 
     /// Chunk height C.
@@ -158,16 +272,20 @@ impl<S: Scalar> SellMatrix<S> {
         self.sigma
     }
 
-    /// Number of C-row chunks.
+    /// Number of C-row chunks. (Saturating: a hostile deserialized
+    /// `chunk_ptr` can be empty, which [`Self::validate`] rejects but
+    /// this accessor must survive.)
     #[inline]
     pub fn nchunks(&self) -> usize {
-        self.chunk_ptr.len() - 1
+        self.chunk_ptr.len().saturating_sub(1)
     }
 
-    /// Padded width of chunk `c`.
+    /// Padded width of chunk `c` (saturating against hostile
+    /// non-monotone offsets or a zero chunk height; see
+    /// [`Self::validate`]).
     #[inline]
     pub fn chunk_width(&self, c: usize) -> usize {
-        (self.chunk_ptr[c + 1] - self.chunk_ptr[c]) / self.chunk
+        self.chunk_ptr[c + 1].saturating_sub(self.chunk_ptr[c]) / self.chunk.max(1)
     }
 
     /// Number of logically stored nonzeros (excludes padding).
@@ -346,7 +464,7 @@ mod tests {
         for (chunk, sigma) in [(1, 1), (2, 1), (2, 4), (8, 4096), (3, 2)] {
             let coo = figure1();
             let sell = SellMatrix::from_coo_with_params(&coo, chunk, sigma);
-            assert_eq!(sell.to_coo(), coo, "C={chunk} sigma={sigma}");
+            assert_eq!(sell.to_coo().unwrap(), coo, "C={chunk} sigma={sigma}");
         }
     }
 
@@ -394,7 +512,7 @@ mod tests {
         let coo = CooMatrix::from_triplets(7, 7, &t).unwrap();
         let sell = SellMatrix::from_coo_with_params(&coo, 4, 8);
         assert_eq!(sell.nchunks(), 2);
-        assert_eq!(sell.to_coo(), coo);
+        assert_eq!(sell.to_coo().unwrap(), coo);
         let x: Vec<f64> = (0..7).map(|i| i as f64 - 3.0).collect();
         assert_eq!(sell.spmv_alloc(&x), coo.spmv_alloc(&x));
     }
@@ -404,7 +522,64 @@ mod tests {
         let coo = CooMatrix::<f64>::empty(5, 5).unwrap();
         let sell = SellMatrix::from_coo(&coo);
         assert_eq!(sell.spmv_alloc(&[1.0; 5]), vec![0.0; 5]);
-        assert_eq!(sell.to_coo(), coo);
+        assert_eq!(sell.to_coo().unwrap(), coo);
+    }
+
+    /// Hostile deserialized shapes surface typed errors, never panics
+    /// — the same audit PR 4 ran over the repr hot paths.
+    #[test]
+    fn hostile_shapes_are_rejected_with_typed_errors() {
+        let good = SellMatrix::from_coo_with_params(&figure1(), 2, 4);
+        assert!(good.validate().is_ok());
+
+        let mut zero_chunk = good.clone();
+        zero_chunk.chunk = 0;
+        assert!(matches!(
+            zero_chunk.to_coo(),
+            Err(SparseError::InvalidStructure(_))
+        ));
+        // The width accessor itself must also survive C = 0.
+        let _ = zero_chunk.chunk_width(0);
+
+        let mut torn_ptr = good.clone();
+        torn_ptr.chunk_ptr = vec![];
+        assert_eq!(torn_ptr.nchunks(), 0);
+        assert!(torn_ptr.to_coo().is_err());
+
+        let mut backwards = good.clone();
+        backwards.chunk_ptr = vec![0, 6, 4];
+        assert!(matches!(
+            backwards.to_coo(),
+            Err(SparseError::InvalidStructure(_))
+        ));
+
+        let mut oob_perm = good.clone();
+        oob_perm.perm = Some(vec![0, 1, 2, 99]);
+        assert!(matches!(
+            oob_perm.to_coo(),
+            Err(SparseError::InvalidStructure(_))
+        ));
+
+        let mut dup_perm = good.clone();
+        dup_perm.perm = Some(vec![0, 1, 2, 2]);
+        assert!(dup_perm.to_coo().is_err());
+
+        let mut oob_col = good.clone();
+        // Find a live slot and point it past ncols.
+        let base = oob_col.chunk_ptr[0];
+        oob_col.cols[base] = 1000;
+        assert!(matches!(
+            oob_col.to_coo(),
+            Err(SparseError::IndexOutOfBounds { .. })
+        ));
+
+        let mut long_row = good.clone();
+        long_row.row_len[0] = 100;
+        assert!(long_row.to_coo().is_err());
+
+        let mut wrong_nnz = good.clone();
+        wrong_nnz.nnz = 1;
+        assert!(wrong_nnz.to_coo().is_err());
     }
 
     #[test]

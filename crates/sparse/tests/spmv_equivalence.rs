@@ -137,7 +137,7 @@ proptest! {
         // the permutation + padding must reconstruct the matrix bit-for-bit.
         for (c, sigma) in SELL_PARAMS {
             let sell = SellMatrix::from_coo_with_params(&coo, c, sigma);
-            prop_assert_eq!(sell.to_coo(), coo.clone(), "C={} sigma={}", c, sigma);
+            prop_assert_eq!(sell.to_coo().unwrap(), coo.clone(), "C={} sigma={}", c, sigma);
         }
     }
 }

@@ -10,6 +10,10 @@
 //! dnnspmv stats   <matrix.mtx>
 //! dnnspmv serve-bench [--json FILE] [--matrices N] [--epochs N] [--quick]
 //!                     [--min-batched-ratio X]
+//! dnnspmv evolve  --journal DIR [--model FILE] [--out FILE] [--promote]
+//!                 [--epochs N] [--strategy scratch|continuous|top]
+//!                 [--margin X] [--holdout X] [--min-records N]
+//!                 [--checkpoint-dir DIR] [--resume FILE]
 //! dnnspmv metrics [--json] [--matrices N]
 //! ```
 //!
@@ -19,6 +23,15 @@
 //! held-out dataset. `predict` reads a MatrixMarket file and prints the
 //! chosen format (the artifact's example prints `CSR`). `stats` dumps a
 //! matrix's structural statistics and per-format cost estimates.
+//! `evolve` closes the online-learning loop offline: it replays the
+//! crash-safe feedback journal a serving process wrote, fine-tunes the
+//! saved model on the measured labels via the transfer machinery, and
+//! shadow-scores the candidate against the incumbent on the most recent
+//! held-out records. The candidate is written to `--out` only when it
+//! beats the incumbent by `--margin`; a rejected candidate exits with
+//! status 3 (distinct from usage errors) so automation can tell "gate
+//! held" from "invocation broken". `--promote` additionally overwrites
+//! `--model` in place on a passed gate.
 //! `serve-bench` soaks the admission-controlled [`SelectorServer`]
 //! (burst shedding, breaker trip/recovery, hot reload under load) and
 //! writes latency/shed/breaker numbers plus the batched-vs-unbatched
@@ -343,6 +356,130 @@ fn cmd_serve_bench(args: &[String]) {
     }
 }
 
+fn cmd_evolve(args: &[String]) {
+    use dnnspmv::feedback::{evolve, replay, EvolveConfig, FeedbackError};
+    use dnnspmv::nn::Migration;
+
+    let mut journal: Option<String> = None;
+    let mut model = String::from(DEFAULT_MODEL);
+    let mut out: Option<String> = None;
+    let mut promote = false;
+    let mut cfg = EvolveConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--journal" => {
+                i += 1;
+                journal = Some(need(args, i, "--journal"));
+            }
+            "--model" => {
+                i += 1;
+                model = need(args, i, "--model");
+            }
+            "--out" => {
+                i += 1;
+                out = Some(need(args, i, "--out"));
+            }
+            "--promote" => promote = true,
+            "--epochs" => {
+                i += 1;
+                cfg.train.epochs = need(args, i, "--epochs")
+                    .parse()
+                    .unwrap_or_else(|_| die("--epochs needs a number"));
+            }
+            "--strategy" => {
+                i += 1;
+                cfg.strategy = need(args, i, "--strategy")
+                    .parse::<Migration>()
+                    .unwrap_or_else(|e| die(&e));
+            }
+            "--margin" => {
+                i += 1;
+                cfg.margin = need(args, i, "--margin")
+                    .parse()
+                    .unwrap_or_else(|_| die("--margin needs a number"));
+            }
+            "--holdout" => {
+                i += 1;
+                cfg.holdout_frac = need(args, i, "--holdout")
+                    .parse()
+                    .unwrap_or_else(|_| die("--holdout needs a fraction"));
+            }
+            "--min-records" => {
+                i += 1;
+                cfg.min_records = need(args, i, "--min-records")
+                    .parse()
+                    .unwrap_or_else(|_| die("--min-records needs a number"));
+            }
+            "--checkpoint-dir" => {
+                i += 1;
+                cfg.train.checkpoint_dir = Some(need(args, i, "--checkpoint-dir"));
+            }
+            "--resume" => {
+                i += 1;
+                cfg.train.resume_from = Some(need(args, i, "--resume"));
+            }
+            other => die(&format!("unknown evolve flag '{other}'")),
+        }
+        i += 1;
+    }
+    let journal = journal.unwrap_or_else(|| die("evolve needs --journal DIR"));
+    let out = out.unwrap_or_else(|| format!("{model}.candidate"));
+
+    let incumbent = FormatSelector::load(&model)
+        .unwrap_or_else(|e| die(&format!("{model} ({e}); train or serve a model first")));
+    let (records, report) = replay(std::path::Path::new(&journal))
+        .unwrap_or_else(|e| die(&format!("replaying {journal}: {e}")));
+    eprintln!(
+        "journal: {} records from {} segments ({} corrupt, {} torn-tail bytes, {} torn segments)",
+        report.records,
+        report.segments,
+        report.corrupt_records,
+        report.torn_tail_bytes,
+        report.torn_segments
+    );
+
+    match evolve(&incumbent, &records, &cfg) {
+        Ok((candidate, shadow, train_report)) => {
+            eprintln!(
+                "fine-tuned on {} records, {} epochs; shadow holdout {}: \
+                 incumbent {:.3} vs candidate {:.3} (margin {:.3})",
+                shadow.train_records,
+                train_report.loss_history.len(),
+                shadow.holdout_records,
+                shadow.incumbent_accuracy,
+                shadow.candidate_accuracy,
+                shadow.margin
+            );
+            // The shadow report goes to stdout as JSON so automation can
+            // archive the gate decision alongside the model files.
+            println!(
+                "{}",
+                serde_json::to_string(&shadow).unwrap_or_else(|e| die(&format!("report: {e}")))
+            );
+            if !shadow.promote {
+                eprintln!("shadow gate REJECTED the candidate; nothing written");
+                std::process::exit(3);
+            }
+            candidate
+                .save(&out)
+                .unwrap_or_else(|e| die(&format!("saving {out}: {e}")));
+            eprintln!("candidate saved to {out}");
+            if promote {
+                candidate
+                    .save(&model)
+                    .unwrap_or_else(|e| die(&format!("promoting over {model}: {e}")));
+                eprintln!("promoted: {model} now holds the candidate");
+            }
+        }
+        Err(FeedbackError::InsufficientRecords { have, need }) => {
+            eprintln!("not enough usable records to evolve: {have} of {need} required");
+            std::process::exit(3);
+        }
+        Err(e) => die(&format!("evolve: {e}")),
+    }
+}
+
 fn cmd_metrics(args: &[String]) {
     use dnnspmv::core::{DtSelector, SelectorService};
     use dnnspmv::platform::label_dataset;
@@ -415,11 +552,15 @@ fn cmd_metrics(args: &[String]) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!("usage: dnnspmv <train|test|predict|stats|serve-bench|metrics> [options]");
+        eprintln!("usage: dnnspmv <train|test|predict|stats|serve-bench|evolve|metrics> [options]");
         std::process::exit(2);
     };
     if cmd == "serve-bench" {
         cmd_serve_bench(&args[1..]);
+        return;
+    }
+    if cmd == "evolve" {
+        cmd_evolve(&args[1..]);
         return;
     }
     if cmd == "metrics" {

@@ -16,6 +16,8 @@
 //! * [`platform`] — analytic platform cost models and measured
 //!   labelling.
 //! * [`core`] — the end-to-end [`core::FormatSelector`] pipeline.
+//! * [`feedback`] — the closed loop: serve sampling into a crash-safe
+//!   journal, drift detection, and guarded model promotion.
 //! * [`obs`] — the zero-dependency metrics registry, latency
 //!   histograms, and span tracing the other layers record into.
 //!
@@ -35,6 +37,7 @@
 //! ```
 
 pub use dnnspmv_core as core;
+pub use dnnspmv_feedback as feedback;
 pub use dnnspmv_gen as gen;
 pub use dnnspmv_nn as nn;
 pub use dnnspmv_obs as obs;
