@@ -1,0 +1,104 @@
+//! Chaos-soak driver: seeded failpoint episodes over the full closed
+//! loop, judged by standing invariants (see
+//! [`dnnspmv_bench::chaos_soak`]).
+//!
+//! ```text
+//! bench_chaos [--quick] [--episodes N] [--seed S] [--max-rules K]
+//!             [--json PATH] [--replay SEED "SCHEDULE"]
+//! ```
+//!
+//! Requires the `chaos` feature — a disabled failpoint registry cannot
+//! soak anything, and the driver refuses rather than vacuously pass.
+//! `--replay` reruns one captured `(seed, schedule)` episode and prints
+//! its fire trace, exiting non-zero if it still violates an invariant.
+
+use dnnspmv_bench::chaos_soak::{replay_episode, run_chaos_soak, ChaosSoakConfig};
+
+fn die(msg: &str) -> ! {
+    eprintln!("bench_chaos: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ChaosSoakConfig::default();
+    let mut json: Option<String> = None;
+    let mut replay: Option<(u64, String)> = None;
+    let mut i = 0;
+    let need = |i: &mut usize, args: &[String], flag: &str| -> String {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .unwrap_or_else(|| die(&format!("{flag} needs a value")))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                let (base_seed, max_rules) = (cfg.base_seed, cfg.max_rules);
+                cfg = ChaosSoakConfig {
+                    base_seed,
+                    max_rules,
+                    ..ChaosSoakConfig::quick()
+                };
+            }
+            "--episodes" => {
+                cfg.episodes = need(&mut i, &args, "--episodes")
+                    .parse()
+                    .unwrap_or_else(|_| die("--episodes needs an integer"));
+            }
+            "--seed" => {
+                cfg.base_seed = need(&mut i, &args, "--seed")
+                    .parse()
+                    .unwrap_or_else(|_| die("--seed needs an integer"));
+            }
+            "--max-rules" => {
+                cfg.max_rules = need(&mut i, &args, "--max-rules")
+                    .parse()
+                    .unwrap_or_else(|_| die("--max-rules needs an integer"));
+            }
+            "--json" => json = Some(need(&mut i, &args, "--json")),
+            "--replay" => {
+                let seed: u64 = need(&mut i, &args, "--replay")
+                    .parse()
+                    .unwrap_or_else(|_| die("--replay needs a seed then a schedule"));
+                let schedule = need(&mut i, &args, "--replay");
+                replay = Some((seed, schedule));
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    if !dnnspmv_chaos::ENABLED {
+        die("built without the `chaos` feature; rerun with --features chaos");
+    }
+    if let Some((seed, schedule)) = replay {
+        let schedule = schedule
+            .parse()
+            .unwrap_or_else(|e| die(&format!("bad schedule: {e}")));
+        let (violations, trace) = replay_episode(seed, &schedule, &cfg);
+        println!("replay seed={seed} schedule=\"{schedule}\"");
+        for t in &trace {
+            println!("  fire: {t}");
+        }
+        if violations.is_empty() {
+            println!("replay clean: every invariant held");
+            return;
+        }
+        for v in &violations {
+            println!("  violation: {v}");
+        }
+        std::process::exit(1);
+    }
+    let report = run_chaos_soak(&cfg);
+    print!("{}", report.render());
+    if let Some(path) = json {
+        report.write_json(&path).unwrap_or_else(|e| {
+            eprintln!("bench_chaos: writing {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {path}");
+    }
+    if !report.gates_passed() {
+        std::process::exit(1);
+    }
+}

@@ -16,6 +16,11 @@
 use dnnspmv_bench::serve::{run_serve_bench, ServeBenchConfig};
 use std::io::Write;
 
+fn die(msg: &str) -> ! {
+    eprintln!("bench_serve: {msg}");
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json_path = String::from("BENCH_serve.json");
@@ -25,14 +30,17 @@ fn main() {
     while i < args.len() {
         let numeric = |args: &[String], i: usize, flag: &str| -> usize {
             args.get(i)
-                .unwrap_or_else(|| panic!("{flag} needs a number"))
+                .unwrap_or_else(|| die(&format!("{flag} needs a number")))
                 .parse()
-                .unwrap_or_else(|_| panic!("{flag} needs a number"))
+                .unwrap_or_else(|_| die(&format!("{flag} needs a number")))
         };
         match args[i].as_str() {
             "--json" => {
                 i += 1;
-                json_path = args.get(i).expect("--json needs a path").clone();
+                json_path = args
+                    .get(i)
+                    .unwrap_or_else(|| die("--json needs a path"))
+                    .clone();
             }
             "--clients" => {
                 i += 1;
@@ -62,9 +70,9 @@ fn main() {
                 i += 1;
                 min_batched_ratio = Some(
                     args.get(i)
-                        .expect("--min-batched-ratio needs a number")
+                        .unwrap_or_else(|| die("--min-batched-ratio needs a number"))
                         .parse()
-                        .expect("--min-batched-ratio needs a number"),
+                        .unwrap_or_else(|_| die("--min-batched-ratio needs a number")),
                 );
             }
             other => {
@@ -73,7 +81,7 @@ fn main() {
                      [--workers N] [--queue N] [--matrices N] [--epochs N] \
                      [--min-batched-ratio X]"
                 );
-                panic!("unknown flag '{other}'");
+                die(&format!("unknown flag '{other}'"));
             }
         }
         i += 1;
@@ -81,11 +89,17 @@ fn main() {
 
     let report = run_serve_bench(&cfg);
     eprint!("{}", report.render());
-    let json = serde_json::to_string(&report).expect("serialisable report");
+    let json = serde_json::to_string(&report).expect("report structs serialise losslessly");
     println!("{json}");
-    let mut f = std::fs::File::create(&json_path).expect("writable json path");
-    f.write_all(json.as_bytes()).expect("write json");
-    f.write_all(b"\n").expect("write json");
+    let write = || -> std::io::Result<()> {
+        let mut f = std::fs::File::create(&json_path)?;
+        f.write_all(json.as_bytes())?;
+        f.write_all(b"\n")
+    };
+    if let Err(e) = write() {
+        eprintln!("bench_serve: writing {json_path}: {e}");
+        std::process::exit(1);
+    }
     eprintln!("wrote {json_path}");
     if let Some(min) = min_batched_ratio {
         if report.hot_path.throughput_ratio < min {

@@ -17,6 +17,11 @@
 use dnnspmv_bench::spmv_sweep::{run_spmv_bench, SpmvBenchConfig};
 use std::io::Write;
 
+fn die(msg: &str) -> ! {
+    eprintln!("bench_spmv: {msg}");
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json_path = String::from("BENCH_spmv.json");
@@ -27,14 +32,17 @@ fn main() {
     while i < args.len() {
         let float = |args: &[String], i: usize, flag: &str| -> f64 {
             args.get(i)
-                .unwrap_or_else(|| panic!("{flag} needs a number"))
+                .unwrap_or_else(|| die(&format!("{flag} needs a number")))
                 .parse()
-                .unwrap_or_else(|_| panic!("{flag} needs a number"))
+                .unwrap_or_else(|_| die(&format!("{flag} needs a number")))
         };
         match args[i].as_str() {
             "--json" => {
                 i += 1;
-                json_path = args.get(i).expect("--json needs a path").clone();
+                json_path = args
+                    .get(i)
+                    .unwrap_or_else(|| die("--json needs a path"))
+                    .clone();
             }
             "--quick" => {
                 cfg = SpmvBenchConfig::quick();
@@ -61,7 +69,7 @@ fn main() {
                     "usage: bench_spmv [--json FILE] [--quick] [--dim N] [--trials N] \
                      [--min-merge-ratio X] [--min-sell-ratio X]"
                 );
-                panic!("unknown flag '{other}'");
+                die(&format!("unknown flag '{other}'"));
             }
         }
         i += 1;
@@ -70,9 +78,15 @@ fn main() {
     let report = run_spmv_bench(&cfg);
     eprint!("{}", report.render());
     let json = report.to_json();
-    let mut f = std::fs::File::create(&json_path).expect("writable json path");
-    f.write_all(json.as_bytes()).expect("write json");
-    f.write_all(b"\n").expect("write json");
+    let write = || -> std::io::Result<()> {
+        let mut f = std::fs::File::create(&json_path)?;
+        f.write_all(json.as_bytes())?;
+        f.write_all(b"\n")
+    };
+    if let Err(e) = write() {
+        eprintln!("bench_spmv: writing {json_path}: {e}");
+        std::process::exit(1);
+    }
     eprintln!("wrote {json_path}");
 
     let mut failed = false;

@@ -99,6 +99,11 @@ fn time_steps(steps: usize, mut f: impl FnMut()) -> (f64, f64, f64) {
     (total, min, max)
 }
 
+fn die(msg: &str) -> ! {
+    eprintln!("bench_train: {msg}");
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json_path = String::from("BENCH_train.json");
@@ -110,33 +115,40 @@ fn main() {
         match args[i].as_str() {
             "--json" => {
                 i += 1;
-                json_path = args.get(i).expect("--json needs a path").clone();
+                json_path = args
+                    .get(i)
+                    .unwrap_or_else(|| die("--json needs a path"))
+                    .clone();
             }
             "--steps" => {
                 i += 1;
                 steps = args
                     .get(i)
-                    .expect("--steps needs a number")
+                    .unwrap_or_else(|| die("--steps needs a number"))
                     .parse()
-                    .unwrap();
+                    .unwrap_or_else(|_| die("--steps needs a number"));
             }
             "--batch" => {
                 i += 1;
                 batch = args
                     .get(i)
-                    .expect("--batch needs a number")
+                    .unwrap_or_else(|| die("--batch needs a number"))
                     .parse()
-                    .unwrap();
+                    .unwrap_or_else(|_| die("--batch needs a number"));
             }
             "--ckpt-dir" => {
                 i += 1;
-                keep_ckpt_dir = Some(args.get(i).expect("--ckpt-dir needs a path").clone());
+                keep_ckpt_dir = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| die("--ckpt-dir needs a path"))
+                        .clone(),
+                );
             }
             other => {
                 eprintln!(
                     "usage: bench_train [--json FILE] [--steps N] [--batch N] [--ckpt-dir DIR]"
                 );
-                panic!("unknown flag '{other}'");
+                die(&format!("unknown flag '{other}'"));
             }
         }
         i += 1;
@@ -256,7 +268,7 @@ fn main() {
             ..TrainHooks::default()
         },
     )
-    .expect("interrupted run");
+    .unwrap_or_else(|e| die(&format!("interrupted training run failed: {e}")));
     let mut resumed = net0.clone();
     let resumed_report = train_with_hooks(
         &mut resumed,
@@ -267,7 +279,7 @@ fn main() {
         },
         TrainHooks::default(),
     )
-    .expect("resumed run");
+    .unwrap_or_else(|e| die(&format!("resumed training run failed: {e}")));
     let resume_loss_max_abs_diff = plain_report
         .loss_history
         .iter()
@@ -301,11 +313,17 @@ fn main() {
         loss_max_abs_diff,
         checkpoint,
     };
-    let json = serde_json::to_string(&report).expect("serialisable report");
+    let json = serde_json::to_string(&report).expect("report structs serialise losslessly");
     println!("{json}");
-    let mut f = std::fs::File::create(&json_path).expect("writable json path");
-    f.write_all(json.as_bytes()).expect("write json");
-    f.write_all(b"\n").expect("write json");
+    let write = || -> std::io::Result<()> {
+        let mut f = std::fs::File::create(&json_path)?;
+        f.write_all(json.as_bytes())?;
+        f.write_all(b"\n")
+    };
+    if let Err(e) = write() {
+        eprintln!("bench_train: writing {json_path}: {e}");
+        std::process::exit(1);
+    }
     eprintln!(
         "wrote {json_path}: {:.1}x speedup at batch {batch} ({:.0} vs {:.0} samples/sec), max loss diff {:.2e}",
         report.speedup,

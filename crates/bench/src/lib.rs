@@ -22,6 +22,7 @@
 //! The `bench_serve` binary (also `dnnspmv serve-bench`) is the soak
 //! driver for the admission-controlled server: [`serve`].
 
+pub mod chaos_soak;
 pub mod closed_loop;
 pub mod experiments;
 pub mod serve;

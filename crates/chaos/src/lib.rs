@@ -1,0 +1,893 @@
+//! Deterministic failpoint registry.
+//!
+//! A *failpoint* is a named site in production code where a fault can
+//! be injected: an error return, a panic, or added latency. Sites are
+//! declared with the [`failpoint!`] macro (or, for bespoke injections,
+//! guarded by [`should_fail`]) and are **zero cost unless this crate is
+//! built with the `enabled` feature** — the macro's no-op definition is
+//! selected by a `cfg` evaluated in *this* crate, so downstream code
+//! compiles to exactly what it would be without any failpoints at all.
+//! Consuming crates expose their own `chaos` feature that forwards to
+//! `dnnspmv-chaos/enabled`.
+//!
+//! # Determinism and replay
+//!
+//! A [`Schedule`] maps site names to a rule: an [`Action`] (what to
+//! inject) plus a [`Trigger`] (when to fire). Install it with
+//! [`configure`] together with a global seed. Every trigger decision
+//! is a pure function of `(seed, site name, per-site call ordinal)`:
+//! counting triggers (`every`, `after`) consult only the ordinal, and
+//! the probabilistic trigger draws from a per-site splitmix64 stream
+//! seeded by `seed ^ fnv1a64(site)` that advances exactly once per
+//! call to that site. Thread interleaving therefore cannot change
+//! which *ordinal* of a site fires — re-running a workload that calls
+//! each site the same number of times under the same `(seed,
+//! schedule)` fires the same ordinals with the same actions. Every
+//! fire is appended to an ordered [`trace`] for post-mortem diffing.
+//!
+//! # Site catalogue
+//!
+//! Well-known site names live in [`sites`] as constants, each with the
+//! set of actions its host code is designed to absorb (a panic at a
+//! site that no `catch_unwind` covers would kill a worker — that is a
+//! finding, not a schedule). [`Schedule::random`] draws only from a
+//! site's allowed actions, which is what the chaos-soak adversary uses.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+#[cfg(feature = "enabled")]
+use std::time::Duration;
+
+/// Whether the failpoint machinery is compiled in. `false` means every
+/// `failpoint!` expands to nothing and [`should_fail`] is a constant.
+pub const ENABLED: bool = cfg!(feature = "enabled");
+
+/// FNV-1a 64-bit hash — keyed per-site PRNG streams and nothing else.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// splitmix64: tiny, seedable, and good enough for fire/no-fire draws.
+#[derive(Debug, Clone)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` from the top 53 bits.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[0, n)`.
+    fn next_below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+}
+
+/// What a firing failpoint injects.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Action {
+    /// The site's error path: `failpoint!(site, expr)` early-returns
+    /// `expr`; [`should_fail`] returns `true`.
+    Err,
+    /// `panic!` with a message naming the site and ordinal. Only legal
+    /// at sites whose host code catches unwinds (see [`sites`]).
+    Panic,
+    /// Sleep this many milliseconds, then continue normally.
+    Delay(u64),
+}
+
+impl Action {
+    /// The action class without parameters — schedule generation picks
+    /// a kind from a site's allowed set, then parameterises it.
+    pub fn kind(&self) -> ActionKind {
+        match self {
+            Action::Err => ActionKind::Err,
+            Action::Panic => ActionKind::Panic,
+            Action::Delay(_) => ActionKind::Delay,
+        }
+    }
+}
+
+/// Parameter-free action class (see [`Action::kind`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActionKind {
+    /// Error-return injection.
+    Err,
+    /// Panic injection.
+    Panic,
+    /// Latency injection.
+    Delay,
+}
+
+/// When a failpoint fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Trigger {
+    /// Every call.
+    Always,
+    /// Calls whose 1-based ordinal is a multiple of `n`.
+    Every(u64),
+    /// Every call after the first `n`.
+    After(u64),
+    /// Each call independently with probability `p`, drawn from the
+    /// site's seeded stream.
+    Prob(f64),
+}
+
+/// One site's programming: action, trigger, and an optional cap on the
+/// number of fires (e.g. `x1` = fire once, then fall silent).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// Failpoint site name this rule applies to.
+    pub site: String,
+    /// What to inject when the trigger fires.
+    pub action: Action,
+    /// When to fire.
+    pub trigger: Trigger,
+    /// Fire at most this many times (`None` = unlimited).
+    pub limit: Option<u64>,
+}
+
+/// A full programming of the registry: one [`Rule`] per site.
+///
+/// The text form round-trips through [`fmt::Display`] / [`FromStr`]:
+/// rules are `site=action[@trigger][xLIMIT]` joined by `;`, e.g.
+/// `journal.append.write=err@every(3);serve.cnn.forward=panic@p(0.25)x2`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Schedule {
+    /// The per-site rules, in declaration order (one per site; a later
+    /// rule for the same site replaces the earlier at install time).
+    pub rules: Vec<Rule>,
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Err => write!(f, "err"),
+            Action::Panic => write!(f, "panic"),
+            Action::Delay(ms) => write!(f, "delay({ms})"),
+        }
+    }
+}
+
+impl fmt::Display for Trigger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trigger::Always => write!(f, "always"),
+            Trigger::Every(n) => write!(f, "every({n})"),
+            Trigger::After(n) => write!(f, "after({n})"),
+            Trigger::Prob(p) => write!(f, "p({p})"),
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={}", self.site, self.action)?;
+        if self.trigger != Trigger::Always {
+            write!(f, "@{}", self.trigger)?;
+        }
+        if let Some(n) = self.limit {
+            write!(f, "x{n}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, r) in self.rules.iter().enumerate() {
+            if i > 0 {
+                write!(f, ";")?;
+            }
+            write!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Why a schedule string failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad schedule: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn parse_paren_arg<'a>(s: &'a str, name: &str) -> Result<&'a str, ParseError> {
+    let rest = s
+        .strip_prefix(name)
+        .and_then(|r| r.strip_prefix('('))
+        .and_then(|r| r.strip_suffix(')'))
+        .ok_or_else(|| ParseError(format!("expected {name}(..), got '{s}'")))?;
+    Ok(rest)
+}
+
+impl FromStr for Rule {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, ParseError> {
+        let (site, rest) = s
+            .split_once('=')
+            .ok_or_else(|| ParseError(format!("missing '=' in rule '{s}'")))?;
+        let site = site.trim();
+        if site.is_empty() {
+            return Err(ParseError(format!("empty site name in rule '{s}'")));
+        }
+        // Split off an `xLIMIT` suffix if present (the limit follows
+        // the trigger, and no trigger spelling contains a bare 'x').
+        let rest = rest.trim();
+        let (rest, limit) = match rest.rsplit_once('x') {
+            Some((head, tail)) if tail.chars().all(|c| c.is_ascii_digit()) && !tail.is_empty() => {
+                let n: u64 = tail
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad limit '{tail}'")))?;
+                (head, Some(n))
+            }
+            _ => (rest, None),
+        };
+        let (action_s, trigger_s) = match rest.split_once('@') {
+            Some((a, t)) => (a.trim(), Some(t.trim())),
+            None => (rest.trim(), None),
+        };
+        let action = match action_s {
+            "err" => Action::Err,
+            "panic" => Action::Panic,
+            s if s.starts_with("delay") => {
+                let ms: u64 = parse_paren_arg(s, "delay")?
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad delay in '{s}'")))?;
+                Action::Delay(ms.min(10_000))
+            }
+            other => return Err(ParseError(format!("unknown action '{other}'"))),
+        };
+        let trigger = match trigger_s {
+            None | Some("always") => Trigger::Always,
+            Some(t) if t.starts_with("every") => {
+                let n: u64 = parse_paren_arg(t, "every")?
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad every in '{t}'")))?;
+                if n == 0 {
+                    return Err(ParseError("every(0) never fires; use a limit".into()));
+                }
+                Trigger::Every(n)
+            }
+            Some(t) if t.starts_with("after") => {
+                let n: u64 = parse_paren_arg(t, "after")?
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad after in '{t}'")))?;
+                Trigger::After(n)
+            }
+            Some(t) if t.starts_with('p') => {
+                let p: f64 = parse_paren_arg(t, "p")?
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad probability in '{t}'")))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(ParseError(format!("probability {p} outside [0, 1]")));
+                }
+                Trigger::Prob(p)
+            }
+            Some(other) => return Err(ParseError(format!("unknown trigger '{other}'"))),
+        };
+        Ok(Rule {
+            site: site.to_string(),
+            action,
+            trigger,
+            limit,
+        })
+    }
+}
+
+impl FromStr for Schedule {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, ParseError> {
+        let mut rules = Vec::new();
+        for part in s.split(';') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            rules.push(part.parse::<Rule>()?);
+        }
+        Ok(Schedule { rules })
+    }
+}
+
+impl Schedule {
+    /// A schedule with no rules — every site stays silent.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Draws a random multi-site schedule from `pool`, seeded: the
+    /// result is a pure function of `(seed, pool)`. Picks between one
+    /// and `max_rules` distinct sites; each gets an action from its
+    /// allowed set and a random trigger. This is the chaos-soak
+    /// adversary's generator.
+    pub fn random(seed: u64, pool: &[SiteSpec], max_rules: usize) -> Self {
+        let mut rng = SplitMix64::new(seed ^ 0x0005_eedc_4a05_u64);
+        let max_rules = max_rules.clamp(1, pool.len().max(1));
+        let n_rules = 1 + rng.next_below(max_rules as u64) as usize;
+        let mut picked: Vec<usize> = Vec::new();
+        let mut rules = Vec::new();
+        while picked.len() < n_rules && picked.len() < pool.len() {
+            let i = rng.next_below(pool.len() as u64) as usize;
+            if picked.contains(&i) {
+                continue;
+            }
+            picked.push(i);
+            let spec = &pool[i];
+            let kind = spec.allowed[rng.next_below(spec.allowed.len() as u64) as usize];
+            let action = match kind {
+                ActionKind::Err => Action::Err,
+                ActionKind::Panic => Action::Panic,
+                ActionKind::Delay => Action::Delay(1 + rng.next_below(4)),
+            };
+            let trigger = match rng.next_below(4) {
+                0 => Trigger::Always,
+                1 => Trigger::Every(1 + rng.next_below(5)),
+                2 => Trigger::After(1 + rng.next_below(10)),
+                _ => Trigger::Prob(0.05 + 0.45 * rng.next_f64()),
+            };
+            // Unlimited `always`/high-probability error storms are
+            // legitimate; cap roughly half the rules so most episodes
+            // mix transient faults with persistent ones.
+            let limit = if rng.next_below(2) == 0 {
+                Some(1 + rng.next_below(8))
+            } else {
+                None
+            };
+            rules.push(Rule {
+                site: spec.name.to_string(),
+                action,
+                trigger,
+                limit,
+            });
+        }
+        Schedule { rules }
+    }
+}
+
+/// One recorded fire, in global order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FireEvent {
+    /// Position in the global fire order (0-based).
+    pub seq: u64,
+    /// Site that fired.
+    pub site: String,
+    /// 1-based per-site call ordinal at which it fired.
+    pub ordinal: u64,
+    /// The injected action.
+    pub action: Action,
+}
+
+impl fmt::Display for FireEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "#{} {}[call {}] -> {}",
+            self.seq, self.site, self.ordinal, self.action
+        )
+    }
+}
+
+/// Per-site evaluation counters from the current configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteStats {
+    /// Site name.
+    pub site: String,
+    /// Times the site was evaluated while scheduled.
+    pub calls: u64,
+    /// Times it fired.
+    pub fires: u64,
+}
+
+#[derive(Debug)]
+struct SiteState {
+    rule: Rule,
+    // Consulted only by the enabled-build `should_fail`; kept in the
+    // disabled build so `configure` has one shape under either cfg.
+    #[cfg_attr(not(feature = "enabled"), allow(dead_code))]
+    rng: SplitMix64,
+    calls: u64,
+    fires: u64,
+}
+
+#[derive(Debug, Default)]
+struct ChaosState {
+    sites: HashMap<String, SiteState>,
+    trace: Vec<FireEvent>,
+    seq: u64,
+}
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+fn state() -> &'static Mutex<ChaosState> {
+    static STATE: OnceLock<Mutex<ChaosState>> = OnceLock::new();
+    STATE.get_or_init(|| Mutex::new(ChaosState::default()))
+}
+
+fn lock_state() -> std::sync::MutexGuard<'static, ChaosState> {
+    // A panic *while holding the lock* never happens (injected panics
+    // are raised after release), but a panicking holder elsewhere must
+    // not wedge the whole registry.
+    state().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Installs `schedule` under `seed`, resetting all per-site counters
+/// and the fire trace. Process-wide: episodes must not overlap.
+pub fn configure(seed: u64, schedule: &Schedule) {
+    let mut st = lock_state();
+    st.sites.clear();
+    st.trace.clear();
+    st.seq = 0;
+    for rule in &schedule.rules {
+        st.sites.insert(
+            rule.site.clone(),
+            SiteState {
+                rule: rule.clone(),
+                rng: SplitMix64::new(seed ^ fnv1a64(rule.site.as_bytes())),
+                calls: 0,
+                fires: 0,
+            },
+        );
+    }
+    ARMED.store(!st.sites.is_empty(), Ordering::Release);
+}
+
+/// Parses and installs a schedule string (see [`Schedule`]).
+pub fn configure_str(seed: u64, schedule: &str) -> Result<(), ParseError> {
+    let sched: Schedule = schedule.parse()?;
+    configure(seed, &sched);
+    Ok(())
+}
+
+/// Clears the schedule; all sites fall silent. Counters and the trace
+/// of the finished episode remain readable until the next `configure`.
+pub fn deactivate() {
+    // Sites are retained (only disarmed) so the episode's counters and
+    // trace stay readable; `configure` clears them for the next one.
+    let _st = lock_state();
+    ARMED.store(false, Ordering::Release);
+}
+
+/// The ordered fire trace of the current (or just-finished) episode.
+pub fn trace() -> Vec<FireEvent> {
+    lock_state().trace.clone()
+}
+
+/// Per-site call/fire counters, sorted by site name.
+pub fn site_stats() -> Vec<SiteStats> {
+    let st = lock_state();
+    let mut v: Vec<SiteStats> = st
+        .sites
+        .values()
+        .map(|s| SiteStats {
+            site: s.rule.site.clone(),
+            calls: s.calls,
+            fires: s.fires,
+        })
+        .collect();
+    v.sort_by(|a, b| a.site.cmp(&b.site));
+    v
+}
+
+/// Evaluates the failpoint `site`: returns `true` when an [`Action::Err`]
+/// rule fires (the caller takes its error path), handles `Panic` and
+/// `Delay` internally, returns `false` when the site is unscheduled or
+/// the trigger stays quiet. This is what [`failpoint!`] expands to; call
+/// it directly only for bespoke injections the macro forms cannot
+/// express (e.g. poisoning a value instead of returning an error).
+#[cfg(feature = "enabled")]
+pub fn should_fail(site: &str) -> bool {
+    if !ARMED.load(Ordering::Acquire) {
+        return false;
+    }
+    let fired = {
+        let mut st = lock_state();
+        let seq = st.seq;
+        let Some(s) = st.sites.get_mut(site) else {
+            return false;
+        };
+        s.calls += 1;
+        let ordinal = s.calls;
+        let hit = match s.rule.trigger {
+            Trigger::Always => true,
+            Trigger::Every(n) => ordinal % n == 0,
+            Trigger::After(n) => ordinal > n,
+            // Draw exactly once per call so the stream position always
+            // equals the ordinal — the determinism contract.
+            Trigger::Prob(p) => s.rng.next_f64() < p,
+        };
+        let hit = hit && s.rule.limit.is_none_or(|cap| s.fires < cap);
+        if !hit {
+            return false;
+        }
+        s.fires += 1;
+        let action = s.rule.action;
+        let event = FireEvent {
+            seq,
+            site: site.to_string(),
+            ordinal,
+            action,
+        };
+        st.trace.push(event);
+        st.seq = seq + 1;
+        action
+    };
+    // Lock released: panics must not poison the registry, and delays
+    // must not serialise unrelated sites.
+    match fired {
+        Action::Err => true,
+        Action::Panic => panic!("chaos: injected panic at failpoint '{site}'"),
+        Action::Delay(ms) => {
+            std::thread::sleep(Duration::from_millis(ms));
+            false
+        }
+    }
+}
+
+/// Disabled-build stub: never fires. Kept so bespoke call sites can be
+/// written without their own `cfg` when that reads better.
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn should_fail(_site: &str) -> bool {
+    false
+}
+
+/// Declares a failpoint site.
+///
+/// - `failpoint!("site")` — absorbs `Panic`/`Delay` actions; an `Err`
+///   action is recorded in the trace but otherwise ignored (the site
+///   has no error path).
+/// - `failpoint!("site", expr)` — additionally `return expr;` when an
+///   `Err` action fires. `expr` is evaluated lazily, only on fire.
+///
+/// With the `enabled` feature off this expands to nothing: the site
+/// name and the error expression disappear from the compiled crate.
+#[cfg(feature = "enabled")]
+#[macro_export]
+macro_rules! failpoint {
+    ($site:expr) => {
+        let _ = $crate::should_fail($site);
+    };
+    ($site:expr, $err:expr) => {
+        if $crate::should_fail($site) {
+            return $err;
+        }
+    };
+}
+
+/// No-op definition selected when the `enabled` feature is off.
+#[cfg(not(feature = "enabled"))]
+#[macro_export]
+macro_rules! failpoint {
+    ($site:expr) => {};
+    ($site:expr, $err:expr) => {};
+}
+
+/// A catalogued site: its name and the actions its host code absorbs.
+#[derive(Debug, Clone, Copy)]
+pub struct SiteSpec {
+    /// The site name as passed to [`failpoint!`].
+    pub name: &'static str,
+    /// Actions the surrounding code is designed to survive. `Panic`
+    /// appears only where an unwind boundary is in place.
+    pub allowed: &'static [ActionKind],
+}
+
+/// The well-known failpoint site catalogue.
+///
+/// Names are `layer.component.operation`. Keeping them here (rather
+/// than scattered string literals) gives the soak adversary an
+/// enumerable pool and DESIGN.md a single source of truth.
+pub mod sites {
+    use super::{ActionKind, SiteSpec};
+    use ActionKind::{Delay, Err, Panic};
+
+    // --- artefact / checkpoint I/O (crates/nn) ---
+    /// Envelope tmp-file creation/write (short write ≈ storage full).
+    pub const ENVELOPE_WRITE: &str = "nn.envelope.write";
+    /// Envelope fsync before rename.
+    pub const ENVELOPE_FSYNC: &str = "nn.envelope.fsync";
+    /// Envelope tmp → final rename.
+    pub const ENVELOPE_RENAME: &str = "nn.envelope.rename";
+    /// Training-step gradient poisoning (non-finite loss).
+    pub const TRAIN_STEP: &str = "nn.train.step";
+    /// Per-epoch checkpoint write.
+    pub const TRAIN_CHECKPOINT: &str = "nn.train.checkpoint";
+    /// Checkpoint read on resume.
+    pub const TRAIN_RESUME: &str = "nn.train.resume";
+
+    // --- serving (crates/core) ---
+    /// Queue admission in `submit`.
+    pub const SERVE_ADMISSION: &str = "serve.queue.admission";
+    /// Representation extraction ahead of the CNN.
+    pub const SERVE_REPR_EXTRACT: &str = "serve.repr.extract";
+    /// The CNN forward pass (err ⇒ non-finite output).
+    pub const SERVE_CNN_FORWARD: &str = "serve.cnn.forward";
+    /// Batch gather latency on the worker.
+    pub const SERVE_BATCH_GATHER: &str = "serve.batch.gather";
+    /// Decision-cache shard lookup (err ⇒ treated as a miss).
+    pub const SERVE_CACHE_LOOKUP: &str = "serve.cache.lookup";
+    /// Decision-cache shard store (err ⇒ decision not cached).
+    pub const SERVE_CACHE_STORE: &str = "serve.cache.store";
+    /// Hot-reload artefact read (err ⇒ transient I/O, retried).
+    pub const SERVE_RELOAD_READ: &str = "serve.reload.read";
+
+    // --- feedback lane (crates/feedback) ---
+    /// Sampler queue admission (err ⇒ shed + counted).
+    pub const FEEDBACK_SAMPLER_ENQUEUE: &str = "feedback.sampler.enqueue";
+    /// Worker-side re-timing of a sampled request.
+    pub const FEEDBACK_SAMPLER_RETIME: &str = "feedback.sampler.retime";
+    /// Journal frame write (err ⇒ `StorageFull`).
+    pub const JOURNAL_APPEND: &str = "feedback.journal.append";
+    /// Journal fsync.
+    pub const JOURNAL_FSYNC: &str = "feedback.journal.fsync";
+    /// Journal segment rotation (atomic create of the next segment).
+    pub const JOURNAL_ROTATE: &str = "feedback.journal.rotate";
+    /// Drift-detector comparison recording (err ⇒ comparison dropped).
+    pub const DRIFT_RECORD: &str = "feedback.drift.record";
+    /// Holdout re-training inside `evolve` (err ⇒ typed abort).
+    pub const EVOLVE_TRAIN: &str = "feedback.evolve.train";
+
+    /// Every catalogued site with its absorbable action set.
+    pub const CATALOG: &[SiteSpec] = &[
+        SiteSpec {
+            name: ENVELOPE_WRITE,
+            allowed: &[Err, Delay],
+        },
+        SiteSpec {
+            name: ENVELOPE_FSYNC,
+            allowed: &[Err, Delay],
+        },
+        SiteSpec {
+            name: ENVELOPE_RENAME,
+            allowed: &[Err, Delay],
+        },
+        SiteSpec {
+            name: TRAIN_STEP,
+            allowed: &[Err, Delay],
+        },
+        SiteSpec {
+            name: TRAIN_CHECKPOINT,
+            allowed: &[Err, Delay],
+        },
+        SiteSpec {
+            name: TRAIN_RESUME,
+            allowed: &[Err, Delay],
+        },
+        SiteSpec {
+            name: SERVE_ADMISSION,
+            allowed: &[Err, Delay],
+        },
+        SiteSpec {
+            name: SERVE_REPR_EXTRACT,
+            allowed: &[Panic, Delay],
+        },
+        SiteSpec {
+            name: SERVE_CNN_FORWARD,
+            allowed: &[Err, Panic, Delay],
+        },
+        SiteSpec {
+            name: SERVE_BATCH_GATHER,
+            allowed: &[Delay],
+        },
+        SiteSpec {
+            name: SERVE_CACHE_LOOKUP,
+            allowed: &[Err, Delay],
+        },
+        SiteSpec {
+            name: SERVE_CACHE_STORE,
+            allowed: &[Err, Delay],
+        },
+        SiteSpec {
+            name: SERVE_RELOAD_READ,
+            allowed: &[Err, Delay],
+        },
+        SiteSpec {
+            name: FEEDBACK_SAMPLER_ENQUEUE,
+            allowed: &[Err, Delay],
+        },
+        SiteSpec {
+            name: FEEDBACK_SAMPLER_RETIME,
+            allowed: &[Err, Panic, Delay],
+        },
+        SiteSpec {
+            name: JOURNAL_APPEND,
+            allowed: &[Err, Delay],
+        },
+        SiteSpec {
+            name: JOURNAL_FSYNC,
+            allowed: &[Err, Delay],
+        },
+        SiteSpec {
+            name: JOURNAL_ROTATE,
+            allowed: &[Err, Delay],
+        },
+        SiteSpec {
+            name: DRIFT_RECORD,
+            allowed: &[Err, Delay],
+        },
+        SiteSpec {
+            name: EVOLVE_TRAIN,
+            allowed: &[Err, Delay],
+        },
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_round_trips_through_display() {
+        let text = "feedback.journal.append=err@every(3);serve.cnn.forward=panic@p(0.25)x2;\
+                    serve.batch.gather=delay(5)@after(10);nn.train.step=err";
+        let sched: Schedule = text.parse().expect("parses");
+        assert_eq!(sched.rules.len(), 4);
+        assert_eq!(sched.rules[0].trigger, Trigger::Every(3));
+        assert_eq!(sched.rules[1].limit, Some(2));
+        assert_eq!(sched.rules[2].action, Action::Delay(5));
+        assert_eq!(sched.rules[3].trigger, Trigger::Always);
+        let printed = sched.to_string();
+        let reparsed: Schedule = printed.parse().expect("round-trip parses");
+        assert_eq!(reparsed, sched, "Display/FromStr round-trip");
+    }
+
+    #[test]
+    fn schedule_rejects_malformed_rules() {
+        for bad in [
+            "no_equals",
+            "a=explode",
+            "a=err@sometimes",
+            "a=err@p(1.5)",
+            "a=err@every(0)",
+            "a=delay(abc)",
+            "=err",
+        ] {
+            assert!(bad.parse::<Schedule>().is_err(), "'{bad}' should not parse");
+        }
+    }
+
+    #[test]
+    fn random_schedules_are_seed_deterministic_and_respect_allowed_actions() {
+        let a = Schedule::random(42, sites::CATALOG, 5);
+        let b = Schedule::random(42, sites::CATALOG, 5);
+        assert_eq!(a, b, "same seed, same schedule");
+        let c = Schedule::random(43, sites::CATALOG, 5);
+        assert_ne!(a, c, "different seed should (here) differ");
+        for seed in 0..200 {
+            let s = Schedule::random(seed, sites::CATALOG, 5);
+            assert!(!s.rules.is_empty() && s.rules.len() <= 5);
+            let mut names: Vec<&str> = s.rules.iter().map(|r| r.site.as_str()).collect();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), s.rules.len(), "sites are distinct");
+            for r in &s.rules {
+                let spec = sites::CATALOG
+                    .iter()
+                    .find(|sp| sp.name == r.site)
+                    .expect("site from catalogue");
+                assert!(
+                    spec.allowed.contains(&r.action.kind()),
+                    "{}: action {:?} not allowed",
+                    r.site,
+                    r.action
+                );
+            }
+        }
+    }
+
+    #[cfg(feature = "enabled")]
+    mod enabled {
+        use super::super::*;
+        use std::sync::MutexGuard;
+
+        // The registry is process-global; enabled-mode tests must not
+        // interleave their configure/eval windows.
+        fn serial() -> MutexGuard<'static, ()> {
+            static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+            GATE.get_or_init(|| Mutex::new(()))
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+        }
+
+        #[test]
+        fn counting_triggers_fire_on_exact_ordinals() {
+            let _g = serial();
+            configure_str(1, "a=err@every(3);b=err@after(2)x2").expect("parses");
+            let a: Vec<bool> = (0..9).map(|_| should_fail("a")).collect();
+            assert_eq!(
+                a,
+                [false, false, true, false, false, true, false, false, true]
+            );
+            let b: Vec<bool> = (0..6).map(|_| should_fail("b")).collect();
+            assert_eq!(
+                b,
+                [false, false, true, true, false, false],
+                "after(2) capped at 2 fires"
+            );
+            assert!(!should_fail("unscheduled"), "unscheduled sites are silent");
+            let trace = trace();
+            assert_eq!(trace.len(), 5);
+            assert!(
+                trace.windows(2).all(|w| w[0].seq + 1 == w[1].seq),
+                "trace seq is dense and ordered"
+            );
+            deactivate();
+        }
+
+        #[test]
+        fn prob_trigger_replays_bit_identically_per_seed() {
+            let _g = serial();
+            let run = |seed: u64| -> Vec<bool> {
+                configure_str(seed, "p.site=err@p(0.5)").expect("parses");
+                (0..64).map(|_| should_fail("p.site")).collect()
+            };
+            let first = run(7);
+            assert_eq!(first, run(7), "same seed replays bit-identically");
+            assert_ne!(first, run(8), "different seed, different draws");
+            assert!(first.iter().any(|&f| f) && !first.iter().all(|&f| f));
+            deactivate();
+        }
+
+        #[test]
+        fn stats_count_calls_and_fires_and_reset_on_configure() {
+            let _g = serial();
+            configure_str(3, "s=err@every(2)").expect("parses");
+            for _ in 0..10 {
+                let _ = should_fail("s");
+            }
+            let st = site_stats();
+            assert_eq!(st.len(), 1);
+            assert_eq!((st[0].calls, st[0].fires), (10, 5));
+            configure_str(3, "s=err@every(2)").expect("parses");
+            assert_eq!(site_stats()[0].calls, 0, "configure resets counters");
+            assert!(trace().is_empty(), "configure resets the trace");
+            deactivate();
+        }
+
+        #[test]
+        fn injected_panic_names_the_site_and_spares_the_registry() {
+            let _g = serial();
+            configure_str(9, "boom=panic x1").expect("parses");
+            let err =
+                std::panic::catch_unwind(|| should_fail("boom")).expect_err("panic action panics");
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(msg.contains("boom"), "panic names the site: {msg}");
+            // The registry still works after the unwind.
+            assert!(!should_fail("boom"), "x1 cap exhausted");
+            assert_eq!(site_stats()[0].fires, 1);
+            deactivate();
+        }
+    }
+}

@@ -775,6 +775,11 @@ impl<S: Scalar> Inner<S> {
         if cnn != CnnRungOutcome::Answered {
             return;
         }
+        #[cfg(feature = "chaos")]
+        if dnnspmv_chaos::should_fail(dnnspmv_chaos::sites::SERVE_CACHE_STORE) {
+            // A failed shard store costs a future hit, nothing else.
+            return;
+        }
         match cache.insert(fp, generation, (self.clock)(), *sel) {
             CacheInsert::Inserted => {
                 self.metrics.cache_inserted.inc();
@@ -918,6 +923,9 @@ impl<S: Scalar> Inner<S> {
         if max_batch == 1 {
             return batch;
         }
+        // Latency injection on the gather path (the only legal action
+        // here — a panic would take the worker down with it).
+        dnnspmv_chaos::failpoint!(dnnspmv_chaos::sites::SERVE_BATCH_GATHER);
         let wait_ns = self.cfg.max_batch_wait.as_nanos() as u64;
         let gather_deadline = (self.clock)().saturating_add(wait_ns);
         let mut q = self.queue.lock().expect("queue lock");
@@ -1075,12 +1083,32 @@ impl<S: Scalar> SelectorServer<S> {
             m.rejected_shutdown.inc();
             return Err(ServeError::ShuttingDown);
         }
+        #[cfg(feature = "chaos")]
+        if dnnspmv_chaos::should_fail(dnnspmv_chaos::sites::SERVE_ADMISSION) {
+            // An injected admission failure presents exactly like a
+            // full queue — shed and counted, so accounting stays exact.
+            m.shed.inc();
+            return Err(ServeError::Overloaded {
+                capacity: self.inner.cfg.queue_capacity,
+            });
+        }
         let now = (self.inner.clock)();
         let mut fp = None;
         if let Some(cache) = &self.inner.cache {
             let key = matrix_fingerprint(matrix.as_ref());
             let generation = self.inner.generation_no.load(Ordering::Acquire);
-            match cache.lookup(key, generation, now) {
+            // An unreadable cache shard (injected) serves as a miss:
+            // the request takes the queued path like any other miss.
+            #[cfg(feature = "chaos")]
+            let looked_up = if dnnspmv_chaos::should_fail(dnnspmv_chaos::sites::SERVE_CACHE_LOOKUP)
+            {
+                CacheLookup::Miss
+            } else {
+                cache.lookup(key, generation, now)
+            };
+            #[cfg(not(feature = "chaos"))]
+            let looked_up = cache.lookup(key, generation, now);
+            match looked_up {
                 CacheLookup::Hit(sel) => {
                     m.served_cache.inc();
                     m.path_cache.inc();
@@ -1298,6 +1326,15 @@ pub fn load_selector_with_retry(
             sleep(wait);
             wait = wait.saturating_mul(2);
         }
+        #[cfg(feature = "chaos")]
+        if dnnspmv_chaos::should_fail(dnnspmv_chaos::sites::SERVE_RELOAD_READ) {
+            // An injected read failure is transient by definition: it
+            // burns this attempt and the retry loop carries on.
+            last = Some(SelectorError::Io(
+                "chaos: injected transient artefact read failure".into(),
+            ));
+            continue;
+        }
         match FormatSelector::load(path) {
             Ok(s) => return Ok(s),
             Err(e) if is_transient(&e) => last = Some(e),
@@ -1454,5 +1491,88 @@ mod tests {
         server.shutdown();
         assert!(matches!(server.select(&m), Err(ServeError::ShuttingDown)));
         assert_eq!(server.report().rejected_shutdown, 1);
+    }
+
+    #[test]
+    fn half_open_probe_slot_has_exactly_one_winner_under_contention() {
+        // When the open backoff expires, every worker that dequeues a
+        // request calls `gate` at effectively the same instant. The
+        // half-open contract is a single in-flight probe: one winner,
+        // everyone else answers from the tree. Race eight threads at
+        // the transition repeatedly to give an atomicity bug every
+        // chance to double-probe.
+        for round in 0..64u64 {
+            let b = Breaker::new(cfg_100ns());
+            for _ in 0..3 {
+                b.on_failure(false, 0);
+            }
+            let now = 100 + round;
+            let barrier = std::sync::Barrier::new(8);
+            let probes: usize = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..8)
+                    .map(|_| {
+                        let (b, barrier) = (&b, &barrier);
+                        s.spawn(move || {
+                            barrier.wait();
+                            (b.gate(now) == Gate::Probe) as usize
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            });
+            assert_eq!(probes, 1, "round {round}: one probe slot, one winner");
+            let s = b.snapshot();
+            assert_eq!(s.state, BreakerState::HalfOpen);
+            assert_eq!(s.to_half_open, 1, "round {round}: a single transition");
+            // The winner reports back: the breaker closes exactly once.
+            b.on_success(true);
+            let s = b.snapshot();
+            assert_eq!((s.state, s.to_closed), (BreakerState::Closed, 1));
+        }
+    }
+
+    #[test]
+    fn clock_rewind_mid_run_keeps_serving_and_accounting() {
+        // A host clock jumping backwards (VM migration, time sync) must
+        // read as "no time passed": elapsed arithmetic saturates, no
+        // debug-mode underflow panic, deadlines never mis-fire, and the
+        // request ledger still balances.
+        let clock = dnnspmv_obs::ManualClock::starting_at(1_000_000);
+        let svc = SelectorService::new(None, None).unwrap();
+        let server: SelectorServer<f32> = SelectorServer::with_parts(
+            svc,
+            ServerConfig {
+                cache: CacheConfig::enabled(64),
+                ..ServerConfig::default()
+            },
+            ServeHooks::default(),
+            clock.as_clock_fn(),
+        );
+        let m = Arc::new(CooMatrix::from_triplets(4, 4, &[(0, 0, 1.0f32), (3, 3, 2.0)]).unwrap());
+        for i in 0..10u64 {
+            if i % 2 == 0 {
+                clock.advance(500_000);
+            } else {
+                clock.rewind(900_000);
+            }
+            let sel = if i % 3 == 0 {
+                server
+                    .submit(Arc::clone(&m), Some(Duration::from_secs(1)))
+                    .unwrap()
+                    .wait()
+                    .unwrap()
+            } else {
+                server.select(m.as_ref()).unwrap()
+            };
+            assert_eq!(sel.source, SelectionSource::Default);
+        }
+        // Rewind all the way to zero mid-flight and keep serving.
+        clock.rewind(u64::MAX);
+        assert_eq!(clock.now(), 0);
+        server.select(m.as_ref()).unwrap();
+        let r = server.report();
+        assert_eq!(r.submitted, 11);
+        assert_eq!(r.accounted(), r.submitted, "ledger balances after rewinds");
+        assert_eq!(r.deadline_in_queue + r.deadline_in_flight, 0);
     }
 }

@@ -325,10 +325,22 @@ impl SelectorService {
                 let run = catch_unwind(AssertUnwindSafe(|| match guard.inject {
                     CnnFault::Panic => panic!("injected CNN fault"),
                     CnnFault::NonFinite => Some(vec![f32::NAN; cnn.formats.len()]),
-                    CnnFault::None => match guard.cancel {
-                        Some(c) => cnn.predict_proba_with_cancel(matrix, c),
-                        None => Some(cnn.predict_proba(matrix)),
-                    },
+                    CnnFault::None => {
+                        // Chaos drives the same rung seams the value-level
+                        // `CnnFault` hook uses: a panic action unwinds here
+                        // (caught just like `CnnFault::Panic`), and an err
+                        // action on the forward presents as a non-finite
+                        // answer (`CnnFault::NonFinite`).
+                        dnnspmv_chaos::failpoint!(dnnspmv_chaos::sites::SERVE_REPR_EXTRACT);
+                        #[cfg(feature = "chaos")]
+                        if dnnspmv_chaos::should_fail(dnnspmv_chaos::sites::SERVE_CNN_FORWARD) {
+                            return Some(vec![f32::NAN; cnn.formats.len()]);
+                        }
+                        match guard.cancel {
+                            Some(c) => cnn.predict_proba_with_cancel(matrix, c),
+                            None => Some(cnn.predict_proba(matrix)),
+                        }
+                    }
                 }));
                 match run {
                     Err(_) => {
@@ -419,30 +431,45 @@ impl SelectorService {
                 }
             })
             .collect();
-        // Per-member extraction under the member's own cancel.
+        // Per-member extraction under the member's own cancel, behind
+        // its own unwind boundary: a matrix pathological enough to
+        // panic the extractor costs that member its CNN answer (it
+        // degrades through its fallback rungs) — never the worker
+        // thread carrying the batch.
         let mut batch: Vec<(usize, Vec<dnnspmv_nn::Tensor>)> = Vec::with_capacity(live.len());
         for &i in &live {
-            let channels = match guards[i].cancel {
-                Some(c) => crate::samples::make_channels_with_cancel(
-                    matrices[i],
-                    cnn.config.repr,
-                    &cnn.config.repr_config,
-                    c,
-                ),
-                None => Some(crate::samples::make_channels(
-                    matrices[i],
-                    cnn.config.repr,
-                    &cnn.config.repr_config,
-                )),
-            };
+            let channels = catch_unwind(AssertUnwindSafe(|| {
+                dnnspmv_chaos::failpoint!(dnnspmv_chaos::sites::SERVE_REPR_EXTRACT);
+                match guards[i].cancel {
+                    Some(c) => crate::samples::make_channels_with_cancel(
+                        matrices[i],
+                        cnn.config.repr,
+                        &cnn.config.repr_config,
+                        c,
+                    ),
+                    None => Some(crate::samples::make_channels(
+                        matrices[i],
+                        cnn.config.repr,
+                        &cnn.config.repr_config,
+                    )),
+                }
+            }));
             match channels {
-                Some(ch) => batch.push((i, ch)),
-                None => {
+                Ok(Some(ch)) => batch.push((i, ch)),
+                Ok(None) => {
                     self.counters.cnn_cancelled.inc();
                     out[i] = Some(GuardedSelection {
                         selection: None,
                         cnn: CnnRungOutcome::Cancelled,
                     });
+                }
+                Err(_) => {
+                    self.counters.cnn_panic.inc();
+                    out[i] = Some(self.fallback_rungs(
+                        matrices[i],
+                        CnnRungOutcome::Panicked,
+                        guards[i].cancel,
+                    ));
                 }
             }
         }
@@ -457,6 +484,22 @@ impl SelectorService {
                     .all(|(i, _)| guards[*i].cancel.is_some_and(|c| c()))
             };
             let run = catch_unwind(AssertUnwindSafe(|| {
+                #[cfg(feature = "chaos")]
+                if dnnspmv_chaos::should_fail(dnnspmv_chaos::sites::SERVE_CNN_FORWARD) {
+                    // Err action ≡ a non-finite shared forward: every
+                    // member classifies NaN probabilities and degrades,
+                    // the batched twin of `CnnFault::NonFinite`.
+                    return Some(
+                        refs.iter()
+                            .map(|_| {
+                                dnnspmv_nn::Tensor::from_vec(
+                                    &[cnn.formats.len()],
+                                    vec![f32::NAN; cnn.formats.len()],
+                                )
+                            })
+                            .collect(),
+                    );
+                }
                 cnn.net.forward_batch_with_cancel(&refs, &all_expired)
             }));
             match run {

@@ -70,6 +70,12 @@ impl DriftDetector {
 
     /// Records one comparison (`hit`: served format == measured best).
     pub fn record(&self, hit: bool) {
+        #[cfg(feature = "chaos")]
+        if dnnspmv_chaos::should_fail(dnnspmv_chaos::sites::DRIFT_RECORD) {
+            // An injected recording failure drops this comparison; the
+            // window simply accumulates evidence more slowly.
+            return;
+        }
         let mut d = self.inner.lock().expect("drift lock");
         if d.ring.len() == self.cfg.window.max(1) && d.ring.pop_front() == Some(true) {
             d.hits -= 1;

@@ -8,6 +8,11 @@ use std::fmt;
 pub enum FeedbackError {
     /// Filesystem failure touching the journal directory or segments.
     Io(std::io::Error),
+    /// The device ran out of space mid-write (`ENOSPC`). Split from
+    /// [`FeedbackError::Io`] so the sampling lane can shed-and-count a
+    /// full disk (losing samples is the design) instead of treating it
+    /// like a structural failure.
+    StorageFull(String),
     /// A structural journal problem that is not plain I/O (bad segment
     /// name, oversized record, missing directory).
     Journal(String),
@@ -41,6 +46,7 @@ impl fmt::Display for FeedbackError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FeedbackError::Io(e) => write!(f, "journal I/O: {e}"),
+            FeedbackError::StorageFull(m) => write!(f, "storage full: {m}"),
             FeedbackError::Journal(m) => write!(f, "journal: {m}"),
             FeedbackError::Serde(m) => write!(f, "record serialization: {m}"),
             FeedbackError::InsufficientRecords { have, need } => {
@@ -74,7 +80,11 @@ impl std::error::Error for FeedbackError {
 
 impl From<std::io::Error> for FeedbackError {
     fn from(e: std::io::Error) -> Self {
-        FeedbackError::Io(e)
+        if dnnspmv_nn::is_storage_full(&e) {
+            FeedbackError::StorageFull(e.to_string())
+        } else {
+            FeedbackError::Io(e)
+        }
     }
 }
 

@@ -110,6 +110,12 @@ pub fn evolve(
             need: cfg.min_records.max(2),
         });
     }
+    dnnspmv_chaos::failpoint!(
+        dnnspmv_chaos::sites::EVOLVE_TRAIN,
+        Err(FeedbackError::Selector(dnnspmv_core::SelectorError::Io(
+            "chaos: injected re-training failure".into()
+        )))
+    );
     // Hold out the most recent slice: promotion will face *tomorrow's*
     // traffic, and the journal's tail is the closest thing to it.
     let holdout_n = ((usable.len() as f64 * cfg.holdout_frac.clamp(0.0, 0.9)) as usize)

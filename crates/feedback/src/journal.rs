@@ -290,9 +290,21 @@ impl JournalWriter {
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
         frame.extend_from_slice(&payload);
+        dnnspmv_chaos::failpoint!(
+            dnnspmv_chaos::sites::JOURNAL_APPEND,
+            Err(FeedbackError::StorageFull(
+                "chaos: injected ENOSPC on journal append".into()
+            ))
+        );
         self.file.write_all(&frame)?;
         self.file.flush()?;
         if self.cfg.sync_each_append {
+            dnnspmv_chaos::failpoint!(
+                dnnspmv_chaos::sites::JOURNAL_FSYNC,
+                Err(FeedbackError::Io(std::io::Error::other(
+                    "chaos: injected fsync failure on journal append"
+                )))
+            );
             self.file.sync_all()?;
         }
         self.segment_bytes += frame.len() as u64;
@@ -304,6 +316,12 @@ impl JournalWriter {
 
     /// Forces the current segment to stable storage.
     pub fn sync(&mut self) -> Result<(), FeedbackError> {
+        dnnspmv_chaos::failpoint!(
+            dnnspmv_chaos::sites::JOURNAL_FSYNC,
+            Err(FeedbackError::Io(std::io::Error::other(
+                "chaos: injected fsync failure on journal sync"
+            )))
+        );
         self.file.sync_all()?;
         Ok(())
     }
@@ -311,6 +329,15 @@ impl JournalWriter {
     /// Seals the current segment (fsync) and starts the next one
     /// atomically.
     pub fn rotate(&mut self) -> Result<(), FeedbackError> {
+        // Injected before any state changes: a failed rotation keeps
+        // the writer appending to the current (oversized) segment,
+        // which replay handles like any other segment.
+        dnnspmv_chaos::failpoint!(
+            dnnspmv_chaos::sites::JOURNAL_ROTATE,
+            Err(FeedbackError::StorageFull(
+                "chaos: injected storage-full on segment rotation".into()
+            ))
+        );
         self.file.sync_all()?;
         self.segment_index += 1;
         let path = create_segment_atomic(&self.dir, self.segment_index)?;

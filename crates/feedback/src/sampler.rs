@@ -140,6 +140,7 @@ struct SamplerMetrics {
     shed: Counter,
     appended: Counter,
     errors: Counter,
+    storage_full: Counter,
     queue_depth: Gauge,
 }
 
@@ -150,6 +151,7 @@ impl SamplerMetrics {
             shed: registry.counter("feedback_shed_total", &[]),
             appended: registry.counter("feedback_appended_total", &[]),
             errors: registry.counter("feedback_sample_errors_total", &[]),
+            storage_full: registry.counter("feedback_storage_full_total", &[]),
             queue_depth: registry.gauge("feedback_queue_depth", &[]),
         }
     }
@@ -193,7 +195,15 @@ impl<S: Scalar> SamplerInner<S> {
             };
             match item {
                 Some(item) => {
-                    self.process(item);
+                    // One poisoned sample must not kill the lane: a
+                    // panic in re-timing or extraction is absorbed and
+                    // counted, and the worker moves to the next item.
+                    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        self.process(item)
+                    }));
+                    if run.is_err() {
+                        self.metrics.errors.inc();
+                    }
                     self.inflight.fetch_sub(1, Ordering::SeqCst);
                 }
                 None => return,
@@ -202,6 +212,13 @@ impl<S: Scalar> SamplerInner<S> {
     }
 
     fn process(&self, item: Item<S>) {
+        #[cfg(feature = "chaos")]
+        if dnnspmv_chaos::should_fail(dnnspmv_chaos::sites::FEEDBACK_SAMPLER_RETIME) {
+            // An injected re-timing failure sheds this sample: no
+            // drift comparison, no journal record, one counted error.
+            self.metrics.errors.inc();
+            return;
+        }
         let timer = self.timer.read().expect("timer lock").clone();
         let measured = timer.time_formats(&item.matrix);
         let channels = make_channels(&item.matrix, self.cfg.repr, &self.cfg.repr_config);
@@ -225,6 +242,13 @@ impl<S: Scalar> SamplerInner<S> {
         };
         match self.journal.lock().expect("journal lock").append(&record) {
             Ok(()) => self.metrics.appended.inc(),
+            Err(crate::error::FeedbackError::StorageFull(_)) => {
+                // A full disk sheds samples by design — the lane keeps
+                // draining, and the dedicated counter tells an operator
+                // why the journal stopped growing.
+                self.metrics.storage_full.inc();
+                self.metrics.errors.inc();
+            }
             Err(_) => self.metrics.errors.inc(),
         }
     }
@@ -244,6 +268,13 @@ impl<S: Scalar> ServeTap<S> for SamplerInner<S> {
             return;
         }
         self.metrics.sampled.inc();
+        #[cfg(feature = "chaos")]
+        if dnnspmv_chaos::should_fail(dnnspmv_chaos::sites::FEEDBACK_SAMPLER_ENQUEUE) {
+            // An injected enqueue failure presents exactly like queue
+            // overflow: the sample is shed and counted.
+            self.metrics.shed.inc();
+            return;
+        }
         let mut q = self.queue.lock().expect("sampler queue lock");
         if q.len() >= self.cfg.queue_capacity.max(1) {
             self.metrics.shed.inc();

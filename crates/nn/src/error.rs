@@ -13,6 +13,12 @@ use std::fmt;
 pub enum NnError {
     /// Underlying I/O failure (open/read/write/rename).
     Io(String),
+    /// The device ran out of space mid-write (`ENOSPC`). Split from
+    /// [`NnError::Io`] because callers degrade differently: a training
+    /// loop keeps its last good checkpoint and continues, a feedback
+    /// lane sheds and counts — neither should treat a full disk like a
+    /// permissions error.
+    StorageFull(String),
     /// JSON (de)serialisation failure.
     Serde(String),
     /// The artefact's envelope declares a format version this build
@@ -55,6 +61,7 @@ impl fmt::Display for NnError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NnError::Io(m) => write!(f, "i/o error: {m}"),
+            NnError::StorageFull(m) => write!(f, "storage full: {m}"),
             NnError::Serde(m) => write!(f, "deserialise: {m}"),
             NnError::FormatVersion { found, supported } => write!(
                 f,
@@ -80,6 +87,20 @@ impl std::error::Error for NnError {}
 
 impl From<std::io::Error> for NnError {
     fn from(e: std::io::Error) -> Self {
-        NnError::Io(e.to_string())
+        if is_storage_full(&e) {
+            NnError::StorageFull(e.to_string())
+        } else {
+            NnError::Io(e.to_string())
+        }
     }
+}
+
+/// Whether an OS error means the device is out of space (`ENOSPC` or
+/// the quota-exceeded sibling) — the write-side failure class that
+/// callers degrade on rather than abort.
+pub fn is_storage_full(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::StorageFull | std::io::ErrorKind::QuotaExceeded
+    ) || e.raw_os_error() == Some(28)
 }

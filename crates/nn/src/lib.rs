@@ -43,7 +43,7 @@ pub mod train;
 pub mod transfer;
 
 pub use checkpoint::{checkpoint_path, load_checkpoint, save_checkpoint, TrainCheckpoint};
-pub use error::NnError;
+pub use error::{is_storage_full, NnError};
 pub use layers::Layer;
 pub use network::{Cnn, CnnBatchCache, CnnGrads, Sample, Sequential};
 pub use optimizer::{Optimizer, OptimizerKind};

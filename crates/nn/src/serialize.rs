@@ -127,20 +127,46 @@ pub fn write_envelope_atomic<T: Serialize, P: AsRef<Path>>(
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
     let tmp = std::path::PathBuf::from(tmp);
-    {
-        let f = std::fs::File::create(&tmp)?;
-        let mut w = std::io::BufWriter::new(f);
-        if let Err(e) = write_envelope(kind, fingerprint, value, &mut w) {
-            drop(w);
-            std::fs::remove_file(&tmp).ok();
-            return Err(e);
+    // Serialise up front: a serde failure never creates the temp file,
+    // and the write below is a single buffer (so an interrupted write
+    // — real or injected — is an honest prefix of the artefact).
+    let mut bytes = Vec::new();
+    write_envelope(kind, fingerprint, value, &mut bytes)?;
+    let result = (|| -> Result<(), NnError> {
+        let mut f = std::fs::File::create(&tmp)?;
+        #[cfg(feature = "chaos")]
+        if dnnspmv_chaos::should_fail(dnnspmv_chaos::sites::ENVELOPE_WRITE) {
+            // ENOSPC mid-buffer: some bytes land, then the device is
+            // full. The truncated file only ever exists under the temp
+            // name, which is exactly what the atomic protocol promises.
+            f.write_all(&bytes[..bytes.len() / 2])?;
+            return Err(NnError::StorageFull(format!(
+                "chaos: short write to {}",
+                tmp.display()
+            )));
         }
-        let f = w.into_inner().map_err(|e| NnError::Io(e.to_string()))?;
+        f.write_all(&bytes)?;
+        dnnspmv_chaos::failpoint!(
+            dnnspmv_chaos::sites::ENVELOPE_FSYNC,
+            Err(NnError::Io(format!(
+                "chaos: injected fsync failure on {}",
+                tmp.display()
+            )))
+        );
         f.sync_all()?;
-    }
-    std::fs::rename(&tmp, path).map_err(|e| {
+        drop(f);
+        dnnspmv_chaos::failpoint!(
+            dnnspmv_chaos::sites::ENVELOPE_RENAME,
+            Err(NnError::Io(format!(
+                "chaos: injected rename failure onto {}",
+                path.display()
+            )))
+        );
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    })();
+    result.inspect_err(|_| {
         std::fs::remove_file(&tmp).ok();
-        NnError::Io(e.to_string())
     })
 }
 

@@ -335,6 +335,13 @@ impl<'h> StepGuard<'h> {
         if let Some(hook) = self.grad_hook.as_mut() {
             hook(self.step_counter, grads);
         }
+        #[cfg(feature = "chaos")]
+        if dnnspmv_chaos::should_fail(dnnspmv_chaos::sites::TRAIN_STEP) {
+            // Same seam a `grad_hook` poison uses: the step presents as
+            // divergent and the snapshot/rollback machinery owns
+            // recovery — chaos drives the guard, it does not bypass it.
+            grads.scale(f32::NAN);
+        }
         let norm = grads.global_norm() * scale as f64;
         if !loss.is_finite() || !norm.is_finite() {
             self.divergent_steps += 1;
@@ -433,6 +440,12 @@ fn train_impl(
 
     let mut start_epoch = 0usize;
     if let Some(path) = &cfg.resume_from {
+        dnnspmv_chaos::failpoint!(
+            dnnspmv_chaos::sites::TRAIN_RESUME,
+            Err(NnError::Io(format!(
+                "chaos: injected checkpoint read failure on {path}"
+            )))
+        );
         let (ck, stored) = load_checkpoint(path)?;
         if stored != fingerprint {
             return Err(NnError::ConfigMismatch(format!(
@@ -475,6 +488,7 @@ fn train_impl(
     let obs_rollbacks = obs.counter("train_rollbacks_total", &[]);
     let obs_lr_backoffs = obs.counter("train_lr_backoffs_total", &[]);
     let obs_checkpoints = obs.counter("train_checkpoints_total", &[]);
+    let obs_checkpoint_failures = obs.counter("train_checkpoint_failures_total", &[]);
     let obs_epochs = obs.counter("train_epochs_total", &[]);
 
     let mut cur_lr = opt.lr();
@@ -536,7 +550,6 @@ fn train_impl(
         if let Some(dir) = &cfg.checkpoint_dir {
             let every = cfg.checkpoint_every.max(1);
             if epoch.is_multiple_of(every) || epoch == cfg.epochs {
-                std::fs::create_dir_all(dir)?;
                 let ck = TrainCheckpoint {
                     epoch,
                     step_counter: guard.step_counter,
@@ -549,8 +562,25 @@ fn train_impl(
                     min_s: if time_steps > 0 { min_s } else { 0.0 },
                     max_s,
                 };
-                save_checkpoint(&ck, fingerprint, checkpoint_path(dir))?;
-                obs_checkpoints.inc();
+                // A failed checkpoint write must not abort training:
+                // the atomic write protocol guarantees the previous
+                // checkpoint is still intact under the final name, so
+                // a full disk costs resumability-freshness, not the
+                // run. Count it and keep going.
+                let written = (|| -> Result<(), NnError> {
+                    dnnspmv_chaos::failpoint!(
+                        dnnspmv_chaos::sites::TRAIN_CHECKPOINT,
+                        Err(NnError::StorageFull(
+                            "chaos: injected checkpoint write failure".into()
+                        ))
+                    );
+                    std::fs::create_dir_all(dir)?;
+                    save_checkpoint(&ck, fingerprint, checkpoint_path(dir))
+                })();
+                match written {
+                    Ok(()) => obs_checkpoints.inc(),
+                    Err(_) => obs_checkpoint_failures.inc(),
+                }
             }
         }
         if abort_after_epoch == Some(epoch) {

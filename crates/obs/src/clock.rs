@@ -52,10 +52,29 @@ impl ManualClock {
         self.now.fetch_add(dt, Ordering::SeqCst);
     }
 
-    /// Jumps the clock to an absolute reading (must not go backwards;
-    /// monotonicity is the caller's contract, as with a real clock).
+    /// Jumps the clock to an absolute reading. Jumping backwards is
+    /// allowed — it models a host clock misbehaving (VM migration,
+    /// time sync) — and every consumer is required to clamp elapsed
+    /// arithmetic (`saturating_sub`/`saturating_add`) so a rewound
+    /// clock reads as "no time passed", never as an underflow.
     pub fn set(&self, t: u64) {
         self.now.store(t, Ordering::SeqCst);
+    }
+
+    /// Rewinds the clock by `dt` nanoseconds (to zero at most) — the
+    /// regression lever for non-monotonic-clock tests.
+    pub fn rewind(&self, dt: u64) {
+        let mut cur = self.now.load(Ordering::SeqCst);
+        loop {
+            let next = cur.saturating_sub(dt);
+            match self
+                .now
+                .compare_exchange(cur, next, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
     }
 
     /// This clock as a [`ClockFn`] handle.

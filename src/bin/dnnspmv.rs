@@ -14,6 +14,8 @@
 //!                 [--epochs N] [--strategy scratch|continuous|top]
 //!                 [--margin X] [--holdout X] [--min-records N]
 //!                 [--checkpoint-dir DIR] [--resume FILE]
+//! dnnspmv chaos-soak [--quick] [--episodes N] [--seed S] [--max-rules K]
+//!                    [--json FILE] [--replay SEED "SCHEDULE"]
 //! dnnspmv metrics [--json] [--matrices N]
 //! ```
 //!
@@ -39,7 +41,12 @@
 //! exits nonzero unless the cache+micro-batch hot path beats the plain
 //! server's overload throughput by `X`×, and with `--quick` it instead
 //! runs the instrumentation-overhead smoke and exits nonzero if the
-//! instrumented serve p50 regresses more than the gate allows. `metrics` runs a short instrumented workload (repr
+//! instrumented serve p50 regresses more than the gate allows.
+//! `chaos-soak` (requires `--features chaos`) runs seeded failpoint
+//! episodes over the whole closed loop and exits nonzero if any
+//! standing invariant breaks or site coverage falls short; failing
+//! episodes print a `(seed, schedule)` pair that `--replay` reruns
+//! bit-identically. `metrics` runs a short instrumented workload (repr
 //! extraction, per-format SpMV, selector ladder decisions) and dumps
 //! the process-wide observability registry as Prometheus text (or
 //! `--json`); build with `--features kernel-timers` to include the
@@ -356,6 +363,91 @@ fn cmd_serve_bench(args: &[String]) {
     }
 }
 
+fn cmd_chaos_soak(args: &[String]) {
+    use dnnspmv_bench::chaos_soak::{replay_episode, run_chaos_soak, ChaosSoakConfig};
+    if !dnnspmv_chaos::ENABLED {
+        die("chaos-soak needs the failpoint registry; rebuild with --features chaos");
+    }
+    let mut cfg = ChaosSoakConfig::default();
+    let mut json_path: Option<String> = None;
+    let mut replay_args: Option<(u64, String)> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                let (base_seed, max_rules) = (cfg.base_seed, cfg.max_rules);
+                cfg = ChaosSoakConfig {
+                    base_seed,
+                    max_rules,
+                    ..ChaosSoakConfig::quick()
+                };
+            }
+            "--episodes" => {
+                i += 1;
+                cfg.episodes = need(args, i, "--episodes")
+                    .parse()
+                    .unwrap_or_else(|_| die("--episodes needs a number"));
+            }
+            "--seed" => {
+                i += 1;
+                cfg.base_seed = need(args, i, "--seed")
+                    .parse()
+                    .unwrap_or_else(|_| die("--seed needs a number"));
+            }
+            "--max-rules" => {
+                i += 1;
+                cfg.max_rules = need(args, i, "--max-rules")
+                    .parse()
+                    .unwrap_or_else(|_| die("--max-rules needs a number"));
+            }
+            "--json" => {
+                i += 1;
+                json_path = Some(need(args, i, "--json"));
+            }
+            "--replay" => {
+                i += 1;
+                let seed = need(args, i, "--replay")
+                    .parse()
+                    .unwrap_or_else(|_| die("--replay needs a seed then a schedule"));
+                i += 1;
+                replay_args = Some((seed, need(args, i, "--replay")));
+            }
+            other => die(&format!("unknown chaos-soak flag '{other}'")),
+        }
+        i += 1;
+    }
+    if let Some((seed, schedule)) = replay_args {
+        let schedule = schedule
+            .parse()
+            .unwrap_or_else(|e| die(&format!("bad schedule: {e}")));
+        let (violations, trace) = replay_episode(seed, &schedule, &cfg);
+        eprintln!("replay seed={seed} schedule=\"{schedule}\"");
+        for t in &trace {
+            eprintln!("  fire: {t}");
+        }
+        if !violations.is_empty() {
+            for v in &violations {
+                eprintln!("  violation: {v}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("replay clean: every invariant held");
+        return;
+    }
+    let report = run_chaos_soak(&cfg);
+    eprint!("{}", report.render());
+    println!("{}", report.to_json());
+    if let Some(path) = json_path {
+        report
+            .write_json(&path)
+            .unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+        eprintln!("wrote {path}");
+    }
+    if !report.gates_passed() {
+        std::process::exit(1);
+    }
+}
+
 fn cmd_evolve(args: &[String]) {
     use dnnspmv::feedback::{evolve, replay, EvolveConfig, FeedbackError};
     use dnnspmv::nn::Migration;
@@ -552,7 +644,10 @@ fn cmd_metrics(args: &[String]) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!("usage: dnnspmv <train|test|predict|stats|serve-bench|evolve|metrics> [options]");
+        eprintln!(
+            "usage: dnnspmv <train|test|predict|stats|serve-bench|evolve|chaos-soak|metrics> \
+             [options]"
+        );
         std::process::exit(2);
     };
     if cmd == "serve-bench" {
@@ -561,6 +656,10 @@ fn main() {
     }
     if cmd == "evolve" {
         cmd_evolve(&args[1..]);
+        return;
+    }
+    if cmd == "chaos-soak" {
+        cmd_chaos_soak(&args[1..]);
         return;
     }
     if cmd == "metrics" {

@@ -1,0 +1,40 @@
+//! End-to-end chaos regression: replays a captured `(seed, schedule)`
+//! pair through the full closed loop. The schedule fires an injected
+//! panic inside representation extraction on the micro-batch path —
+//! before this PR, that panic unwound through the batch loop and
+//! killed the worker thread (every in-flight reply channel dropped,
+//! `WorkerLost` surfaced to clients). The episode must now replay
+//! clean: the panic is absorbed per-member at the extraction boundary
+//! and every standing invariant holds.
+//!
+//! Compiled only with the `chaos` feature; without it the failpoint
+//! registry is a no-op and there is nothing to replay.
+#![cfg(feature = "chaos")]
+
+use dnnspmv_bench::chaos_soak::{replay_episode, ChaosSoakConfig};
+
+#[test]
+fn captured_batch_extraction_panic_episode_replays_clean() {
+    let cfg = ChaosSoakConfig {
+        episodes: 1,
+        clients: 2,
+        requests_per_client: 12,
+        matrices: 24,
+        train_epochs: 1,
+        evolve_epochs: 1,
+        min_distinct_sites: 1,
+        ..ChaosSoakConfig::default()
+    };
+    let schedule = "serve.repr.extract=panic@p(0.5);feedback.journal.append=err@every(2)"
+        .parse()
+        .expect("captured schedule parses");
+    let (violations, trace) = replay_episode(3_299_003_395, &schedule, &cfg);
+    assert!(
+        trace.iter().any(|t| t.contains("serve.repr.extract")),
+        "the captured seed must fire the extraction panic site, trace: {trace:#?}"
+    );
+    assert!(
+        violations.is_empty(),
+        "the captured episode must replay clean, violations: {violations:#?}"
+    );
+}
