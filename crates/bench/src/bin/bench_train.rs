@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! bench_train [--json FILE] [--steps N] [--batch N] [--ckpt-dir DIR]
+//!             [--min-speedup-4t RATIO]
 //! ```
 //!
 //! Runs `N` optimisation steps (default 30) at the given batch size
@@ -11,13 +12,17 @@
 //! networks, then trains both paths end-to-end under the same seed to
 //! bound their loss-history divergence. A final section measures the
 //! cost of per-epoch checkpointing and verifies kill-and-resume
-//! reproduces the uninterrupted loss history. Results go to stdout and
-//! to `BENCH_train.json` (or `--json FILE`).
+//! reproduces the uninterrupted loss history. A thread sweep times the
+//! batched step at 1, 2, 4 and all host threads through the GEMM
+//! threading policy; `--min-speedup-4t` turns the 4-thread ratio into
+//! a hard gate (enforced only on hosts with ≥ 4 threads — smaller
+//! runners record `gate_enforced: false` instead of a vacuous pass).
+//! Results go to stdout and to `BENCH_train.json` (or `--json FILE`).
 
 use dnnspmv_nn::{
     build_cnn, checkpoint_path, train, train_reference, train_step, train_step_reference,
-    train_with_hooks, BatchTrainState, CnnConfig, Merging, Optimizer, OptimizerKind, Sample,
-    Tensor, TrainConfig, TrainHooks,
+    train_with_hooks, with_gemm_threading, BatchTrainState, CnnConfig, GemmThreading, Merging,
+    Optimizer, OptimizerKind, Sample, Tensor, TrainConfig, TrainHooks,
 };
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -53,6 +58,33 @@ struct CheckpointStats {
 }
 
 #[derive(Serialize)]
+struct ThreadSweepEntry {
+    threads: usize,
+    samples_per_sec: f64,
+    mean_step_ms: f64,
+    /// samples/sec over the 1-thread entry of the same sweep.
+    speedup_vs_1t: f64,
+}
+
+#[derive(Serialize)]
+struct ThreadSweep {
+    /// Hardware threads the host offers (`available_parallelism`).
+    host_threads: usize,
+    /// Batched `train_step` timed at each GEMM thread count.
+    entries: Vec<ThreadSweepEntry>,
+    /// Speedup of the 4-thread entry over 1 thread — the CI gate's
+    /// subject.
+    speedup_at_4t: f64,
+    /// Floor this run was asked to hold (`--min-speedup-4t`), if any.
+    min_speedup_4t: Option<f64>,
+    /// Whether the floor was actually enforced. Requires the flag AND
+    /// ≥ 4 host threads: a smaller runner cannot exhibit 4-way GEMM
+    /// speedup, and recording `false` keeps the artefact honest
+    /// instead of green-washing an unenforceable gate.
+    gate_enforced: bool,
+}
+
+#[derive(Serialize)]
 struct Report {
     /// Per-sample loop with a single preallocated gradient accumulator
     /// — the "before" this PR measures against.
@@ -62,6 +94,8 @@ struct Report {
     batched: PathStats,
     /// batched samples/sec over reference samples/sec.
     speedup: f64,
+    /// Batched-path scaling over GEMM thread counts (PR 10).
+    thread_sweep: ThreadSweep,
     /// Largest per-step |loss difference| between the two paths over a
     /// full same-seed training run (acceptance bound: 1e-3).
     loss_max_abs_diff: f32,
@@ -110,6 +144,7 @@ fn main() {
     let mut steps = 30usize;
     let mut batch = 32usize;
     let mut keep_ckpt_dir: Option<String> = None;
+    let mut min_speedup_4t: Option<f64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -144,9 +179,19 @@ fn main() {
                         .clone(),
                 );
             }
+            "--min-speedup-4t" => {
+                i += 1;
+                min_speedup_4t = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| die("--min-speedup-4t needs a ratio"))
+                        .parse()
+                        .unwrap_or_else(|_| die("--min-speedup-4t needs a ratio")),
+                );
+            }
             other => {
                 eprintln!(
-                    "usage: bench_train [--json FILE] [--steps N] [--batch N] [--ckpt-dir DIR]"
+                    "usage: bench_train [--json FILE] [--steps N] [--batch N] [--ckpt-dir DIR] \
+                     [--min-speedup-4t RATIO]"
                 );
                 die(&format!("unknown flag '{other}'"));
             }
@@ -201,6 +246,57 @@ fn main() {
         mean_step_ms: 1e3 * total / steps as f64,
         min_step_ms: 1e3 * min,
         max_step_ms: 1e3 * max,
+    };
+
+    // Thread sweep: the batched step at 1, 2, 4 and all host threads.
+    // Serial at t=1 (skips the pool entirely, like server workers);
+    // Fixed(t) above — counts beyond the pool size still partition, so
+    // the sweep is well-defined on any host.
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut counts = vec![1usize, 2, 4, host_threads];
+    counts.sort_unstable();
+    counts.dedup();
+    let mut entries: Vec<ThreadSweepEntry> = Vec::new();
+    for &t in &counts {
+        let policy = if t == 1 {
+            GemmThreading::Serial
+        } else {
+            GemmThreading::Fixed(t)
+        };
+        let mut net = net0.clone();
+        let mut opt = Optimizer::new(&mut net, OptimizerKind::adam(), 1e-3, false);
+        let mut state = BatchTrainState::new(&net);
+        let total = with_gemm_threading(policy, || {
+            train_step(&mut net, &samples, &idx, &mut opt, &mut state);
+            let (total, _, _) = time_steps(steps, || {
+                train_step(&mut net, &samples, &idx, &mut opt, &mut state);
+            });
+            total
+        });
+        let base = entries.first().map_or(total, |e: &ThreadSweepEntry| {
+            (steps * batch) as f64 / e.samples_per_sec
+        });
+        entries.push(ThreadSweepEntry {
+            threads: t,
+            samples_per_sec: (steps * batch) as f64 / total,
+            mean_step_ms: 1e3 * total / steps as f64,
+            speedup_vs_1t: base / total,
+        });
+    }
+    let speedup_at_4t = entries
+        .iter()
+        .find(|e| e.threads == 4)
+        .map(|e| e.speedup_vs_1t)
+        .unwrap_or(1.0);
+    let gate_enforced = min_speedup_4t.is_some() && host_threads >= 4;
+    let thread_sweep = ThreadSweep {
+        host_threads,
+        entries,
+        speedup_at_4t,
+        min_speedup_4t,
+        gate_enforced,
     };
 
     // Same-seed end-to-end agreement between the two paths.
@@ -308,6 +404,7 @@ fn main() {
 
     let report = Report {
         speedup: batched.samples_per_sec / reference.samples_per_sec,
+        thread_sweep,
         reference,
         batched,
         loss_max_abs_diff,
@@ -338,4 +435,34 @@ fn main() {
         report.checkpoint.epochs,
         report.checkpoint.resume_loss_max_abs_diff
     );
+    let sweep_line: Vec<String> = report
+        .thread_sweep
+        .entries
+        .iter()
+        .map(|e| format!("{}t={:.2}x", e.threads, e.speedup_vs_1t))
+        .collect();
+    eprintln!(
+        "thread sweep ({} host threads): {}",
+        report.thread_sweep.host_threads,
+        sweep_line.join(" ")
+    );
+    if let Some(floor) = min_speedup_4t {
+        if !report.thread_sweep.gate_enforced {
+            eprintln!(
+                "thread-sweep gate NOT enforced: host has {} threads (< 4); recorded honestly",
+                report.thread_sweep.host_threads
+            );
+        } else if report.thread_sweep.speedup_at_4t < floor {
+            eprintln!(
+                "thread-sweep gate FAILED: {:.2}x at 4 threads < required {floor:.2}x",
+                report.thread_sweep.speedup_at_4t
+            );
+            std::process::exit(1);
+        } else {
+            eprintln!(
+                "thread-sweep gate held: {:.2}x at 4 threads >= {floor:.2}x",
+                report.thread_sweep.speedup_at_4t
+            );
+        }
+    }
 }

@@ -44,7 +44,7 @@ use crate::service::{
     BatchGuard, CnnFault, CnnRungOutcome, SelectGuard, Selection, SelectionSource, SelectorService,
     ServiceReport,
 };
-use dnnspmv_nn::NnError;
+use dnnspmv_nn::{with_gemm_threading, GemmThreading, NnError};
 use dnnspmv_obs::{Counter, Gauge, GaugeGuard, LatencyHistogram, MetricsSnapshot, Registry};
 use dnnspmv_sparse::{CooMatrix, Scalar};
 use serde::{Deserialize, Serialize};
@@ -372,6 +372,15 @@ pub struct ServerConfig {
     /// whatever is already queued is taken, but the worker never idles
     /// waiting for a fuller batch, so low-load latency is unaffected.
     pub max_batch_wait: Duration,
+    /// GEMM threading policy installed around each worker's drain
+    /// loop. Defaults to [`GemmThreading::Serial`]: the worker pool is
+    /// already the server's parallelism, so letting every worker also
+    /// fan its CNN GEMMs across the shared rayon pool would only add
+    /// queueing contention between workers (and between serving and
+    /// any concurrent evolve pass) without adding cores. Threading
+    /// policy never changes results — GEMM output is bit-identical at
+    /// any setting — so this is purely a scheduling knob.
+    pub gemm_threading: GemmThreading,
 }
 
 impl Default for ServerConfig {
@@ -387,6 +396,7 @@ impl Default for ServerConfig {
             cache: CacheConfig::default(),
             max_batch: 8,
             max_batch_wait: Duration::ZERO,
+            gemm_threading: GemmThreading::Serial,
         }
     }
 }
@@ -1054,9 +1064,13 @@ impl<S: Scalar> SelectorServer<S> {
         let handles = (0..workers)
             .map(|i| {
                 let inner = Arc::clone(&inner);
+                // Each worker drains under the configured GEMM policy
+                // (default `Serial` — see `ServerConfig::gemm_threading`),
+                // installed once for the thread's whole life.
+                let gemm_policy = inner.cfg.gemm_threading;
                 thread::Builder::new()
                     .name(format!("dnnspmv-serve-{i}"))
-                    .spawn(move || inner.worker_loop())
+                    .spawn(move || with_gemm_threading(gemm_policy, || inner.worker_loop()))
                     .expect("spawn worker thread")
             })
             .collect();

@@ -10,10 +10,19 @@
 //! kernel follows the classic BLIS/GotoBLAS decomposition: `NC`-wide
 //! column panels of B, `KC`-deep rank-k updates, `MC`-tall row blocks
 //! of A, operands repacked into `MR x NR` micro-panels so the
-//! innermost micro-kernel reads contiguously and the compiler can
-//! vectorise its 8x8 accumulator. Row blocks of C are disjoint, so
-//! they are computed in parallel (`par_chunks_mut`); each worker packs
-//! its own A block, the B panel is packed once and shared read-only.
+//! innermost micro-kernel reads contiguously and runs as an explicit
+//! SIMD 8x8 accumulator ([`simd`]: AVX2/FMA or NEON where the CPU has
+//! them, a portable `mul_add` twin everywhere, chosen once per process
+//! at runtime). Rows of C are disjoint, so every parallelisable regime
+//! splits them into contiguous spans — one per [`threading`] slot —
+//! and fans the spans out over `rayon::scope`; each span packs its own
+//! A blocks (no false sharing), the B panel is packed once on the
+//! calling thread and shared read-only. How many slots a call may use
+//! is the ambient [`GemmThreading`] policy: training runs `Auto` (all
+//! pool workers), server workers pin `Serial` (the workers are already
+//! the parallelism there). The span partition never changes any
+//! element's accumulation order — see [`threading`] for the
+//! bit-determinism contract.
 //!
 //! Scratch buffers (im2col matrices, packing panels) are reused across
 //! calls through a thread-local [`Scratch`] pool. [`with_scratch`]
@@ -21,8 +30,15 @@
 //! holding a `RefCell` borrow — re-entrant calls (e.g. under a
 //! work-stealing scheduler) simply see an empty pool and allocate.
 
+pub mod simd;
+pub mod threading;
+
 use crate::tensor::Tensor;
-use rayon::prelude::*;
+pub use simd::{with_forced_kernel, KernelVariant};
+use simd::{MicroKernel, MR, NR};
+pub use threading::{
+    current_gemm_threading, slots_probe_max, slots_probe_reset, with_gemm_threading, GemmThreading,
+};
 
 /// Whether a GEMM operand is consumed as stored or transposed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,11 +49,7 @@ pub enum Trans {
     Yes,
 }
 
-/// Micro-kernel tile rows.
-const MR: usize = 8;
-/// Micro-kernel tile columns.
-const NR: usize = 8;
-/// Row-block height (rows of C per parallel work item / A pack).
+/// Row-block height (rows of C per A pack within a span).
 const MC: usize = 64;
 /// Rank-k update depth (rows of the packed B panel).
 const KC: usize = 256;
@@ -118,16 +130,24 @@ pub fn sgemm(
         // pair touches each chunk while it is cache-resident, where
         // unchunked dots would re-stream whole megabyte-scale rows
         // from memory `n` (resp. `m`) times over.
+        // Rows are fanned out in contiguous spans, one per threading
+        // slot; the chunked `p0` loop runs *inside* each span so every
+        // element still accumulates its chunks in the same order at
+        // any slot count.
         const DOT_KC: usize = 16 * 1024;
-        for p0 in (0..k).step_by(DOT_KC) {
-            let p1 = (p0 + DOT_KC).min(k);
-            c.par_chunks_mut(n).enumerate().for_each(|(i, crow)| {
-                let ach = &a[i * k + p0..i * k + p1];
-                for (j, cv) in crow.iter_mut().enumerate() {
-                    *cv += alpha * lane_dot(ach, &b[j * k + p0..j * k + p1]);
+        let spans = threading::partition_rows(m, threading::effective_slots(m));
+        threading::for_each_row_span(c, n, &spans, |r0, cblk| {
+            for p0 in (0..k).step_by(DOT_KC) {
+                let p1 = (p0 + DOT_KC).min(k);
+                for (i, crow) in cblk.chunks_mut(n).enumerate() {
+                    let row = r0 + i;
+                    let ach = &a[row * k + p0..row * k + p1];
+                    for (j, cv) in crow.iter_mut().enumerate() {
+                        *cv += alpha * lane_dot(ach, &b[j * k + p0..j * k + p1]);
+                    }
                 }
-            });
-        }
+            }
+        });
         return;
     }
     if k <= SMALL_K && tb == Trans::No {
@@ -142,50 +162,69 @@ pub fn sgemm(
         // larger than cache, and untiled sweeps would re-stream it
         // from memory once per output row. Tiling never splits the k
         // loop, so accumulation order per element is unchanged.
-        // Rows of C are disjoint, so parallelise over them directly.
+        // Rows of C are disjoint, so fan them out in contiguous spans,
+        // one per threading slot; the column tiling runs inside each
+        // span and never splits the k loop, so accumulation order per
+        // element is independent of the slot count too.
         const AXPY_NB: usize = 1024;
-        for j0 in (0..n).step_by(AXPY_NB) {
-            let j1 = n.min(j0 + AXPY_NB);
-            c.par_chunks_mut(n).enumerate().for_each(|(i, crow)| {
-                let crow = &mut crow[j0..j1];
-                let at = |p: usize| {
-                    alpha
-                        * match ta {
-                            Trans::No => a[i * k + p],
-                            Trans::Yes => a[p * m + i],
-                        }
-                };
-                let nb = j1 - j0;
-                let mut p = 0;
-                while p + 4 <= k {
-                    let (a0, a1, a2, a3) = (at(p), at(p + 1), at(p + 2), at(p + 3));
-                    let b0 = &b[p * n + j0..][..nb];
-                    let b1 = &b[(p + 1) * n + j0..][..nb];
-                    let b2 = &b[(p + 2) * n + j0..][..nb];
-                    let b3 = &b[(p + 3) * n + j0..][..nb];
-                    for (t, cv) in crow.iter_mut().enumerate() {
-                        *cv = b3[t].mul_add(
-                            a3,
-                            b2[t].mul_add(a2, b1[t].mul_add(a1, b0[t].mul_add(a0, *cv))),
-                        );
-                    }
-                    p += 4;
-                }
-                while p < k {
-                    let av = at(p);
-                    if av != 0.0 {
-                        let brow = &b[p * n + j0..][..nb];
+        let spans = threading::partition_rows(m, threading::effective_slots(m));
+        threading::for_each_row_span(c, n, &spans, |r0, cblk| {
+            for j0 in (0..n).step_by(AXPY_NB) {
+                let j1 = n.min(j0 + AXPY_NB);
+                for (di, crow) in cblk.chunks_mut(n).enumerate() {
+                    let i = r0 + di;
+                    let crow = &mut crow[j0..j1];
+                    let at = |p: usize| {
+                        alpha
+                            * match ta {
+                                Trans::No => a[i * k + p],
+                                Trans::Yes => a[p * m + i],
+                            }
+                    };
+                    let nb = j1 - j0;
+                    let mut p = 0;
+                    while p + 4 <= k {
+                        let (a0, a1, a2, a3) = (at(p), at(p + 1), at(p + 2), at(p + 3));
+                        let b0 = &b[p * n + j0..][..nb];
+                        let b1 = &b[(p + 1) * n + j0..][..nb];
+                        let b2 = &b[(p + 2) * n + j0..][..nb];
+                        let b3 = &b[(p + 3) * n + j0..][..nb];
                         for (t, cv) in crow.iter_mut().enumerate() {
-                            *cv = brow[t].mul_add(av, *cv);
+                            *cv = b3[t].mul_add(
+                                a3,
+                                b2[t].mul_add(a2, b1[t].mul_add(a1, b0[t].mul_add(a0, *cv))),
+                            );
                         }
+                        p += 4;
                     }
-                    p += 1;
+                    while p < k {
+                        let av = at(p);
+                        if av != 0.0 {
+                            let brow = &b[p * n + j0..][..nb];
+                            for (t, cv) in crow.iter_mut().enumerate() {
+                                *cv = brow[t].mul_add(av, *cv);
+                            }
+                        }
+                        p += 1;
+                    }
                 }
-            });
-        }
+            }
+        });
         return;
     }
 
+    // Packed blocked path. The micro-kernel variant and the slot
+    // partition are both resolved here on the calling thread (the
+    // thread-local kernel override and threading policy must not be
+    // re-read inside pool workers); the kernel crosses into the spans
+    // as a plain fn pointer. Each span packs its own A micro-panels —
+    // per-task buffers, so packed panels are never falsely shared —
+    // while the B panel is packed once per (jc, pc) and read by every
+    // span. Per-element accumulation order is one KC panel at a time,
+    // `p` ascending inside the micro-kernel tile: a function of the
+    // blocking constants only, identical at every slot count.
+    let kernel: MicroKernel = simd::active_kernel();
+    let spans = threading::partition_rows(m, threading::effective_slots(m));
     let mut bpack = Vec::new();
     for jc in (0..n).step_by(NC) {
         let nc = NC.min(n - jc);
@@ -193,25 +232,25 @@ pub fn sgemm(
             let kc = KC.min(k - pc);
             pack_b(b, tb, k, n, pc, kc, jc, nc, &mut bpack);
             let bpack = &bpack;
-            c.par_chunks_mut(MC * n)
-                .enumerate()
-                .for_each(|(blk, cblk)| {
-                    let ic = blk * MC;
-                    let mc = MC.min(m - ic);
-                    let mut apack = Vec::new();
-                    pack_a(a, ta, m, k, ic, mc, pc, kc, &mut apack);
+            threading::for_each_row_span(c, n, &spans, |r0, cblk| {
+                let rows = cblk.len() / n;
+                let mut apack = Vec::new();
+                for ic in (0..rows).step_by(MC) {
+                    let mc = MC.min(rows - ic);
+                    pack_a(a, ta, m, k, r0 + ic, mc, pc, kc, &mut apack);
                     for sj in 0..nc.div_ceil(NR) {
                         let j0 = jc + sj * NR;
                         let nj = NR.min(jc + nc - j0);
                         let bp = &bpack[sj * kc * NR..][..kc * NR];
                         for si in 0..mc.div_ceil(MR) {
-                            let i0 = si * MR;
-                            let ni = MR.min(mc - i0);
+                            let i0 = ic + si * MR;
+                            let ni = MR.min(mc - si * MR);
                             let ap = &apack[si * kc * MR..][..kc * MR];
-                            micro_kernel(kc, ap, bp, alpha, cblk, n, i0, j0, ni, nj);
+                            kernel(kc, ap, bp, alpha, cblk, n, i0, j0, ni, nj);
                         }
                     }
-                });
+                }
+            });
         }
     }
 }
@@ -321,43 +360,6 @@ fn pack_b(
                     }
                 }
             }
-        }
-    }
-}
-
-/// `MR x NR` register tile: accumulates one packed-A / packed-B panel
-/// pair, then writes `alpha * acc` into the live part of C.
-#[allow(clippy::too_many_arguments)]
-#[inline]
-fn micro_kernel(
-    kc: usize,
-    ap: &[f32],
-    bp: &[f32],
-    alpha: f32,
-    cblk: &mut [f32],
-    ldc: usize,
-    i0: usize,
-    j0: usize,
-    ni: usize,
-    nj: usize,
-) {
-    let mut acc = [0.0f32; MR * NR];
-    for p in 0..kc {
-        let arow = &ap[p * MR..p * MR + MR];
-        let brow = &bp[p * NR..p * NR + NR];
-        for ii in 0..MR {
-            let av = arow[ii];
-            let dst = &mut acc[ii * NR..(ii + 1) * NR];
-            for (d, &bv) in dst.iter_mut().zip(brow) {
-                *d = av.mul_add(bv, *d);
-            }
-        }
-    }
-    for ii in 0..ni {
-        let crow = &mut cblk[(i0 + ii) * ldc + j0..][..nj];
-        let arow = &acc[ii * NR..ii * NR + nj];
-        for (cv, &v) in crow.iter_mut().zip(arow) {
-            *cv += alpha * v;
         }
     }
 }

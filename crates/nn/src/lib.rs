@@ -44,6 +44,10 @@ pub mod transfer;
 
 pub use checkpoint::{checkpoint_path, load_checkpoint, save_checkpoint, TrainCheckpoint};
 pub use error::{is_storage_full, NnError};
+pub use gemm::{
+    current_gemm_threading, slots_probe_max, slots_probe_reset, with_forced_kernel,
+    with_gemm_threading, GemmThreading, KernelVariant,
+};
 pub use layers::Layer;
 pub use network::{Cnn, CnnBatchCache, CnnGrads, Sample, Sequential};
 pub use optimizer::{Optimizer, OptimizerKind};

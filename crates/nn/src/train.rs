@@ -41,6 +41,7 @@ use crate::checkpoint::{
     checkpoint_path, load_checkpoint, save_checkpoint, train_fingerprint, TrainCheckpoint,
 };
 use crate::error::NnError;
+use crate::gemm::{with_gemm_threading, GemmThreading};
 use crate::loss::{softmax, softmax_cross_entropy, softmax_cross_entropy_batch};
 use crate::network::{argmax, Cnn, CnnBatchCache, CnnGrads, Sample};
 use crate::optimizer::{Optimizer, OptimizerKind};
@@ -101,6 +102,13 @@ pub struct TrainConfig {
     pub checkpoint_every: usize,
     /// Resume from this checkpoint file before the first epoch.
     pub resume_from: Option<String>,
+    /// GEMM threading policy installed for the duration of the run
+    /// (see [`crate::gemm::threading`]). `Auto` — the default — gives
+    /// training every pool worker; the policy never changes results
+    /// (bit-identical at any setting), only wall-clock. Excluded from
+    /// [`crate::checkpoint::train_fingerprint`] for the same reason: a
+    /// resume may legitimately run at a different thread count.
+    pub gemm_threading: GemmThreading,
 }
 
 impl Default for TrainConfig {
@@ -117,6 +125,7 @@ impl Default for TrainConfig {
             checkpoint_dir: None,
             checkpoint_every: 1,
             resume_from: None,
+            gemm_threading: GemmThreading::default(),
         }
     }
 }
@@ -417,8 +426,24 @@ fn shuffle(order: &mut [usize], rng: &mut StdRng) {
 /// Shared epoch/shuffle/recovery/instrumentation loop; `step` is either
 /// the batched or the per-sample reference step (both guarded). Both
 /// paths draw batches from the same seeded shuffle, so their step
-/// sequences line up one-to-one.
+/// sequences line up one-to-one. The run's [`TrainConfig::gemm_threading`]
+/// policy is installed around the whole loop, so every forward,
+/// backward and gradient GEMM inside inherits it.
 fn train_impl(
+    net: &mut Cnn,
+    samples: &[Sample],
+    cfg: &TrainConfig,
+    hooks: TrainHooks<'_>,
+    step: impl FnMut(&mut Cnn, &[Sample], &[usize], &mut Optimizer, &mut StepGuard) -> (f32, bool),
+) -> Result<TrainReport, NnError> {
+    with_gemm_threading(cfg.gemm_threading, || {
+        train_loop(net, samples, cfg, hooks, step)
+    })
+}
+
+/// Body of [`train_impl`], running under its installed threading
+/// policy.
+fn train_loop(
     net: &mut Cnn,
     samples: &[Sample],
     cfg: &TrainConfig,

@@ -7,8 +7,12 @@
 use dnnspmv_nn::layers::{Conv2d, Dense, Layer, MaxPool2d};
 use dnnspmv_nn::loss::{softmax_cross_entropy, softmax_cross_entropy_batch};
 use dnnspmv_nn::network::CnnBatchCache;
+use dnnspmv_nn::network::Sample;
 use dnnspmv_nn::tensor::Tensor;
-use dnnspmv_nn::{Cnn, CnnGrads, Sequential};
+use dnnspmv_nn::{
+    train, train_reference, with_gemm_threading, Cnn, CnnGrads, GemmThreading, Sequential,
+    TrainConfig,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -141,6 +145,19 @@ fn batch_loss(net: &Cnn, batch: &[Vec<Tensor>], labels: &[usize]) -> f32 {
 
 #[test]
 fn batched_parameter_gradients_match_finite_differences() {
+    finite_diff_battery();
+}
+
+/// Satellite re-run: the identical finite-difference battery must hold
+/// when every GEMM inside the batched forward/backward runs through
+/// the threaded path (Fixed(4) partitions rows even when the pool is
+/// smaller than four workers).
+#[test]
+fn finite_differences_hold_under_threaded_gemm() {
+    with_gemm_threading(GemmThreading::Fixed(4), finite_diff_battery);
+}
+
+fn finite_diff_battery() {
     let mut net = tiny_cnn(2, true, 77);
     let mut rng = StdRng::seed_from_u64(78);
     let samples: Vec<Vec<Tensor>> = (0..3).map(|_| randn_channels(2, &mut rng)).collect();
@@ -175,6 +192,55 @@ fn batched_parameter_gradients_match_finite_differences() {
         bad * 10 <= checked,
         "{bad}/{checked} finite-diff checks failed"
     );
+}
+
+/// Satellite re-run of the PR 2 agreement pin under threaded GEMM:
+/// the batched trainer and the per-sample reference trainer still
+/// produce the same loss history when both run at 4 GEMM threads, and
+/// the threaded batched run is *bit-identical* to the serial one.
+#[test]
+fn batched_and_reference_training_agree_under_threaded_gemm() {
+    let mut rng = StdRng::seed_from_u64(55);
+    let samples: Vec<Sample> = (0..10)
+        .map(|i| Sample {
+            channels: randn_channels(2, &mut rng),
+            label: i % CLASSES,
+        })
+        .collect();
+    let cfg = TrainConfig {
+        epochs: 3,
+        batch_size: 4,
+        lr: 2e-3,
+        gemm_threading: GemmThreading::Fixed(4),
+        ..TrainConfig::default()
+    };
+    let mut a = tiny_cnn(2, true, 23);
+    let mut b = a.clone();
+    let ra = train(&mut a, &samples, &cfg);
+    let rb = train_reference(&mut b, &samples, &cfg);
+    assert_eq!(ra.loss_history.len(), rb.loss_history.len());
+    for (i, (x, y)) in ra.loss_history.iter().zip(&rb.loss_history).enumerate() {
+        assert!(
+            (x - y).abs() <= 1e-3,
+            "step {i}: batched {x} vs reference {y} (threaded)"
+        );
+    }
+    assert_eq!(ra.epoch_train_acc, rb.epoch_train_acc);
+
+    let serial_cfg = TrainConfig {
+        gemm_threading: GemmThreading::Serial,
+        ..cfg.clone()
+    };
+    let mut c = tiny_cnn(2, true, 23);
+    let rc = train(&mut c, &samples, &serial_cfg);
+    assert_eq!(a, c, "threaded training must be bit-identical to serial");
+    for (i, (x, y)) in ra.loss_history.iter().zip(&rc.loss_history).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "loss step {i}: 4t {x} vs serial {y}"
+        );
+    }
 }
 
 #[test]

@@ -12,7 +12,7 @@ use dnnspmv_nn::serialize::{load_model_path, save_model_path};
 use dnnspmv_nn::structures::{build_cnn, CnnConfig, Merging};
 use dnnspmv_nn::tensor::Tensor;
 use dnnspmv_nn::train::{train_with_hooks, TrainConfig, TrainHooks};
-use dnnspmv_nn::Cnn;
+use dnnspmv_nn::{Cnn, GemmThreading};
 
 static CHAOS: Mutex<()> = Mutex::new(());
 
@@ -184,6 +184,43 @@ fn checkpoint_failure_keeps_last_good_checkpoint() {
     let ck_file = dnnspmv_nn::checkpoint_path(&dir);
     let (ck, _) = dnnspmv_nn::load_checkpoint(&ck_file).expect("last good checkpoint readable");
     assert_eq!(ck.epoch, 1, "epoch-1 checkpoint survived");
+}
+
+/// Threaded-GEMM smoke: the `nn.train.step` failpoint still fires and
+/// the rollback machinery still owns recovery when every GEMM in the
+/// step runs inside a rayon scope (TrainConfig `Fixed(4)`). Pins that
+/// the chaos registry, the step guard and the threading policy — all
+/// thread-local or process-global state — compose.
+#[test]
+fn train_step_failpoint_fires_under_threaded_gemm() {
+    let guard = armed(37, "nn.train.step=err@after(4)x2");
+    let mut net = toy_net(23);
+    let cfg = TrainConfig {
+        epochs: 4,
+        batch_size: 8,
+        lr: 2e-3,
+        seed: 41,
+        gemm_threading: GemmThreading::Fixed(4),
+        ..TrainConfig::default()
+    };
+    let report = train_with_hooks(&mut net, &toy_samples(16), &cfg, TrainHooks::default())
+        .expect("an injected divergent step must not abort training");
+    assert!(
+        report.recovery.divergent_steps >= 1,
+        "failpoint never presented as a divergent step: {:?}",
+        report.recovery
+    );
+    assert!(
+        report.recovery.rollbacks >= 1,
+        "divergence under threading must still trigger rollback: {:?}",
+        report.recovery
+    );
+    assert!(
+        report.loss_history.iter().all(|l| l.is_finite()),
+        "excised history must read as a clean run"
+    );
+    dnnspmv_chaos::deactivate();
+    drop(guard);
 }
 
 #[test]

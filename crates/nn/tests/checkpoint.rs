@@ -9,7 +9,7 @@ use dnnspmv_nn::network::Sample;
 use dnnspmv_nn::structures::{build_cnn, CnnConfig, Merging};
 use dnnspmv_nn::tensor::Tensor;
 use dnnspmv_nn::train::{train_with_hooks, TrainConfig, TrainHooks};
-use dnnspmv_nn::{Cnn, Optimizer, OptimizerKind};
+use dnnspmv_nn::{Cnn, GemmThreading, Optimizer, OptimizerKind};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -119,6 +119,105 @@ fn kill_and_resume_matches_uninterrupted_run() {
     // The resumed network is the uninterrupted network, bit for bit:
     // optimiser state and shuffle order both survived the kill.
     assert_eq!(resumed_net, full_net);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The PR 3 crash-safety guarantee re-pinned under the threaded GEMM
+/// path: at 4 threads the kill-and-resume run still reproduces the
+/// uninterrupted run *bit for bit*, and a run resumed at a different
+/// thread count matches too — the threading policy partitions rows
+/// without changing any element's accumulation order, and it is
+/// deliberately excluded from the checkpoint fingerprint.
+#[test]
+fn kill_and_resume_is_bit_identical_under_threaded_gemm() {
+    let samples = toy_samples(24, 11);
+    let dir = temp_dir("resume_threaded");
+    let base = TrainConfig {
+        epochs: 6,
+        batch_size: 8,
+        lr: 2e-3,
+        seed: 5,
+        gemm_threading: GemmThreading::Fixed(4),
+        ..TrainConfig::default()
+    };
+
+    let mut full_net = toy_net(9);
+    let full = train_with_hooks(&mut full_net, &samples, &base, TrainHooks::default()).unwrap();
+
+    let mut killed_net = toy_net(9);
+    let cfg_kill = TrainConfig {
+        checkpoint_dir: Some(dir.to_string_lossy().into_owned()),
+        ..base.clone()
+    };
+    train_with_hooks(
+        &mut killed_net,
+        &samples,
+        &cfg_kill,
+        TrainHooks {
+            grad_hook: None,
+            abort_after_epoch: Some(3),
+        },
+    )
+    .unwrap();
+
+    // Resume at a *different* thread count: still bit-identical.
+    let mut resumed_net = toy_net(9);
+    let cfg_resume = TrainConfig {
+        resume_from: Some(checkpoint_path(&dir).to_string_lossy().into_owned()),
+        gemm_threading: GemmThreading::Fixed(2),
+        ..base.clone()
+    };
+    let resumed = train_with_hooks(
+        &mut resumed_net,
+        &samples,
+        &cfg_resume,
+        TrainHooks::default(),
+    )
+    .unwrap();
+
+    assert_eq!(resumed.recovery.resumed_at_epoch, Some(3));
+    assert_eq!(resumed.loss_history.len(), full.loss_history.len());
+    for (i, (r, f)) in resumed
+        .loss_history
+        .iter()
+        .zip(&full.loss_history)
+        .enumerate()
+    {
+        assert_eq!(
+            r.to_bits(),
+            f.to_bits(),
+            "step {i}: resumed loss {r} != uninterrupted {f} (threaded path)"
+        );
+    }
+    assert_eq!(resumed_net, full_net, "resumed network must match bitwise");
+
+    // And the whole threaded run equals a serial run of the same seed.
+    let mut serial_net = toy_net(9);
+    let serial_cfg = TrainConfig {
+        gemm_threading: GemmThreading::Serial,
+        ..base.clone()
+    };
+    let serial = train_with_hooks(
+        &mut serial_net,
+        &samples,
+        &serial_cfg,
+        TrainHooks::default(),
+    )
+    .unwrap();
+    assert_eq!(serial_net, full_net, "thread count changed training bits");
+    for (i, (s, f)) in serial
+        .loss_history
+        .iter()
+        .zip(&full.loss_history)
+        .enumerate()
+    {
+        assert_eq!(
+            s.to_bits(),
+            f.to_bits(),
+            "loss step {i} differs serial vs 4t"
+        );
+    }
 
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -4,6 +4,7 @@
 use dnnspmv_nn::layers::{Conv2d, Dense, Layer, MaxPool2d};
 use dnnspmv_nn::loss::{softmax, softmax_cross_entropy};
 use dnnspmv_nn::tensor::Tensor;
+use dnnspmv_nn::{with_gemm_threading, GemmThreading};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -136,6 +137,23 @@ proptest! {
             prop_assert_eq!(out.shape(), expect.as_slice());
         }
     }
+}
+
+/// Satellite re-run: layer finite-difference gradients hold when every
+/// GEMM inside forward/backward goes through the threaded path. Fixed
+/// thread counts above the pool size still partition work, so this
+/// exercises multi-span dispatch even on a single-core runner.
+#[test]
+fn layer_gradients_hold_under_threaded_gemm() {
+    with_gemm_threading(GemmThreading::Fixed(4), || {
+        let mut rng = StdRng::seed_from_u64(1313);
+        let conv = Layer::Conv2d(Conv2d::new(2, 3, 3, 1, &mut rng));
+        finite_diff_check(&conv, &[2, 8, 8], 1313).unwrap();
+        let dense = Layer::Dense(Dense::new(24, 7, &mut rng));
+        finite_diff_check(&dense, &[24], 14).unwrap();
+        let pool = Layer::MaxPool2d(MaxPool2d { size: 2 });
+        finite_diff_check(&pool, &[2, 8, 8], 15).unwrap();
+    });
 }
 
 /// Random normal tensor for the equivalence tests.

@@ -5,6 +5,7 @@
 //! dnnspmv train   [--model FILE] [--matrices N] [--epochs N]
 //!                 [--platform intel|amd|gpu|manycore]
 //!                 [--checkpoint-dir DIR] [--resume FILE]
+//!                 [--gemm-threads auto|serial|N]
 //! dnnspmv test    [--model FILE] [--matrices N] [--platform intel|amd|gpu|manycore]
 //! dnnspmv predict <matrix.mtx> [--model FILE]
 //! dnnspmv stats   <matrix.mtx>
@@ -56,7 +57,7 @@
 
 use dnnspmv::core::{make_samples, FormatSelector, SelectorConfig};
 use dnnspmv::gen::{Dataset, DatasetSpec};
-use dnnspmv::nn::TrainConfig;
+use dnnspmv::nn::{GemmThreading, TrainConfig};
 use dnnspmv::platform::{label_dataset_noisy, PlatformModel, WorkloadProfile};
 use dnnspmv::repr::ReprConfig;
 use dnnspmv::sparse::io::read_matrix_market_path;
@@ -72,6 +73,7 @@ struct Options {
     file: Option<String>,
     checkpoint_dir: Option<String>,
     resume: Option<String>,
+    gemm_threads: GemmThreading,
 }
 
 fn parse_options(args: &[String]) -> Options {
@@ -83,6 +85,7 @@ fn parse_options(args: &[String]) -> Options {
         file: None,
         checkpoint_dir: None,
         resume: None,
+        gemm_threads: GemmThreading::Auto,
     };
     let mut i = 0;
     while i < args.len() {
@@ -110,6 +113,16 @@ fn parse_options(args: &[String]) -> Options {
             "--resume" => {
                 i += 1;
                 o.resume = Some(need(args, i, "--resume"));
+            }
+            "--gemm-threads" => {
+                i += 1;
+                o.gemm_threads = match need(args, i, "--gemm-threads").as_str() {
+                    "auto" => GemmThreading::Auto,
+                    "serial" | "1" => GemmThreading::Serial,
+                    t => GemmThreading::Fixed(t.parse().unwrap_or_else(|_| {
+                        die("--gemm-threads needs 'auto', 'serial' or a thread count")
+                    })),
+                };
             }
             "--platform" => {
                 i += 1;
@@ -155,6 +168,7 @@ fn selector_config(o: &Options) -> SelectorConfig {
             epochs: o.epochs,
             checkpoint_dir: o.checkpoint_dir.clone(),
             resume_from: o.resume.clone(),
+            gemm_threading: o.gemm_threads,
             ..TrainConfig::default()
         },
         ..SelectorConfig::default()

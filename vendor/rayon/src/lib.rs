@@ -1,37 +1,274 @@
 //! Vendored stand-in for the `rayon` crate (see `vendor/README.md`).
 //!
-//! Exposes the parallel-iterator API surface dnnspmv uses —
-//! `par_iter`, `into_par_iter`, `par_chunks_mut`, and the adapter /
-//! terminal methods chained on them — but executes **sequentially**.
-//! The build container is single-core (`available_parallelism() == 1`),
-//! so a thread pool would only add overhead; on bigger machines the
-//! real rayon can be swapped back in without touching call sites
-//! because every method keeps rayon's exact signature (including the
-//! `|| identity` closures of `fold`/`reduce`).
+//! Two halves with different execution models:
 //!
-//! Sequential execution is also *deterministic*, which the training
-//! loop's loss-reproducibility tests appreciate.
+//! * **Fork-join** — [`scope`] / [`Scope::spawn`] / [`join`] run on a
+//!   real persistent worker pool (`RAYON_NUM_THREADS` or
+//!   `available_parallelism` threads, spawned on first use). The
+//!   caller always participates: unstarted spawns are stolen back and
+//!   run inline at scope exit, so a scope makes progress — and
+//!   terminates — even with zero free workers (no deadlock by
+//!   construction). Panics inside spawned closures are captured and
+//!   re-thrown from `scope`'s caller, like upstream.
+//! * **Parallel iterators** — `par_iter`, `into_par_iter`,
+//!   `par_chunks_mut` and their adapter chains keep rayon's exact
+//!   signatures (including the `|| identity` closures of
+//!   `fold`/`reduce`) but execute **sequentially**. The workspace's
+//!   compute hot path (the GEMM core) partitions work explicitly over
+//!   [`scope`], and the remaining iterator call sites are either cold
+//!   or already wrapped by their own worker threads. Swapping the real
+//!   rayon back in upgrades them without touching call sites.
+//!
+//! Sequential iterators are also *deterministic*; the GEMM scope path
+//! keeps determinism separately, by making every partition's
+//! reduction order independent of where it runs.
 
+use std::collections::VecDeque;
 use std::iter::{Enumerate, Zip};
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
-/// Number of worker threads "in the pool".
+/// Number of worker threads in the global pool.
 ///
 /// Mirrors `rayon::current_num_threads`; used by the sparse kernels to
-/// size row chunks.
+/// size row chunks and by the GEMM core as the `Auto` thread budget.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    Pool::global().workers
 }
 
-/// Runs two closures "in parallel" (sequentially here) and returns
-/// both results.
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+// ---------------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------------
+
+/// A unit of queued work: the closure lives behind a `Mutex<Option>`
+/// so exactly one party — a pool worker or the owning scope's
+/// steal-back drain — takes and runs it.
+struct SpawnedJob {
+    body: Mutex<Option<Box<dyn FnOnce() + Send>>>,
+}
+
+impl SpawnedJob {
+    /// Runs the closure if nobody has claimed it yet.
+    fn run_if_unclaimed(&self) {
+        let body = self.body.lock().expect("job slot lock").take();
+        if let Some(b) = body {
+            b();
+        }
+    }
+}
+
+/// Global FIFO of spawned jobs plus the detached workers draining it.
+struct Pool {
+    queue: Mutex<VecDeque<Arc<SpawnedJob>>>,
+    cv: Condvar,
+    workers: usize,
+}
+
+impl Pool {
+    fn global() -> &'static Pool {
+        static POOL: OnceLock<Pool> = OnceLock::new();
+        POOL.get_or_init(|| {
+            let workers = std::env::var("RAYON_NUM_THREADS")
+                .ok()
+                .and_then(|s| s.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1)
+                });
+            let pool = Pool {
+                queue: Mutex::new(VecDeque::new()),
+                cv: Condvar::new(),
+                workers,
+            };
+            for i in 0..workers {
+                // Detached: workers park on the condvar when idle and
+                // die with the process. Job bodies contain their own
+                // catch_unwind, so a worker never unwinds.
+                std::thread::Builder::new()
+                    .name(format!("rayon-worker-{i}"))
+                    .spawn(worker_loop)
+                    .expect("spawn pool worker");
+            }
+            pool
+        })
+    }
+
+    fn push(&self, job: Arc<SpawnedJob>) {
+        self.queue.lock().expect("pool queue lock").push_back(job);
+        self.cv.notify_one();
+    }
+}
+
+fn worker_loop() {
+    let pool = Pool::global();
+    loop {
+        let job = {
+            let mut q = pool.queue.lock().expect("pool queue lock");
+            loop {
+                if let Some(j) = q.pop_front() {
+                    break j;
+                }
+                q = pool.cv.wait(q).expect("pool queue lock");
+            }
+        };
+        job.run_if_unclaimed();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scoped fork-join
+// ---------------------------------------------------------------------------
+
+/// Shared bookkeeping for one [`scope`] call: outstanding spawn count,
+/// the scope's own view of still-unclaimed jobs (for steal-back), and
+/// the first captured panic payload.
+struct ScopeState {
+    pending: Mutex<usize>,
+    cv: Condvar,
+    /// Jobs spawned into this scope that may still be unclaimed. The
+    /// scope-exit drain pops these and runs whatever the workers have
+    /// not taken yet, which is what makes `scope` deadlock-free even
+    /// when every worker is busy (including nested scopes spawned from
+    /// inside pool jobs — their spawns land here too).
+    own_jobs: Mutex<Vec<Arc<SpawnedJob>>>,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl ScopeState {
+    fn new() -> Self {
+        Self {
+            pending: Mutex::new(0),
+            cv: Condvar::new(),
+            own_jobs: Mutex::new(Vec::new()),
+            panic: Mutex::new(None),
+        }
+    }
+
+    fn finish_one(&self) {
+        let mut p = self.pending.lock().expect("scope pending lock");
+        *p -= 1;
+        if *p == 0 {
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// A fork-join scope: closures spawned on it may borrow anything that
+/// outlives `'scope`; [`scope`] does not return until every spawn has
+/// completed.
+pub struct Scope<'scope> {
+    state: Arc<ScopeState>,
+    _marker: PhantomData<fn(&'scope ()) -> &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Queues `body` on the pool. It runs on a worker thread, or
+    /// inline on the scope's owner during the scope-exit drain —
+    /// whichever gets to it first.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        let state = Arc::clone(&self.state);
+        *state.pending.lock().expect("scope pending lock") += 1;
+        let job_state = Arc::clone(&self.state);
+        let closure: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let inner = Scope {
+                state: Arc::clone(&job_state),
+                _marker: PhantomData,
+            };
+            let result = catch_unwind(AssertUnwindSafe(|| body(&inner)));
+            if let Err(payload) = result {
+                job_state
+                    .panic
+                    .lock()
+                    .expect("scope panic lock")
+                    .get_or_insert(payload);
+            }
+            job_state.finish_one();
+        });
+        // SAFETY: the closure borrows only data outliving 'scope, and
+        // `scope()` blocks until `pending` drops to zero — i.e. until
+        // this closure has run to completion — before returning. The
+        // borrows therefore never outlive their referents; the
+        // lifetime is erased only so the job can sit in the 'static
+        // global queue. (The same argument upstream rayon makes.)
+        let closure: Box<dyn FnOnce() + Send + 'static> =
+            unsafe { std::mem::transmute(closure) };
+        let job = Arc::new(SpawnedJob {
+            body: Mutex::new(Some(closure)),
+        });
+        state
+            .own_jobs
+            .lock()
+            .expect("scope jobs lock")
+            .push(Arc::clone(&job));
+        Pool::global().push(job);
+        // Wake a scope owner that is already waiting in the exit
+        // drain: a running job may spawn more work it must pick up.
+        state.cv.notify_all();
+    }
+}
+
+/// Creates a fork-join scope, runs `op` in it on the calling thread,
+/// then runs or waits for every spawn before returning `op`'s result.
+/// A panic from `op` or any spawned closure resurfaces here.
+pub fn scope<'scope, OP, R>(op: OP) -> R
 where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
 {
-    (a(), b())
+    let scope = Scope {
+        state: Arc::new(ScopeState::new()),
+        _marker: PhantomData,
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| op(&scope)));
+    // Drain: steal back and run unclaimed spawns inline, then wait for
+    // the ones already running on workers. Spawns made by running jobs
+    // re-enter `own_jobs` and are picked up on the next pass.
+    loop {
+        let job = scope.state.own_jobs.lock().expect("scope jobs lock").pop();
+        if let Some(j) = job {
+            j.run_if_unclaimed();
+            continue;
+        }
+        let pending = scope.state.pending.lock().expect("scope pending lock");
+        if *pending == 0 {
+            break;
+        }
+        let _unused = scope
+            .state
+            .cv
+            .wait(pending)
+            .expect("scope pending lock");
+    }
+    if let Some(payload) = scope.state.panic.lock().expect("scope panic lock").take() {
+        resume_unwind(payload);
+    }
+    match result {
+        Ok(r) => r,
+        Err(payload) => resume_unwind(payload),
+    }
+}
+
+/// Runs two closures in parallel (the second on the pool when a worker
+/// is free, inline otherwise) and returns both results.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let mut rb = None;
+    let ra = scope(|s| {
+        s.spawn(|_| rb = Some(oper_b()));
+        oper_a()
+    });
+    (ra, rb.expect("join's second closure completed"))
 }
 
 /// A "parallel" iterator: a thin wrapper over a sequential iterator
@@ -255,5 +492,79 @@ mod tests {
     fn into_par_iter_collects_in_order() {
         let v: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * i).collect();
         assert_eq!(v, [0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn scope_runs_every_spawn_exactly_once() {
+        let mut hits = vec![0u32; 64];
+        crate::scope(|s| {
+            for (i, h) in hits.iter_mut().enumerate() {
+                s.spawn(move |_| *h += i as u32 + 1);
+            }
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(*h, i as u32 + 1, "spawn {i} ran a wrong number of times");
+        }
+    }
+
+    #[test]
+    fn scope_owner_participates_and_borrows_locals() {
+        let mut a = 0u64;
+        let mut b = 0u64;
+        crate::scope(|s| {
+            s.spawn(|_| b = 7);
+            a = 3;
+        });
+        assert_eq!((a, b), (3, 7));
+    }
+
+    #[test]
+    fn nested_scopes_and_nested_spawns_complete() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let count = AtomicUsize::new(0);
+        crate::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|s| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                    // Spawn more work from inside a running job: the
+                    // scope's exit drain must pick these up too.
+                    s.spawn(|_| {
+                        count.fetch_add(1, Ordering::Relaxed);
+                    });
+                    crate::scope(|inner| {
+                        inner.spawn(|_| {
+                            count.fetch_add(1, Ordering::Relaxed);
+                        });
+                    });
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 24);
+    }
+
+    #[test]
+    fn scope_propagates_spawned_panics_to_the_caller() {
+        let caught = std::panic::catch_unwind(|| {
+            crate::scope(|s| {
+                s.spawn(|_| panic!("boom in spawn"));
+            });
+        });
+        let payload = caught.expect_err("panic must cross the scope");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or_default();
+        assert_eq!(msg, "boom in spawn");
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = crate::join(|| 2 + 2, || "ok".to_string());
+        assert_eq!((a, b.as_str()), (4, "ok"));
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(crate::current_num_threads() >= 1);
     }
 }
